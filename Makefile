@@ -1,0 +1,21 @@
+.PHONY: install test bench bench-quick clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# The subset that regenerates every table/figure without the long
+# evolution runs (fig3, equal-mass heating).
+bench-quick:
+	pytest benchmarks/bench_fig1_kernel.py benchmarks/bench_fig4_weak_scaling.py \
+	       benchmarks/bench_table2_breakdown.py benchmarks/bench_time_to_solution.py \
+	       benchmarks/bench_state_of_the_art.py --benchmark-only
+
+clean:
+	rm -rf benchmarks/results .pytest_cache src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,73 @@
+"""Ablation: equal-mass particles vs heavy halo particles.
+
+Sec. IV's justification for spending 47 of 51 billion particles on the
+halo: unequal masses cause numerical disk heating.  We evolve the same
+model twice -- once with equal masses (paper policy) and once with 8x
+heavier, 8x fewer halo particles -- and compare the disk's vertical
+heating rate.  The heavy-halo run must heat the disk faster.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro import Simulation, SimulationConfig
+from repro.analysis.heating import disk_heating_state, heating_rate
+from repro.constants import internal_to_kms
+from repro.ics import milky_way_model
+from repro.particles import COMPONENT_DISK
+
+N = 8000
+STEPS = 40
+DT = 1.0
+
+
+def _run(halo_mass_factor: float):
+    ps = milky_way_model(N, seed=113, halo_mass_factor=halo_mass_factor)
+    cfg = SimulationConfig(theta=0.6, softening=0.3, dt=DT)
+    sim = Simulation(ps, cfg)
+    states, times = [], []
+
+    def record():
+        disk = sim.particles.select_component(COMPONENT_DISK)
+        states.append(disk_heating_state(disk.pos, disk.vel, disk.mass))
+        times.append(sim.time)
+
+    record()
+    for _ in range(STEPS):
+        sim.step()
+        if sim.step_count % 8 == 0:
+            record()
+    return states, np.array(times)
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return {1.0: _run(1.0), 8.0: _run(8.0)}
+
+
+def test_equal_mass_heats_less(benchmark, runs, results_dir):
+    data = benchmark.pedantic(lambda: runs, rounds=1, iterations=1)
+    lines = ["Ablation: numerical disk heating (Sec. IV equal-mass policy)",
+             f"N = {N}, {STEPS} steps of {DT * 4.71:.1f} Myr",
+             f"{'config':>22s} {'sigma_z(0)':>11s} {'sigma_z(end)':>13s} "
+             f"{'d(sigma_z^2)/dt':>16s}"]
+    rates = {}
+    for factor, (states, times) in data.items():
+        rate = heating_rate(states, times)
+        rates[factor] = rate
+        label = "equal mass" if factor == 1.0 else f"halo x{factor:.0f} heavier"
+        lines.append(f"{label:>22s} "
+                     f"{internal_to_kms(states[0].sigma_z):10.1f}km "
+                     f"{internal_to_kms(states[-1].sigma_z):12.1f}km "
+                     f"{rate:16.2e}")
+    write_result("ablation_equal_mass", lines)
+    # The paper's claim: unequal masses heat the disk faster.
+    assert rates[8.0] > rates[1.0]
+
+
+def test_disk_stays_thin_with_equal_mass(benchmark, runs):
+    data = benchmark.pedantic(lambda: runs, rounds=1, iterations=1)
+    states, _ = data[1.0]
+    # Thickness growth bounded over the run with equal masses.
+    assert states[-1].thickness < 3.0 * max(states[0].thickness, 0.1)

@@ -1,0 +1,49 @@
+"""Ablation: initial-condition velocity assignment (Jeans vs Eddington).
+
+The paper uses GalacticICS, which samples exact distribution functions.
+Our default is the cheaper Jeans-Gaussian method; this ablation checks
+what the exact (Eddington) sampler buys: a realization closer to
+equilibrium, i.e. smaller virial transient when evolved.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro import Simulation, SimulationConfig
+from repro.gravity import direct_forces
+from repro.ics import milky_way_model
+from repro.integrator import system_diagnostics
+
+N = 6000
+
+
+def _virial_drift(method: str, steps: int = 10) -> tuple[float, float]:
+    ps = milky_way_model(N, seed=111, velocity_method=method)
+    cfg = SimulationConfig(theta=0.6, softening=0.2, dt=1.0)
+    sim = Simulation(ps, cfg)
+    d0 = sim.diagnostics()
+    sim.evolve(steps)
+    d1 = sim.diagnostics()
+    return d0.virial_ratio, d1.virial_ratio
+
+
+@pytest.mark.parametrize("method", ["jeans", "eddington"])
+def test_ics_method(benchmark, method, results_dir):
+    v0, v1 = benchmark.pedantic(lambda: _virial_drift(method), rounds=1,
+                                iterations=1)
+    write_result(f"ablation_ics_{method}", [
+        f"velocity method = {method}, N = {N}",
+        f"virial ratio: t=0 {v0:.3f} -> after 10 steps {v1:.3f}"])
+    # Both must start near equilibrium and stay bound.
+    assert v0 == pytest.approx(1.0, abs=0.15)
+    assert 0.6 < v1 < 1.6
+
+
+def test_generation_cost(benchmark):
+    """Eddington costs more to generate; both must be fast enough for
+    'on the fly' generation (Sec. IV avoids start-up IO this way)."""
+    t = benchmark.pedantic(
+        lambda: milky_way_model(N, seed=112, velocity_method="eddington"),
+        rounds=1, iterations=1)
+    assert t.n == N

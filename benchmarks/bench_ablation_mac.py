@@ -1,0 +1,60 @@
+"""Ablation: MAC flavor (plain Barnes-Hut vs the Bonsai COM-offset MAC).
+
+The paper's MAC [9] adds the geometric-center-to-COM offset to the
+opening radius, opening more cells where mass sits asymmetrically.  This
+benchmark quantifies the accuracy/work trade on the Milky Way model.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.gravity import direct_forces, tree_forces
+from repro.ics import milky_way_model
+from repro.octree import build_octree, compute_moments, make_groups
+
+N = 8000
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ps = milky_way_model(N, seed=105)
+    tree = build_octree(ps.pos, nleaf=16)
+    compute_moments(tree, ps.pos, ps.mass)
+    make_groups(tree, 64)
+    acc_d, _ = direct_forces(ps.pos, ps.mass, eps=0.05)
+    return ps, tree, acc_d
+
+
+@pytest.mark.parametrize("mac", ["bh", "bonsai"])
+def test_mac_flavor(benchmark, setup, mac, results_dir):
+    ps, tree, acc_d = setup
+    res = benchmark.pedantic(
+        lambda: tree_forces(tree, ps.pos, ps.mass, theta=0.5, eps=0.05,
+                            mac=mac),
+        rounds=2, iterations=1)
+    err = np.median(np.linalg.norm(res.acc - acc_d, axis=1)
+                    / np.linalg.norm(acc_d, axis=1))
+    write_result(f"ablation_mac_{mac}", [
+        f"MAC = {mac}, theta = 0.5, N = {N}",
+        f"median relative force error: {err:.3e}",
+        f"pp/particle: {res.counts.n_pp / N:.0f}",
+        f"pc/particle: {res.counts.n_pc / N:.0f}",
+        f"flops/particle: {res.counts.flops / N:.0f}"])
+    assert err < 5e-3
+
+
+def test_mac_tradeoff_summary(benchmark, setup, results_dir):
+    """The Bonsai MAC must buy accuracy with its extra interactions."""
+    ps, tree, acc_d = benchmark.pedantic(lambda: setup, rounds=1, iterations=1)
+    stats = {}
+    for mac in ("bh", "bonsai"):
+        res = tree_forces(tree, ps.pos, ps.mass, theta=0.5, eps=0.05, mac=mac)
+        err = np.median(np.linalg.norm(res.acc - acc_d, axis=1)
+                        / np.linalg.norm(acc_d, axis=1))
+        stats[mac] = (err, res.counts.flops)
+    write_result("ablation_mac_summary", [
+        f"bh:     err {stats['bh'][0]:.3e}, flops {stats['bh'][1]:.3e}",
+        f"bonsai: err {stats['bonsai'][0]:.3e}, flops {stats['bonsai'][1]:.3e}"])
+    assert stats["bonsai"][0] <= stats["bh"][0]
+    assert stats["bonsai"][1] >= stats["bh"][1]

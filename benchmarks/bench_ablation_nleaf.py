@@ -1,0 +1,64 @@
+"""Ablation: leaf capacity NLEAF (the paper uses 16, from [9]).
+
+Small leaves push work into p-c interactions (more cells, deeper walks);
+large leaves push it into p-p interactions.  NLEAF = 16 sits near the
+flop minimum for GPU-style group walks, which this sweep demonstrates.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.gravity import tree_forces
+from repro.ics import milky_way_model
+from repro.octree import build_octree, compute_moments, make_groups
+
+N = 10_000
+NLEAVES = [2, 8, 16, 64, 256]
+
+
+@pytest.fixture(scope="module")
+def model():
+    return milky_way_model(N, seed=107)
+
+
+def _run(ps, nleaf):
+    tree = build_octree(ps.pos, nleaf=nleaf)
+    compute_moments(tree, ps.pos, ps.mass)
+    make_groups(tree, max(64, nleaf))
+    return tree, tree_forces(tree, ps.pos, ps.mass, theta=0.5, eps=0.05)
+
+
+@pytest.mark.parametrize("nleaf", NLEAVES)
+def test_nleaf_sweep(benchmark, model, nleaf, results_dir):
+    tree, res = benchmark.pedantic(lambda: _run(model, nleaf), rounds=2,
+                                   iterations=1)
+    write_result(f"ablation_nleaf_{nleaf}", [
+        f"nleaf = {nleaf}: cells {tree.n_cells}, "
+        f"pp/p {res.counts.n_pp / N:.0f}, pc/p {res.counts.n_pc / N:.0f}, "
+        f"flops/p {res.counts.flops / N:.0f}"])
+
+
+def test_nleaf_tradeoff_shape(benchmark, model, results_dir):
+    """pp grows and pc shrinks with nleaf; the flop total is lowest in
+    the middle of the sweep (where the paper's 16 sits)."""
+    model = benchmark.pedantic(lambda: model, rounds=1, iterations=1)
+    rows = []
+    flops = {}
+    for nleaf in NLEAVES:
+        _, res = _run(model, nleaf)
+        flops[nleaf] = res.counts.flops / N
+        rows.append((nleaf, res.counts.n_pp / N, res.counts.n_pc / N,
+                     flops[nleaf]))
+    lines = [f"{'nleaf':>6s} {'pp/p':>8s} {'pc/p':>8s} {'flops/p':>9s}"]
+    for r in rows:
+        lines.append(f"{r[0]:6d} {r[1]:8.0f} {r[2]:8.0f} {r[3]:9.0f}")
+    write_result("ablation_nleaf_summary", lines)
+    pps = [r[1] for r in rows]
+    pcs = [r[2] for r in rows]
+    assert pps[0] < pps[-1]          # p-p grows with leaf size
+    assert pcs[0] > pcs[-1]          # p-c shrinks with leaf size
+    # The extremes are not the optimum.
+    mid_best = min(flops[8], flops[16], flops[64])
+    assert mid_best <= flops[2]
+    assert mid_best <= flops[256]

@@ -1,0 +1,67 @@
+"""Ablation: quadrupole corrections (65-flop kernel) vs monopole only.
+
+The paper pays 65 flops per p-c interaction for quadrupole accuracy.
+This ablation shows what that buys: at equal theta the quadrupole run is
+an order of magnitude more accurate; to match its accuracy the monopole
+run must shrink theta, costing far more interactions.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.gravity import direct_forces, tree_forces
+from repro.ics import milky_way_model
+from repro.octree import build_octree, compute_moments, make_groups
+
+N = 8000
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ps = milky_way_model(N, seed=106)
+    tree = build_octree(ps.pos, nleaf=16)
+    compute_moments(tree, ps.pos, ps.mass)
+    make_groups(tree, 64)
+    acc_d, _ = direct_forces(ps.pos, ps.mass, eps=0.05)
+    return ps, tree, acc_d
+
+
+def _err(res, acc_d):
+    return float(np.median(np.linalg.norm(res.acc - acc_d, axis=1)
+                           / np.linalg.norm(acc_d, axis=1)))
+
+
+@pytest.mark.parametrize("quadrupole", [True, False])
+def test_kernel_order(benchmark, setup, quadrupole, results_dir):
+    ps, tree, acc_d = setup
+    res = benchmark.pedantic(
+        lambda: tree_forces(tree, ps.pos, ps.mass, theta=0.5, eps=0.05,
+                            quadrupole=quadrupole),
+        rounds=2, iterations=1)
+    name = "quad" if quadrupole else "mono"
+    write_result(f"ablation_quadrupole_{name}", [
+        f"kernel = {name}, theta = 0.5",
+        f"median relative force error: {_err(res, acc_d):.3e}",
+        f"flops/particle: {res.counts.flops / N:.0f}"])
+
+
+def test_quadrupole_accuracy_per_flop(benchmark, setup, results_dir):
+    """Quadrupole at theta=0.5 must beat monopole at theta=0.5 by a lot,
+    and be cheaper than monopole pushed to similar accuracy."""
+    ps, tree, acc_d = benchmark.pedantic(lambda: setup, rounds=1, iterations=1)
+    q = tree_forces(tree, ps.pos, ps.mass, theta=0.5, eps=0.05,
+                    quadrupole=True)
+    m = tree_forces(tree, ps.pos, ps.mass, theta=0.5, eps=0.05,
+                    quadrupole=False)
+    m_tight = tree_forces(tree, ps.pos, ps.mass, theta=0.25, eps=0.05,
+                          quadrupole=False)
+    rows = [
+        f"quad theta=0.5:  err {_err(q, acc_d):.3e} flops/p {q.counts.flops / N:9.0f}",
+        f"mono theta=0.5:  err {_err(m, acc_d):.3e} flops/p {m.counts.flops / N:9.0f}",
+        f"mono theta=0.25: err {_err(m_tight, acc_d):.3e} flops/p {m_tight.counts.flops / N:9.0f}",
+    ]
+    write_result("ablation_quadrupole_summary", rows)
+    assert _err(q, acc_d) < 0.5 * _err(m, acc_d)
+    # Matching the quadrupole's accuracy the monopole way costs more.
+    assert m_tight.counts.flops > q.counts.flops

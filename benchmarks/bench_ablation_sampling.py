@@ -1,0 +1,68 @@
+"""Ablation: serial vs hierarchical sampling for the domain update.
+
+The paper parallelized the sampling method because the serial variant's
+DD-process must sort O(rate * N_total) samples -- a serial bottleneck as
+P grows.  We measure the root-rank sample volume and the wall time of
+both decomposers across rank counts (the shape -- serial cost growing
+with total samples while hierarchical splits it px ways -- is what
+matters; absolute times are host-dependent).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.parallel import hierarchical_sample_boundaries, serial_sample_boundaries
+from repro.parallel.loadbalance import domain_counts
+from repro.simmpi import SimWorld, spmd_run
+
+N_PER_RANK = 50_000
+RATE = 0.05
+
+
+def _run(method, size):
+    world = SimWorld(size)
+
+    def prog(comm):
+        rng = np.random.default_rng(109 + comm.rank)
+        keys = np.sort(rng.integers(0, 2 ** 63, N_PER_RANK, dtype=np.uint64))
+        t0 = time.perf_counter()
+        if method == "serial":
+            b = serial_sample_boundaries(comm, keys, None, comm.size, RATE)
+        else:
+            b = hierarchical_sample_boundaries(comm, keys, None, comm.size,
+                                               RATE / 5, RATE)
+        dt = time.perf_counter() - t0
+        return dt, domain_counts(keys, b)
+
+    results = spmd_run(size, prog, world=world)
+    times = [r[0] for r in results]
+    counts = np.sum([r[1] for r in results], axis=0)
+    return max(times), counts, world.traffic.total_bytes
+
+
+@pytest.mark.parametrize("method", ["serial", "hierarchical"])
+@pytest.mark.parametrize("size", [4, 9])
+def test_sampling_method(benchmark, method, size, results_dir):
+    t, counts, nbytes = benchmark.pedantic(lambda: _run(method, size),
+                                           rounds=1, iterations=1)
+    write_result(f"ablation_sampling_{method}_{size}", [
+        f"{method} decomposition, {size} ranks x {N_PER_RANK} particles",
+        f"max rank wall time: {t * 1e3:.1f} ms",
+        f"imbalance max/mean: {counts.max() / counts.mean():.3f}",
+        f"traffic: {nbytes} bytes"])
+    assert counts.max() / counts.mean() < 1.35
+
+
+def test_both_methods_balance_equally_well(benchmark, results_dir):
+    _, c_s, _ = benchmark.pedantic(lambda: _run("serial", 6), rounds=1, iterations=1)
+    _, c_h, _ = _run("hierarchical", 6)
+    imb_s = c_s.max() / c_s.mean()
+    imb_h = c_h.max() / c_h.mean()
+    write_result("ablation_sampling_summary", [
+        f"serial imbalance:       {imb_s:.3f}",
+        f"hierarchical imbalance: {imb_h:.3f}"])
+    assert imb_h < 1.3
+    assert imb_s < 1.3

@@ -1,0 +1,82 @@
+"""Ablation: Morton vs Peano-Hilbert ordering for the decomposition.
+
+The paper chose the PH curve because its locality produces compact
+domains, hence small domain surfaces, hence small boundary/LET traffic.
+This benchmark decomposes the same model both ways and compares domain
+compactness and boundary-structure sizes.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.config import SimulationConfig
+from repro.ics import milky_way_model
+from repro.octree import build_octree, compute_moments, compute_opening_radii
+from repro.parallel import boundary_structure
+from repro.sfc import BoundingBox
+
+N = 30_000
+P = 8
+
+
+def _domains(ps, curve):
+    """Split particles into P equal key-range domains along a curve."""
+    box = BoundingBox.from_positions(ps.pos)
+    keys = box.keys(ps.pos, curve)
+    order = np.argsort(keys)
+    out = []
+    for d in range(P):
+        sel = order[len(order) * d // P:len(order) * (d + 1) // P]
+        out.append(sel)
+    return box, out
+
+
+def _surface_metric(ps, box, domains, curve):
+    """Total boundary-structure bytes over all domains."""
+    cfg = SimulationConfig(theta=0.5)
+    total_bytes = 0
+    rms = []
+    for sel in domains:
+        pos = ps.pos[sel]
+        mass = ps.mass[sel]
+        tree = build_octree(pos, nleaf=16, box=box, keys=None, curve=curve)
+        compute_moments(tree, pos, mass)
+        compute_opening_radii(tree, cfg.theta, cfg.mac)
+        b = boundary_structure(tree, pos[tree.order], mass[tree.order])
+        total_bytes += b.nbytes
+        c = pos.mean(axis=0)
+        rms.append(np.sqrt(np.mean(np.sum((pos - c) ** 2, axis=1))))
+    return total_bytes, float(np.mean(rms))
+
+
+@pytest.fixture(scope="module")
+def model():
+    return milky_way_model(N, seed=108)
+
+
+@pytest.mark.parametrize("curve", ["morton", "hilbert"])
+def test_curve_decomposition(benchmark, model, curve, results_dir):
+    def run():
+        box, domains = _domains(model, curve)
+        return _surface_metric(model, box, domains, curve)
+
+    nbytes, rms = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(f"ablation_sfc_{curve}", [
+        f"curve = {curve}, {P} domains, N = {N}",
+        f"total boundary bytes: {nbytes}",
+        f"mean domain RMS radius: {rms:.3f} kpc"])
+
+
+def test_hilbert_domains_more_compact(benchmark, model, results_dir):
+    """Hilbert domains must not be less compact than Morton domains
+    (lower mean RMS radius => smaller surfaces => less LET traffic)."""
+    model = benchmark.pedantic(lambda: model, rounds=1, iterations=1)
+    box_m, dom_m = _domains(model, "morton")
+    box_h, dom_h = _domains(model, "hilbert")
+    bytes_m, rms_m = _surface_metric(model, box_m, dom_m, "morton")
+    bytes_h, rms_h = _surface_metric(model, box_h, dom_h, "hilbert")
+    write_result("ablation_sfc_summary", [
+        f"morton:  boundary {bytes_m} B, RMS {rms_m:.3f} kpc",
+        f"hilbert: boundary {bytes_h} B, RMS {rms_h:.3f} kpc"])
+    assert rms_h <= rms_m * 1.05

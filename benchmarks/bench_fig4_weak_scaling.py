@@ -1,0 +1,99 @@
+"""Fig. 4 -- weak scaling on Piz Daint and Titan.
+
+Regenerates the three Tflops curves (GPU kernels / gravity / application)
+and the parallel-efficiency insets over the full GPU range of the paper,
+plus a *real* weak-scaling measurement of the distributed algorithm over
+SimMPI ranks on this host.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro.config import SimulationConfig
+from repro.core.parallel_simulation import run_parallel_simulation
+from repro.ics import milky_way_model
+from repro.perfmodel import PIZ_DAINT, TITAN, strong_scaling, weak_scaling
+
+DAINT_COUNTS = [1, 4, 16, 64, 256, 1024, 2048, 4096, 5200]
+TITAN_COUNTS = [1, 4, 16, 64, 256, 1024, 4096, 8192, 18600]
+
+
+def _series(machine, counts):
+    pts = weak_scaling(machine, counts)
+    single = pts[0]
+    rows = []
+    for p in pts:
+        rows.append((p.n_gpus, p.gpu_kernel_tflops, p.gravity_tflops,
+                     p.application_tflops, 100 * p.efficiency_vs(single)))
+    return pts, rows
+
+
+def test_fig4_model_curves(benchmark, results_dir):
+    def build():
+        return (_series(PIZ_DAINT, DAINT_COUNTS), _series(TITAN, TITAN_COUNTS))
+
+    (daint_pts, daint_rows), (titan_pts, titan_rows) = benchmark(build)
+    lines = ["Fig. 4: weak scaling, 13M particles/GPU, theta = 0.4",
+             "", "Piz Daint",
+             f"{'GPUs':>6s} {'GPU kern':>10s} {'Gravity':>10s} "
+             f"{'App':>10s} {'Eff %':>7s}   [Tflops]"]
+    for r in daint_rows:
+        lines.append(f"{r[0]:6d} {r[1]:10.1f} {r[2]:10.1f} {r[3]:10.1f} {r[4]:7.1f}")
+    lines += ["", "Titan", f"{'GPUs':>6s} {'GPU kern':>10s} {'Gravity':>10s} "
+              f"{'App':>10s} {'Eff %':>7s}   [Tflops]"]
+    for r in titan_rows:
+        lines.append(f"{r[0]:6d} {r[1]:10.1f} {r[2]:10.1f} {r[3]:10.1f} {r[4]:7.1f}")
+    write_result("fig4_weak_scaling", lines)
+
+    # Abstract claims: Piz Daint efficiency never below ~95%; Titan 86%
+    # at 18600 GPUs; peak 24.77 / 33.49 Pflops.
+    for r in daint_rows[1:]:
+        assert r[4] > 93.0
+    assert titan_rows[-1][4] == pytest.approx(86.0, abs=3.0)
+    assert titan_rows[-1][3] / 1e3 == pytest.approx(24.77, rel=0.05)
+    assert titan_rows[-1][1] / 1e3 == pytest.approx(33.49, rel=0.05)
+    # Curve ordering everywhere: GPU >= gravity >= application.
+    for r in daint_rows + titan_rows:
+        assert r[1] >= r[2] >= r[3]
+
+
+def test_fig4_strong_scaling_model(benchmark, results_dir):
+    def build():
+        return (strong_scaling(PIZ_DAINT, 26.6e9, [2048, 4096]),
+                strong_scaling(TITAN, 53.2e9, [4096, 8192]))
+
+    daint, titan = benchmark(build)
+    eff_d = daint[1].application_tflops / daint[0].application_tflops / 2
+    eff_t = titan[1].application_tflops / titan[0].application_tflops / 2
+    write_result("fig4_strong_scaling", [
+        "Strong scaling (Sec. VI-B):",
+        f"Piz Daint 26.6B particles, 2048 -> 4096 GPUs: {100 * eff_d:.0f}% "
+        "(paper: 95%)",
+        f"Titan 53.2B particles, 4096 -> 8192 GPUs: {100 * eff_t:.0f}% "
+        "(paper: 87%)"])
+    assert eff_d == pytest.approx(0.95, abs=0.05)
+    assert eff_t == pytest.approx(0.87, abs=0.06)
+
+
+@pytest.mark.parametrize("ranks", [1, 2, 4])
+def test_real_weak_scaling_on_host(benchmark, results_dir, ranks):
+    """Real weak scaling of the distributed algorithm over SimMPI: the
+    per-rank gravity work (interactions) must stay roughly constant as
+    ranks grow with N (the essence of Fig. 4's flat efficiency)."""
+    n_per_rank = 4000
+    ps = milky_way_model(n_per_rank * ranks, seed=103)
+    cfg = SimulationConfig(theta=0.6, softening=0.1, dt=0.5)
+
+    def run():
+        sims = run_parallel_simulation(ranks, ps.copy(), cfg, n_steps=1)
+        return sims
+
+    sims = benchmark.pedantic(run, rounds=1, iterations=1)
+    per_rank = [s.history[0].counts.n_pp + s.history[0].counts.n_pc
+                for s in sims]
+    total = ps.n
+    write_result(f"fig4_real_host_{ranks}ranks", [
+        f"ranks={ranks} N={total} interactions/rank: {per_rank}"])
+    # Work per rank within 2.2x of the mean (small-N imbalance allowed).
+    assert max(per_rank) < 2.2 * (sum(per_rank) / len(per_rank))

@@ -1,0 +1,39 @@
+"""Sec. II -- quantitative state of the art.
+
+Prints the Gordon Bell tree-code lineage the paper positions itself
+against, and the energy-efficiency figures that motivate GPU machines.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.perfmodel.energy import efficiency_advantage_over_k, flops_per_node_comparison
+from repro.perfmodel.history import history_rows, sustained_performance_growth, versus_previous_record
+
+
+def test_record_lineage(benchmark, results_dir):
+    rows = benchmark(history_rows)
+    lines = ["Sec. II: large-scale gravitational tree-code records"]
+    for r in rows:
+        lines.append("  ".join(f"{c:<24s}" if i == 1 else f"{c:<12s}"
+                               for i, c in enumerate(r)))
+    lines.append(f"growth since first GPU tree record (2009): "
+                 f"{sustained_performance_growth():.0f}x")
+    lines.append(f"vs the 2012 K-computer TreePM record: "
+                 f"{versus_previous_record():.1f}x")
+    write_result("sec2_state_of_the_art", lines)
+    assert sustained_performance_growth() > 500
+
+
+def test_energy_motivation(benchmark, results_dir):
+    adv = benchmark(efficiency_advantage_over_k)
+    nodes = flops_per_node_comparison()
+    write_result("sec2_energy", [
+        "Sec. II: flops/watt vs K computer "
+        "(830 Mflops/W; Titan 2.1, Piz Daint 2.7 Gflops/W)",
+        *(f"  {k}: {v:.2f}x" for k, v in adv.items()),
+        "node peak comparison: "
+        + ", ".join(f"{k} = {v} Tflops" for k, v in nodes.items()),
+        "=> ~31x denser nodes, hence the far tighter network/flop "
+        "balance Bonsai's communication hiding addresses"])
+    assert adv["Piz Daint"] > adv["Titan"] > 2.0

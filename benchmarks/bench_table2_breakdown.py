@@ -1,0 +1,105 @@
+"""Table II -- per-step time breakdown on Titan and Piz Daint.
+
+Regenerates every column of Table II from the calibrated timeline model
+(weak scaling 1/1024/2048/4096/18600 on Titan, 1024/2048/4096 on Piz
+Daint, plus both strong-scaling columns) and also *measures* the same
+breakdown for this repository's real pipeline at laptop scale.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro import Simulation, SimulationConfig
+from repro.core.step import TABLE2_PHASES
+from repro.ics import milky_way_model
+from repro.perfmodel import PIZ_DAINT, TITAN, model_step, table1_rows
+
+#: (machine, gpus, particles/GPU) for every Table II column.
+COLUMNS = [
+    (TITAN, 1, 13e6),
+    (TITAN, 1024, 13e6), (TITAN, 2048, 13e6), (TITAN, 4096, 13e6),
+    (TITAN, 18600, 13e6), (TITAN, 8192, 6.5e6),
+    (PIZ_DAINT, 1024, 13e6), (PIZ_DAINT, 2048, 13e6),
+    (PIZ_DAINT, 4096, 13e6), (PIZ_DAINT, 4096, 6.5e6),
+]
+
+#: Paper values for the summary rows: total [s], GPU Tflops, app Tflops.
+PAPER_SUMMARY = [
+    (2.79, 1.77, 1.55),
+    (4.02, 1844.6, 1484.6), (4.15, 3693.7, 2971.8), (4.41, 7396.8, 5784.9),
+    (4.77, 33490.0, 24773.0), (2.65, 14714.0, 10051.0),
+    (3.84, 1844.7, 1551.9), (3.94, 3693.9, 3129.9),
+    (4.15, 7396.9, 6180.7), (2.10, 7383.5, 5947.9),
+]
+
+
+def test_table1_hardware(benchmark, results_dir):
+    rows = benchmark(table1_rows)
+    lines = ["Table I: hardware used for the parallel simulations"]
+    for r in rows:
+        lines.append(f"{r[0]:24s} {r[1]:>18s} {r[2]:>18s}")
+    write_result("table1_hardware", lines)
+    assert rows[0][1:] == ("Piz Daint", "Titan")
+
+
+def test_table2_model(benchmark, results_dir):
+    def build():
+        return [model_step(m, p, n) for m, p, n in COLUMNS]
+
+    bds = benchmark(build)
+    lines = ["Table II: time breakdown (model vs paper)",
+             "col: machine @ GPUs (M particles/GPU)"]
+    header = f"{'phase':18s}" + "".join(
+        f"{m.name[:2]}@{p}".rjust(11) for m, p, n in COLUMNS)
+    lines.append(header)
+    for phase in TABLE2_PHASES:
+        lines.append(f"{phase:18s}" + "".join(
+            f"{getattr(bd, phase):11.2f}" for bd in bds))
+    lines.append(f"{'TOTAL':18s}" + "".join(f"{bd.total:11.2f}" for bd in bds))
+    lines.append(f"{'paper total':18s}" + "".join(
+        f"{t:11.2f}" for t, _, _ in PAPER_SUMMARY))
+    lines.append(f"{'pp/particle':18s}" + "".join(
+        f"{bd.counts.n_pp / bd.n_particles:11.0f}" for bd in bds))
+    lines.append(f"{'pc/particle':18s}" + "".join(
+        f"{bd.counts.n_pc / bd.n_particles:11.0f}" for bd in bds))
+    gpu_t = [bd.gpu_tflops() * p for bd, (m, p, n) in zip(bds, COLUMNS)]
+    app_t = [bd.application_tflops() * p for bd, (m, p, n) in zip(bds, COLUMNS)]
+    lines.append(f"{'GPU Tflops':18s}" + "".join(f"{v:11.1f}" for v in gpu_t))
+    lines.append(f"{'paper GPU':18s}" + "".join(
+        f"{g:11.1f}" for _, g, _ in PAPER_SUMMARY))
+    lines.append(f"{'App Tflops':18s}" + "".join(f"{v:11.1f}" for v in app_t))
+    lines.append(f"{'paper App':18s}" + "".join(
+        f"{a:11.1f}" for _, _, a in PAPER_SUMMARY))
+    write_result("table2_breakdown", lines)
+
+    # Shape assertions: every column total within 10%, rates within 7%.
+    for bd, (total, gpu, app), (m, p, n) in zip(bds, PAPER_SUMMARY, COLUMNS):
+        assert bd.total == pytest.approx(total, rel=0.10)
+        assert bd.gpu_tflops() * p == pytest.approx(gpu, rel=0.07)
+        assert bd.application_tflops() * p == pytest.approx(app, rel=0.12)
+
+
+@pytest.mark.parametrize("n", [20_000])
+def test_table2_measured_pipeline(benchmark, results_dir, n):
+    """The same breakdown measured for real on this host (our 'single
+    GPU' column): the structure must match -- gravity dominates, tree
+    build and properties are minor."""
+    ps = milky_way_model(n, seed=102)
+    cfg = SimulationConfig(theta=0.5, softening=0.1, dt=0.5)
+    sim = Simulation(ps, cfg)
+    sim.step()  # warm-up / prime
+
+    bd = benchmark.pedantic(sim.step, rounds=3, iterations=1)
+    lines = [f"Table II analogue measured on this host (N = {n}):"]
+    for phase in TABLE2_PHASES:
+        lines.append(f"  {phase:18s} {getattr(bd, phase):8.3f} s")
+    lines.append(f"  {'TOTAL':18s} {bd.total:8.3f} s")
+    pp, pc = bd.counts.per_particle(n)
+    lines.append(f"  pp/particle {pp:.0f}  pc/particle {pc:.0f}")
+    lines.append(f"  host 'GPU' rate: {bd.gpu_tflops() * 1e3:.3f} Gflops")
+    write_result("table2_measured_host", lines)
+
+    assert bd.gravity_local > bd.tree_construction
+    assert bd.gravity_local > bd.sorting
+    assert bd.counts.n_pp > 0 and bd.counts.n_pc > 0

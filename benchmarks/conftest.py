@@ -1,0 +1,34 @@
+"""Shared fixtures and result-file plumbing for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+writes the reproduced rows/series to ``benchmarks/results/<name>.txt``
+so the output can be diffed against the paper without digging through
+pytest output.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    """Directory collecting the regenerated tables and figure data."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(name: str, lines) -> str:
+    """Write a result file; returns the text (also echoed to stdout)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines) + "\n"
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print(f"\n=== {name} ===\n{text}")
+    return text

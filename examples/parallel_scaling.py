@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Distributed simulation over SimMPI ranks + projection to Titan scale.
+
+Runs the full parallel pipeline of Sec. III-B (hierarchical-sampling
+domain decomposition, particle exchange, boundary allgather, LET
+exchange, per-LET force walks) on P in-process ranks, reports the
+communication statistics the paper's design minimises, then uses the
+calibrated performance model to project the same workload to the paper's
+machines.
+
+Run:
+    python examples/parallel_scaling.py --ranks 4 --n 16000 --steps 2
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import SimulationConfig
+from repro.core.parallel_simulation import ParallelSimulation
+from repro.ics import milky_way_model
+from repro.perfmodel import PIZ_DAINT, TITAN, weak_scaling
+from repro.simmpi import SimWorld, spmd_run
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--ranks", type=int, default=4)
+    ap.add_argument("--n", type=int, default=16_000)
+    ap.add_argument("--steps", type=int, default=2)
+    ap.add_argument("--theta", type=float, default=0.5)
+    args = ap.parse_args()
+
+    print(f"Milky Way model, N = {args.n}, {args.ranks} SimMPI ranks, "
+          f"{args.steps} steps\n")
+    ps = milky_way_model(args.n, seed=2)
+    cfg = SimulationConfig(theta=args.theta, softening=0.1, dt=1.0)
+    world = SimWorld(args.ranks)
+
+    def prog(comm):
+        lo = args.n * comm.rank // comm.size
+        hi = args.n * (comm.rank + 1) // comm.size
+        sim = ParallelSimulation(comm, ps.select(np.arange(lo, hi)), cfg)
+        sim.evolve(args.steps)
+        return sim
+
+    sims = spmd_run(args.ranks, prog, world=world)
+
+    print(f"{'rank':>4s} {'particles':>10s} {'pp/p':>7s} {'pc/p':>7s} "
+          f"{'LETs sent':>9s} {'LET KB':>8s}")
+    for r, sim in enumerate(sims):
+        res = sim._result
+        bd = sim.history[-1]
+        pp, pc = bd.counts.per_particle(max(sim.particles.n, 1))
+        print(f"{r:4d} {sim.particles.n:10d} {pp:7.0f} {pc:7.0f} "
+              f"{res.n_lets_sent:9d} {res.let_bytes_sent / 1024:8.1f}")
+
+    print("\ncommunication traffic by phase:")
+    for phase, s in world.traffic.summary().items():
+        print(f"  {phase:18s} {s['messages']:5d} msgs, "
+              f"{s['collectives']:4d} collectives, {s['bytes'] / 1024:9.1f} KB")
+
+    # Projection: the same algorithm on the paper's machines.
+    print("\nProjection to the paper's machines (weak scaling, 13M/GPU):")
+    print(f"{'machine':>10s} {'GPUs':>6s} {'s/step':>7s} {'app Tflops':>11s} "
+          f"{'efficiency':>10s}")
+    for machine in (PIZ_DAINT, TITAN):
+        counts = [1, 1024, machine.nodes_used]
+        pts = weak_scaling(machine, counts)
+        for p in pts:
+            eff = p.efficiency_vs(pts[0])
+            print(f"{machine.name:>10s} {p.n_gpus:6d} {p.breakdown.total:7.2f} "
+                  f"{p.application_tflops:11.1f} {eff * 100:9.1f}%")
+
+
+if __name__ == "__main__":
+    main()

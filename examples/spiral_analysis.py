@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Spiral-structure analysis: mode spectra, pitch angles, moving groups.
+
+Demonstrates the Fig. 3 analysis toolkit on (a) a synthetic logarithmic
+spiral with known parameters, recovering arm multiplicity and pitch
+angle, and (b) an evolved disk snapshot (optionally loaded from a
+snapshot file written by examples/milky_way.py).
+
+Run:
+    python examples/spiral_analysis.py
+    python examples/spiral_analysis.py --snapshot mw_output/snapshot_00050.npz
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.analysis import (
+    bar_strength,
+    solar_neighborhood,
+    velocity_distribution,
+    velocity_substructure_clumpiness,
+)
+from repro.analysis.spiral import (
+    logspiral_transform,
+    make_log_spiral,
+    mode_spectrum,
+    pitch_angle,
+)
+from repro.constants import internal_to_kms
+from repro.io import load_snapshot
+from repro.particles import COMPONENT_DISK
+
+
+def analyse_disk(pos: np.ndarray, mass: np.ndarray, label: str) -> None:
+    print(f"\n--- {label} ---")
+    spec = mode_spectrum(pos, mass, r_min=3.0, r_max=10.0)
+    print("mode spectrum |A_m|/A_0 (m = 1..8):")
+    print("  " + " ".join(f"m{m}:{spec[m]:.3f}" for m in range(1, 9)))
+    dominant = int(np.argmax(spec[1:]) + 1)
+    print(f"dominant mode: m = {dominant}")
+    a2, phase = bar_strength(pos, mass, r_max=5.0)
+    print(f"bar amplitude A2/A0 (R < 5 kpc): {a2:.3f}, phase {phase:+.2f} rad")
+    alpha = pitch_angle(pos, mass, m=max(dominant, 2))
+    print(f"pitch angle of the m = {max(dominant, 2)} pattern: {alpha:.1f} deg")
+    p, amp = logspiral_transform(pos, mass, m=2)
+    print(f"log-spiral peak: p = {p[np.argmax(amp)]:+.1f}, |A| = {amp.max():.3f}")
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--snapshot", default=None,
+                    help="npz snapshot from examples/milky_way.py")
+    args = ap.parse_args()
+
+    # (a) synthetic spiral with known ground truth.
+    truth_pitch = 18.0
+    pos = make_log_spiral(40000, pitch_deg=truth_pitch, m=2, spread=0.15,
+                          seed=7)
+    analyse_disk(pos, np.ones(len(pos)),
+                 f"synthetic 2-armed spiral (true pitch {truth_pitch} deg)")
+
+    # (b) a simulation snapshot, if provided.
+    if args.snapshot:
+        ps, meta = load_snapshot(args.snapshot)
+        disk = ps.select_component(COMPONENT_DISK)
+        analyse_disk(disk.pos, disk.mass,
+                     f"snapshot {args.snapshot} (t = {meta['time']:.1f})")
+        idx = solar_neighborhood(disk.pos, disk.vel, r_sun=8.0, radius=2.0)
+        if len(idx) > 256:
+            v_r, v_phi = velocity_distribution(disk.pos, disk.vel, idx)
+            c = velocity_substructure_clumpiness(v_r, v_phi)
+            print(f"\nsolar-neighborhood sample: {len(idx)} stars, "
+                  f"sigma_r = {internal_to_kms(np.std(v_r)):.0f} km/s, "
+                  f"clumpiness = {c:.2f}")
+            print("(moving groups appear as clumpiness >> 0; compare the "
+                  "paper's Fig. 3 bottom-left panel)")
+
+
+if __name__ == "__main__":
+    main()

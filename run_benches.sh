@@ -1,0 +1,15 @@
+#!/bin/bash
+# Sequential benchmark chunks, all appending to bench_output.txt.
+cd /root/repo
+: > bench_output.txt
+python3 -m pytest benchmarks/bench_fig1_kernel.py benchmarks/bench_fig2_decomposition.py \
+    benchmarks/bench_fig4_weak_scaling.py benchmarks/bench_table2_breakdown.py \
+    benchmarks/bench_time_to_solution.py benchmarks/bench_state_of_the_art.py \
+    --benchmark-only -p no:cacheprovider 2>&1 | tee -a bench_output.txt | tail -1
+python3 -m pytest benchmarks/bench_fig3_milkyway.py benchmarks/bench_ablation_ics.py \
+    --benchmark-only -p no:cacheprovider 2>&1 | tee -a bench_output.txt | tail -1
+python3 -m pytest benchmarks/bench_ablation_equal_mass.py benchmarks/bench_ablation_mac.py \
+    benchmarks/bench_ablation_quadrupole.py benchmarks/bench_ablation_nleaf.py \
+    benchmarks/bench_ablation_sfc.py benchmarks/bench_ablation_sampling.py \
+    --benchmark-only -p no:cacheprovider 2>&1 | tee -a bench_output.txt | tail -1
+echo BENCH_ALL_DONE

@@ -1,0 +1,6 @@
+"""Legacy setup shim: this environment has setuptools 65 without the
+`wheel` package, so PEP 660 editable installs fail; `setup.py develop`
+(invoked by `pip install -e .` in legacy mode) works."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""Analysis of Milky Way simulations (the Fig. 3 measurements)."""
+
+from .surface_density import surface_density_map, radial_surface_density
+from .bar import bar_strength, bar_strength_profile, pattern_speed
+from .kinematics import (
+    solar_neighborhood,
+    velocity_distribution,
+    velocity_substructure_clumpiness,
+)
+from .profiles_fit import enclosed_mass_profile, density_profile
+from .spiral import logspiral_transform, mode_spectrum, pitch_angle
+from .heating import DiskHeating, disk_heating_state, heating_rate
+
+__all__ = [
+    "mode_spectrum",
+    "logspiral_transform",
+    "pitch_angle",
+    "DiskHeating",
+    "disk_heating_state",
+    "heating_rate",
+    "surface_density_map",
+    "radial_surface_density",
+    "bar_strength",
+    "bar_strength_profile",
+    "pattern_speed",
+    "solar_neighborhood",
+    "velocity_distribution",
+    "velocity_substructure_clumpiness",
+    "enclosed_mass_profile",
+    "density_profile",
+]

@@ -1,0 +1,39 @@
+"""Measured density/mass profiles, for comparing realizations against
+their analytic targets (IC validation and long-run stability checks)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def enclosed_mass_profile(pos: np.ndarray, mass: np.ndarray,
+                          radii: np.ndarray,
+                          center: np.ndarray | None = None) -> np.ndarray:
+    """M(<r) measured at the requested radii."""
+    pos = np.asarray(pos, dtype=np.float64)
+    if center is not None:
+        pos = pos - center
+    r = np.linalg.norm(pos, axis=1)
+    order = np.argsort(r)
+    r_sorted = r[order]
+    m_cum = np.concatenate(([0.0], np.cumsum(mass[order])))
+    idx = np.searchsorted(r_sorted, radii, side="right")
+    return m_cum[idx]
+
+
+def density_profile(pos: np.ndarray, mass: np.ndarray,
+                    r_edges: np.ndarray,
+                    center: np.ndarray | None = None
+                    ) -> tuple[np.ndarray, np.ndarray]:
+    """Spherically averaged rho(r) in the given radial bins.
+
+    Returns (r_centers, rho).
+    """
+    pos = np.asarray(pos, dtype=np.float64)
+    if center is not None:
+        pos = pos - center
+    r = np.linalg.norm(pos, axis=1)
+    m_r, _ = np.histogram(r, bins=r_edges, weights=mass)
+    vol = 4.0 / 3.0 * np.pi * (r_edges[1:] ** 3 - r_edges[:-1] ** 3)
+    centers = 0.5 * (r_edges[1:] + r_edges[:-1])
+    return centers, m_r / vol

@@ -1,0 +1,96 @@
+"""Rotation-curve and Toomre-Q measurement from particle snapshots.
+
+Used to validate realizations against the analytic model (the observable
+the Gaia comparison in the paper's introduction ultimately constrains)
+and to monitor secular evolution of the disk's stability margin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def measured_rotation_curve(pos: np.ndarray, vel: np.ndarray,
+                            mass: np.ndarray,
+                            r_max: float = 20.0, bins: int = 20
+                            ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Mass-weighted mean azimuthal speed per cylindrical-radius bin.
+
+    Returns (R_centers, v_phi_mean, v_phi_dispersion); bins without
+    particles hold NaN.
+    """
+    R = np.hypot(pos[:, 0], pos[:, 1])
+    Rc = np.maximum(R, 1e-12)
+    v_phi = (-vel[:, 0] * pos[:, 1] + vel[:, 1] * pos[:, 0]) / Rc
+    edges = np.linspace(0.0, r_max, bins + 1)
+    which = np.digitize(R, edges) - 1
+    centers = 0.5 * (edges[1:] + edges[:-1])
+    mean = np.full(bins, np.nan)
+    disp = np.full(bins, np.nan)
+    for b in range(bins):
+        sel = which == b
+        if not sel.any():
+            continue
+        w = mass[sel]
+        m = np.average(v_phi[sel], weights=w)
+        mean[b] = m
+        disp[b] = np.sqrt(np.average((v_phi[sel] - m) ** 2, weights=w))
+    return centers, mean, disp
+
+
+def circular_velocity_from_mass(pos: np.ndarray, mass: np.ndarray,
+                                radii: np.ndarray,
+                                center: np.ndarray | None = None
+                                ) -> np.ndarray:
+    """Spherical-approximation v_c(R) = sqrt(M(<R)/R) from particles."""
+    from .profiles_fit import enclosed_mass_profile
+    radii = np.asarray(radii, dtype=np.float64)
+    m = enclosed_mass_profile(pos, mass, radii, center=center)
+    return np.sqrt(m / np.maximum(radii, 1e-12))
+
+
+def toomre_q_profile(pos: np.ndarray, vel: np.ndarray, mass: np.ndarray,
+                     total_pos: np.ndarray, total_mass: np.ndarray,
+                     r_max: float = 15.0, bins: int = 12
+                     ) -> tuple[np.ndarray, np.ndarray]:
+    """Measured Toomre Q(R) = sigma_R kappa / (3.36 G Sigma) of a disk.
+
+    Parameters
+    ----------
+    pos, vel, mass:
+        Disk particles.
+    total_pos, total_mass:
+        All particles (the potential that sets kappa).
+
+    Returns (R_centers, Q); under-populated bins hold NaN.
+    """
+    edges = np.linspace(0.0, r_max, bins + 1)
+    centers = 0.5 * (edges[1:] + edges[:-1])
+    R = np.hypot(pos[:, 0], pos[:, 1])
+    which = np.digitize(R, edges) - 1
+
+    # Radial velocity dispersion per bin.
+    Rc = np.maximum(R, 1e-12)
+    v_R = (vel[:, 0] * pos[:, 0] + vel[:, 1] * pos[:, 1]) / Rc
+    sigma_R = np.full(bins, np.nan)
+    sigma = np.full(bins, np.nan)
+    for b in range(bins):
+        sel = which == b
+        if np.count_nonzero(sel) < 8:
+            continue
+        w = mass[sel]
+        mean = np.average(v_R[sel], weights=w)
+        sigma_R[b] = np.sqrt(np.average((v_R[sel] - mean) ** 2, weights=w))
+        area = np.pi * (edges[b + 1] ** 2 - edges[b] ** 2)
+        sigma[b] = w.sum() / area
+
+    # Epicyclic frequency from the total mass distribution.
+    vc = circular_velocity_from_mass(total_pos, total_mass, centers)
+    omega = vc / np.maximum(centers, 1e-12)
+    dom2 = np.gradient(omega ** 2, centers)
+    kappa2 = np.maximum(centers * dom2 + 4.0 * omega ** 2, 0.0)
+    kappa = np.sqrt(kappa2)
+
+    with np.errstate(invalid="ignore", divide="ignore"):
+        q = sigma_R * kappa / (3.36 * sigma)
+    return centers, q

@@ -1,0 +1,89 @@
+"""Spiral structure diagnostics: mode spectra and pitch angle.
+
+The paper's headline science image (Fig. 3) shows spiral arms induced by
+the bar.  Quantitatively, spiral structure lives in the azimuthal
+Fourier modes m = 1..8 of the disk surface density, and a trailing
+logarithmic spiral of pitch angle alpha produces a peak at radial
+wavenumber p = m / tan(alpha) in the (ln R, phi) Fourier transform
+(the standard method of Grand et al. 2013, the paper's ref. [18]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mode_spectrum(pos: np.ndarray, mass: np.ndarray,
+                  r_min: float = 2.0, r_max: float = 12.0,
+                  m_max: int = 8) -> np.ndarray:
+    """|A_m|/A_0 for m = 0..m_max over an annulus of the disk.
+
+    Returns an array of length ``m_max + 1`` whose first entry is 1.
+    """
+    R = np.hypot(pos[:, 0], pos[:, 1])
+    sel = (R >= r_min) & (R <= r_max)
+    if not sel.any():
+        return np.zeros(m_max + 1)
+    phi = np.arctan2(pos[sel, 1], pos[sel, 0])
+    w = mass[sel]
+    a0 = w.sum()
+    out = np.empty(m_max + 1)
+    for m in range(m_max + 1):
+        out[m] = np.abs(np.sum(w * np.exp(1j * m * phi))) / a0
+    return out
+
+
+def logspiral_transform(pos: np.ndarray, mass: np.ndarray,
+                        m: int = 2,
+                        r_min: float = 2.0, r_max: float = 12.0,
+                        p_grid: np.ndarray | None = None
+                        ) -> tuple[np.ndarray, np.ndarray]:
+    """One-armed log-spiral Fourier transform A(p, m).
+
+    A(p, m) = sum_j w_j exp(i (m phi_j + p ln R_j)) / sum_j w_j.
+
+    Returns (p_grid, |A|) -- a peak at p0 means a logarithmic spiral
+    with pitch angle alpha = arctan(m / |p0|); p < 0 is trailing for a
+    disk rotating in +phi.
+    """
+    if p_grid is None:
+        p_grid = np.linspace(-30.0, 30.0, 121)
+    R = np.hypot(pos[:, 0], pos[:, 1])
+    sel = (R >= r_min) & (R <= r_max)
+    if not sel.any():
+        return p_grid, np.zeros_like(p_grid)
+    phi = np.arctan2(pos[sel, 1], pos[sel, 0])
+    lnr = np.log(R[sel])
+    w = mass[sel]
+    phase = np.exp(1j * (m * phi[None, :] + p_grid[:, None] * lnr[None, :]))
+    amp = np.abs(phase @ w) / w.sum()
+    return p_grid, amp
+
+
+def pitch_angle(pos: np.ndarray, mass: np.ndarray, m: int = 2,
+                r_min: float = 2.0, r_max: float = 12.0) -> float:
+    """Pitch angle (degrees) of the dominant m-armed log-spiral.
+
+    Measured from the peak of :func:`logspiral_transform`; 90 deg means
+    no winding (a bar), small angles mean tightly wound arms.
+    """
+    p_grid, amp = logspiral_transform(pos, mass, m, r_min, r_max)
+    p0 = p_grid[int(np.argmax(amp))]
+    if p0 == 0.0:
+        return 90.0
+    return float(np.degrees(np.arctan(m / abs(p0))))
+
+
+def make_log_spiral(n: int, pitch_deg: float, m: int = 2,
+                    r_min: float = 2.0, r_max: float = 12.0,
+                    spread: float = 0.1,
+                    seed: int = 0) -> np.ndarray:
+    """Synthetic particle positions tracing an m-armed log spiral
+    (testing aid; also used by the spiral-analysis example)."""
+    rng = np.random.default_rng(seed)
+    r = np.exp(rng.uniform(np.log(r_min), np.log(r_max), n))
+    k = 1.0 / np.tan(np.radians(pitch_deg))
+    arm = rng.integers(0, m, n) * (2.0 * np.pi / m)
+    phi = arm - k * np.log(r) + rng.normal(scale=spread, size=n)
+    return np.stack([r * np.cos(phi), r * np.sin(phi),
+                     rng.normal(scale=0.1, size=n)], axis=1)

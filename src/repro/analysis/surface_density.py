@@ -1,0 +1,46 @@
+"""Face-on surface density maps (top panels of Fig. 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def surface_density_map(pos: np.ndarray, mass: np.ndarray,
+                        extent: float = 15.0, bins: int = 128
+                        ) -> tuple[np.ndarray, np.ndarray]:
+    """Project particles onto the x-y plane as a mass surface density.
+
+    Parameters
+    ----------
+    pos, mass:
+        Particle positions (kpc) and masses.
+    extent:
+        Half-width of the square map in kpc.
+    bins:
+        Pixels per side.
+
+    Returns
+    -------
+    sigma : (bins, bins) surface density, mass / kpc^2 (x rows, y cols).
+    edges : (bins + 1,) shared bin edges.
+    """
+    edges = np.linspace(-extent, extent, bins + 1)
+    h, _, _ = np.histogram2d(pos[:, 0], pos[:, 1], bins=(edges, edges),
+                             weights=mass)
+    area = (2.0 * extent / bins) ** 2
+    return h / area, edges
+
+
+def radial_surface_density(pos: np.ndarray, mass: np.ndarray,
+                           r_max: float = 25.0, bins: int = 50
+                           ) -> tuple[np.ndarray, np.ndarray]:
+    """Azimuthally averaged Sigma(R) of a disk.
+
+    Returns (R_centers, sigma).
+    """
+    R = np.hypot(pos[:, 0], pos[:, 1])
+    edges = np.linspace(0.0, r_max, bins + 1)
+    m_r, _ = np.histogram(R, bins=edges, weights=mass)
+    area = np.pi * (edges[1:] ** 2 - edges[:-1] ** 2)
+    centers = 0.5 * (edges[1:] + edges[:-1])
+    return centers, m_r / area

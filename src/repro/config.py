@@ -1,0 +1,41 @@
+"""Simulation configuration shared by the serial and parallel drivers."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .constants import PAPER_NLEAF, PAPER_THETA
+
+
+@dataclasses.dataclass
+class SimulationConfig:
+    """Parameters of a tree-code simulation.
+
+    Defaults follow the paper's production configuration (Sec. IV, VI):
+    opening angle theta = 0.4, leaf capacity 16, Peano-Hilbert ordering,
+    quadrupole corrections on, the Bonsai MAC.
+    """
+
+    theta: float = PAPER_THETA
+    softening: float = 0.01          # internal units (kpc); paper: 1e-3
+    dt: float = 0.25                 # internal time units
+    nleaf: int = PAPER_NLEAF
+    ncrit: int = 64
+    mac: str = "bonsai"              # "bonsai" or "bh"
+    curve: str = "hilbert"           # "hilbert" or "morton"
+    quadrupole: bool = True
+    force_method: str = "tree"       # "tree" or "direct" (O(N^2) oracle)
+
+    def __post_init__(self) -> None:
+        if self.force_method not in ("tree", "direct"):
+            raise ValueError(f"unknown force_method {self.force_method!r}")
+        if self.theta <= 0.0:
+            raise ValueError("theta must be positive")
+        if self.softening < 0.0:
+            raise ValueError("softening must be non-negative")
+        if self.dt <= 0.0:
+            raise ValueError("dt must be positive")
+        if self.mac not in ("bonsai", "bh"):
+            raise ValueError(f"unknown MAC {self.mac!r}")
+        if self.curve not in ("hilbert", "morton"):
+            raise ValueError(f"unknown curve {self.curve!r}")

@@ -1,0 +1,172 @@
+"""Unit system and physical constants for the Milky Way reproduction.
+
+Internally the code works in *galactic natural units* with the
+gravitational constant ``G = 1``:
+
+===========  =================  ===========================
+quantity     internal unit      physical value
+===========  =================  ===========================
+length       1 kpc              3.0857e16 km
+mass         1e10 Msun          1.989e40 kg
+velocity     sqrt(G M / L)      207.38 km/s
+time         L / V              4.7147 Myr
+===========  =================  ===========================
+
+These follow from ``G = 4.300917270e-6 kpc (km/s)^2 / Msun``.  The paper's
+Milky Way model (Sec. IV) is expressed in these units in
+:data:`MILKY_WAY_PAPER`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+# --------------------------------------------------------------------------
+# Physical constants (CODATA / IAU values, in mixed astronomical units).
+# --------------------------------------------------------------------------
+
+#: Gravitational constant in kpc (km/s)^2 / Msun.
+G_ASTRO = 4.300917270e-6
+
+#: km per kpc.
+KM_PER_KPC = 3.0856775814913673e16
+
+#: Seconds per megayear.
+SEC_PER_MYR = 3.1556952e13
+
+#: One parsec expressed in kpc (the paper's softening is 1 pc).
+PC_IN_KPC = 1.0e-3
+
+# --------------------------------------------------------------------------
+# Internal unit system: G = 1, [L] = 1 kpc, [M] = 1e10 Msun.
+# --------------------------------------------------------------------------
+
+#: Mass unit in solar masses.
+MASS_UNIT_MSUN = 1.0e10
+
+#: Length unit in kpc.
+LENGTH_UNIT_KPC = 1.0
+
+#: Velocity unit in km/s: sqrt(G * MASS_UNIT / LENGTH_UNIT).
+VELOCITY_UNIT_KMS = (G_ASTRO * MASS_UNIT_MSUN / LENGTH_UNIT_KPC) ** 0.5
+
+#: Time unit in Myr: (kpc / (km/s) in Myr) / velocity_unit.
+KPC_PER_KMS_IN_MYR = KM_PER_KPC / SEC_PER_MYR  # ~977.79 Myr
+TIME_UNIT_MYR = KPC_PER_KMS_IN_MYR / VELOCITY_UNIT_KMS
+
+#: Time unit in Gyr.
+TIME_UNIT_GYR = TIME_UNIT_MYR / 1.0e3
+
+
+def msun_to_internal(mass_msun: float) -> float:
+    """Convert a mass in solar masses to internal units."""
+    return mass_msun / MASS_UNIT_MSUN
+
+
+def internal_to_msun(mass: float) -> float:
+    """Convert an internal-unit mass to solar masses."""
+    return mass * MASS_UNIT_MSUN
+
+
+def kms_to_internal(v_kms: float) -> float:
+    """Convert a velocity in km/s to internal units."""
+    return v_kms / VELOCITY_UNIT_KMS
+
+
+def internal_to_kms(v: float) -> float:
+    """Convert an internal-unit velocity to km/s."""
+    return v * VELOCITY_UNIT_KMS
+
+
+def myr_to_internal(t_myr: float) -> float:
+    """Convert a time in Myr to internal units."""
+    return t_myr / TIME_UNIT_MYR
+
+
+def gyr_to_internal(t_gyr: float) -> float:
+    """Convert a time in Gyr to internal units."""
+    return t_gyr * 1.0e3 / TIME_UNIT_MYR
+
+
+def internal_to_myr(t: float) -> float:
+    """Convert an internal-unit time to Myr."""
+    return t * TIME_UNIT_MYR
+
+
+def internal_to_gyr(t: float) -> float:
+    """Convert an internal-unit time to Gyr."""
+    return t * TIME_UNIT_GYR
+
+
+# --------------------------------------------------------------------------
+# The paper's Milky Way model (Sec. IV), Widrow & Dubinski style.
+# --------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class MilkyWayParameters:
+    """Structural parameters of the paper's Milky Way model.
+
+    Masses are in internal units (1e10 Msun), lengths in kpc.  The halo,
+    disk and bulge masses are exactly the Sec. IV values: 6.0e11, 5.0e10
+    and 4.6e9 Msun.  The scale radii are not listed in the paper (they come
+    from the Widrow, Pym & Dubinski 2008 'MWb' blueprint); we adopt the
+    standard values from that model family.
+    """
+
+    halo_mass: float = 60.0          # 6.0e11 Msun
+    halo_scale_radius: float = 20.0  # NFW r_s [kpc]
+    halo_cutoff_radius: float = 250.0  # truncation radius [kpc]
+
+    disk_mass: float = 5.0           # 5.0e10 Msun
+    disk_scale_length: float = 2.5   # exponential R_d [kpc]
+    disk_scale_height: float = 0.3   # sech^2 / exponential z_d [kpc]
+    disk_cutoff_radius: float = 25.0  # truncation [kpc]
+    disk_toomre_q: float = 1.2       # target Toomre Q at ~2.5 R_d
+
+    bulge_mass: float = 0.46         # 4.6e9 Msun
+    bulge_scale_radius: float = 0.7  # Hernquist a [kpc]
+    bulge_cutoff_radius: float = 4.0  # truncation [kpc]
+
+    @property
+    def total_mass(self) -> float:
+        """Total model mass in internal units."""
+        return self.halo_mass + self.disk_mass + self.bulge_mass
+
+    def particle_fractions(self) -> tuple[float, float, float]:
+        """Equal-mass particle number fractions (bulge, disk, halo).
+
+        The paper realizes 51,199,967,232 particles split 994,689,024 /
+        2,945,105,920 / 47,260,172,288 over bulge/disk/halo, i.e. in
+        proportion to component mass so every particle has equal mass
+        (~10 Msun at full scale).
+        """
+        total = self.total_mass
+        return (self.bulge_mass / total,
+                self.disk_mass / total,
+                self.halo_mass / total)
+
+
+#: The paper's Milky Way model parameters.
+MILKY_WAY_PAPER = MilkyWayParameters()
+
+#: Paper production particle counts (Sec. IV).
+PAPER_N_TOTAL = 51_199_967_232
+PAPER_N_BULGE = 994_689_024
+PAPER_N_DISK = 2_945_105_920
+PAPER_N_HALO = 47_260_172_288
+
+#: The largest benchmarked model (Sec. VI): 242 billion particles.
+PAPER_N_MAX = 242_000_000_000
+
+#: Paper softening length: 1 parsec, in kpc.
+PAPER_SOFTENING_KPC = PC_IN_KPC
+
+#: Paper opening angle for production and benchmark runs.
+PAPER_THETA = 0.4
+
+#: Paper leaf capacity (Sec. I: "smaller than a critical value (we use 16)").
+PAPER_NLEAF = 16
+
+#: Paper production time step: 75,000 yr = 0.075 Myr (Sec. VI-C).
+PAPER_TIMESTEP_MYR = 0.075

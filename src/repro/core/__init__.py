@@ -1,0 +1,15 @@
+"""High-level simulation drivers (serial and distributed)."""
+
+from .step import StepBreakdown
+from .simulation import Simulation
+from .parallel_simulation import ParallelSimulation, run_parallel_simulation
+from .validation import ForceAccuracy, validate_forces
+
+__all__ = [
+    "StepBreakdown",
+    "Simulation",
+    "ParallelSimulation",
+    "run_parallel_simulation",
+    "ForceAccuracy",
+    "validate_forces",
+]

@@ -1,0 +1,149 @@
+"""Single-process simulation driver: the full Bonsai step pipeline.
+
+Each step performs, in order and with per-phase timing (Table II rows):
+SFC key sort, tree construction, tree properties (multipole moments +
+opening radii), the fused tree-walk/force kernel, and the leap-frog
+update.  The "domain update" and LET phases are identically zero here;
+:class:`~repro.core.parallel_simulation.ParallelSimulation` adds them.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+from ..config import SimulationConfig
+from ..gravity import tree_forces
+from ..integrator import EnergyDiagnostics, system_diagnostics
+from ..octree import build_octree, compute_moments, make_groups
+from ..particles import ParticleSet
+from ..sfc import BoundingBox
+from .step import StepBreakdown
+
+
+class Simulation:
+    """Tree-code N-body simulation on one process.
+
+    Parameters
+    ----------
+    particles:
+        The particle system (modified in place).
+    config:
+        Numerical parameters (theta, softening, dt, ...).
+
+    Examples
+    --------
+    >>> from repro.ics import plummer_model
+    >>> from repro import SimulationConfig
+    >>> sim = Simulation(plummer_model(1000), SimulationConfig(dt=0.01))
+    >>> sim.evolve(10)
+    >>> round(sim.time, 2)
+    0.1
+    """
+
+    def __init__(self, particles: ParticleSet, config: SimulationConfig | None = None):
+        self.particles = particles
+        self.config = config or SimulationConfig()
+        self.time = 0.0
+        self.step_count = 0
+        self.history: list[StepBreakdown] = []
+        self._acc: np.ndarray | None = None
+        self._phi: np.ndarray | None = None
+
+    @property
+    def potential(self) -> np.ndarray | None:
+        """Per-particle potential from the latest force evaluation."""
+        return self._phi
+
+    @property
+    def acceleration(self) -> np.ndarray | None:
+        """Per-particle acceleration from the latest force evaluation."""
+        return self._acc
+
+    def compute_forces(self, breakdown: StepBreakdown | None = None
+                       ) -> tuple[np.ndarray, np.ndarray]:
+        """Run the tree pipeline once; returns (acc, phi)."""
+        cfg = self.config
+        ps = self.particles
+        bd = breakdown if breakdown is not None else StepBreakdown()
+        bd.n_particles = ps.n
+
+        if cfg.force_method == "direct":
+            # The O(N^2) oracle ("if the opening angle is infinitesimal
+            # the tree-code reduces to a ... direct N-body code").
+            from ..gravity import direct_forces
+            t0 = time.perf_counter()
+            acc, phi = direct_forces(ps.pos, ps.mass, eps=cfg.softening,
+                                     counts=bd.counts)
+            bd.gravity_local += time.perf_counter() - t0
+            bd.counts.quadrupole = False
+            self._acc, self._phi = acc, phi
+            return acc, phi
+
+        t0 = time.perf_counter()
+        box = BoundingBox.from_positions(ps.pos)
+        keys = box.keys(ps.pos, cfg.curve)
+        t1 = time.perf_counter()
+        bd.sorting += t1 - t0
+
+        tree = build_octree(ps.pos, nleaf=cfg.nleaf, curve=cfg.curve,
+                            box=box, keys=keys)
+        t2 = time.perf_counter()
+        bd.tree_construction += t2 - t1
+
+        compute_moments(tree, ps.pos, ps.mass)
+        make_groups(tree, cfg.ncrit)
+        t3 = time.perf_counter()
+        bd.tree_properties += t3 - t2
+
+        result = tree_forces(tree, ps.pos, ps.mass, theta=cfg.theta,
+                             eps=cfg.softening, mac=cfg.mac,
+                             quadrupole=cfg.quadrupole)
+        t4 = time.perf_counter()
+        bd.gravity_local += t4 - t3
+        bd.counts.add(result.counts)
+        bd.counts.quadrupole = cfg.quadrupole
+
+        self._acc, self._phi = result.acc, result.phi
+        return result.acc, result.phi
+
+    def step(self) -> StepBreakdown:
+        """Advance one KDK leap-frog step; returns its timing breakdown."""
+        bd = StepBreakdown()
+        if self._acc is None:
+            self.compute_forces(bd)
+        dt = self.config.dt
+        half = 0.5 * dt
+
+        t0 = time.perf_counter()
+        self.particles.vel += self._acc * half
+        self.particles.pos += self.particles.vel * dt
+        t1 = time.perf_counter()
+        bd.other += t1 - t0
+
+        self.compute_forces(bd)
+
+        t2 = time.perf_counter()
+        self.particles.vel += self._acc * half
+        bd.other += time.perf_counter() - t2
+
+        self.time += dt
+        self.step_count += 1
+        self.history.append(bd)
+        return bd
+
+    def evolve(self, n_steps: int,
+               callback: Callable[["Simulation"], None] | None = None) -> None:
+        """Advance ``n_steps`` steps, invoking ``callback`` after each."""
+        for _ in range(n_steps):
+            self.step()
+            if callback is not None:
+                callback(self)
+
+    def diagnostics(self) -> EnergyDiagnostics:
+        """Energy/momentum diagnostics from the latest potentials."""
+        if self._phi is None:
+            self.compute_forces()
+        return system_diagnostics(self.particles, self._phi)

@@ -1,0 +1,67 @@
+"""Floating-point operation accounting (paper Sec. VI-A).
+
+The paper counts 23 flops per particle-particle (p-p) interaction
+(4 sub + 3 mul + 6 fma + 1 rsqrt, with rsqrt counted as 4 flops) and 65
+flops per particle-cell (p-c) interaction with quadrupole corrections
+(4 sub + 6 add + 17 mul + 17 fma + 1 rsqrt).  Earlier Gordon Bell
+records used 38 flops per p-p; we expose that constant too so benchmark
+output can be compared against both conventions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+#: Flops per particle-particle interaction (paper's count).
+FLOPS_PER_PP = 23
+
+#: Flops per particle-cell interaction with quadrupole terms.
+FLOPS_PER_PC = 65
+
+#: Monopole-only particle-cell interaction: identical arithmetic to p-p.
+FLOPS_PER_PC_MONOPOLE = 23
+
+#: The legacy Warren & Salmon convention used by refs [28]-[32].
+FLOPS_PER_PP_LEGACY = 38
+
+
+@dataclasses.dataclass
+class InteractionCounts:
+    """Tally of gravitational interactions evaluated.
+
+    ``n_pp`` / ``n_pc`` are the total numbers of particle-particle and
+    particle-cell interactions -- the quantities Table II reports per
+    particle ("interaction count per particle" rows).
+    """
+
+    n_pp: int = 0
+    n_pc: int = 0
+    quadrupole: bool = True
+
+    def add(self, other: "InteractionCounts") -> None:
+        """Accumulate another tally in place."""
+        self.n_pp += other.n_pp
+        self.n_pc += other.n_pc
+
+    @property
+    def flops(self) -> int:
+        """Total force-kernel flops under the paper's convention."""
+        per_pc = FLOPS_PER_PC if self.quadrupole else FLOPS_PER_PC_MONOPOLE
+        return FLOPS_PER_PP * self.n_pp + per_pc * self.n_pc
+
+    def per_particle(self, n: int) -> tuple[float, float]:
+        """(p-p, p-c) interactions per particle, as reported in Table II."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        return self.n_pp / n, self.n_pc / n
+
+    def tflops(self, seconds: float) -> float:
+        """Sustained Tflop/s given an execution time."""
+        if seconds <= 0.0:
+            return 0.0
+        return self.flops / seconds / 1.0e12
+
+    def __add__(self, other: "InteractionCounts") -> "InteractionCounts":
+        return InteractionCounts(n_pp=self.n_pp + other.n_pp,
+                                 n_pc=self.n_pc + other.n_pc,
+                                 quadrupole=self.quadrupole)

@@ -1,0 +1,33 @@
+"""Initial-condition generation (the GalacticICS substitute of Sec. IV).
+
+Builds the paper's Milky Way model -- an NFW dark-matter halo, an
+exponential stellar disk and a Hernquist bulge, realized with equal-mass
+particles -- plus Plummer and uniform models for testing.  Generation is
+deterministic and shardable across ranks ("we decided to generate all our
+Milky Way models on the fly", Sec. IV).
+"""
+
+from .profiles import (
+    HernquistProfile,
+    NFWProfile,
+    PlummerProfile,
+    ExponentialDisk,
+)
+from .sampling import sample_radii, isotropic_directions
+from .velocities import jeans_sigma_r, sample_isotropic_velocities
+from .plummer import plummer_model
+from .galactics import MilkyWayModel, milky_way_model
+
+__all__ = [
+    "NFWProfile",
+    "HernquistProfile",
+    "PlummerProfile",
+    "ExponentialDisk",
+    "sample_radii",
+    "isotropic_directions",
+    "jeans_sigma_r",
+    "sample_isotropic_velocities",
+    "plummer_model",
+    "MilkyWayModel",
+    "milky_way_model",
+]

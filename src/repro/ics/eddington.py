@@ -1,0 +1,181 @@
+"""Eddington inversion: exact isotropic distribution functions.
+
+The Jeans-equation sampler (:mod:`repro.ics.velocities`) assigns
+Gaussian velocities with the correct second moment, which leaves a
+slight out-of-equilibrium transient.  GalacticICS-class generators
+instead sample the *exact* isotropic distribution function obtained by
+Eddington's inversion,
+
+    f(E) = 1 / (sqrt(8) pi^2) *
+           [ int_0^E d^2rho/dpsi^2 dpsi / sqrt(E - psi)
+             + (drho/dpsi)|_{psi=0} / sqrt(E) ],
+
+where psi = -phi is the relative potential and E = psi - v^2/2 the
+relative energy.  This module tabulates f(E) for a spherical density
+embedded in an arbitrary total potential and samples particle speeds
+from p(v) ~ v^2 f(psi(r) - v^2/2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+import numpy as np
+
+from .sampling import isotropic_directions
+
+
+@dataclasses.dataclass(frozen=True)
+class EddingtonModel:
+    """Tabulated distribution function of one spherical component.
+
+    Attributes
+    ----------
+    r_grid, psi_grid:
+        Radius grid and the relative potential psi(r) on it (decreasing).
+    e_grid, f_grid:
+        Relative-energy grid and f(E) >= 0 on it.
+    """
+
+    r_grid: np.ndarray
+    psi_grid: np.ndarray
+    e_grid: np.ndarray
+    f_grid: np.ndarray
+
+    def psi_of_r(self, r: np.ndarray) -> np.ndarray:
+        """Interpolated relative potential (positive, decreasing)."""
+        r = np.asarray(r, dtype=np.float64)
+        # psi decreases with r: interp on the increasing-r grid.
+        return np.interp(r, self.r_grid, self.psi_grid,
+                         left=self.psi_grid[0], right=0.0)
+
+    def f_of_e(self, e: np.ndarray) -> np.ndarray:
+        """Interpolated distribution function (0 for unbound E <= 0)."""
+        e = np.asarray(e, dtype=np.float64)
+        out = np.interp(e, self.e_grid, self.f_grid, left=0.0,
+                        right=self.f_grid[-1])
+        return np.where(e > 0.0, out, 0.0)
+
+
+def relative_potential_from_mass(enclosed_mass_total: Callable[[np.ndarray], np.ndarray],
+                                 r_grid: np.ndarray) -> np.ndarray:
+    """psi(r) = int_r^inf M(<s)/s^2 ds on a grid (G = 1).
+
+    The integral is evaluated by trapezoid on the grid plus the analytic
+    Keplerian tail M_max/r beyond the last grid point.
+    """
+    m = np.asarray(enclosed_mass_total(r_grid), dtype=np.float64)
+    integrand = m / r_grid ** 2
+    dr = np.diff(r_grid)
+    seg = 0.5 * (integrand[1:] + integrand[:-1]) * dr
+    inner = np.concatenate([np.cumsum(seg[::-1])[::-1], [0.0]])
+    tail = m[-1] / r_grid[-1]
+    return inner + tail
+
+
+def build_eddington_model(density: Callable[[np.ndarray], np.ndarray],
+                          enclosed_mass_total: Callable[[np.ndarray], np.ndarray],
+                          r_min: float, r_max: float,
+                          n_r: int = 512, n_e: int = 256,
+                          n_quad: int = 200) -> EddingtonModel:
+    """Tabulate f(E) for a component of density ``density`` living in the
+    total potential implied by ``enclosed_mass_total``.
+
+    Parameters
+    ----------
+    r_min, r_max:
+        Radial range of the tabulation; ``r_max`` should be the model's
+        truncation radius.
+    n_r, n_e, n_quad:
+        Grid resolutions (radius, energy, inversion quadrature).
+
+    Notes
+    -----
+    f is clipped at zero: composite models (e.g. a shallow-cusp density
+    in a steep total potential) can produce slightly negative numerical
+    f near the edges, which clipping handles at negligible mass error.
+    """
+    r = np.geomspace(r_min, r_max, n_r)
+    psi = relative_potential_from_mass(enclosed_mass_total, r)
+    # King-style lowering: measure energies relative to the potential at
+    # the truncation radius so speeds vanish at r_max.  Without this a
+    # hard-truncated profile (the halo's r_cut) is over-heated near the
+    # edge and the realization is out of equilibrium.
+    psi = psi - psi[-1]
+    rho = np.maximum(np.asarray(density(r), dtype=np.float64), 0.0)
+
+    # Reparametrise rho(psi) on an ascending-psi grid.
+    psi_asc = psi[::-1]
+    rho_asc = rho[::-1]
+
+    # Derivatives d rho / d psi and d^2 rho / d psi^2.
+    drho = np.gradient(rho_asc, psi_asc)
+    d2rho = np.gradient(drho, psi_asc)
+
+    def d2rho_at(p: np.ndarray) -> np.ndarray:
+        return np.interp(p, psi_asc, d2rho)
+
+    # Energy grid spans the bound range; substitute psi = E - t^2 to
+    # remove the sqrt singularity: integral = 2 int_0^sqrt(E) rho''(E-t^2) dt.
+    e_grid = np.geomspace(psi_asc[1] * 1e-3, psi_asc[-1], n_e)
+    u = np.linspace(0.0, 1.0, n_quad)  # t = u * sqrt(E)
+    f_grid = np.empty(n_e)
+    drho0 = drho[0]  # d rho / d psi at the outer boundary (psi -> 0)
+    for j, e in enumerate(e_grid):
+        t = u * np.sqrt(e)
+        vals = d2rho_at(e - t ** 2)
+        integral = 2.0 * np.trapezoid(vals, t)
+        f_grid[j] = integral + drho0 / np.sqrt(e)
+    f_grid *= 1.0 / (np.sqrt(8.0) * np.pi ** 2)
+    f_grid = np.maximum(f_grid, 0.0)
+
+    return EddingtonModel(r_grid=r, psi_grid=psi, e_grid=e_grid,
+                          f_grid=f_grid)
+
+
+def sample_speeds(model: EddingtonModel, r: np.ndarray,
+                  rng: np.random.Generator, n_v: int = 128) -> np.ndarray:
+    """Draw isotropic speeds at radii ``r`` from p(v) ~ v^2 f(psi - v^2/2).
+
+    Vectorised: a (n_particles, n_v) CDF table is built over each
+    particle's own [0, v_esc] range and inverted with searchsorted.
+    """
+    r = np.asarray(r, dtype=np.float64)
+    psi_r = model.psi_of_r(r)
+    v_max = np.sqrt(2.0 * np.maximum(psi_r, 0.0))
+    frac = np.linspace(0.0, 1.0, n_v)
+    v = v_max[:, None] * frac[None, :]
+    e = psi_r[:, None] - 0.5 * v ** 2
+    p = v ** 2 * model.f_of_e(e)
+    cdf = np.cumsum(0.5 * (p[:, 1:] + p[:, :-1]), axis=1)
+    total = cdf[:, -1:]
+    # Degenerate rows (f ~ 0 everywhere, e.g. r beyond the model): v = 0.
+    safe = total[:, 0] > 0.0
+    cdf = np.where(total > 0.0, cdf / np.maximum(total, 1e-300), 0.0)
+    u_draw = rng.uniform(0.0, 1.0, len(r))
+    # Row-wise searchsorted, vectorised as a comparison count.
+    idx = (cdf < u_draw[:, None]).sum(axis=1)
+    idx = np.minimum(idx, n_v - 2)
+    speeds = v[np.arange(len(r)), idx + 1]
+    return np.where(safe, speeds, 0.0)
+
+
+def sample_eddington_velocities(pos: np.ndarray,
+                                density: Callable[[np.ndarray], np.ndarray],
+                                enclosed_mass_total: Callable[[np.ndarray], np.ndarray],
+                                r_max: float,
+                                rng: np.random.Generator,
+                                r_min_frac: float = 1e-4) -> np.ndarray:
+    """Isotropic equilibrium velocities for a spherical component.
+
+    Drop-in alternative to
+    :func:`repro.ics.velocities.sample_isotropic_velocities` with an
+    exact (rather than Gaussian) speed distribution.
+    """
+    r = np.linalg.norm(pos, axis=1)
+    model = build_eddington_model(density, enclosed_mass_total,
+                                  r_min=max(r_max * r_min_frac, 1e-6),
+                                  r_max=r_max)
+    speeds = sample_speeds(model, r, rng)
+    return speeds[:, None] * isotropic_directions(rng, len(r))

@@ -1,0 +1,35 @@
+"""Plummer-sphere initial conditions (test model)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..particles import ParticleSet
+from .profiles import PlummerProfile
+from .sampling import spherical_positions
+from .velocities import sample_isotropic_velocities
+
+
+def plummer_model(n: int, mass: float = 1.0, scale_radius: float = 1.0,
+                  r_max_factor: float = 20.0, seed: int = 0) -> ParticleSet:
+    """Equal-mass Plummer sphere in approximate virial equilibrium.
+
+    Velocities come from the isotropic Jeans equation in the model's own
+    potential, which produces a close-to-equilibrium (though not exact
+    distribution-function) realisation -- sufficient for integrator and
+    stability testing.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    profile = PlummerProfile(mass=mass, scale_radius=scale_radius)
+    rng = np.random.default_rng(seed)
+    r_max = r_max_factor * scale_radius
+    pos = spherical_positions(profile.mass_fraction, r_max, rng, n)
+    vel = sample_isotropic_velocities(pos, profile.density,
+                                      profile.enclosed_mass, r_max, rng)
+    m = np.full(n, mass / n)
+    ps = ParticleSet(pos=pos, vel=vel, mass=m)
+    # Remove net drift so conservation tests start from zero momentum.
+    ps.vel -= ps.center_of_mass_velocity()
+    ps.pos -= ps.center_of_mass()
+    return ps

@@ -1,0 +1,187 @@
+"""Analytic density profiles of the Milky Way model components (Sec. IV).
+
+All quantities are in internal units (G = 1).  Each spherical profile
+exposes ``density``, ``enclosed_mass``, ``potential`` and the cumulative
+mass fraction used for inverse-CDF sampling; the exponential disk is
+axisymmetric and exposes surface density and its circular-velocity
+contribution instead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+from scipy import special
+
+
+@dataclasses.dataclass(frozen=True)
+class NFWProfile:
+    """Truncated Navarro-Frenk-White halo [49].
+
+    rho(r) = rho0 / ((r/rs) (1 + r/rs)^2), truncated at ``r_cut``;
+    ``mass`` is the total mass inside ``r_cut``.
+    """
+
+    mass: float
+    scale_radius: float
+    r_cut: float
+
+    @property
+    def _mu_cut(self) -> float:
+        """NFW mass integral mu(x) = ln(1+x) - x/(1+x) at the cutoff."""
+        x = self.r_cut / self.scale_radius
+        return float(np.log1p(x) - x / (1.0 + x))
+
+    @property
+    def rho0(self) -> float:
+        """Central density normalisation."""
+        return self.mass / (4.0 * np.pi * self.scale_radius ** 3 * self._mu_cut)
+
+    def density(self, r: np.ndarray) -> np.ndarray:
+        """Volume density rho(r); zero beyond the cutoff."""
+        r = np.asarray(r, dtype=np.float64)
+        x = np.maximum(r, 1e-12) / self.scale_radius
+        rho = self.rho0 / (x * (1.0 + x) ** 2)
+        return np.where(r <= self.r_cut, rho, 0.0)
+
+    def enclosed_mass(self, r: np.ndarray) -> np.ndarray:
+        """M(<r); constant beyond the cutoff."""
+        r = np.asarray(r, dtype=np.float64)
+        x = np.minimum(r, self.r_cut) / self.scale_radius
+        mu = np.log1p(x) - x / (1.0 + x)
+        return self.mass * mu / self._mu_cut
+
+    def potential(self, r: np.ndarray) -> np.ndarray:
+        """Potential of the untruncated NFW shape (adequate for r << r_cut)."""
+        r = np.asarray(r, dtype=np.float64)
+        x = np.maximum(r, 1e-12) / self.scale_radius
+        m0 = self.mass / self._mu_cut
+        return -m0 / self.scale_radius * np.log1p(x) / x
+
+    def mass_fraction(self, r: np.ndarray) -> np.ndarray:
+        """M(<r) / M_total, for inverse-CDF sampling."""
+        return self.enclosed_mass(r) / self.mass
+
+
+@dataclasses.dataclass(frozen=True)
+class HernquistProfile:
+    """Hernquist (1990) bulge [50]: rho = M a / (2 pi r (r+a)^3)."""
+
+    mass: float
+    scale_radius: float
+    r_cut: float = np.inf
+
+    @property
+    def _frac_cut(self) -> float:
+        """Mass fraction inside the cutoff."""
+        if not np.isfinite(self.r_cut):
+            return 1.0
+        return float(self.r_cut ** 2 / (self.r_cut + self.scale_radius) ** 2)
+
+    def density(self, r: np.ndarray) -> np.ndarray:
+        """Volume density rho(r); zero beyond the cutoff."""
+        r = np.asarray(r, dtype=np.float64)
+        rr = np.maximum(r, 1e-12)
+        a = self.scale_radius
+        rho = self.mass * a / (2.0 * np.pi * rr * (rr + a) ** 3)
+        return np.where(r <= self.r_cut, rho, 0.0)
+
+    def enclosed_mass(self, r: np.ndarray) -> np.ndarray:
+        """M(<r) of the untruncated profile, capped at the cutoff."""
+        r = np.asarray(r, dtype=np.float64)
+        rr = np.minimum(r, self.r_cut)
+        return self.mass * rr ** 2 / (rr + self.scale_radius) ** 2
+
+    def potential(self, r: np.ndarray) -> np.ndarray:
+        """phi(r) = -M / (r + a)."""
+        r = np.asarray(r, dtype=np.float64)
+        return -self.mass / (r + self.scale_radius)
+
+    def mass_fraction(self, r: np.ndarray) -> np.ndarray:
+        """Mass fraction of the truncated profile (normalised to 1 at cutoff)."""
+        return self.enclosed_mass(r) / (self.mass * self._frac_cut)
+
+
+@dataclasses.dataclass(frozen=True)
+class PlummerProfile:
+    """Plummer sphere, the standard test model for collisionless codes."""
+
+    mass: float
+    scale_radius: float
+
+    def density(self, r: np.ndarray) -> np.ndarray:
+        """rho(r) = 3M/(4 pi a^3) (1 + r^2/a^2)^(-5/2)."""
+        r = np.asarray(r, dtype=np.float64)
+        a = self.scale_radius
+        return 3.0 * self.mass / (4.0 * np.pi * a ** 3) * (1.0 + (r / a) ** 2) ** -2.5
+
+    def enclosed_mass(self, r: np.ndarray) -> np.ndarray:
+        """M(<r) = M r^3 / (r^2 + a^2)^(3/2)."""
+        r = np.asarray(r, dtype=np.float64)
+        return self.mass * r ** 3 / (r ** 2 + self.scale_radius ** 2) ** 1.5
+
+    def potential(self, r: np.ndarray) -> np.ndarray:
+        """phi(r) = -M / sqrt(r^2 + a^2)."""
+        r = np.asarray(r, dtype=np.float64)
+        return -self.mass / np.sqrt(r ** 2 + self.scale_radius ** 2)
+
+    def mass_fraction(self, r: np.ndarray) -> np.ndarray:
+        """M(<r)/M."""
+        return self.enclosed_mass(r) / self.mass
+
+
+@dataclasses.dataclass(frozen=True)
+class ExponentialDisk:
+    """Exponential stellar disk with an exponential vertical profile.
+
+    Sigma(R) = M / (2 pi Rd^2) exp(-R / Rd)
+    rho(R, z) = Sigma(R) / (2 zd) exp(-|z| / zd)
+    """
+
+    mass: float
+    scale_length: float
+    scale_height: float
+    r_cut: float = np.inf
+
+    def surface_density(self, R: np.ndarray) -> np.ndarray:
+        """Sigma(R); zero beyond the cutoff."""
+        R = np.asarray(R, dtype=np.float64)
+        sigma = self.mass / (2.0 * np.pi * self.scale_length ** 2) * np.exp(-R / self.scale_length)
+        return np.where(R <= self.r_cut, sigma, 0.0)
+
+    def enclosed_mass(self, R: np.ndarray) -> np.ndarray:
+        """Mass inside cylindrical radius R (untruncated shape, capped)."""
+        R = np.asarray(R, dtype=np.float64)
+        x = np.minimum(R, self.r_cut) / self.scale_length
+        return self.mass * (1.0 - (1.0 + x) * np.exp(-x))
+
+    def mass_fraction(self, R: np.ndarray) -> np.ndarray:
+        """Cylindrical mass fraction of the truncated disk."""
+        if np.isfinite(self.r_cut):
+            norm = float(self.enclosed_mass(np.array(self.r_cut)))
+        else:
+            norm = self.mass
+        return self.enclosed_mass(R) / norm
+
+    def circular_velocity_squared(self, R: np.ndarray) -> np.ndarray:
+        """v_c^2 of the razor-thin exponential disk (Freeman 1970).
+
+        v_c^2(R) = 4 pi Sigma0 Rd y^2 [I0(y)K0(y) - I1(y)K1(y)],
+        y = R / (2 Rd).  Uses exponentially scaled Bessel functions so the
+        expression stays finite at large radii.
+        """
+        R = np.asarray(R, dtype=np.float64)
+        y = np.maximum(R, 1e-12) / (2.0 * self.scale_length)
+        sigma0 = self.mass / (2.0 * np.pi * self.scale_length ** 2)
+        # ive(n, y) = iv(n, y) exp(-y); kve(n, y) = kv(n, y) exp(y):
+        # their product is exactly iv * kv without overflow.
+        bessel = (special.ive(0, y) * special.kve(0, y)
+                  - special.ive(1, y) * special.kve(1, y))
+        return 4.0 * np.pi * sigma0 * self.scale_length * y ** 2 * bessel
+
+    def sample_height(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw vertical offsets from the exponential profile."""
+        z = rng.exponential(self.scale_height, n)
+        sign = rng.choice((-1.0, 1.0), n)
+        return z * sign

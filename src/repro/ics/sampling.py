@@ -1,0 +1,56 @@
+"""Inverse-CDF position sampling for the analytic profiles."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+def sample_radii(mass_fraction: Callable[[np.ndarray], np.ndarray],
+                 r_max: float, rng: np.random.Generator, n: int,
+                 r_min: float = 0.0, grid_points: int = 4096) -> np.ndarray:
+    """Sample radii whose distribution follows a cumulative mass profile.
+
+    Parameters
+    ----------
+    mass_fraction:
+        Monotone cumulative mass fraction F(r) with F(r_max) ~= 1.
+    r_max:
+        Truncation radius of the model.
+    r_min:
+        Inner sampling edge (avoids r = 0 singularities).
+    grid_points:
+        Resolution of the tabulated inverse CDF.
+
+    The inverse CDF is tabulated on a grid that is logarithmic when
+    ``r_min > 0`` and linear otherwise, then inverted with ``np.interp``.
+    """
+    if n == 0:
+        return np.empty(0)
+    lo = max(r_min, r_max * 1.0e-6)
+    grid = np.geomspace(lo, r_max, grid_points)
+    grid[0] = r_min if r_min > 0 else 0.0
+    cdf = np.asarray(mass_fraction(grid), dtype=np.float64)
+    cdf = cdf - cdf[0]
+    cdf /= cdf[-1]
+    # Enforce strict monotonicity for interp (flat stretches collapse).
+    cdf = np.maximum.accumulate(cdf)
+    u = rng.uniform(0.0, 1.0, n)
+    return np.interp(u, cdf, grid)
+
+
+def isotropic_directions(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Uniformly distributed unit vectors, shape (n, 3)."""
+    cos_t = rng.uniform(-1.0, 1.0, n)
+    sin_t = np.sqrt(np.maximum(1.0 - cos_t ** 2, 0.0))
+    phi = rng.uniform(0.0, 2.0 * np.pi, n)
+    return np.stack([sin_t * np.cos(phi), sin_t * np.sin(phi), cos_t], axis=1)
+
+
+def spherical_positions(mass_fraction: Callable[[np.ndarray], np.ndarray],
+                        r_max: float, rng: np.random.Generator, n: int
+                        ) -> np.ndarray:
+    """Sample positions of a spherically symmetric profile."""
+    r = sample_radii(mass_fraction, r_max, rng, n)
+    return r[:, None] * isotropic_directions(rng, n)

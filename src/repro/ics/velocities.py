@@ -1,0 +1,141 @@
+"""Velocity assignment: spherical Jeans equations and disk kinematics.
+
+The spherical components (halo, bulge) get isotropic Gaussian velocities
+with the radial dispersion solving the isotropic Jeans equation in the
+*total* potential::
+
+    sigma_r^2(r) = 1 / rho(r) * int_r^inf rho(s) M_tot(<s) / s^2 ds
+
+The disk gets a rotational-supported structure: circular velocity from
+the total potential, radial dispersion set by a target Toomre Q,
+azimuthal dispersion from the epicyclic ratio, vertical dispersion from
+the isothermal-sheet relation, and the mean rotation reduced by the
+asymmetric drift.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+def jeans_sigma_r(radii: np.ndarray,
+                  density: Callable[[np.ndarray], np.ndarray],
+                  enclosed_mass_total: Callable[[np.ndarray], np.ndarray],
+                  r_max: float, grid_points: int = 2048) -> np.ndarray:
+    """Isotropic Jeans radial dispersion evaluated at ``radii``.
+
+    ``enclosed_mass_total`` must include *all* mass (halo + disk + bulge)
+    so each component feels the combined potential.
+    """
+    radii = np.asarray(radii, dtype=np.float64)
+    lo = max(1e-4 * r_max, 1e-6)
+    grid = np.geomspace(lo, r_max, grid_points)
+    rho = np.maximum(density(grid), 1e-300)
+    integrand = rho * enclosed_mass_total(grid) / grid ** 2
+    # Cumulative integral from r to r_max via reversed trapezoid.
+    dr = np.diff(grid)
+    seg = 0.5 * (integrand[1:] + integrand[:-1]) * dr
+    tail = np.concatenate([np.cumsum(seg[::-1])[::-1], [0.0]])
+    sigma2 = tail / rho
+    sigma2 = np.maximum(sigma2, 0.0)
+    return np.sqrt(np.interp(radii, grid, sigma2,
+                             left=sigma2[0], right=0.0))
+
+
+def sample_isotropic_velocities(pos: np.ndarray,
+                                density: Callable[[np.ndarray], np.ndarray],
+                                enclosed_mass_total: Callable[[np.ndarray], np.ndarray],
+                                r_max: float,
+                                rng: np.random.Generator,
+                                v_escape_frac: float = 0.95) -> np.ndarray:
+    """Draw isotropic Gaussian velocities for a spherical component.
+
+    Speeds are capped at ``v_escape_frac`` times the local escape speed
+    estimated from the enclosed mass (a conservative bound that prevents
+    runaway particles from the Gaussian tail).
+    """
+    r = np.linalg.norm(pos, axis=1)
+    sigma = jeans_sigma_r(r, density, enclosed_mass_total, r_max)
+    vel = rng.normal(size=pos.shape) * sigma[:, None]
+    # Escape-speed clamp: phi >= -M_tot(<r_max)/r roughly; use the simple
+    # keplerian bound from all mass inside r_max.
+    m_out = float(enclosed_mass_total(np.array([r_max]))[0])
+    v_esc = np.sqrt(2.0 * m_out / np.maximum(r, 1e-6))
+    speed = np.linalg.norm(vel, axis=1)
+    over = speed > v_escape_frac * v_esc
+    if over.any():
+        vel[over] *= (v_escape_frac * v_esc[over] / speed[over])[:, None]
+    return vel
+
+
+def epicyclic_frequency_squared(R: np.ndarray, vc2: Callable[[np.ndarray], np.ndarray],
+                                dr_frac: float = 1e-4) -> np.ndarray:
+    """kappa^2 = R dOmega^2/dR + 4 Omega^2 via numerical differentiation."""
+    R = np.asarray(R, dtype=np.float64)
+    dR = np.maximum(R * dr_frac, 1e-9)
+    om2 = vc2(R) / R ** 2
+    om2_hi = vc2(R + dR) / (R + dR) ** 2
+    om2_lo = vc2(np.maximum(R - dR, 1e-9)) / np.maximum(R - dR, 1e-9) ** 2
+    dom2 = (om2_hi - om2_lo) / (2.0 * dR)
+    return R * dom2 + 4.0 * om2
+
+
+def disk_velocities(R: np.ndarray, phi_angle: np.ndarray,
+                    vc2_total: Callable[[np.ndarray], np.ndarray],
+                    surface_density: Callable[[np.ndarray], np.ndarray],
+                    scale_length: float, scale_height: float,
+                    toomre_q: float, q_ref_radius: float,
+                    rng: np.random.Generator) -> np.ndarray:
+    """Sample disk particle velocities in Cartesian coordinates.
+
+    Parameters
+    ----------
+    R, phi_angle:
+        Cylindrical radius and azimuth of each particle.
+    vc2_total:
+        Total circular velocity squared as a function of R.
+    surface_density:
+        Disk surface density Sigma(R).
+    toomre_q:
+        Target Toomre Q at ``q_ref_radius``; the dispersion profile keeps
+        the exponential shape sigma_R ~ exp(-R / 2 Rd) and is normalised
+        so Q(q_ref_radius) = toomre_q.
+    """
+    R = np.asarray(R, dtype=np.float64)
+    vc2 = np.maximum(vc2_total(R), 0.0)
+    vc = np.sqrt(vc2)
+    kappa2 = np.maximum(epicyclic_frequency_squared(R, vc2_total), 1e-12)
+    kappa = np.sqrt(kappa2)
+    omega = vc / np.maximum(R, 1e-9)
+
+    # Toomre-normalised radial dispersion with an exponential profile.
+    kappa_ref = np.sqrt(float(epicyclic_frequency_squared(
+        np.array([q_ref_radius]), vc2_total)[0]))
+    sigma_ref = float(surface_density(np.array([q_ref_radius]))[0])
+    sig_r_ref = toomre_q * 3.36 * sigma_ref / kappa_ref
+    sigma_R = sig_r_ref * np.exp(-(R - q_ref_radius) / (2.0 * scale_length))
+    # Cap the dispersion so random motion never exceeds rotation support.
+    sigma_R = np.minimum(sigma_R, 0.6 * np.maximum(vc, 1e-9))
+
+    ratio = np.clip(kappa / (2.0 * omega), 0.1, 1.0)
+    sigma_phi = sigma_R * ratio
+    sigma_z = np.sqrt(np.pi * np.maximum(surface_density(R), 0.0) * scale_height)
+    sigma_z = np.minimum(sigma_z, sigma_R)
+
+    # Asymmetric drift (Binney & Tremaine eq. 4.228, exponential disk
+    # approximation): vbar_phi^2 = vc^2 + sigma_R^2 (1 - kappa^2/(4 Omega^2)
+    # - 2 R / Rd).
+    va2 = vc2 + sigma_R ** 2 * (1.0 - kappa2 / (4.0 * omega ** 2)
+                                - 2.0 * R / scale_length)
+    vbar_phi = np.sqrt(np.maximum(va2, 0.0))
+
+    v_R = rng.normal(size=len(R)) * sigma_R
+    v_phi = vbar_phi + rng.normal(size=len(R)) * sigma_phi
+    v_z = rng.normal(size=len(R)) * sigma_z
+
+    cos_p, sin_p = np.cos(phi_angle), np.sin(phi_angle)
+    vx = v_R * cos_p - v_phi * sin_p
+    vy = v_R * sin_p + v_phi * cos_p
+    return np.stack([vx, vy, v_z], axis=1)

@@ -1,0 +1,12 @@
+"""Time integration (2nd-order leap-frog) and conservation diagnostics."""
+
+from .leapfrog import LeapfrogIntegrator, kick, drift
+from .diagnostics import EnergyDiagnostics, system_diagnostics
+
+__all__ = [
+    "LeapfrogIntegrator",
+    "kick",
+    "drift",
+    "EnergyDiagnostics",
+    "system_diagnostics",
+]

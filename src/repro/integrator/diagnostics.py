@@ -1,0 +1,44 @@
+"""Conservation diagnostics: energy, momentum, angular momentum, virial."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..particles import ParticleSet
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyDiagnostics:
+    """Snapshot of global conserved quantities."""
+
+    kinetic: float
+    potential: float
+    momentum: np.ndarray
+    angular_momentum: np.ndarray
+
+    @property
+    def total(self) -> float:
+        """Total energy."""
+        return self.kinetic + self.potential
+
+    @property
+    def virial_ratio(self) -> float:
+        """-2T/W; 1 for a system in virial equilibrium."""
+        if self.potential == 0.0:
+            return np.inf
+        return -2.0 * self.kinetic / self.potential
+
+
+def system_diagnostics(particles: ParticleSet, phi: np.ndarray) -> EnergyDiagnostics:
+    """Compute diagnostics from per-particle potentials ``phi``.
+
+    The pairwise potential energy is ``W = 1/2 sum_i m_i phi_i`` because
+    each pair is counted twice in the per-particle sums.
+    """
+    ke = particles.kinetic_energy()
+    pe = 0.5 * float(np.sum(particles.mass * phi))
+    return EnergyDiagnostics(kinetic=ke, potential=pe,
+                             momentum=particles.momentum(),
+                             angular_momentum=particles.angular_momentum())

@@ -1,0 +1,88 @@
+"""Second-order leap-frog integration (kick-drift-kick form).
+
+The paper advances particles with a 2nd-order leap-frog scheme [47]
+after each force computation.  We use the KDK (kick-drift-kick) form,
+which is symplectic for fixed time steps and time-reversible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..particles import ParticleSet
+
+
+def kick(particles: ParticleSet, acc: np.ndarray, dt: float) -> None:
+    """Advance velocities by ``dt`` under accelerations ``acc`` (in place)."""
+    particles.vel += acc * dt
+
+
+def drift(particles: ParticleSet, dt: float) -> None:
+    """Advance positions by ``dt`` at current velocities (in place)."""
+    particles.pos += particles.vel * dt
+
+
+ForceFunction = Callable[[ParticleSet], tuple[np.ndarray, np.ndarray]]
+
+
+class LeapfrogIntegrator:
+    """KDK leap-frog driver over an arbitrary force function.
+
+    Parameters
+    ----------
+    force:
+        Callable mapping a :class:`ParticleSet` to ``(acc, phi)``.
+    dt:
+        Fixed time step (internal units).
+
+    The integrator stores the last acceleration so consecutive steps cost
+    one force evaluation each (the trailing half-kick of step *k* shares
+    the force with the leading half-kick of step *k+1* in the equivalent
+    DKD formulation; here we evaluate at the drifted positions).
+    """
+
+    def __init__(self, force: ForceFunction, dt: float):
+        if dt <= 0.0:
+            raise ValueError("dt must be positive")
+        self.force = force
+        self.dt = dt
+        self.time = 0.0
+        self.step_count = 0
+        self._acc: np.ndarray | None = None
+        self._phi: np.ndarray | None = None
+
+    @property
+    def potential(self) -> np.ndarray | None:
+        """Per-particle potential from the last force evaluation."""
+        return self._phi
+
+    @property
+    def acceleration(self) -> np.ndarray | None:
+        """Per-particle acceleration from the last force evaluation."""
+        return self._acc
+
+    def prime(self, particles: ParticleSet) -> None:
+        """Evaluate the initial forces (once, before the first step)."""
+        self._acc, self._phi = self.force(particles)
+
+    def step(self, particles: ParticleSet) -> None:
+        """Advance the system by one full KDK step."""
+        if self._acc is None:
+            self.prime(particles)
+        half = 0.5 * self.dt
+        kick(particles, self._acc, half)
+        drift(particles, self.dt)
+        self._acc, self._phi = self.force(particles)
+        kick(particles, self._acc, half)
+        self.time += self.dt
+        self.step_count += 1
+
+    def run(self, particles: ParticleSet, n_steps: int,
+            callback: Callable[[int, ParticleSet], None] | None = None) -> None:
+        """Advance ``n_steps`` steps, invoking ``callback`` after each."""
+        for k in range(n_steps):
+            self.step(particles)
+            if callback is not None:
+                callback(k, particles)

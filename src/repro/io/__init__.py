@@ -1,0 +1,6 @@
+"""Snapshot I/O (restart files and analysis dumps)."""
+
+from .snapshot import load_snapshot, save_snapshot
+from .ascii import load_ascii, save_ascii
+
+__all__ = ["save_snapshot", "load_snapshot", "save_ascii", "load_ascii"]

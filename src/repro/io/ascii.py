@@ -1,0 +1,61 @@
+"""Plain-text snapshot export/import (interoperability format).
+
+Columns: id component mass x y z vx vy vz -- one particle per line,
+with a ``# key: value`` metadata header.  Useful for feeding snapshots
+to external plotting/analysis tools without a NumPy dependency.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..particles import ParticleSet
+
+
+def save_ascii(path: str | Path, particles: ParticleSet,
+               time: float = 0.0, step: int = 0) -> None:
+    """Write a whitespace-separated text snapshot."""
+    path = Path(path)
+    header = (f"# repro ascii snapshot\n"
+              f"# time: {time!r}\n"
+              f"# step: {step}\n"
+              f"# n: {particles.n}\n"
+              f"# columns: id component mass x y z vx vy vz\n")
+    data = np.column_stack([
+        particles.ids.astype(np.float64),
+        particles.component.astype(np.float64),
+        particles.mass,
+        particles.pos,
+        particles.vel,
+    ])
+    with open(path, "w") as fh:
+        fh.write(header)
+        np.savetxt(fh, data,
+                   fmt=["%d", "%d", "%.17g"] + ["%.17g"] * 6)
+
+
+def load_ascii(path: str | Path) -> tuple[ParticleSet, dict]:
+    """Read a text snapshot written by :func:`save_ascii`."""
+    path = Path(path)
+    meta: dict = {}
+    with open(path) as fh:
+        for line in fh:
+            if not line.startswith("#"):
+                break
+            if ":" in line:
+                key, _, value = line[1:].partition(":")
+                meta[key.strip()] = value.strip()
+    data = np.loadtxt(path)
+    if data.ndim == 1:
+        data = data[None, :]
+    if data.shape[1] != 9:
+        raise ValueError(f"expected 9 columns, found {data.shape[1]}")
+    ps = ParticleSet(pos=data[:, 3:6], vel=data[:, 6:9], mass=data[:, 2],
+                     ids=data[:, 0].astype(np.int64),
+                     component=data[:, 1].astype(np.int8))
+    out = {"time": float(meta.get("time", 0.0)),
+           "step": int(meta.get("step", 0)),
+           "n": int(meta.get("n", ps.n))}
+    return ps, out

@@ -1,0 +1,166 @@
+"""Level-by-level octree construction over SFC-sorted particles.
+
+Mirrors the GPU tree-build of Bonsai (Sec. III-A, [9]): particles are
+sorted by their SFC key, then cells are created breadth-first.  A cell
+with more than ``nleaf`` particles (paper value: 16) is split into its
+non-empty octants by examining the next 3 key bits; the recursion is
+fully vectorized per level using run-length detection on the
+(parent, octant-digit) stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sfc import BoundingBox, KEY_MAX_LEVEL, cell_geometry
+from .tree import Octree
+
+_U = np.uint64
+
+
+def build_octree(pos: np.ndarray,
+                 nleaf: int = 16,
+                 curve: str = "hilbert",
+                 box: BoundingBox | None = None,
+                 keys: np.ndarray | None = None,
+                 max_level: int = KEY_MAX_LEVEL) -> Octree:
+    """Construct a sparse octree over ``pos``.
+
+    Parameters
+    ----------
+    pos:
+        (N, 3) positions.
+    nleaf:
+        Leaf capacity; cells with at most this many particles stop
+        splitting (paper: 16).
+    curve:
+        ``"hilbert"`` (paper's choice) or ``"morton"``.
+    box:
+        Optional global bounding cube; computed from ``pos`` when absent.
+        Passing the *global* box is how the distributed code guarantees
+        that every local tree is a branch of the same hypothetical global
+        octree (Sec. III-B1).
+    keys:
+        Pre-computed SFC keys for ``pos`` (skips re-encoding).
+    max_level:
+        Maximum tree depth; cells at this depth become leaves regardless
+        of occupancy (guards against coincident particles).
+
+    Returns
+    -------
+    Octree with topology filled in; moments are computed separately.
+    """
+    pos = np.asarray(pos, dtype=np.float64)
+    n = len(pos)
+    if n == 0:
+        raise ValueError("cannot build a tree over zero particles")
+    if nleaf < 1:
+        raise ValueError("nleaf must be >= 1")
+    if box is None:
+        box = BoundingBox.from_positions(pos)
+    if keys is None:
+        keys = box.keys(pos, curve)
+    else:
+        keys = np.asarray(keys, dtype=np.uint64)
+
+    order = np.argsort(keys, kind="stable").astype(np.int64)
+    skeys = keys[order]
+
+    # Per-level accumulators.
+    lvl_key: list[np.ndarray] = []
+    lvl_level: list[np.ndarray] = []
+    lvl_parent: list[np.ndarray] = []
+    lvl_first: list[np.ndarray] = []
+    lvl_count: list[np.ndarray] = []
+
+    # Root.
+    lvl_key.append(skeys[:1].copy())
+    lvl_level.append(np.zeros(1, dtype=np.int64))
+    lvl_parent.append(np.full(1, -1, dtype=np.int64))
+    lvl_first.append(np.zeros(1, dtype=np.int64))
+    lvl_count.append(np.array([n], dtype=np.int64))
+
+    first_child_parts: list[np.ndarray] = [np.full(1, -1, dtype=np.int64)]
+    n_children_parts: list[np.ndarray] = [np.zeros(1, dtype=np.int64)]
+
+    cells_before = 0          # number of cells on levels < current
+    cur_first = lvl_first[0]
+    cur_count = lvl_count[0]
+    cur_ids = np.zeros(1, dtype=np.int64)  # global ids of current level cells
+
+    for level in range(1, max_level + 1):
+        split = cur_count > nleaf
+        if not split.any():
+            break
+        parents = np.flatnonzero(split)
+        p_first = cur_first[parents]
+        p_count = cur_count[parents]
+
+        # Gather the sorted-particle indices covered by splitting parents.
+        total = int(p_count.sum())
+        # arange concatenation trick: offsets within each range.
+        reps = np.repeat(np.arange(len(parents)), p_count)
+        offsets = np.arange(total) - np.repeat(np.cumsum(p_count) - p_count, p_count)
+        pidx = p_first[reps] + offsets
+
+        shift = _U(3 * (KEY_MAX_LEVEL - level))
+        digits = (skeys[pidx] >> shift) & _U(7)
+
+        # New cell starts where the (parent, digit) pair changes.
+        newcell = np.empty(total, dtype=bool)
+        newcell[0] = True
+        newcell[1:] = (reps[1:] != reps[:-1]) | (digits[1:] != digits[:-1])
+        starts = np.flatnonzero(newcell)
+
+        c_first = pidx[starts]
+        c_count = np.diff(np.append(starts, total))
+        c_parent_local = reps[starts]            # index into `parents`
+        c_parent = cur_ids[parents[c_parent_local]]
+        c_key = skeys[c_first]
+
+        n_new = len(starts)
+        base = cells_before + len(cur_count)     # global id of first new cell
+
+        # Fill parent -> child links.  Children of one parent are adjacent
+        # in the `starts` order, so the first child is the first new cell
+        # whose parent matches.
+        fc = np.full(len(cur_count), -1, dtype=np.int64)
+        nc = np.zeros(len(cur_count), dtype=np.int64)
+        first_of_parent = np.flatnonzero(
+            np.append(True, c_parent_local[1:] != c_parent_local[:-1]))
+        nc_counts = np.diff(np.append(first_of_parent, n_new))
+        fc[parents[c_parent_local[first_of_parent]]] = base + first_of_parent
+        nc[parents[c_parent_local[first_of_parent]]] = nc_counts
+        first_child_parts[-1] = fc
+        n_children_parts[-1] = nc
+
+        lvl_key.append(c_key)
+        lvl_level.append(np.full(n_new, level, dtype=np.int64))
+        lvl_parent.append(c_parent)
+        lvl_first.append(c_first.astype(np.int64))
+        lvl_count.append(c_count.astype(np.int64))
+        first_child_parts.append(np.full(n_new, -1, dtype=np.int64))
+        n_children_parts.append(np.zeros(n_new, dtype=np.int64))
+
+        cells_before += len(cur_count)
+        cur_first = c_first
+        cur_count = c_count
+        cur_ids = base + np.arange(n_new, dtype=np.int64)
+
+    tree = Octree(
+        cell_key=np.concatenate(lvl_key),
+        cell_level=np.concatenate(lvl_level),
+        cell_parent=np.concatenate(lvl_parent),
+        first_child=np.concatenate(first_child_parts),
+        n_children=np.concatenate(n_children_parts),
+        body_first=np.concatenate(lvl_first),
+        body_count=np.concatenate(lvl_count),
+        order=order,
+        keys=skeys,
+        box=box,
+        curve=curve,
+        nleaf=nleaf,
+    )
+    tree.center, tree.half = cell_geometry(tree.cell_key, tree.cell_level,
+                                           box, curve)
+    return tree

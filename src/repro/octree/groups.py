@@ -1,0 +1,54 @@
+"""Particle groups: the warp-sized granularity of the GPU tree walk.
+
+Bonsai walks the tree once per *group* of up to NCRIT spatially adjacent
+particles (a warp / thread block processes a group together, sharing one
+interaction list).  We reproduce that by selecting the maximal tree cells
+containing at most ``ncrit`` particles: a cell is a group iff its count
+is <= ncrit and its parent's count is > ncrit (or it is the root).
+
+Groups therefore partition the sorted particle array into contiguous
+ranges, exactly like the leaf partition but at a coarser capacity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tree import Octree
+
+
+def make_groups(tree: Octree, ncrit: int = 64) -> Octree:
+    """Fill ``group_first``/``group_count`` on the tree.
+
+    Parameters
+    ----------
+    ncrit:
+        Maximum particles per group (Bonsai uses a small multiple of the
+        warp size; 64 by default here).
+    """
+    if ncrit < 1:
+        raise ValueError("ncrit must be >= 1")
+    count = tree.body_count
+    parent = tree.cell_parent
+    small = count <= ncrit
+    parent_big = np.where(parent >= 0, count[np.maximum(parent, 0)] > ncrit, True)
+    is_group = small & parent_big
+    # Cells with > ncrit particles that are leaves (max depth, coincident
+    # particles) must still be walked: make them groups too.
+    stuck = (~small) & (tree.n_children == 0)
+    is_group |= stuck
+
+    sel = np.flatnonzero(is_group)
+    order = np.argsort(tree.body_first[sel], kind="stable")
+    sel = sel[order]
+    gf = tree.body_first[sel].astype(np.int64)
+    gc = tree.body_count[sel].astype(np.int64)
+
+    # Groups must partition the particle range.
+    if len(gf) == 0 or gf[0] != 0 or gf[-1] + gc[-1] != tree.n_bodies \
+            or not np.all(gf[1:] == gf[:-1] + gc[:-1]):
+        raise AssertionError("groups do not partition the particle array")
+
+    tree.group_first = gf
+    tree.group_count = gc
+    return tree

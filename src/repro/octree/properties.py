@@ -1,0 +1,67 @@
+"""Per-cell opening radii for the multipole acceptance criterion (MAC).
+
+Two MAC flavors are provided:
+
+``"bh"``
+    The classic Barnes & Hut criterion: a cell of side ``l`` may be used
+    as a multipole by a target at distance ``d`` when ``l / d < theta``,
+    i.e. the opening radius is ``r_crit = l / theta``.
+
+``"bonsai"``
+    The criterion of Bedorf, Gaburov & Portegies Zwart [9] used by the
+    paper: ``r_crit = l / theta + delta`` where ``delta`` is the offset
+    between the cell's geometric center and its center of mass.  The
+    extra ``delta`` term protects against pathological mass placement in
+    a cell, and distances are measured to the COM.
+
+Both are evaluated against the *minimum* distance between the target
+group's tight AABB and the cell COM, exactly as in the group-centric GPU
+tree walk (all particles of a warp share one traversal).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tree import Octree
+
+
+def compute_opening_radii(tree: Octree, theta: float, mac: str = "bonsai") -> Octree:
+    """Fill ``tree.r_crit`` given the opening angle ``theta``.
+
+    Must run after :func:`compute_moments` (needs ``com``).
+    """
+    if theta <= 0.0:
+        raise ValueError("theta must be positive; use direct summation for theta=0")
+    if tree.com is None:
+        raise ValueError("compute_moments must run before compute_opening_radii")
+
+    side = 2.0 * tree.half
+    if mac == "bh":
+        r_crit = side / theta
+    elif mac == "bonsai":
+        delta = np.linalg.norm(tree.com - tree.center, axis=1)
+        r_crit = side / theta + delta
+    else:
+        raise ValueError(f"unknown MAC {mac!r}")
+    # A cell can never be accepted by targets inside it; also guard
+    # against zero-size cells (coincident particles).
+    tree.r_crit = np.maximum(r_crit, 1.0e-30)
+    return tree
+
+
+def aabb_distance(bmin: np.ndarray, bmax: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Minimum Euclidean distance from points to an AABB (0 if inside).
+
+    ``bmin``/``bmax`` may be a single box (3,) against many points (n, 3)
+    or broadcast-compatible stacks of boxes and points.
+    """
+    d = np.maximum(np.maximum(bmin - points, 0.0), points - bmax)
+    return np.sqrt(np.einsum("...k,...k->...", d, d))
+
+
+def aabb_aabb_distance(amin: np.ndarray, amax: np.ndarray,
+                       bmin: np.ndarray, bmax: np.ndarray) -> np.ndarray:
+    """Minimum distance between two AABBs (0 when overlapping)."""
+    d = np.maximum(np.maximum(amin - bmax, 0.0), bmin - amax)
+    return np.sqrt(np.einsum("...k,...k->...", d, d))

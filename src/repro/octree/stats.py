@@ -1,0 +1,66 @@
+"""Tree structure statistics (diagnostics for examples and benches)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .tree import Octree
+
+
+@dataclasses.dataclass(frozen=True)
+class TreeStats:
+    """Shape summary of one octree."""
+
+    n_bodies: int
+    n_cells: int
+    n_leaves: int
+    depth: int
+    mean_leaf_occupancy: float
+    max_leaf_occupancy: int
+    cells_per_level: np.ndarray
+    branching_factor: float      # mean children per internal cell
+    memory_bytes: int            # struct-of-arrays footprint
+
+    def as_lines(self) -> list[str]:
+        """Human-readable rendering."""
+        return [
+            f"bodies {self.n_bodies}, cells {self.n_cells} "
+            f"({self.n_leaves} leaves), depth {self.depth}",
+            f"leaf occupancy mean {self.mean_leaf_occupancy:.2f} "
+            f"max {self.max_leaf_occupancy}",
+            f"branching factor {self.branching_factor:.2f}",
+            f"memory {self.memory_bytes / 1024:.1f} KB",
+            "cells/level " + " ".join(str(int(c)) for c in self.cells_per_level),
+        ]
+
+
+def tree_stats(tree: Octree) -> TreeStats:
+    """Compute structural statistics of a built octree."""
+    is_leaf = tree.is_leaf
+    leaves = np.flatnonzero(is_leaf)
+    internal = np.flatnonzero(~is_leaf)
+    per_level = np.bincount(tree.cell_level,
+                            minlength=int(tree.cell_level.max()) + 1)
+    mem = 0
+    for name in ("cell_key", "cell_level", "cell_parent", "first_child",
+                 "n_children", "body_first", "body_count"):
+        mem += getattr(tree, name).nbytes
+    for name in ("center", "half", "mass", "com", "quad", "bmin", "bmax",
+                 "r_crit"):
+        arr = getattr(tree, name)
+        if arr is not None:
+            mem += arr.nbytes
+    return TreeStats(
+        n_bodies=tree.n_bodies,
+        n_cells=tree.n_cells,
+        n_leaves=len(leaves),
+        depth=tree.n_levels - 1,
+        mean_leaf_occupancy=float(tree.body_count[leaves].mean()),
+        max_leaf_occupancy=int(tree.body_count[leaves].max()),
+        cells_per_level=per_level,
+        branching_factor=float(tree.n_children[internal].mean())
+        if len(internal) else 0.0,
+        memory_bytes=int(mem),
+    )

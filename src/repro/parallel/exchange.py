@@ -1,0 +1,49 @@
+"""Particle exchange after a domain update (alltoallv of array columns).
+
+"With the domain boundaries at hand, each GPU generates a list of
+particles that are not part of its local domain, and these particles are
+then exchanged between the processes." (Sec. III-B1)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..particles import ParticleSet
+from ..simmpi import SimComm
+from .decomposition import DomainDecomposition
+
+
+def exchange_particles(comm: SimComm, particles: ParticleSet,
+                       keys: np.ndarray,
+                       decomp: DomainDecomposition) -> ParticleSet:
+    """Route every particle to the rank owning its key.
+
+    Returns this rank's new local particle set.  The exchange ships each
+    particle exactly once; ownership is total and disjoint because the
+    boundaries partition the key space.
+    """
+    if decomp.n_domains != comm.size:
+        raise ValueError("decomposition size does not match communicator")
+    dest = decomp.rank_of_keys(keys)
+    order = np.argsort(dest, kind="stable")
+    sorted_dest = dest[order]
+    # Slice boundaries per destination rank.
+    starts = np.searchsorted(sorted_dest, np.arange(comm.size), side="left")
+    ends = np.searchsorted(sorted_dest, np.arange(comm.size), side="right")
+
+    outbox = []
+    for d in range(comm.size):
+        sel = order[starts[d]:ends[d]]
+        outbox.append((particles.pos[sel], particles.vel[sel],
+                       particles.mass[sel], particles.ids[sel],
+                       particles.component[sel]))
+    inbox = comm.alltoallv(outbox)
+
+    pos = np.concatenate([m[0] for m in inbox])
+    vel = np.concatenate([m[1] for m in inbox])
+    mass = np.concatenate([m[2] for m in inbox])
+    ids = np.concatenate([m[3] for m in inbox])
+    component = np.concatenate([m[4] for m in inbox])
+    return ParticleSet(pos=pos, vel=vel, mass=mass, ids=ids,
+                       component=component)

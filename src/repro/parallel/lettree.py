@@ -1,0 +1,231 @@
+"""Local Essential Trees and boundary structures (Sec. III-B2).
+
+A :class:`LETData` is a pruned copy of a local octree shipped to remote
+ranks: internal cells that a remote viewer might open keep their
+children; cells the viewer is guaranteed to accept become multipole-only
+leaves; local *leaf* cells the viewer must open carry their particles.
+The same structure serves as both the paper's "boundary tree" (pruned
+for the most conservative viewer -- anything outside the local domain
+box) and the full LET (pruned for one specific remote domain box).
+
+Consistency guarantee: a cell is pruned only when ``d(viewer box, COM) >
+r_crit``.  Any walk group on the receiving side lies inside the viewer
+box, so its MAC distance can only be larger, and the multipole is always
+accepted -- the receiver can never need data that was pruned away.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..octree import Octree, compute_opening_radii
+from ..octree.properties import aabb_distance
+from ..simmpi.traffic import payload_bytes
+
+
+@dataclasses.dataclass
+class LETData:
+    """A shippable pruned tree; duck-types the source-tree interface of
+    :func:`repro.gravity.treewalk.tree_forces`."""
+
+    first_child: np.ndarray
+    n_children: np.ndarray
+    body_first: np.ndarray
+    body_count: np.ndarray
+    com: np.ndarray
+    mass: np.ndarray
+    quad: np.ndarray
+    r_crit: np.ndarray
+    pruned: np.ndarray          # True where a multipole-only leaf
+    part_pos: np.ndarray        # exported particles (LET-local order)
+    part_mass: np.ndarray
+
+    @property
+    def n_cells(self) -> int:
+        """Number of cells in the pruned tree."""
+        return len(self.mass)
+
+    @property
+    def n_particles(self) -> int:
+        """Number of exported particles."""
+        return len(self.part_mass)
+
+    @property
+    def nbytes(self) -> int:
+        """Wire size of the structure."""
+        return sum(payload_bytes(getattr(self, f.name))
+                   for f in dataclasses.fields(self))
+
+    def total_mass(self) -> float:
+        """Mass represented by the root (sanity check)."""
+        return float(self.mass[0]) if self.n_cells else 0.0
+
+
+def prune_tree(tree: Octree, spos: np.ndarray, smass: np.ndarray,
+               open_for_viewer) -> LETData:
+    """Breadth-first prune of ``tree`` under an opening predicate.
+
+    Parameters
+    ----------
+    tree:
+        Local octree with moments and ``r_crit`` computed.
+    spos, smass:
+        Particle positions/masses in the tree's *sorted* order.
+    open_for_viewer:
+        Callable mapping an array of cell indices to a boolean array --
+        True where the viewer might open the cell (distance < r_crit).
+
+    Returns
+    -------
+    LETData with remapped child pointers and particle ranges.
+    """
+    out_first_child: list[np.ndarray] = []
+    out_n_children: list[np.ndarray] = []
+    out_body_first: list[np.ndarray] = []
+    out_body_count: list[np.ndarray] = []
+    out_cells: list[np.ndarray] = []
+    out_pruned: list[np.ndarray] = []
+    part_ranges: list[tuple[int, int]] = []
+
+    frontier = np.zeros(1, dtype=np.int64)
+    n_out = 0          # cells emitted so far
+    n_parts = 0        # particles exported so far
+
+    while len(frontier):
+        opened = np.asarray(open_for_viewer(frontier), dtype=bool)
+        is_leaf = tree.n_children[frontier] == 0
+        descend = opened & ~is_leaf
+        export_parts = opened & is_leaf
+
+        n_batch = len(frontier)
+        fc = np.full(n_batch, -1, dtype=np.int64)
+        nc = np.zeros(n_batch, dtype=np.int64)
+        bf = np.zeros(n_batch, dtype=np.int64)
+        bc = np.zeros(n_batch, dtype=np.int64)
+
+        # Children of descending cells land contiguously in the next batch.
+        child_counts = np.where(descend, tree.n_children[frontier], 0)
+        child_offsets = np.cumsum(child_counts) - child_counts
+        next_base = n_out + n_batch
+        fc[descend] = next_base + child_offsets[descend]
+        nc[descend] = child_counts[descend]
+
+        # Exported particle ranges (in the outgoing particle arrays).
+        if export_parts.any():
+            sel = np.flatnonzero(export_parts)
+            counts = tree.body_count[frontier[sel]]
+            offs = np.cumsum(counts) - counts
+            bf[sel] = n_parts + offs
+            bc[sel] = counts
+            for c in frontier[sel]:
+                part_ranges.append((int(tree.body_first[c]),
+                                    int(tree.body_first[c] + tree.body_count[c])))
+            n_parts += int(counts.sum())
+
+        out_first_child.append(fc)
+        out_n_children.append(nc)
+        out_body_first.append(bf)
+        out_body_count.append(bc)
+        out_cells.append(frontier)
+        out_pruned.append(~opened)
+        n_out += n_batch
+
+        # Build the next frontier: all children of descending cells, in
+        # the same order the pointers were assigned.
+        if descend.any():
+            dcells = frontier[descend]
+            counts = tree.n_children[dcells]
+            total = int(counts.sum())
+            offs = np.arange(total, dtype=np.int64) - np.repeat(
+                np.cumsum(counts) - counts, counts)
+            frontier = np.repeat(tree.first_child[dcells], counts) + offs
+        else:
+            frontier = np.empty(0, dtype=np.int64)
+
+    cells = np.concatenate(out_cells)
+    if part_ranges:
+        idx = np.concatenate([np.arange(a, b, dtype=np.int64)
+                              for a, b in part_ranges])
+        part_pos = spos[idx]
+        part_mass = smass[idx]
+    else:
+        part_pos = np.empty((0, 3))
+        part_mass = np.empty(0)
+
+    return LETData(
+        first_child=np.concatenate(out_first_child),
+        n_children=np.concatenate(out_n_children),
+        body_first=np.concatenate(out_body_first),
+        body_count=np.concatenate(out_body_count),
+        com=tree.com[cells],
+        mass=tree.mass[cells],
+        quad=tree.quad[cells],
+        r_crit=tree.r_crit[cells],
+        pruned=np.concatenate(out_pruned),
+        part_pos=part_pos,
+        part_mass=part_mass,
+    )
+
+
+def build_let_for_box(tree: Octree, spos: np.ndarray, smass: np.ndarray,
+                      viewer_bmin: np.ndarray, viewer_bmax: np.ndarray) -> LETData:
+    """Build the LET required by a remote domain with AABB [bmin, bmax].
+
+    A cell is opened when the minimum distance from the viewer box to the
+    cell's COM is not larger than its opening radius -- the mirrored form
+    of the group MAC used in the receiver's tree walk.
+    """
+    if tree.r_crit is None:
+        raise ValueError("compute_opening_radii must run before LET construction")
+
+    def opener(cells: np.ndarray) -> np.ndarray:
+        d = aabb_distance(viewer_bmin, viewer_bmax, tree.com[cells])
+        return d <= tree.r_crit[cells]
+
+    return prune_tree(tree, spos, smass, opener)
+
+
+def boundary_structure(tree: Octree, spos: np.ndarray, smass: np.ndarray
+                       ) -> LETData:
+    """Extract the paper's boundary tree from a local octree.
+
+    The viewer is "anything outside my domain box": a cell is kept open
+    when its opening radius reaches past the nearest face of the local
+    AABB, i.e. when some exterior point could require opening it.  Deep
+    interior cells collapse to multipoles, leaving exactly the "cells
+    that form the edges of the local particle set" plus their parents.
+    """
+    if tree.r_crit is None:
+        raise ValueError("compute_opening_radii must run before boundary extraction")
+    dom_min = tree.bmin[0]
+    dom_max = tree.bmax[0]
+
+    def opener(cells: np.ndarray) -> np.ndarray:
+        com = tree.com[cells]
+        # Distance from the COM to the nearest face of the domain box,
+        # measured inward; non-positive for COMs outside the box.
+        inward = np.minimum((com - dom_min).min(axis=1),
+                            (dom_max - com).min(axis=1))
+        return inward <= tree.r_crit[cells]
+
+    return prune_tree(tree, spos, smass, opener)
+
+
+def boundary_sufficient_for(boundary: LETData,
+                            viewer_bmin: np.ndarray,
+                            viewer_bmax: np.ndarray) -> bool:
+    """Can a remote domain compute its forces from this boundary tree?
+
+    Sufficient iff every pruned (multipole-only) leaf passes the MAC for
+    the remote domain's box; otherwise the full LET must be exchanged.
+    Both the owner and the remote rank evaluate this same deterministic
+    predicate -- the paper's symmetric double-compute that removes the
+    request round-trip.
+    """
+    sel = boundary.pruned
+    if not sel.any():
+        return True
+    d = aabb_distance(viewer_bmin, viewer_bmax, boundary.com[sel])
+    return bool(np.all(d > boundary.r_crit[sel]))

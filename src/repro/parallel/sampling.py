@@ -1,0 +1,165 @@
+"""Key sampling for the domain decomposition (Sec. III-B1).
+
+Two decomposers are provided:
+
+``serial_sample_boundaries``
+    The original sampling method [45]: every rank samples its local keys
+    at a fixed rate, one DD-process gathers all samples, merges them into
+    a global SFC and cuts it into p pieces.  As the paper notes this
+    becomes a serial bottleneck at large p (the ablation benchmark
+    measures exactly that).
+
+``hierarchical_sample_boundaries``
+    The paper's parallelized method: p = px * py.  A first coarse pass
+    (rate R1) cuts the curve into px super-domains; a second pass (rate
+    R2) routes samples to the px DD-processes, each of which cuts its
+    super-domain into py pieces; the p boundaries are then combined and
+    broadcast.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..simmpi import SimComm
+from .loadbalance import cut_weighted_with_cap
+
+KEY_MAX = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def sample_weighted_keys(keys: np.ndarray, weights: np.ndarray | None,
+                         rate: float) -> tuple[np.ndarray, np.ndarray]:
+    """Systematic weighted sampling of sorted keys.
+
+    Samples ``max(1, round(rate * n))`` keys at equally spaced positions
+    of the cumulative weight, so regions that cost more produce more
+    samples (this is how the flop-based load correction enters the
+    decomposition).
+
+    Returns (sample_keys, sample_cost) where each sample's cost is the
+    weight mass it represents.
+    """
+    keys = np.asarray(keys, dtype=np.uint64)
+    n = len(keys)
+    if n == 0:
+        return np.empty(0, dtype=np.uint64), np.empty(0)
+    if not np.all(keys[:-1] <= keys[1:]):
+        raise ValueError("keys must be sorted")
+    n_samples = max(1, int(round(rate * n)))
+    n_samples = min(n_samples, n)
+    if weights is None:
+        w = np.ones(n)
+    else:
+        w = np.asarray(weights, dtype=np.float64)
+        if len(w) != n:
+            raise ValueError("weights must align with keys")
+        w = np.maximum(w, 0.0)
+        if w.sum() <= 0.0:
+            w = np.ones(n)
+    cum = np.cumsum(w)
+    total = cum[-1]
+    targets = (np.arange(n_samples) + 0.5) * (total / n_samples)
+    idx = np.searchsorted(cum, targets, side="left")
+    idx = np.minimum(idx, n - 1)
+    cost = np.full(n_samples, total / n_samples)
+    return keys[idx], cost
+
+
+def serial_sample_boundaries(comm: SimComm, keys_sorted: np.ndarray,
+                             weights: np.ndarray | None, n_domains: int,
+                             rate: float = 0.01,
+                             cap_ratio: float = 1.3) -> np.ndarray:
+    """Original (serial) sampling method: one DD-process does all cutting."""
+    s_keys, s_cost = sample_weighted_keys(keys_sorted, weights, rate)
+    gathered = comm.gather((s_keys, s_cost), root=0)
+    if comm.rank == 0:
+        all_keys = np.concatenate([g[0] for g in gathered])
+        all_cost = np.concatenate([g[1] for g in gathered])
+        order = np.argsort(all_keys, kind="stable")
+        boundaries = cut_weighted_with_cap(all_keys[order], all_cost[order],
+                                           n_domains, cap_ratio)
+    else:
+        boundaries = None
+    return comm.bcast(boundaries, root=0)
+
+
+def factor_grid(p: int) -> tuple[int, int]:
+    """Factor p = px * py with px as close to sqrt(p) as possible."""
+    px = int(math.isqrt(p))
+    while p % px != 0:
+        px -= 1
+    return px, p // px
+
+
+def hierarchical_sample_boundaries(comm: SimComm, keys_sorted: np.ndarray,
+                                   weights: np.ndarray | None,
+                                   n_domains: int,
+                                   rate1: float = 0.002,
+                                   rate2: float = 0.02,
+                                   cap_ratio: float = 1.3) -> np.ndarray:
+    """The paper's two-level parallel sampling method.
+
+    ``rate1`` is the coarse sampling rate R1 used to find the px
+    super-domain boundaries; ``rate2`` is the refinement rate R2 whose
+    samples are routed to the px DD-processes (ranks 0..px-1 here).
+    """
+    px, py = factor_grid(n_domains)
+    if px == 1 or comm.size == 1:
+        # Degenerate grid: the hierarchical method reduces to the serial one.
+        return serial_sample_boundaries(comm, keys_sorted, weights, n_domains,
+                                        max(rate1, rate2), cap_ratio)
+
+    # --- phase 1: coarse cut into px super-domains -------------------------
+    s_keys, s_cost = sample_weighted_keys(keys_sorted, weights, rate1)
+    gathered = comm.gather((s_keys, s_cost), root=0)
+    if comm.rank == 0:
+        all_keys = np.concatenate([g[0] for g in gathered])
+        all_cost = np.concatenate([g[1] for g in gathered])
+        order = np.argsort(all_keys, kind="stable")
+        super_bounds = cut_weighted_with_cap(all_keys[order], all_cost[order],
+                                             px, cap_ratio=np.inf)
+    else:
+        super_bounds = None
+    super_bounds = comm.bcast(super_bounds, root=0)
+
+    # --- phase 2: refine each super-domain on its DD-process ---------------
+    s_keys, s_cost = sample_weighted_keys(keys_sorted, weights, rate2)
+    sub = np.searchsorted(super_bounds[1:-1], s_keys, side="right")
+    outbox: list = []
+    for d in range(comm.size):
+        if d < px:
+            sel = sub == d
+            outbox.append((s_keys[sel], s_cost[sel]))
+        else:
+            outbox.append((np.empty(0, dtype=np.uint64), np.empty(0)))
+    inbox = comm.alltoallv(outbox)
+
+    if comm.rank < px:
+        my_keys = np.concatenate([m[0] for m in inbox])
+        my_cost = np.concatenate([m[1] for m in inbox])
+        order = np.argsort(my_keys, kind="stable")
+        # Cut this super-domain into py pieces.  The local cut's first/last
+        # boundaries are replaced by the super-domain edges.
+        local = cut_weighted_with_cap(my_keys[order], my_cost[order], py,
+                                      cap_ratio)
+        local[0] = super_bounds[comm.rank]
+        local[-1] = super_bounds[comm.rank + 1]
+        piece = local
+    else:
+        piece = None
+
+    pieces = comm.gather(piece, root=0)
+    if comm.rank == 0:
+        boundaries = np.empty(n_domains + 1, dtype=np.uint64)
+        boundaries[0] = 0
+        boundaries[-1] = KEY_MAX
+        for d in range(px):
+            boundaries[d * py:(d + 1) * py + 1] = pieces[d]
+        boundaries[0] = 0
+        boundaries[-1] = KEY_MAX
+        boundaries[1:-1] = np.maximum.accumulate(boundaries[1:-1])
+    else:
+        boundaries = None
+    return comm.bcast(boundaries, root=0)

@@ -1,0 +1,77 @@
+"""Aggregate per-rank run statistics into Table II-style global records.
+
+The paper reports, per configuration, the slowest-rank timing of each
+phase, the mean interaction counts and the resulting machine-wide rates.
+These helpers do the same reduction over the per-rank
+:class:`~repro.core.step.StepBreakdown` histories of a SimMPI run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..core.step import StepBreakdown, TABLE2_PHASES
+from ..gravity.flops import InteractionCounts
+
+
+@dataclasses.dataclass(frozen=True)
+class RunStatistics:
+    """Global view of one distributed run."""
+
+    n_ranks: int
+    n_particles_total: int
+    mean_step: StepBreakdown      # phase maxima over ranks, step-averaged
+    imbalance: float              # max/mean particle count
+    interactions_per_particle: tuple[float, float]   # (pp, pc)
+    recv_wait_max: float          # slowest rank's blocked-recv seconds
+
+    @property
+    def gpu_gflops_total(self) -> float:
+        """Aggregate force-kernel rate across ranks (Gflops)."""
+        t = self.mean_step.gravity_local + self.mean_step.gravity_let
+        if t <= 0:
+            return 0.0
+        return self.mean_step.counts.flops / t / 1.0e9
+
+
+def aggregate_rank_histories(histories: list[list[StepBreakdown]],
+                             particle_counts: list[int],
+                             recv_waits: list[float] | None = None
+                             ) -> RunStatistics:
+    """Reduce per-rank step histories into one :class:`RunStatistics`.
+
+    Phase times take the max over ranks per step (the step finishes when
+    the slowest rank does), then average over steps; interaction counts
+    are summed over ranks.
+    """
+    if not histories or not histories[0]:
+        raise ValueError("no step history to aggregate")
+    n_ranks = len(histories)
+    n_steps = min(len(h) for h in histories)
+
+    mean = StepBreakdown()
+    total_counts = InteractionCounts()
+    for k in range(n_steps):
+        for phase in TABLE2_PHASES:
+            worst = max(getattr(h[k], phase) for h in histories)
+            setattr(mean, phase, getattr(mean, phase) + worst / n_steps)
+        for h in histories:
+            total_counts.n_pp += h[k].counts.n_pp
+            total_counts.n_pc += h[k].counts.n_pc
+    mean.counts = InteractionCounts(n_pp=total_counts.n_pp // n_steps,
+                                    n_pc=total_counts.n_pc // n_steps,
+                                    quadrupole=histories[0][0].counts.quadrupole)
+    n_total = int(np.sum(particle_counts))
+    mean.n_particles = n_total
+    counts = np.asarray(particle_counts, dtype=np.float64)
+    return RunStatistics(
+        n_ranks=n_ranks,
+        n_particles_total=n_total,
+        mean_step=mean,
+        imbalance=float(counts.max() / counts.mean()),
+        interactions_per_particle=(mean.counts.n_pp / n_total,
+                                   mean.counts.n_pc / n_total),
+        recv_wait_max=float(max(recv_waits)) if recv_waits else 0.0,
+    )

@@ -1,0 +1,47 @@
+"""Performance model of Bonsai on GPU supercomputers.
+
+We do not have 18600 K20X GPUs; what we do have is (a) the real
+algorithm, whose interaction counts and message volumes we measure
+directly, and (b) Table II of the paper, which pins down the machine
+constants (kernel rates, per-particle GPU phase costs, network terms).
+This package combines the two into a per-step timeline model that
+regenerates Table II, Fig. 1 and Fig. 4, and whose interaction-count
+inputs are *validated* against this repository's own tree walk by
+``calibration.py``.
+"""
+
+from .hardware import (
+    C2075,
+    GPUSpec,
+    K20X,
+    MachineSpec,
+    NetworkSpec,
+    PIZ_DAINT,
+    TITAN,
+    table1_rows,
+)
+from .gpu import (
+    KernelRates,
+    direct_kernel_gflops,
+    fig1_bars,
+    tree_kernel_rates,
+)
+from .interactions import InteractionModel
+from .network import comm_time_seconds, effective_latency_us
+from .timeline import model_step
+from .scaling import (
+    ScalingPoint,
+    strong_scaling,
+    time_to_solution,
+    weak_scaling,
+)
+
+__all__ = [
+    "GPUSpec", "NetworkSpec", "MachineSpec", "K20X", "C2075",
+    "PIZ_DAINT", "TITAN", "table1_rows",
+    "KernelRates", "tree_kernel_rates", "direct_kernel_gflops", "fig1_bars",
+    "InteractionModel",
+    "effective_latency_us", "comm_time_seconds",
+    "model_step",
+    "ScalingPoint", "weak_scaling", "strong_scaling", "time_to_solution",
+]

@@ -1,0 +1,116 @@
+"""Calibration: validate the interaction model against the real code.
+
+The at-scale performance model rests on three structural claims about
+the tree algorithm, all measurable with this repository's own tree walk
+at laptop scale:
+
+1. the p-p count per particle is independent of N;
+2. the p-c count per particle grows linearly in log2(N);
+3. a rank's boundary-structure size grows sublinearly (≈ 2/3 power law)
+   with its local particle count.
+
+``calibrate_interactions`` measures 1-2 on a shrinking Milky Way model;
+``calibrate_boundary_sizes`` measures 3 over SimMPI runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..config import SimulationConfig
+from ..gravity import tree_forces
+from ..ics import milky_way_model
+from ..octree import build_octree, compute_moments, make_groups
+from ..parallel import boundary_structure
+from ..octree import compute_opening_radii
+from ..sfc import BoundingBox
+
+
+@dataclasses.dataclass
+class InteractionCalibration:
+    """Measured interaction scaling from real tree walks."""
+
+    n_values: np.ndarray
+    pp_per_particle: np.ndarray
+    pc_per_particle: np.ndarray
+    pc_log_slope: float          # fitted d(pc)/d(log2 N)
+    pc_intercept: float          # fitted pc at n_values[0]
+    pp_spread: float             # max relative deviation of pp across N
+
+    def pc_extrapolated(self, n: float) -> float:
+        """Extrapolate the fitted log-law to an arbitrary N."""
+        return self.pc_intercept + self.pc_log_slope * np.log2(
+            n / self.n_values[0])
+
+
+def calibrate_interactions(n_values: list[int] | None = None,
+                           theta: float = 0.4, nleaf: int = 16,
+                           ncrit: int = 64, seed: int = 11
+                           ) -> InteractionCalibration:
+    """Measure pp/pc per particle on Milky Way models of increasing N."""
+    if n_values is None:
+        n_values = [4000, 8000, 16000, 32000, 64000]
+    pps, pcs = [], []
+    for n in n_values:
+        ps = milky_way_model(n, seed=seed)
+        tree = build_octree(ps.pos, nleaf=nleaf)
+        compute_moments(tree, ps.pos, ps.mass)
+        make_groups(tree, ncrit)
+        res = tree_forces(tree, ps.pos, ps.mass, theta=theta, eps=0.05)
+        pps.append(res.counts.n_pp / n)
+        pcs.append(res.counts.n_pc / n)
+    n_arr = np.asarray(n_values, dtype=np.float64)
+    pp_arr = np.asarray(pps)
+    pc_arr = np.asarray(pcs)
+    x = np.log2(n_arr / n_arr[0])
+    slope, intercept = np.polyfit(x, pc_arr, 1)
+    spread = float((pp_arr.max() - pp_arr.min()) / pp_arr.mean())
+    return InteractionCalibration(n_values=n_arr, pp_per_particle=pp_arr,
+                                  pc_per_particle=pc_arr,
+                                  pc_log_slope=float(slope),
+                                  pc_intercept=float(intercept),
+                                  pp_spread=spread)
+
+
+@dataclasses.dataclass
+class BoundaryCalibration:
+    """Measured boundary-structure sizes vs local particle count."""
+
+    n_values: np.ndarray
+    boundary_cells: np.ndarray
+    boundary_bytes: np.ndarray
+    power_law_exponent: float    # fitted d(log cells)/d(log N)
+
+
+def calibrate_boundary_sizes(n_values: list[int] | None = None,
+                             theta: float = 0.4, seed: int = 12
+                             ) -> BoundaryCalibration:
+    """Measure how the boundary structure grows with local N.
+
+    Uses a single-domain proxy: the boundary structure of an isolated
+    Milky Way tree (every rank's domain box behaves the same way).  The
+    paper's hiding argument requires the exponent to be well below 1.
+    """
+    if n_values is None:
+        n_values = [4000, 8000, 16000, 32000, 64000]
+    cells, nbytes = [], []
+    cfg = SimulationConfig(theta=theta)
+    for n in n_values:
+        ps = milky_way_model(n, seed=seed)
+        box = BoundingBox.from_positions(ps.pos)
+        tree = build_octree(ps.pos, nleaf=cfg.nleaf, box=box)
+        compute_moments(tree, ps.pos, ps.mass)
+        compute_opening_radii(tree, cfg.theta, cfg.mac)
+        spos = ps.pos[tree.order]
+        smass = ps.mass[tree.order]
+        b = boundary_structure(tree, spos, smass)
+        cells.append(b.n_cells)
+        nbytes.append(b.nbytes)
+    n_arr = np.asarray(n_values, dtype=np.float64)
+    c_arr = np.asarray(cells, dtype=np.float64)
+    slope = float(np.polyfit(np.log(n_arr), np.log(c_arr), 1)[0])
+    return BoundaryCalibration(n_values=n_arr, boundary_cells=c_arr,
+                               boundary_bytes=np.asarray(nbytes, dtype=np.float64),
+                               power_law_exponent=slope)

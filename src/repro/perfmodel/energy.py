@@ -1,0 +1,64 @@
+"""Energy efficiency: the flops/watt argument of Sec. II.
+
+The paper motivates the move to GPU machines by energy efficiency:
+"K computer offers 830 Mflops/watt compared to 2.1 (2.7) Gflops/watt for
+Titan (Piz Daint)".  This module reproduces that comparison and derives
+the energy cost of the paper's runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .hardware import MachineSpec, PIZ_DAINT, TITAN
+
+
+@dataclasses.dataclass(frozen=True)
+class PowerSpec:
+    """System-level power figures (green500-style, LINPACK basis)."""
+
+    name: str
+    gflops_per_watt: float
+    system_power_mw: float   # total system power, megawatts
+
+
+#: Sec. II figures ("see http://www.green500.org/").
+K_COMPUTER_POWER = PowerSpec(name="K computer", gflops_per_watt=0.830,
+                             system_power_mw=12.7)
+TITAN_POWER = PowerSpec(name="Titan", gflops_per_watt=2.1,
+                        system_power_mw=8.2)
+PIZ_DAINT_POWER = PowerSpec(name="Piz Daint", gflops_per_watt=2.7,
+                            system_power_mw=2.3)
+
+_POWER = {"Titan": TITAN_POWER, "Piz Daint": PIZ_DAINT_POWER}
+
+
+def power_spec_for(machine: MachineSpec) -> PowerSpec:
+    """Look up the power figures for a modelled machine."""
+    try:
+        return _POWER[machine.name]
+    except KeyError:
+        raise ValueError(f"no power data for {machine.name!r}") from None
+
+
+def efficiency_advantage_over_k() -> dict[str, float]:
+    """GPU machines' flops/watt advantage over K computer (Sec. II)."""
+    return {p.name: p.gflops_per_watt / K_COMPUTER_POWER.gflops_per_watt
+            for p in (TITAN_POWER, PIZ_DAINT_POWER)}
+
+
+def run_energy_megawatt_hours(machine: MachineSpec, n_gpus: int,
+                              wall_clock_seconds: float) -> float:
+    """Energy of a run, scaling system power by the node fraction used."""
+    p = power_spec_for(machine)
+    frac = n_gpus / machine.total_nodes
+    return p.system_power_mw * frac * wall_clock_seconds / 3600.0
+
+
+def flops_per_node_comparison() -> dict[str, float]:
+    """Peak node Tflops: Titan vs K computer (Sec. II: 3.95 vs 0.128).
+
+    The ratio explains why the network/flop balance is so much tighter
+    on GPU machines -- the communication problem this paper solves.
+    """
+    return {"Titan node (K20X, SP)": 3.95, "K computer node": 0.128}

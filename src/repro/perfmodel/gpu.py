@@ -1,0 +1,119 @@
+"""GPU kernel timing model: sustained rates per kernel and architecture.
+
+Fig. 1 of the paper fixes five sustained-throughput numbers (Gflops):
+
+=====================  =======
+C2075, original tree       460
+K20X,  original tree       829
+K20X,  tuned tree         1768
+C2075, direct N-body       638
+K20X,  direct N-body      1746
+=====================  =======
+
+The tuned Kepler kernel's 1768 Gflops is an *aggregate* over a p-p / p-c
+mix; Table II additionally shows 1.77 Tflops at the single-GPU mix
+(1745 p-p / 4529 p-c per particle) and ~1.80 Tflops at the 18600-GPU mix
+(1716 / 6920).  Those two operating points pin down separate sustained
+rates for the two kernels::
+
+    R_pp = 1287 Gflops   (23-flop kernel, rsqrt-bound)
+    R_pc = 1865 Gflops   (65-flop kernel, fma-rich)
+
+Other kernel variants scale both rates by their Fig. 1 ratio.  The
+non-force GPU phases (SFC sort, tree construction, tree properties) are
+memory-bound and modelled as per-particle costs calibrated from the
+single-GPU column of Table II at 13 M particles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .hardware import C2075, GPUSpec, K20X
+
+#: Sustained Gflops of the tuned Kepler tree-walk kernels.
+TUNED_KEPLER_RPP = 1287.0
+TUNED_KEPLER_RPC = 1865.0
+
+#: Fig. 1 aggregate tree-kernel throughput by (arch, variant), Gflops.
+FIG1_TREE_GFLOPS = {
+    ("fermi", "original"): 460.0,
+    ("kepler", "original"): 829.0,
+    ("kepler", "tuned"): 1768.0,
+}
+
+#: Fig. 1 direct N-body kernel throughput (CUDA SDK 5.5), Gflops.
+FIG1_DIRECT_GFLOPS = {
+    "fermi": 638.0,
+    "kepler": 1746.0,
+}
+
+#: Per-particle costs of the memory-bound GPU phases, nanoseconds
+#: (Table II single-GPU column at 13 M particles: 0.10 s sorting,
+#: 0.11 s tree construction, 0.03 s tree properties).
+SORT_NS_PER_PARTICLE = 0.10e9 / 13.0e6
+BUILD_NS_PER_PARTICLE = 0.11e9 / 13.0e6
+PROPS_NS_PER_PARTICLE = 0.03e9 / 13.0e6
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelRates:
+    """Sustained rates (Gflops) of the two force kernels."""
+
+    rpp_gflops: float
+    rpc_gflops: float
+
+    def gravity_seconds(self, n_pp: int, n_pc: int,
+                        quadrupole: bool = True) -> float:
+        """Kernel execution time for an interaction tally."""
+        from ..gravity.flops import FLOPS_PER_PC, FLOPS_PER_PC_MONOPOLE, FLOPS_PER_PP
+        per_pc = FLOPS_PER_PC if quadrupole else FLOPS_PER_PC_MONOPOLE
+        return (n_pp * FLOPS_PER_PP / (self.rpp_gflops * 1e9)
+                + n_pc * per_pc / (self.rpc_gflops * 1e9))
+
+    def aggregate_gflops(self, n_pp: int, n_pc: int,
+                         quadrupole: bool = True) -> float:
+        """Blended sustained rate at a given interaction mix."""
+        from ..gravity.flops import FLOPS_PER_PC, FLOPS_PER_PC_MONOPOLE, FLOPS_PER_PP
+        per_pc = FLOPS_PER_PC if quadrupole else FLOPS_PER_PC_MONOPOLE
+        flops = n_pp * FLOPS_PER_PP + n_pc * per_pc
+        return flops / self.gravity_seconds(n_pp, n_pc, quadrupole) / 1e9
+
+
+def tree_kernel_rates(gpu: GPUSpec = K20X, variant: str = "tuned") -> KernelRates:
+    """Per-kernel sustained rates for a GPU/variant combination.
+
+    Only the Kepler "tuned" kernel is split into separately calibrated
+    p-p/p-c rates; other variants scale both by their Fig. 1 ratio to
+    the tuned aggregate.
+    """
+    key = (gpu.arch, variant)
+    if key not in FIG1_TREE_GFLOPS:
+        raise ValueError(f"no kernel data for arch={gpu.arch!r} variant={variant!r}")
+    scale = FIG1_TREE_GFLOPS[key] / FIG1_TREE_GFLOPS[("kepler", "tuned")]
+    return KernelRates(rpp_gflops=TUNED_KEPLER_RPP * scale,
+                       rpc_gflops=TUNED_KEPLER_RPC * scale)
+
+
+def direct_kernel_gflops(gpu: GPUSpec = K20X) -> float:
+    """Sustained rate of the CUDA-SDK direct N-body kernel."""
+    if gpu.arch not in FIG1_DIRECT_GFLOPS:
+        raise ValueError(f"no direct-kernel data for arch={gpu.arch!r}")
+    return FIG1_DIRECT_GFLOPS[gpu.arch]
+
+
+def fig1_bars() -> list[tuple[str, str, float, float]]:
+    """The five bars of Fig. 1: (gpu, kernel, Gflops, fraction-of-peak).
+
+    Reproduces the figure's quantitative claims: the tuned Kepler kernel
+    is ~2x the original on the same hardware and ~4x the Fermi kernel.
+    """
+    out = []
+    for gpu, variant in ((C2075, "original"), (K20X, "original"), (K20X, "tuned")):
+        g = FIG1_TREE_GFLOPS[(gpu.arch, variant)]
+        out.append((gpu.name, f"tree/{variant}", g,
+                    g / (gpu.peak_sp_tflops * 1e3)))
+    for gpu in (C2075, K20X):
+        g = FIG1_DIRECT_GFLOPS[gpu.arch]
+        out.append((gpu.name, "direct", g, g / (gpu.peak_sp_tflops * 1e3)))
+    return out

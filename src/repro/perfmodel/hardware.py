@@ -1,0 +1,124 @@
+"""Hardware descriptions: the GPUs, nodes and interconnects of Table I."""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class GPUSpec:
+    """An NVIDIA GPU as the force-kernel model sees it."""
+
+    name: str
+    arch: str                  # "fermi" or "kepler"
+    peak_sp_tflops: float      # theoretical single-precision peak
+    mem_gb: float              # device RAM (ECC enabled)
+    mem_bw_gbs: float          # device memory bandwidth
+
+
+#: Tesla K20X (Kepler GK110), the accelerator of both machines.
+K20X = GPUSpec(name="K20X", arch="kepler", peak_sp_tflops=3.95,
+               mem_gb=5.4, mem_bw_gbs=250.0)
+
+#: Tesla C2075 (Fermi), the Fig. 1 comparison GPU.
+C2075 = GPUSpec(name="C2075", arch="fermi", peak_sp_tflops=1.03,
+                mem_gb=5.4, mem_bw_gbs=144.0)
+
+
+@dataclasses.dataclass(frozen=True)
+class NetworkSpec:
+    """Interconnect model parameters.
+
+    ``bandwidth_gbs`` is the effective per-node injection bandwidth;
+    ``latency_us`` the per-hop latency; topology selects the hop-count
+    model ("dragonfly" or "torus3d")."""
+
+    name: str
+    topology: str
+    latency_us: float
+    bandwidth_gbs: float
+
+
+#: Cray Aries dragonfly (Piz Daint).
+ARIES = NetworkSpec(name="Aries", topology="dragonfly",
+                    latency_us=1.3, bandwidth_gbs=10.0)
+
+#: Cray Gemini 3-D torus (Titan).
+GEMINI = NetworkSpec(name="Gemini", topology="torus3d",
+                     latency_us=1.5, bandwidth_gbs=6.0)
+
+
+@dataclasses.dataclass(frozen=True)
+class MachineSpec:
+    """One row-set of Table I plus the calibrated per-machine model
+    constants used by the step timeline.
+
+    The ``c_*`` constants are fitted against the corresponding Table II
+    columns (see perfmodel/timeline.py for the functional forms, all of
+    the shape ``max(floor, base + log * log2(P))`` scaled by
+    ``sqrt(N_local / 13e6)``):
+
+    - ``c_du_base``/``c_du_log``: "Domain Update" row.
+    - ``c_other_base``/``c_other_log``: "Unbalance + Other" row.
+    - ``c_nonhidden_base``/``c_nonhidden_log``: residual (protocol /
+      latency) part of "Non-hidden LET comm"; the bulk-volume part comes
+      from the network model and is normally fully hidden.
+    - ``cpu_slowdown``: relative CPU speed for LET generation (the
+      Opteron 6274 is slower than the Xeon E5-2670; Sec. VI-B).
+    """
+
+    name: str
+    gpu: GPUSpec
+    gpus_per_node: int
+    total_nodes: int
+    nodes_used: int
+    cpu_model: str
+    cpu_cores_per_node: int
+    node_ram_gb: float
+    network: NetworkSpec
+    cpu_slowdown: float
+    c_du_base: float
+    c_du_log: float
+    c_other_base: float
+    c_other_log: float
+    c_nonhidden_base: float
+    c_nonhidden_log: float
+
+
+#: Piz Daint (Cray XC30), Table I column 1.
+PIZ_DAINT = MachineSpec(
+    name="Piz Daint", gpu=K20X, gpus_per_node=1,
+    total_nodes=5272, nodes_used=5200,
+    cpu_model="Xeon E5-2670", cpu_cores_per_node=8, node_ram_gb=32.0,
+    network=ARIES, cpu_slowdown=1.0,
+    c_du_base=0.10, c_du_log=0.0,
+    c_other_base=-0.08, c_other_log=0.030,
+    c_nonhidden_base=0.03, c_nonhidden_log=0.004,
+)
+
+#: Titan (Cray XK7), Table I column 2.
+TITAN = MachineSpec(
+    name="Titan", gpu=K20X, gpus_per_node=1,
+    total_nodes=18688, nodes_used=18600,
+    cpu_model="Opteron 6274", cpu_cores_per_node=16, node_ram_gb=32.0,
+    network=GEMINI, cpu_slowdown=1.35,
+    c_du_base=-0.04, c_du_log=0.024,
+    c_other_base=-0.16, c_other_log=0.043,
+    c_nonhidden_base=-0.22, c_nonhidden_log=0.031,
+)
+
+
+def table1_rows(machines: tuple[MachineSpec, ...] = (PIZ_DAINT, TITAN)
+                ) -> list[tuple[str, ...]]:
+    """Render Table I as (label, value...) rows for the benchmark output."""
+    rows = [("Setup",) + tuple(m.name for m in machines)]
+    rows.append(("GPU model",) + tuple(m.gpu.name for m in machines))
+    rows.append(("GPU/node",) + tuple(str(m.gpus_per_node) for m in machines))
+    rows.append(("Total GPUs",) + tuple(str(m.total_nodes) for m in machines))
+    rows.append(("GPUs used",) + tuple(str(m.nodes_used) for m in machines))
+    rows.append(("GPU RAM (ECC enabled)",) + tuple(f"{m.gpu.mem_gb} GB" for m in machines))
+    rows.append(("CPU model",) + tuple(m.cpu_model for m in machines))
+    rows.append(("Node RAM",) + tuple(f"{int(m.node_ram_gb)}GB" for m in machines))
+    rows.append(("Network",) + tuple(f"{m.network.name}/{m.network.topology}"
+                                     for m in machines))
+    return rows

@@ -1,0 +1,65 @@
+"""The Gordon Bell lineage of tree-code records (Sec. II).
+
+The paper situates itself against earlier prize runs; this module
+records those data points so the state-of-the-art discussion is
+reproducible alongside the benchmarks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class RecordRun:
+    """One historical large-scale tree/TreePM simulation."""
+
+    year: int
+    system: str
+    method: str
+    n_particles: float
+    sustained_tflops: float
+    accelerators: str
+    note: str = ""
+
+
+#: Sec. II's quantitative history, ending at this paper.
+RECORD_RUNS = (
+    RecordRun(year=2009, system="DEGIMA-class GPU cluster",
+              method="tree (GPU force only)", n_particles=1.6e9,
+              sustained_tflops=42.0, accelerators="256 GPUs",
+              note="Gordon Bell price/performance, 124 Mflops/$ [31]"),
+    RecordRun(year=2010, system="DEGIMA",
+              method="tree (GPU force only)", n_particles=3.3e9,
+              sustained_tflops=190.0, accelerators="576 GPUs",
+              note="honorable mention, 254.4 Mflops/$ [32]"),
+    RecordRun(year=2012, system="K computer",
+              method="TreePM (GreeM)", n_particles=1.0e12,
+              sustained_tflops=4450.0, accelerators="663552 CPU cores",
+              note="Ishiyama, Nitadori & Makino [10]"),
+    RecordRun(year=2014, system="Titan",
+              method="tree (Bonsai, all-GPU)", n_particles=2.42e11,
+              sustained_tflops=24770.0, accelerators="18600 GPUs",
+              note="this paper"),
+)
+
+
+def sustained_performance_growth() -> float:
+    """Factor between this paper and the first GPU tree record (2009)."""
+    return RECORD_RUNS[-1].sustained_tflops / RECORD_RUNS[0].sustained_tflops
+
+
+def versus_previous_record() -> float:
+    """Sustained-performance factor over the 2012 K-computer run."""
+    return RECORD_RUNS[-1].sustained_tflops / RECORD_RUNS[-2].sustained_tflops
+
+
+def history_rows() -> list[tuple[str, ...]]:
+    """Render the lineage as table rows for benchmark output."""
+    rows = [("year", "system", "method", "N", "sustained", "accelerators")]
+    for r in RECORD_RUNS:
+        rows.append((str(r.year), r.system, r.method,
+                     f"{r.n_particles:.2g}",
+                     f"{r.sustained_tflops / 1e3:.3g} Pflops",
+                     r.accelerators))
+    return rows

@@ -1,0 +1,31 @@
+"""Space-filling-curve keys (Morton and Peano-Hilbert) and key geometry.
+
+The paper's domain decomposition (Sec. III-B1) orders particles along a
+Peano-Hilbert space-filling curve; the octree construction uses the same
+63-bit keys.  All routines here are vectorized over particle arrays.
+"""
+
+from .morton import (
+    KEY_BITS_PER_DIM,
+    KEY_MAX_LEVEL,
+    morton_decode,
+    morton_encode,
+    spread_bits,
+    compact_bits,
+)
+from .hilbert import hilbert_decode, hilbert_encode
+from .bbox import BoundingBox, cell_geometry, keys_for_positions
+
+__all__ = [
+    "KEY_BITS_PER_DIM",
+    "KEY_MAX_LEVEL",
+    "morton_encode",
+    "morton_decode",
+    "spread_bits",
+    "compact_bits",
+    "hilbert_encode",
+    "hilbert_decode",
+    "BoundingBox",
+    "keys_for_positions",
+    "cell_geometry",
+]

@@ -1,0 +1,78 @@
+"""Vectorized 3-D Morton (Z-order) key encoding and decoding.
+
+Keys use 21 bits per dimension packed into 63 bits of a ``uint64``, which
+matches the maximum octree depth of 21 used by Bonsai-class tree codes.
+Bit ``3*j + 2`` of the key holds bit ``j`` of *x*, ``3*j + 1`` holds *y*,
+and ``3*j`` holds *z*, so sorting by key traverses octants in x-major
+order at every level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Bits of resolution per spatial dimension.
+KEY_BITS_PER_DIM = 21
+
+#: Maximum tree depth representable by a key (one level per 3 bits).
+KEY_MAX_LEVEL = KEY_BITS_PER_DIM
+
+#: Largest representable grid coordinate.
+COORD_MAX = (1 << KEY_BITS_PER_DIM) - 1
+
+_U = np.uint64
+
+
+def _as_u64(x: np.ndarray) -> np.ndarray:
+    """Return ``x`` as a uint64 array (no copy when already uint64)."""
+    return np.asarray(x, dtype=np.uint64)
+
+
+def spread_bits(x: np.ndarray) -> np.ndarray:
+    """Spread the low 21 bits of each element so bit ``j`` moves to ``3j``.
+
+    This is the standard magic-number dilation used by GPU tree codes.
+    """
+    x = _as_u64(x) & _U(0x1FFFFF)
+    x = (x | (x << _U(32))) & _U(0x1F00000000FFFF)
+    x = (x | (x << _U(16))) & _U(0x1F0000FF0000FF)
+    x = (x | (x << _U(8))) & _U(0x100F00F00F00F00F)
+    x = (x | (x << _U(4))) & _U(0x10C30C30C30C30C3)
+    x = (x | (x << _U(2))) & _U(0x1249249249249249)
+    return x
+
+
+def compact_bits(x: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`spread_bits`: gather bits ``3j`` back to ``j``."""
+    x = _as_u64(x) & _U(0x1249249249249249)
+    x = (x | (x >> _U(2))) & _U(0x10C30C30C30C30C3)
+    x = (x | (x >> _U(4))) & _U(0x100F00F00F00F00F)
+    x = (x | (x >> _U(8))) & _U(0x1F0000FF0000FF)
+    x = (x | (x >> _U(16))) & _U(0x1F00000000FFFF)
+    x = (x | (x >> _U(32))) & _U(0x1FFFFF)
+    return x
+
+
+def morton_encode(ix: np.ndarray, iy: np.ndarray, iz: np.ndarray) -> np.ndarray:
+    """Encode integer grid coordinates into 63-bit Morton keys.
+
+    Parameters
+    ----------
+    ix, iy, iz:
+        Integer coordinates in ``[0, 2**21)``.  Values outside the range
+        are masked to their low 21 bits.
+
+    Returns
+    -------
+    numpy.ndarray of uint64
+    """
+    return (spread_bits(ix) << _U(2)) | (spread_bits(iy) << _U(1)) | spread_bits(iz)
+
+
+def morton_decode(key: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Decode 63-bit Morton keys back into integer grid coordinates."""
+    key = _as_u64(key)
+    ix = compact_bits(key >> _U(2))
+    iy = compact_bits(key >> _U(1))
+    iz = compact_bits(key)
+    return ix, iy, iz

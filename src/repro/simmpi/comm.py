@@ -1,0 +1,167 @@
+"""The per-rank communicator object (mpi4py-flavoured API)."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .runtime import SimWorld
+from .traffic import payload_bytes
+
+
+class Request:
+    """Handle for a non-blocking operation (mpi4py-style).
+
+    Send requests complete immediately (the runtime buffers);
+    receive requests resolve lazily on :meth:`wait`/:meth:`test`.
+    """
+
+    def __init__(self, resolve=None, value: Any = None):
+        self._resolve = resolve
+        self._value = value
+        self._done = resolve is None
+
+    def wait(self) -> Any:
+        """Block until the operation completes; returns the payload
+        (None for sends)."""
+        if not self._done:
+            self._value = self._resolve()
+            self._done = True
+        return self._value
+
+    def test(self) -> tuple[bool, Any]:
+        """Non-blocking completion check: (done, payload-or-None)."""
+        if self._done:
+            return True, self._value
+        ready, value = self._resolve(poll=True)
+        if ready:
+            self._value = value
+            self._done = True
+        return self._done, self._value
+
+
+class SimComm:
+    """Communicator handle for one rank of a :class:`SimWorld`.
+
+    Implements the subset of MPI used by the parallel tree code:
+    ``send``/``recv``/``isend``, ``barrier``, ``bcast``, ``gather``,
+    ``allgather`` (the paper's ``MPI_Allgatherv`` for boundary trees),
+    ``allreduce``, ``alltoall`` and ``alltoallv`` (particle exchange).
+    Payloads are arbitrary Python objects; numpy arrays are passed by
+    reference (ranks share an address space), which emulates zero-copy
+    transport while the traffic log still records their true byte size.
+    """
+
+    def __init__(self, world: SimWorld, rank: int):
+        self.world = world
+        self.rank = rank
+        self.size = world.size
+        self._generation = 0
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def _next_generation(self) -> int:
+        g = self._generation
+        self._generation += 1
+        return g
+
+    def set_phase(self, name: str) -> None:
+        """Label subsequent traffic with an algorithm phase name."""
+        if self.rank == 0:
+            self.world.traffic.set_phase(name)
+        self.barrier()
+
+    # -- point-to-point --------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Blocking-semantics send (buffered; never deadlocks on itself)."""
+        if not (0 <= dest < self.size):
+            raise ValueError(f"invalid dest {dest}")
+        self.world.push(self.rank, dest, tag, obj, payload_bytes(obj))
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Non-blocking send; completes immediately (buffered runtime)."""
+        self.send(obj, dest, tag)
+        return Request()
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Blocking receive from ``source``."""
+        if not (0 <= source < self.size):
+            raise ValueError(f"invalid source {source}")
+        return self.world.pop(source, self.rank, tag)
+
+    def irecv(self, source: int, tag: int = 0) -> Request:
+        """Non-blocking receive; resolve with ``wait()``/``test()``."""
+        if not (0 <= source < self.size):
+            raise ValueError(f"invalid source {source}")
+
+        def resolve(poll: bool = False):
+            if poll:
+                return self.world.try_pop(source, self.rank, tag)
+            return self.world.pop(source, self.rank, tag)
+
+        return Request(resolve=resolve)
+
+    def iprobe(self, source: int, tag: int = 0) -> bool:
+        """True when a message from ``source`` with ``tag`` is waiting."""
+        return self.world.probe(source, self.rank, tag)
+
+    # -- collectives -------------------------------------------------------
+
+    def barrier(self) -> None:
+        """Synchronise all ranks."""
+        self.world.barrier()
+
+    def allgather(self, obj: Any) -> list[Any]:
+        """Gather one object from every rank onto every rank.
+
+        Models ``MPI_Allgatherv``: contributions may differ in size.
+        """
+        self.world.traffic.record_collective(payload_bytes(obj) * (self.size - 1))
+        return self.world.exchange(self.rank, self._next_generation(), obj)
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        """Gather onto ``root`` (None elsewhere)."""
+        out = self.allgather(obj)
+        return out if self.rank == root else None
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``root``'s object to every rank."""
+        out = self.world.exchange(self.rank, self._next_generation(),
+                                  obj if self.rank == root else None)
+        if self.rank == root:
+            self.world.traffic.record_collective(payload_bytes(obj) * (self.size - 1))
+        return out[root]
+
+    def allreduce(self, value: Any, op: Callable[[Sequence[Any]], Any] | str = "sum") -> Any:
+        """Reduce a value across ranks with ``op`` ('sum', 'min', 'max',
+        or a callable over the list of contributions)."""
+        contributions = self.allgather(value)
+        if callable(op):
+            return op(contributions)
+        if op == "sum":
+            total = contributions[0]
+            for c in contributions[1:]:
+                total = total + c
+            return total
+        if op == "min":
+            return np.minimum.reduce(contributions)
+        if op == "max":
+            return np.maximum.reduce(contributions)
+        raise ValueError(f"unknown op {op!r}")
+
+    def alltoall(self, objs: Sequence[Any]) -> list[Any]:
+        """Each rank provides one object per destination; returns the
+        objects addressed to this rank, indexed by source."""
+        if len(objs) != self.size:
+            raise ValueError("alltoall needs exactly one object per rank")
+        for dst, o in enumerate(objs):
+            if dst != self.rank:
+                self.world.traffic.record_collective(payload_bytes(o))
+        matrix = self.world.exchange(self.rank, self._next_generation(), list(objs))
+        return [matrix[src][self.rank] for src in range(self.size)]
+
+    # Particle exchange ships variable-length arrays; in this runtime the
+    # generic object path already handles that.
+    alltoallv = alltoall

@@ -1,0 +1,128 @@
+"""The SimWorld SPMD runtime: threads, queues, barriers, exchange slots."""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Sequence
+
+from .traffic import TrafficLog
+
+
+class SimWorld:
+    """Shared state connecting the ranks of one SPMD program.
+
+    Point-to-point messages travel through per-(src, dst, tag) queues;
+    collectives use a generation-counted exchange board protected by a
+    reusable barrier.  All blocking operations honour ``timeout`` so a
+    deadlocked test fails loudly instead of hanging.
+    """
+
+    def __init__(self, size: int, timeout: float = 120.0):
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        self.size = size
+        self.timeout = timeout
+        self.traffic = TrafficLog()
+        self._queues: dict[tuple[int, int, int], queue.Queue] = {}
+        self._queues_lock = threading.Lock()
+        self._barrier = threading.Barrier(size)
+        self._board: dict[tuple[int, int], Any] = {}
+        self._board_lock = threading.Lock()
+
+    # -- point-to-point ----------------------------------------------------
+
+    def _queue(self, src: int, dst: int, tag: int) -> queue.Queue:
+        key = (src, dst, tag)
+        with self._queues_lock:
+            q = self._queues.get(key)
+            if q is None:
+                q = self._queues[key] = queue.Queue()
+            return q
+
+    def push(self, src: int, dst: int, tag: int, payload: Any, nbytes: int) -> None:
+        self.traffic.record_send(src, dst, nbytes)
+        self._queue(src, dst, tag).put(payload)
+
+    def pop(self, src: int, dst: int, tag: int) -> Any:
+        try:
+            return self._queue(src, dst, tag).get(timeout=self.timeout)
+        except queue.Empty:
+            raise TimeoutError(
+                f"recv timeout: rank {dst} waiting for rank {src} tag {tag}")
+
+    def try_pop(self, src: int, dst: int, tag: int) -> tuple[bool, Any]:
+        """Non-blocking pop: (True, payload) or (False, None)."""
+        try:
+            return True, self._queue(src, dst, tag).get_nowait()
+        except queue.Empty:
+            return False, None
+
+    def probe(self, src: int, dst: int, tag: int) -> bool:
+        """True when a message is queued (racy by nature, like MPI_Iprobe)."""
+        return not self._queue(src, dst, tag).empty()
+
+    # -- collectives -------------------------------------------------------
+
+    def barrier(self) -> None:
+        """Block until every rank arrives."""
+        self._barrier.wait(timeout=self.timeout)
+
+    def exchange(self, rank: int, generation: int, value: Any) -> list[Any]:
+        """Allgather primitive: deposit, synchronise, read all, synchronise.
+
+        ``generation`` is the caller's per-rank collective counter; all
+        ranks must call collectives in the same order (standard MPI
+        discipline), which the board asserts by keying on it.
+        """
+        with self._board_lock:
+            self._board[(generation, rank)] = value
+        self.barrier()
+        with self._board_lock:
+            out = [self._board[(generation, r)] for r in range(self.size)]
+        self.barrier()
+        if rank == 0:
+            with self._board_lock:
+                for r in range(self.size):
+                    del self._board[(generation, r)]
+        return out
+
+
+def spmd_run(size: int, fn: Callable[..., Any], *args: Any,
+             timeout: float = 600.0, world: SimWorld | None = None,
+             **kwargs: Any) -> list[Any]:
+    """Run ``fn(comm, *args, **kwargs)`` on ``size`` ranks; return results.
+
+    Exceptions raised on any rank are re-raised in the caller (after all
+    threads finish or time out), with the rank recorded in the message.
+    """
+    from .comm import SimComm
+
+    if world is None:
+        world = SimWorld(size, timeout=timeout)
+    results: list[Any] = [None] * size
+    errors: list[tuple[int, BaseException]] = []
+    lock = threading.Lock()
+
+    def body(rank: int) -> None:
+        comm = SimComm(world, rank)
+        try:
+            results[rank] = fn(comm, *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - reraised below
+            with lock:
+                errors.append((rank, exc))
+            world._barrier.abort()
+
+    threads = [threading.Thread(target=body, args=(r,), name=f"simmpi-rank-{r}")
+               for r in range(size)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout)
+    alive = [t for t in threads if t.is_alive()]
+    if alive and not errors:
+        raise TimeoutError(f"{len(alive)} ranks still running after {timeout}s")
+    if errors:
+        rank, exc = errors[0]
+        raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
+    return results

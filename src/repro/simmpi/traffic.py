@@ -1,0 +1,88 @@
+"""Byte-accurate communication accounting for SimMPI.
+
+Every send and collective is recorded so the scaling benchmarks can
+report, per algorithm phase, how many bytes crossed the (simulated)
+interconnect -- the quantity the paper's LET strategy minimises.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+import threading
+from collections import defaultdict
+
+import numpy as np
+
+
+def payload_bytes(obj) -> int:
+    """Size of a message payload in bytes.
+
+    Numpy arrays are counted exactly; other Python objects are measured
+    by their pickle length (what a real MPI pickle transport would ship).
+    """
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, (list, tuple)) and all(isinstance(x, np.ndarray) for x in obj):
+        return sum(x.nbytes for x in obj)
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 0
+
+
+@dataclasses.dataclass
+class PhaseTraffic:
+    """Aggregate traffic within one named phase."""
+
+    n_messages: int = 0
+    n_bytes: int = 0
+    n_collectives: int = 0
+
+    def add_message(self, nbytes: int) -> None:
+        self.n_messages += 1
+        self.n_bytes += nbytes
+
+    def add_collective(self, nbytes: int) -> None:
+        self.n_collectives += 1
+        self.n_bytes += nbytes
+
+
+class TrafficLog:
+    """Thread-safe traffic tally shared by all ranks of a SimWorld."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.phases: dict[str, PhaseTraffic] = defaultdict(PhaseTraffic)
+        self.p2p_bytes: dict[tuple[int, int], int] = defaultdict(int)
+        self._phase = "default"
+
+    def set_phase(self, name: str) -> None:
+        """Label subsequent traffic (phases mirror Table II rows)."""
+        with self._lock:
+            self._phase = name
+
+    def record_send(self, src: int, dst: int, nbytes: int) -> None:
+        with self._lock:
+            self.phases[self._phase].add_message(nbytes)
+            self.p2p_bytes[(src, dst)] += nbytes
+
+    def record_collective(self, nbytes: int) -> None:
+        with self._lock:
+            self.phases[self._phase].add_collective(nbytes)
+
+    @property
+    def total_bytes(self) -> int:
+        """All bytes shipped, across phases."""
+        with self._lock:
+            return sum(p.n_bytes for p in self.phases.values())
+
+    def summary(self) -> dict[str, dict[str, int]]:
+        """Per-phase {messages, collectives, bytes} snapshot."""
+        with self._lock:
+            return {name: {"messages": p.n_messages,
+                           "collectives": p.n_collectives,
+                           "bytes": p.n_bytes}
+                    for name, p in self.phases.items()}

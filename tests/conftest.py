@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+# Allow running the suite without installation.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+@pytest.fixture(scope="session")
+def rng():
+    """A deterministic random generator shared across a session."""
+    return np.random.default_rng(20140416)
+
+
+@pytest.fixture(scope="session")
+def small_plummer():
+    """A 2000-particle Plummer sphere (session-scoped; treat as read-only)."""
+    from repro.ics import plummer_model
+    return plummer_model(2000, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_milky_way():
+    """A 12000-particle Milky Way model (session-scoped; read-only)."""
+    from repro.ics import milky_way_model
+    return milky_way_model(12_000, seed=9)
+
+
+@pytest.fixture(scope="session")
+def plummer_tree(small_plummer):
+    """Octree with moments and groups over the Plummer fixture."""
+    from repro.octree import build_octree, compute_moments, make_groups
+    ps = small_plummer
+    tree = build_octree(ps.pos, nleaf=16)
+    compute_moments(tree, ps.pos, ps.mass)
+    make_groups(tree, 64)
+    return tree
+
+
+@pytest.fixture(scope="session")
+def plummer_direct(small_plummer):
+    """Direct-summation reference forces for the Plummer fixture (eps=0.02)."""
+    from repro.gravity import direct_forces
+    ps = small_plummer
+    return direct_forces(ps.pos, ps.mass, eps=0.02)

@@ -1,0 +1,79 @@
+"""Tests for the disk-heating diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.heating import DiskHeating, disk_heating_state, heating_rate
+from repro.ics import milky_way_model
+from repro.particles import COMPONENT_DISK
+
+
+def _disk(n=5000, sigma_z=0.1, thickness=0.3, seed=95):
+    rng = np.random.default_rng(seed)
+    R = rng.uniform(2.0, 10.0, n)
+    phi = rng.uniform(0, 2 * np.pi, n)
+    pos = np.stack([R * np.cos(phi), R * np.sin(phi),
+                    rng.normal(scale=thickness, size=n)], axis=1)
+    vel = np.zeros((n, 3))
+    vel[:, 2] = rng.normal(scale=sigma_z, size=n)
+    # solid rotation plus radial noise
+    vel[:, 0] = -np.sin(phi) + rng.normal(scale=0.05, size=n) * np.cos(phi)
+    vel[:, 1] = np.cos(phi) + rng.normal(scale=0.05, size=n) * np.sin(phi)
+    return pos, vel, np.ones(n)
+
+
+def test_measures_injected_dispersions():
+    pos, vel, mass = _disk(20000, sigma_z=0.17, thickness=0.4)
+    s = disk_heating_state(pos, vel, mass)
+    assert s.sigma_z == pytest.approx(0.17, rel=0.05)
+    assert s.thickness == pytest.approx(0.4, rel=0.05)
+    assert s.sigma_R == pytest.approx(0.05, rel=0.2)
+
+
+def test_rotation_does_not_contaminate():
+    """Pure rotation has zero sigma_R and sigma_z."""
+    pos, vel, mass = _disk(5000, sigma_z=0.0, thickness=0.2)
+    vel[:, 2] = 0.0
+    R = np.hypot(pos[:, 0], pos[:, 1])
+    vel[:, 0] = -pos[:, 1] / R
+    vel[:, 1] = pos[:, 0] / R
+    s = disk_heating_state(pos, vel, mass)
+    assert s.sigma_z < 1e-12
+    assert s.sigma_R < 1e-12
+
+
+def test_empty_annulus():
+    pos, vel, mass = _disk(100)
+    s = disk_heating_state(pos, vel, mass, r_min=1e3, r_max=2e3)
+    assert s == DiskHeating(0.0, 0.0, 0.0)
+
+
+def test_heating_rate_linear_fit():
+    states = [DiskHeating(sigma_z=np.sqrt(0.1 + 0.02 * t), thickness=0,
+                          sigma_R=0) for t in range(5)]
+    rate = heating_rate(states, np.arange(5))
+    assert rate == pytest.approx(0.02, rel=1e-6)
+
+
+def test_heating_rate_needs_two():
+    with pytest.raises(ValueError):
+        heating_rate([DiskHeating(1, 1, 1)], np.array([0.0]))
+
+
+def test_heavy_halo_option_generates():
+    ps_eq = milky_way_model(4000, seed=96, halo_mass_factor=1.0)
+    ps_hv = milky_way_model(4000, seed=96, halo_mass_factor=8.0)
+    halo_eq = ps_eq.select_component(2)
+    halo_hv = ps_hv.select_component(2)
+    # Same total halo mass (up to count rounding), ~8x fewer and ~8x
+    # heavier particles.
+    assert halo_hv.total_mass == pytest.approx(halo_eq.total_mass, rel=1e-3)
+    assert halo_hv.n == pytest.approx(halo_eq.n / 8, rel=0.05)
+    assert halo_hv.mass[0] == pytest.approx(8 * halo_eq.mass[0], rel=0.05)
+    # Disk and bulge untouched.
+    assert ps_hv.select_component(1).n == ps_eq.select_component(1).n
+
+
+def test_invalid_halo_mass_factor():
+    with pytest.raises(ValueError):
+        milky_way_model(100, halo_mass_factor=0.5)

@@ -1,0 +1,80 @@
+"""Tests for rotation-curve and Toomre-Q measurement."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.rotation import (
+    circular_velocity_from_mass,
+    measured_rotation_curve,
+    toomre_q_profile,
+)
+from repro.constants import MILKY_WAY_PAPER
+from repro.ics import MilkyWayModel, milky_way_model
+from repro.particles import COMPONENT_DISK
+
+
+def test_rotation_curve_of_solid_rotator():
+    rng = np.random.default_rng(114)
+    n = 20000
+    R = rng.uniform(1.0, 10.0, n)
+    phi = rng.uniform(0, 2 * np.pi, n)
+    pos = np.stack([R * np.cos(phi), R * np.sin(phi), np.zeros(n)], axis=1)
+    omega = 0.3
+    vel = np.stack([-omega * pos[:, 1], omega * pos[:, 0], np.zeros(n)], axis=1)
+    Rc, mean, disp = measured_rotation_curve(pos, vel, np.ones(n), r_max=10.0)
+    valid = ~np.isnan(mean)
+    assert np.allclose(mean[valid], omega * Rc[valid], rtol=0.02)
+    assert np.nanmax(disp) < 0.05
+
+
+def test_empty_bins_are_nan():
+    pos = np.array([[1.0, 0, 0]])
+    vel = np.array([[0.0, 1.0, 0]])
+    Rc, mean, disp = measured_rotation_curve(pos, vel, np.ones(1),
+                                             r_max=10.0, bins=10)
+    assert np.isnan(mean).sum() == 9
+    assert mean[1] == pytest.approx(1.0)
+
+
+def test_circular_velocity_from_point_mass():
+    pos = np.zeros((1, 3))
+    mass = np.array([4.0])
+    radii = np.array([1.0, 4.0])
+    vc = circular_velocity_from_mass(pos, mass, radii)
+    assert vc[0] == pytest.approx(2.0)
+    assert vc[1] == pytest.approx(1.0)
+
+
+def test_milky_way_realization_matches_analytic_curve():
+    """Measured disk rotation must track the analytic v_c within the
+    asymmetric-drift allowance."""
+    mw = milky_way_model(30000, seed=115)
+    disk = mw.select_component(COMPONENT_DISK)
+    Rc, mean, _ = measured_rotation_curve(disk.pos, disk.vel, disk.mass,
+                                          r_max=15.0, bins=15)
+    model = MilkyWayModel(MILKY_WAY_PAPER)
+    vc = model.circular_velocity(Rc)
+    sel = (~np.isnan(mean)) & (Rc > 3) & (Rc < 12)
+    assert np.all(mean[sel] > 0.75 * vc[sel])
+    assert np.all(mean[sel] < 1.1 * vc[sel])
+
+
+def test_toomre_q_near_target():
+    """Measured Q of a fresh realization must sit near the requested
+    disk_toomre_q around the reference radius."""
+    mw = milky_way_model(40000, seed=116)
+    disk = mw.select_component(COMPONENT_DISK)
+    Rc, q = toomre_q_profile(disk.pos, disk.vel, disk.mass, mw.pos, mw.mass,
+                             r_max=12.0, bins=12)
+    sel = (Rc > 4.0) & (Rc < 9.0) & np.isfinite(q)
+    assert sel.any()
+    assert np.nanmedian(q[sel]) == pytest.approx(
+        MILKY_WAY_PAPER.disk_toomre_q, rel=0.4)
+
+
+def test_q_profile_handles_sparse_bins():
+    rng = np.random.default_rng(117)
+    pos = rng.normal(size=(20, 3))
+    vel = rng.normal(size=(20, 3))
+    Rc, q = toomre_q_profile(pos, vel, np.ones(20), pos, np.ones(20))
+    assert len(Rc) == 12  # no crash; mostly NaN is fine

@@ -1,0 +1,70 @@
+"""Tests for the spiral-structure diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.spiral import (
+    logspiral_transform,
+    make_log_spiral,
+    mode_spectrum,
+    pitch_angle,
+)
+
+
+def test_mode_spectrum_normalised():
+    rng = np.random.default_rng(86)
+    pos = rng.normal(size=(5000, 3)) * [4, 4, 0.2]
+    spec = mode_spectrum(pos, np.ones(5000))
+    assert spec[0] == pytest.approx(1.0)
+    assert np.all(spec[1:] < 0.1)  # axisymmetric noise floor
+
+
+def test_two_armed_spiral_peaks_at_m2():
+    # A wide annulus averages a tightly wound spiral's phase away, so
+    # measure a slowly wound (large pitch) spiral in a narrow annulus.
+    pos = make_log_spiral(20000, pitch_deg=45.0, m=2, seed=87)
+    spec = mode_spectrum(pos, np.ones(len(pos)), r_min=4.0, r_max=6.0)
+    assert spec[2] > 0.3
+    assert spec[2] > 2 * spec[1]
+    assert spec[2] > 2 * spec[3]
+
+
+def test_three_armed_spiral_peaks_at_m3():
+    pos = make_log_spiral(20000, pitch_deg=25.0, m=3, seed=88)
+    spec = mode_spectrum(pos, np.ones(len(pos)))
+    assert spec[3] > spec[2]
+    assert spec[3] > spec[4]
+
+
+@pytest.mark.parametrize("pitch", [10.0, 20.0, 35.0])
+def test_pitch_angle_recovered(pitch):
+    pos = make_log_spiral(30000, pitch_deg=pitch, m=2, spread=0.05, seed=89)
+    measured = pitch_angle(pos, np.ones(len(pos)), m=2)
+    assert measured == pytest.approx(pitch, rel=0.25)
+
+
+def test_bar_has_large_pitch_angle():
+    """A bar (straight m=2 feature) must measure near 90 degrees."""
+    rng = np.random.default_rng(90)
+    n = 20000
+    x = rng.normal(scale=4.0, size=n)
+    y = rng.normal(scale=0.5, size=n)
+    pos = np.stack([x, y, rng.normal(scale=0.1, size=n)], axis=1)
+    measured = pitch_angle(pos, np.ones(n), m=2, r_min=1.0, r_max=8.0)
+    assert measured > 45.0
+
+
+def test_logspiral_transform_empty_annulus():
+    pos = np.zeros((10, 3))
+    p, amp = logspiral_transform(pos, np.ones(10), r_min=100, r_max=200)
+    assert np.all(amp == 0.0)
+
+
+def test_transform_peak_sign_encodes_winding():
+    """Mirroring a spiral (trailing <-> leading) flips the peak's p sign."""
+    pos = make_log_spiral(20000, pitch_deg=20.0, m=2, spread=0.05, seed=91)
+    mirrored = pos.copy()
+    mirrored[:, 1] *= -1.0
+    p, amp = logspiral_transform(pos, np.ones(len(pos)))
+    p2, amp2 = logspiral_transform(mirrored, np.ones(len(pos)))
+    assert np.sign(p[np.argmax(amp)]) == -np.sign(p2[np.argmax(amp2)])

@@ -1,0 +1,65 @@
+"""Tests for the unit system and paper model constants."""
+
+import pytest
+
+from repro import constants as c
+
+
+def test_velocity_unit():
+    # sqrt(G * 1e10 Msun / kpc) ~ 207.4 km/s
+    assert c.VELOCITY_UNIT_KMS == pytest.approx(207.38, rel=1e-3)
+
+
+def test_time_unit():
+    # kpc / 207 km/s ~ 4.71 Myr
+    assert c.TIME_UNIT_MYR == pytest.approx(4.714, rel=1e-3)
+
+
+def test_roundtrip_conversions():
+    assert c.internal_to_kms(c.kms_to_internal(220.0)) == pytest.approx(220.0)
+    assert c.internal_to_myr(c.myr_to_internal(75.0)) == pytest.approx(75.0)
+    assert c.internal_to_gyr(c.gyr_to_internal(6.0)) == pytest.approx(6.0)
+    assert c.internal_to_msun(c.msun_to_internal(5e10)) == pytest.approx(5e10)
+
+
+def test_paper_masses():
+    p = c.MILKY_WAY_PAPER
+    assert c.internal_to_msun(p.halo_mass) == pytest.approx(6.0e11)
+    assert c.internal_to_msun(p.disk_mass) == pytest.approx(5.0e10)
+    assert c.internal_to_msun(p.bulge_mass) == pytest.approx(4.6e9)
+
+
+def test_particle_fractions_are_equal_mass():
+    p = c.MILKY_WAY_PAPER
+    fb, fd, fh = p.particle_fractions()
+    assert fb + fd + fh == pytest.approx(1.0)
+    # Paper split: ~1 : 3 : 47 billion over bulge : disk : halo.
+    assert fh / fd == pytest.approx(60.0 / 5.0, rel=1e-6)
+    assert fd / fb == pytest.approx(5.0 / 0.46, rel=1e-6)
+
+
+def test_paper_counts_sum_and_ordering():
+    """The paper's published split sums exactly and is halo-dominated.
+
+    Note: the published counts are *not* exactly proportional to the
+    rounded component masses of Sec. IV (the underlying Widrow-Pym-
+    Dubinski blueprint has more structure than the three quoted numbers),
+    so we verify consistency of the totals rather than exact fractions;
+    our generator enforces equal mass against the quoted masses instead.
+    """
+    assert c.PAPER_N_BULGE + c.PAPER_N_DISK + c.PAPER_N_HALO == c.PAPER_N_TOTAL
+    assert c.PAPER_N_HALO > 10 * c.PAPER_N_DISK > 10 * c.PAPER_N_BULGE
+
+
+def test_mass_resolution_is_about_10_msun():
+    """Sec. IV: 'a mass resolution of ~10 Msun' at 51e9 particles."""
+    p = c.MILKY_WAY_PAPER
+    m = c.internal_to_msun(p.total_mass) / c.PAPER_N_TOTAL
+    assert 5.0 < m < 20.0
+
+
+def test_production_timestep():
+    assert c.PAPER_TIMESTEP_MYR == pytest.approx(0.075)
+    assert c.PAPER_SOFTENING_KPC == pytest.approx(1e-3)
+    assert c.PAPER_THETA == 0.4
+    assert c.PAPER_NLEAF == 16

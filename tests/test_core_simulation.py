@@ -1,0 +1,118 @@
+"""Tests for the serial Simulation driver."""
+
+import numpy as np
+import pytest
+
+from repro import Simulation, SimulationConfig
+from repro.core.step import TABLE2_PHASES
+from repro.ics import plummer_model
+
+
+@pytest.fixture()
+def sim():
+    return Simulation(plummer_model(1500, seed=58),
+                      SimulationConfig(theta=0.5, softening=0.02, dt=0.01))
+
+
+def test_step_advances_time(sim):
+    sim.step()
+    assert sim.time == pytest.approx(0.01)
+    assert sim.step_count == 1
+    sim.evolve(3)
+    assert sim.step_count == 4
+
+
+def test_energy_conserved_over_run(sim):
+    e0 = sim.diagnostics().total
+    sim.evolve(30)
+    e1 = sim.diagnostics().total
+    assert abs((e1 - e0) / e0) < 1e-3
+
+
+def test_momentum_conserved(sim):
+    sim.evolve(10)
+    assert np.allclose(sim.particles.momentum(), 0.0, atol=1e-6)
+
+
+def test_breakdown_recorded(sim):
+    bd = sim.step()
+    assert bd.total > 0
+    assert bd.gravity_local > 0
+    assert bd.tree_construction > 0
+    assert bd.counts.n_pp > 0
+    assert bd.n_particles == 1500
+    assert len(sim.history) == 1
+
+
+def test_breakdown_dict_has_table2_phases(sim):
+    bd = sim.step()
+    d = bd.as_dict()
+    assert tuple(d.keys()) == TABLE2_PHASES
+
+
+def test_performance_rates(sim):
+    bd = sim.step()
+    assert bd.gpu_tflops() > 0
+    assert bd.application_tflops() <= bd.gpu_tflops()
+
+
+def test_config_defaults_are_paper_values():
+    cfg = SimulationConfig()
+    assert cfg.theta == 0.4
+    assert cfg.nleaf == 16
+    assert cfg.curve == "hilbert"
+    assert cfg.mac == "bonsai"
+    assert cfg.quadrupole is True
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        SimulationConfig(theta=-1)
+    with pytest.raises(ValueError):
+        SimulationConfig(dt=0)
+    with pytest.raises(ValueError):
+        SimulationConfig(softening=-0.1)
+    with pytest.raises(ValueError):
+        SimulationConfig(mac="fmm")
+    with pytest.raises(ValueError):
+        SimulationConfig(curve="lebesgue")
+
+
+def test_callback(sim):
+    times = []
+    sim.evolve(3, callback=lambda s: times.append(s.time))
+    assert len(times) == 3
+    assert times == sorted(times)
+
+
+def test_forces_available_after_step(sim):
+    sim.step()
+    assert sim.acceleration.shape == (1500, 3)
+    assert sim.potential.shape == (1500,)
+    assert np.all(sim.potential < 0)
+
+
+def test_bound_cluster_stays_bound(sim):
+    sim.evolve(20)
+    r = np.linalg.norm(sim.particles.pos, axis=1)
+    assert np.median(r) < 5.0
+
+
+def test_class_docstring_example_runs():
+    """The usage example in Simulation's docstring must stay true."""
+    import doctest
+    from repro.core import simulation as mod
+    results = doctest.testmod(mod, verbose=False)
+    assert results.failed == 0
+    assert results.attempted >= 1
+
+
+def test_direct_force_method_breakdown(small_plummer):
+    sim = Simulation(small_plummer.copy(),
+                     SimulationConfig(force_method="direct", softening=0.02,
+                                      dt=0.01))
+    bd = sim.step()
+    assert bd.counts.n_pc == 0
+    assert bd.counts.n_pp > 0
+    assert bd.tree_construction == 0.0
+    assert bd.gravity_local > 0.0

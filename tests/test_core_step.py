@@ -1,0 +1,49 @@
+"""Tests for the StepBreakdown record."""
+
+import pytest
+
+from repro.core.step import StepBreakdown, TABLE2_PHASES
+from repro.gravity.flops import InteractionCounts
+
+
+def test_total_sums_phases():
+    bd = StepBreakdown(sorting=0.1, domain_update=0.2, tree_construction=0.1,
+                       tree_properties=0.03, gravity_local=1.45,
+                       gravity_let=1.78, non_hidden_comm=0.09, other=0.27)
+    assert bd.total == pytest.approx(4.02)
+
+
+def test_as_dict_order():
+    bd = StepBreakdown()
+    assert tuple(bd.as_dict()) == TABLE2_PHASES
+
+
+def test_gpu_vs_application_rates():
+    bd = StepBreakdown(gravity_local=1.0, gravity_let=1.0, other=2.0,
+                       counts=InteractionCounts(n_pp=10 ** 9, n_pc=10 ** 9))
+    assert bd.gpu_tflops() == pytest.approx(bd.counts.flops / 2.0 / 1e12)
+    assert bd.application_tflops() == pytest.approx(bd.counts.flops / 4.0 / 1e12)
+    assert bd.application_tflops() < bd.gpu_tflops()
+
+
+def test_mean_of_breakdowns():
+    a = StepBreakdown(sorting=1.0, counts=InteractionCounts(n_pp=100, n_pc=10),
+                      n_particles=5)
+    b = StepBreakdown(sorting=3.0, counts=InteractionCounts(n_pp=200, n_pc=30),
+                      n_particles=5)
+    m = StepBreakdown.mean([a, b])
+    assert m.sorting == pytest.approx(2.0)
+    assert m.counts.n_pp == 150
+    assert m.counts.n_pc == 20
+    assert m.n_particles == 5
+
+
+def test_mean_empty_raises():
+    with pytest.raises(ValueError):
+        StepBreakdown.mean([])
+
+
+def test_zero_time_rates_are_zero():
+    bd = StepBreakdown(counts=InteractionCounts(n_pp=100))
+    assert bd.gpu_tflops() == 0.0
+    assert bd.application_tflops() == 0.0

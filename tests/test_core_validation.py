@@ -1,0 +1,66 @@
+"""Tests for the runtime force-accuracy validator and tree stats."""
+
+import numpy as np
+import pytest
+
+from repro import Simulation, SimulationConfig
+from repro.core.validation import ForceAccuracy, validate_forces
+from repro.ics import plummer_model
+from repro.octree import build_octree
+from repro.octree.stats import tree_stats
+
+
+def test_validator_accepts_accurate_tree(small_plummer):
+    sim = Simulation(small_plummer.copy(),
+                     SimulationConfig(theta=0.4, softening=0.02, dt=0.01))
+    sim.compute_forces()
+    acc = validate_forces(sim.particles, sim.acceleration, sim.potential,
+                          eps=0.02, sample_size=128)
+    assert acc.sample_size == 128
+    assert acc.median < 1e-3
+    assert acc.median <= acc.p90 <= acc.p99 <= acc.maximum
+    assert acc.acceptable(0.4)
+    assert acc.potential_median < 1e-3
+
+
+def test_validator_rejects_wrong_forces(small_plummer):
+    sim = Simulation(small_plummer.copy(),
+                     SimulationConfig(theta=0.4, softening=0.02, dt=0.01))
+    sim.compute_forces()
+    wrong = sim.acceleration * 2.0
+    acc = validate_forces(sim.particles, wrong, sim.potential, eps=0.02)
+    assert acc.median > 0.5
+    assert not acc.acceptable(0.4)
+
+
+def test_validator_error_grows_with_theta(small_plummer):
+    meds = []
+    for theta in (0.3, 0.9):
+        sim = Simulation(small_plummer.copy(),
+                         SimulationConfig(theta=theta, softening=0.02, dt=0.01))
+        sim.compute_forces()
+        meds.append(validate_forces(sim.particles, sim.acceleration,
+                                    sim.potential, eps=0.02).median)
+    assert meds[0] < meds[1]
+
+
+def test_sample_larger_than_n():
+    ps = plummer_model(50, seed=94)
+    sim = Simulation(ps, SimulationConfig(theta=0.5, softening=0.05, dt=0.01))
+    sim.compute_forces()
+    acc = validate_forces(sim.particles, sim.acceleration, sim.potential,
+                          eps=0.05, sample_size=1000)
+    assert acc.sample_size == 50
+
+
+def test_tree_stats(small_plummer):
+    tree = build_octree(small_plummer.pos, nleaf=16)
+    s = tree_stats(tree)
+    assert s.n_bodies == small_plummer.n
+    assert s.n_leaves <= s.n_cells
+    assert 1 <= s.mean_leaf_occupancy <= 16
+    assert s.max_leaf_occupancy <= 16
+    assert s.cells_per_level.sum() == s.n_cells
+    assert 1.0 <= s.branching_factor <= 8.0
+    assert s.memory_bytes > 0
+    assert len(s.as_lines()) == 5

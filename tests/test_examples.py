@@ -1,0 +1,52 @@
+"""Smoke tests: every example script must run end-to-end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str, timeout: float = 300.0) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=timeout)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart():
+    out = _run("quickstart.py", "1500", "3")
+    assert "relative drift" in out
+    assert "interactions per particle" in out
+
+
+def test_milky_way(tmp_path):
+    out = _run("milky_way.py", "--n", "3000", "--steps", "2",
+               "--theta", "0.7", "--softening", "0.3", "--dt", "1.0",
+               "--snapshot-every", "2", "--outdir", str(tmp_path / "mw"))
+    assert "energy drift" in out
+    assert "bulge" in out and "halo" in out
+    assert list((tmp_path / "mw").glob("snapshot_*.npz"))
+
+
+def test_parallel_scaling():
+    out = _run("parallel_scaling.py", "--ranks", "2", "--n", "3000",
+               "--steps", "1", "--theta", "0.7")
+    assert "communication traffic by phase" in out
+    assert "Piz Daint" in out and "Titan" in out
+
+
+def test_domain_decomposition():
+    out = _run("domain_decomposition.py", "--ranks", "3", "--n", "4000",
+               "--grid", "24")
+    assert "domain ownership" in out
+    assert "need-full-LET" in out
+
+
+def test_spiral_analysis():
+    out = _run("spiral_analysis.py")
+    assert "dominant mode: m = 2" in out
+    assert "pitch angle" in out

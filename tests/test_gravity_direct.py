@@ -1,0 +1,82 @@
+"""Tests for the direct O(N^2) solver."""
+
+import numpy as np
+import pytest
+
+from repro.gravity import InteractionCounts, direct_forces
+
+
+def test_two_body():
+    pos = np.array([[0.0, 0, 0], [1.0, 0, 0]])
+    mass = np.array([1.0, 2.0])
+    acc, phi = direct_forces(pos, mass)
+    assert acc[0, 0] == pytest.approx(2.0)
+    assert acc[1, 0] == pytest.approx(-1.0)
+    assert phi[0] == pytest.approx(-2.0)
+    assert phi[1] == pytest.approx(-1.0)
+
+
+def test_newtons_third_law():
+    rng = np.random.default_rng(18)
+    pos = rng.normal(size=(200, 3))
+    mass = rng.uniform(0.1, 1.0, 200)
+    acc, _ = direct_forces(pos, mass, eps=0.01)
+    total_force = (mass[:, None] * acc).sum(axis=0)
+    assert np.allclose(total_force, 0.0, atol=1e-10)
+
+
+def test_self_interaction_excluded_with_zero_softening():
+    pos = np.array([[0.0, 0, 0], [2.0, 0, 0]])
+    acc, phi = direct_forces(pos, np.array([1.0, 1.0]), eps=0.0)
+    assert np.all(np.isfinite(acc)) and np.all(np.isfinite(phi))
+
+
+def test_targets_subset():
+    rng = np.random.default_rng(19)
+    pos = rng.normal(size=(100, 3))
+    mass = rng.uniform(size=100)
+    acc_all, phi_all = direct_forces(pos, mass, eps=0.05)
+    idx = np.array([3, 50, 99])
+    acc_sub, phi_sub = direct_forces(pos, mass, eps=0.05, targets=idx)
+    assert np.allclose(acc_sub, acc_all[idx])
+    assert np.allclose(phi_sub, phi_all[idx])
+
+
+def test_counts_recorded():
+    pos = np.random.default_rng(20).normal(size=(50, 3))
+    c = InteractionCounts()
+    direct_forces(pos, np.ones(50), eps=0.01, counts=c)
+    assert c.n_pp == 50 * 49
+
+
+def test_chunking_invariance():
+    rng = np.random.default_rng(21)
+    pos = rng.normal(size=(300, 3))
+    mass = rng.uniform(size=300)
+    a1, p1 = direct_forces(pos, mass, eps=0.02, chunk_pairs=2 ** 25)
+    a2, p2 = direct_forces(pos, mass, eps=0.02, chunk_pairs=1000)
+    assert np.allclose(a1, a2)
+    assert np.allclose(p1, p2)
+
+
+def test_potential_energy_matches_pairwise_sum():
+    rng = np.random.default_rng(22)
+    pos = rng.normal(size=(60, 3))
+    mass = rng.uniform(size=60)
+    _, phi = direct_forces(pos, mass, eps=0.0)
+    w = 0.5 * np.sum(mass * phi)
+    # brute-force pairwise
+    w2 = 0.0
+    for i in range(60):
+        for j in range(i + 1, 60):
+            w2 -= mass[i] * mass[j] / np.linalg.norm(pos[i] - pos[j])
+    assert w == pytest.approx(w2, rel=1e-10)
+
+
+def test_softening_weakens_binding():
+    rng = np.random.default_rng(23)
+    pos = rng.normal(size=(80, 3))
+    mass = np.ones(80)
+    _, phi0 = direct_forces(pos, mass, eps=0.0)
+    _, phi1 = direct_forces(pos, mass, eps=0.5)
+    assert phi1.sum() > phi0.sum()

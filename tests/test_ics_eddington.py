@@ -1,0 +1,129 @@
+"""Tests for the Eddington-inversion velocity sampler."""
+
+import numpy as np
+import pytest
+
+from repro.gravity import direct_forces
+from repro.ics import PlummerProfile, HernquistProfile, milky_way_model
+from repro.ics.eddington import (
+    build_eddington_model,
+    relative_potential_from_mass,
+    sample_eddington_velocities,
+    sample_speeds,
+)
+from repro.ics.sampling import spherical_positions
+from repro.integrator import system_diagnostics
+from repro.particles import ParticleSet
+
+
+@pytest.fixture(scope="module")
+def plummer():
+    return PlummerProfile(mass=1.0, scale_radius=1.0)
+
+
+def test_relative_potential_matches_analytic(plummer):
+    """psi from the mass integral must equal -phi for Plummer."""
+    r = np.geomspace(0.01, 50.0, 512)
+    psi = relative_potential_from_mass(plummer.enclosed_mass, r)
+    assert np.allclose(psi, -plummer.potential(r), rtol=1e-3)
+
+
+def test_distribution_function_positive_and_increasing(plummer):
+    """Plummer's f(E) ~ E^{7/2}: positive, increasing in E."""
+    model = build_eddington_model(plummer.density, plummer.enclosed_mass,
+                                  r_min=1e-3, r_max=50.0)
+    assert np.all(model.f_grid >= 0.0)
+    upper = model.f_grid[len(model.f_grid) // 2:]
+    # Monotone up to quadrature wiggle.
+    assert np.all(np.diff(upper) >= -1e-6 * upper.max())
+
+
+def test_plummer_f_power_law(plummer):
+    """Check the analytic exponent: f(E) proportional to E^3.5."""
+    model = build_eddington_model(plummer.density, plummer.enclosed_mass,
+                                  r_min=1e-4, r_max=200.0)
+    # mid-range energies, away from grid edges
+    sel = (model.e_grid > 0.05) & (model.e_grid < 0.5) & (model.f_grid > 0)
+    slope = np.polyfit(np.log(model.e_grid[sel]),
+                       np.log(model.f_grid[sel]), 1)[0]
+    assert slope == pytest.approx(3.5, abs=0.3)
+
+
+def test_speeds_bounded_by_escape(plummer):
+    model = build_eddington_model(plummer.density, plummer.enclosed_mass,
+                                  r_min=1e-3, r_max=50.0)
+    rng = np.random.default_rng(80)
+    r = rng.uniform(0.1, 10.0, 2000)
+    v = sample_speeds(model, r, rng)
+    v_esc = np.sqrt(2.0 * model.psi_of_r(r))
+    assert np.all(v <= v_esc + 1e-12)
+    assert np.all(v >= 0.0)
+
+
+def test_plummer_realization_in_virial_equilibrium(plummer):
+    rng = np.random.default_rng(81)
+    n = 6000
+    pos = spherical_positions(plummer.mass_fraction, 30.0, rng, n)
+    vel = sample_eddington_velocities(pos, plummer.density,
+                                      plummer.enclosed_mass, 30.0, rng)
+    ps = ParticleSet(pos=pos, vel=vel, mass=np.full(n, 1.0 / n))
+    _, phi = direct_forces(ps.pos, ps.mass, eps=0.01)
+    d = system_diagnostics(ps, phi)
+    assert d.virial_ratio == pytest.approx(1.0, abs=0.08)
+
+
+def test_central_dispersion_matches_analytic(plummer):
+    """Plummer: sigma_1d^2(0) = M / (6 a)."""
+    rng = np.random.default_rng(82)
+    n = 20000
+    pos = spherical_positions(plummer.mass_fraction, 30.0, rng, n)
+    vel = sample_eddington_velocities(pos, plummer.density,
+                                      plummer.enclosed_mass, 30.0, rng)
+    r = np.linalg.norm(pos, axis=1)
+    sel = r < 0.3
+    sigma = np.std(vel[sel, 0])
+    assert sigma == pytest.approx(np.sqrt(1.0 / 6.0), rel=0.08)
+
+
+def test_hernquist_component_in_composite_potential():
+    """A Hernquist bulge sampled in a deeper total potential must be
+    hotter than in isolation (it feels the extra mass)."""
+    bulge = HernquistProfile(mass=0.5, scale_radius=0.7, r_cut=10.0)
+    heavy_total = lambda r: bulge.enclosed_mass(r) + 5.0 * np.minimum(
+        np.asarray(r) / 10.0, 1.0)
+    rng = np.random.default_rng(83)
+    pos = spherical_positions(bulge.mass_fraction, 10.0, rng, 4000)
+    v_iso = sample_eddington_velocities(pos, bulge.density,
+                                        bulge.enclosed_mass, 10.0,
+                                        np.random.default_rng(1))
+    v_comp = sample_eddington_velocities(pos, bulge.density, heavy_total,
+                                         10.0, np.random.default_rng(1))
+    assert np.std(v_comp) > np.std(v_iso)
+
+
+def test_milky_way_eddington_option():
+    mw = milky_way_model(5000, seed=84, velocity_method="eddington")
+    _, phi = direct_forces(mw.pos, mw.mass, eps=0.05)
+    d = system_diagnostics(mw, phi)
+    assert d.virial_ratio == pytest.approx(1.0, abs=0.15)
+
+
+def test_unknown_velocity_method():
+    with pytest.raises(ValueError):
+        milky_way_model(100, velocity_method="maxwell")
+
+
+def test_eddington_vs_jeans_consistency():
+    """Both samplers must produce comparable dispersion profiles (the
+    DF is exact, the Jeans one matches second moments)."""
+    mw_j = milky_way_model(6000, seed=85, velocity_method="jeans")
+    mw_e = milky_way_model(6000, seed=85, velocity_method="eddington")
+    halo_j = mw_j.select_component(2)
+    halo_e = mw_e.select_component(2)
+    r_j = np.linalg.norm(halo_j.pos, axis=1)
+    r_e = np.linalg.norm(halo_e.pos, axis=1)
+    sel_j = (r_j > 20) & (r_j < 60)
+    sel_e = (r_e > 20) & (r_e < 60)
+    s_j = np.std(halo_j.vel[sel_j])
+    s_e = np.std(halo_e.vel[sel_e])
+    assert s_e == pytest.approx(s_j, rel=0.25)

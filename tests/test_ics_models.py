@@ -1,0 +1,118 @@
+"""Tests for the composite models: Plummer and the paper's Milky Way."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import enclosed_mass_profile
+from repro.constants import MILKY_WAY_PAPER, internal_to_kms
+from repro.gravity import direct_forces
+from repro.ics import MilkyWayModel, milky_way_model, plummer_model
+from repro.integrator import system_diagnostics
+from repro.particles import COMPONENT_BULGE, COMPONENT_DISK, COMPONENT_HALO
+
+
+def test_plummer_virial_equilibrium(small_plummer, plummer_direct):
+    d = system_diagnostics(small_plummer, plummer_direct[1])
+    assert d.virial_ratio == pytest.approx(1.0, abs=0.1)
+
+
+def test_plummer_zero_net_momentum(small_plummer):
+    assert np.allclose(small_plummer.momentum(), 0.0, atol=1e-10)
+    assert np.allclose(small_plummer.center_of_mass(), 0.0, atol=1e-10)
+
+
+def test_plummer_mass_profile():
+    ps = plummer_model(20000, seed=40)
+    radii = np.array([0.5, 1.0, 2.0, 5.0])
+    m = enclosed_mass_profile(ps.pos, ps.mass, radii)
+    expected = radii ** 3 / (radii ** 2 + 1.0) ** 1.5
+    assert np.allclose(m, expected, rtol=0.05)
+
+
+def test_milky_way_equal_mass_particles(small_milky_way):
+    assert np.allclose(small_milky_way.mass, small_milky_way.mass[0])
+
+
+def test_milky_way_component_masses(small_milky_way):
+    p = MILKY_WAY_PAPER
+    for tag, target in ((COMPONENT_BULGE, p.bulge_mass),
+                        (COMPONENT_DISK, p.disk_mass),
+                        (COMPONENT_HALO, p.halo_mass)):
+        comp = small_milky_way.select_component(tag)
+        assert comp.total_mass == pytest.approx(target, rel=0.05)
+
+
+def test_milky_way_total_mass(small_milky_way):
+    assert small_milky_way.total_mass == pytest.approx(
+        MILKY_WAY_PAPER.total_mass, rel=1e-6)
+
+
+def test_milky_way_disk_is_flat(small_milky_way):
+    disk = small_milky_way.select_component(COMPONENT_DISK)
+    assert np.std(disk.pos[:, 2]) < 0.2 * np.std(disk.pos[:, 0])
+
+
+def test_milky_way_disk_rotates(small_milky_way):
+    disk = small_milky_way.select_component(COMPONENT_DISK)
+    R = np.hypot(disk.pos[:, 0], disk.pos[:, 1])
+    v_phi = (-disk.vel[:, 0] * disk.pos[:, 1] + disk.vel[:, 1] * disk.pos[:, 0]) / R
+    model = MilkyWayModel(MILKY_WAY_PAPER)
+    sel = (R > 4) & (R < 12)
+    vc = model.circular_velocity(R[sel])
+    assert np.mean(v_phi[sel] / vc) == pytest.approx(1.0, abs=0.15)
+
+
+def test_milky_way_rotation_curve_realistic():
+    model = MilkyWayModel(MILKY_WAY_PAPER)
+    vc8 = internal_to_kms(model.circular_velocity(np.array([8.0]))[0])
+    assert 180.0 < vc8 < 260.0  # the observed ~220 km/s neighbourhood
+
+
+def test_milky_way_virial(small_milky_way):
+    acc, phi = direct_forces(small_milky_way.pos, small_milky_way.mass, eps=0.05)
+    d = system_diagnostics(small_milky_way, phi)
+    assert d.virial_ratio == pytest.approx(1.0, abs=0.15)
+
+
+def test_milky_way_halo_mass_profile(small_milky_way):
+    halo = small_milky_way.select_component(COMPONENT_HALO)
+    model = MilkyWayModel(MILKY_WAY_PAPER)
+    radii = np.array([10.0, 50.0, 150.0])
+    m = enclosed_mass_profile(halo.pos, halo.mass, radii)
+    expected = model.halo.enclosed_mass(radii)
+    assert np.allclose(m, expected, rtol=0.1)
+
+
+def test_deterministic_generation():
+    a = milky_way_model(3000, seed=5)
+    b = milky_way_model(3000, seed=5)
+    assert np.array_equal(a.pos, b.pos)
+    assert np.array_equal(a.vel, b.vel)
+
+
+def test_different_seeds_differ():
+    a = milky_way_model(3000, seed=5)
+    b = milky_way_model(3000, seed=6)
+    assert not np.allclose(a.pos, b.pos)
+
+
+def test_sharded_generation_matches_global():
+    """Rank shards must reassemble into exactly the single-rank model
+    (the paper's on-the-fly distributed IC generation)."""
+    full = milky_way_model(4000, seed=8)
+    shards = [milky_way_model(4000, seed=8, rank=r, n_ranks=4)
+              for r in range(4)]
+    pos = np.concatenate([s.pos for s in shards])
+    ids = np.concatenate([s.ids for s in shards])
+    assert np.array_equal(np.sort(ids), np.arange(4000))
+    assert np.allclose(pos, full.pos[ids])
+
+
+def test_invalid_rank_raises():
+    with pytest.raises(ValueError):
+        milky_way_model(100, rank=2, n_ranks=2)
+
+
+def test_too_few_particles_raises():
+    with pytest.raises(ValueError):
+        milky_way_model(2)

@@ -1,0 +1,116 @@
+"""Tests for the analytic density profiles."""
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro.ics import ExponentialDisk, HernquistProfile, NFWProfile, PlummerProfile
+
+
+@pytest.fixture()
+def nfw():
+    return NFWProfile(mass=60.0, scale_radius=20.0, r_cut=250.0)
+
+
+@pytest.fixture()
+def hern():
+    return HernquistProfile(mass=0.46, scale_radius=0.7, r_cut=4.0)
+
+
+@pytest.fixture()
+def disk():
+    return ExponentialDisk(mass=5.0, scale_length=2.5, scale_height=0.3,
+                           r_cut=25.0)
+
+
+def _mass_from_density(profile, r):
+    """Integrate 4 pi s^2 rho(s) ds numerically up to r."""
+    val, _ = integrate.quad(lambda s: 4 * np.pi * s * s * profile.density(np.array([s]))[0],
+                            0.0, r, limit=200)
+    return val
+
+
+@pytest.mark.parametrize("r", [1.0, 10.0, 100.0])
+def test_nfw_density_integrates_to_enclosed_mass(nfw, r):
+    assert _mass_from_density(nfw, r) == pytest.approx(
+        float(nfw.enclosed_mass(np.array([r]))[0]), rel=1e-6)
+
+
+def test_nfw_total_mass_at_cutoff(nfw):
+    assert float(nfw.enclosed_mass(np.array([nfw.r_cut]))[0]) == pytest.approx(60.0)
+    assert float(nfw.enclosed_mass(np.array([1e4]))[0]) == pytest.approx(60.0)
+
+
+def test_nfw_density_zero_beyond_cutoff(nfw):
+    assert nfw.density(np.array([300.0]))[0] == 0.0
+
+
+def test_nfw_inner_slope(nfw):
+    """rho ~ r^-1 in the center."""
+    r = np.array([0.1, 0.2])
+    rho = nfw.density(r)
+    slope = np.log(rho[1] / rho[0]) / np.log(2.0)
+    assert slope == pytest.approx(-1.0, abs=0.05)
+
+
+def test_nfw_mass_fraction_normalised(nfw):
+    assert float(nfw.mass_fraction(np.array([nfw.r_cut]))[0]) == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("r", [0.5, 2.0])
+def test_hernquist_density_integrates_to_mass(hern, r):
+    assert _mass_from_density(hern, r) == pytest.approx(
+        float(hern.enclosed_mass(np.array([r]))[0]), rel=1e-6)
+
+
+def test_hernquist_half_mass_radius(hern):
+    """M(<a(1+sqrt(2))) = M/2 for Hernquist."""
+    r_half = hern.scale_radius * (1 + np.sqrt(2.0))
+    assert float(hern.enclosed_mass(np.array([r_half]))[0]) == pytest.approx(
+        0.5 * hern.mass, rel=1e-6)
+
+
+def test_hernquist_potential_is_minus_m_over_r_plus_a(hern):
+    phi = hern.potential(np.array([1.0]))[0]
+    assert phi == pytest.approx(-0.46 / 1.7)
+
+
+def test_plummer_relations():
+    p = PlummerProfile(mass=1.0, scale_radius=2.0)
+    # half-mass radius: r = a / sqrt(2^(2/3) - 1)
+    r_half = 2.0 / np.sqrt(2 ** (2.0 / 3.0) - 1)
+    assert float(p.enclosed_mass(np.array([r_half]))[0]) == pytest.approx(0.5, rel=1e-9)
+    assert p.potential(np.array([0.0]))[0] == pytest.approx(-0.5)
+
+
+def test_disk_enclosed_mass_converges(disk):
+    assert float(disk.enclosed_mass(np.array([25.0]))[0]) == pytest.approx(
+        5.0 * (1 - (1 + 10.0) * np.exp(-10.0)), rel=1e-9)
+
+
+def test_disk_surface_density_scale(disk):
+    s0 = disk.surface_density(np.array([0.0]))[0]
+    s1 = disk.surface_density(np.array([2.5]))[0]
+    assert s1 / s0 == pytest.approx(np.exp(-1.0))
+
+
+def test_disk_circular_velocity_peak_location(disk):
+    """Freeman disk: v_c peaks near 2.2 scale lengths."""
+    R = np.linspace(0.5, 12.0, 400)
+    vc2 = disk.circular_velocity_squared(R)
+    peak = R[np.argmax(vc2)]
+    assert peak == pytest.approx(2.2 * 2.5, rel=0.08)
+
+
+def test_disk_circular_velocity_keplerian_far_field(disk):
+    """At large R, v_c^2 -> G M / R."""
+    R = np.array([200.0])
+    vc2 = disk.circular_velocity_squared(R)[0]
+    assert vc2 == pytest.approx(5.0 / 200.0, rel=0.05)
+
+
+def test_disk_height_sampling(disk):
+    rng = np.random.default_rng(29)
+    z = disk.sample_height(rng, 20000)
+    assert abs(np.mean(z)) < 0.02
+    assert np.mean(np.abs(z)) == pytest.approx(0.3, rel=0.05)

@@ -1,0 +1,55 @@
+"""Tests for inverse-CDF sampling."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.ics import PlummerProfile, isotropic_directions, sample_radii
+from repro.ics.sampling import spherical_positions
+
+
+def test_sampled_radii_match_cdf():
+    p = PlummerProfile(mass=1.0, scale_radius=1.0)
+    rng = np.random.default_rng(30)
+    r = sample_radii(p.mass_fraction, 30.0, rng, 50000)
+    # KS test against the analytic (truncated) CDF.
+    norm = float(p.mass_fraction(np.array([30.0]))[0])
+    stat, pvalue = stats.kstest(r, lambda x: p.mass_fraction(x) / norm)
+    assert pvalue > 1e-3
+
+
+def test_sample_radii_bounded():
+    p = PlummerProfile(mass=1.0, scale_radius=1.0)
+    rng = np.random.default_rng(31)
+    r = sample_radii(p.mass_fraction, 5.0, rng, 1000)
+    assert r.min() >= 0.0
+    assert r.max() <= 5.0
+
+
+def test_sample_radii_zero_n():
+    p = PlummerProfile(mass=1.0, scale_radius=1.0)
+    assert len(sample_radii(p.mass_fraction, 5.0, np.random.default_rng(0), 0)) == 0
+
+
+def test_isotropic_directions_unit_norm():
+    d = isotropic_directions(np.random.default_rng(32), 1000)
+    assert np.allclose(np.linalg.norm(d, axis=1), 1.0)
+
+
+def test_isotropic_directions_uniform():
+    d = isotropic_directions(np.random.default_rng(33), 100000)
+    # Means vanish, component variances are 1/3.
+    assert np.allclose(d.mean(axis=0), 0.0, atol=0.01)
+    assert np.allclose(d.var(axis=0), 1.0 / 3.0, atol=0.01)
+    # cos(theta) uniform on [-1, 1].
+    stat, pvalue = stats.kstest(d[:, 2], stats.uniform(loc=-1, scale=2).cdf)
+    assert pvalue > 1e-3
+
+
+def test_spherical_positions_radial_distribution():
+    p = PlummerProfile(mass=1.0, scale_radius=1.0)
+    pos = spherical_positions(p.mass_fraction, 20.0,
+                              np.random.default_rng(34), 30000)
+    r = np.linalg.norm(pos, axis=1)
+    # Half-mass radius ~ 1.305 a for Plummer.
+    assert np.median(r) == pytest.approx(1.305, rel=0.05)

@@ -1,0 +1,95 @@
+"""Tests for Jeans-equation and disk velocity assignment."""
+
+import numpy as np
+import pytest
+
+from repro.ics import PlummerProfile, jeans_sigma_r, sample_isotropic_velocities
+from repro.ics.velocities import disk_velocities, epicyclic_frequency_squared
+
+
+def test_jeans_sigma_plummer_analytic():
+    """Isotropic Plummer has sigma_r^2(0) = M / (6 a) at the center
+    (Dejonghe 1987); check the Jeans integral against it."""
+    p = PlummerProfile(mass=1.0, scale_radius=1.0)
+    sig = jeans_sigma_r(np.array([1e-3]), p.density, p.enclosed_mass, 50.0)
+    assert sig[0] ** 2 == pytest.approx(1.0 / 6.0, rel=0.02)
+
+
+def test_jeans_sigma_decreases_outward():
+    p = PlummerProfile(mass=1.0, scale_radius=1.0)
+    r = np.array([0.1, 1.0, 5.0, 20.0])
+    sig = jeans_sigma_r(r, p.density, p.enclosed_mass, 50.0)
+    assert np.all(np.diff(sig) < 0)
+
+
+def test_isotropic_velocities_statistics():
+    p = PlummerProfile(mass=1.0, scale_radius=1.0)
+    rng = np.random.default_rng(35)
+    r = np.full(20000, 1.0)
+    from repro.ics.sampling import isotropic_directions
+    pos = r[:, None] * isotropic_directions(rng, 20000)
+    vel = sample_isotropic_velocities(pos, p.density, p.enclosed_mass, 50.0, rng)
+    sig_expected = jeans_sigma_r(np.array([1.0]), p.density, p.enclosed_mass, 50.0)[0]
+    assert np.std(vel[:, 0]) == pytest.approx(sig_expected, rel=0.05)
+    assert abs(np.mean(vel)) < 0.01
+
+
+def test_escape_speed_clamp():
+    p = PlummerProfile(mass=1.0, scale_radius=1.0)
+    rng = np.random.default_rng(36)
+    pos = np.full((5000, 3), [10.0, 0.0, 0.0])
+    vel = sample_isotropic_velocities(pos, p.density, p.enclosed_mass, 50.0, rng)
+    v_esc = np.sqrt(2.0 * 1.0 / 10.0)
+    assert np.linalg.norm(vel, axis=1).max() <= 0.951 * v_esc
+
+
+def test_epicyclic_frequency_flat_curve():
+    """Flat rotation curve: kappa = sqrt(2) Omega."""
+    vc2 = lambda R: np.full_like(np.asarray(R, dtype=float), 0.04)
+    R = np.array([5.0])
+    k2 = epicyclic_frequency_squared(R, vc2)
+    omega2 = 0.04 / 25.0
+    assert k2[0] == pytest.approx(2.0 * omega2, rel=1e-3)
+
+
+def test_epicyclic_frequency_keplerian():
+    """Keplerian curve: kappa = Omega."""
+    vc2 = lambda R: 1.0 / np.asarray(R, dtype=float)
+    R = np.array([4.0])
+    k2 = epicyclic_frequency_squared(R, vc2)
+    omega2 = (1.0 / 4.0) / 16.0
+    assert k2[0] == pytest.approx(omega2, rel=1e-3)
+
+
+def test_disk_velocities_rotation_dominated():
+    """Sampled disk velocities rotate in the +phi sense with small
+    dispersions relative to v_c for a cool disk."""
+    rng = np.random.default_rng(37)
+    n = 20000
+    R = np.full(n, 8.0)
+    phi = rng.uniform(0, 2 * np.pi, n)
+    vc2 = lambda r: np.full_like(np.asarray(r, dtype=float), 1.0)
+    sigma = lambda r: 0.02 * np.exp(-np.asarray(r, dtype=float) / 2.5)
+    vel = disk_velocities(R, phi, vc2, sigma, 2.5, 0.3, toomre_q=1.2,
+                          q_ref_radius=6.0, rng=rng)
+    # tangential unit vector
+    t = np.stack([-np.sin(phi), np.cos(phi)], axis=1)
+    v_phi = vel[:, 0] * t[:, 0] + vel[:, 1] * t[:, 1]
+    assert np.mean(v_phi) > 0.8  # rotation near v_c = 1
+    assert np.std(vel[:, 2]) < np.std(v_phi - np.mean(v_phi)) * 2.0
+
+
+def test_disk_asymmetric_drift_slows_rotation():
+    """Hotter disks rotate slower on average (asymmetric drift)."""
+    rng = np.random.default_rng(38)
+    n = 20000
+    R = np.full(n, 8.0)
+    phi = np.zeros(n)
+    vc2 = lambda r: np.full_like(np.asarray(r, dtype=float), 1.0)
+    sigma = lambda r: 0.05 * np.exp(-np.asarray(r, dtype=float) / 2.5)
+    cold = disk_velocities(R, phi, vc2, sigma, 2.5, 0.3, toomre_q=0.5,
+                           q_ref_radius=6.0, rng=np.random.default_rng(1))
+    hot = disk_velocities(R, phi, vc2, sigma, 2.5, 0.3, toomre_q=2.5,
+                          q_ref_radius=6.0, rng=np.random.default_rng(1))
+    # At phi=0 the tangential direction is +y.
+    assert np.mean(hot[:, 1]) < np.mean(cold[:, 1])

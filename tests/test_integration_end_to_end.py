@@ -1,0 +1,83 @@
+"""Integration tests: the whole pipeline from ICs to analysis."""
+
+import numpy as np
+import pytest
+
+from repro import Simulation, SimulationConfig
+from repro.analysis import bar_strength, surface_density_map
+from repro.core.parallel_simulation import gather_particles, run_parallel_simulation
+from repro.ics import milky_way_model
+
+
+@pytest.fixture(scope="module")
+def evolved_mw():
+    """A small Milky Way evolved a handful of steps (shared)."""
+    ps = milky_way_model(6000, seed=77)
+    cfg = SimulationConfig(theta=0.6, softening=0.1, dt=1.0)
+    sim = Simulation(ps, cfg)
+    e0 = sim.diagnostics()
+    sim.evolve(5)
+    return sim, e0
+
+
+def test_milky_way_energy_drift_small(evolved_mw):
+    sim, e0 = evolved_mw
+    e1 = sim.diagnostics()
+    assert abs((e1.total - e0.total) / e0.total) < 0.02
+
+
+def test_milky_way_angular_momentum_preserved(evolved_mw):
+    sim, e0 = evolved_mw
+    L0 = e0.angular_momentum[2]
+    L1 = sim.diagnostics().angular_momentum[2]
+    assert L1 == pytest.approx(L0, rel=0.01)
+
+
+def test_milky_way_disk_survives(evolved_mw):
+    """The disk must not evaporate or collapse over a few steps."""
+    sim, _ = evolved_mw
+    disk = sim.particles.select_component(1)
+    R = np.hypot(disk.pos[:, 0], disk.pos[:, 1])
+    assert 1.0 < np.median(R) < 10.0
+    assert np.std(disk.pos[:, 2]) < 1.5
+
+
+def test_milky_way_no_early_bar(evolved_mw):
+    """At t ~ 0 the disk is still axisymmetric (the paper's bar needs
+    ~3 Gyr to form)."""
+    sim, _ = evolved_mw
+    disk = sim.particles.select_component(1)
+    a2, _ = bar_strength(disk.pos, disk.mass, r_max=5.0)
+    assert a2 < 0.25
+
+
+def test_surface_density_map_of_simulation(evolved_mw):
+    sim, _ = evolved_mw
+    disk = sim.particles.select_component(1)
+    sigma, edges = surface_density_map(disk.pos, disk.mass, extent=15.0,
+                                       bins=32)
+    assert sigma.sum() > 0
+    center = sigma[14:18, 14:18].mean()
+    rim = sigma[0].mean()
+    assert center > rim
+
+
+def test_parallel_and_serial_agree_on_milky_way():
+    """Full pipeline cross-check on the production workload geometry."""
+    ps = milky_way_model(4000, seed=78)
+    cfg = SimulationConfig(theta=0.6, softening=0.1, dt=0.5)
+    serial = Simulation(ps.copy(), cfg)
+    serial.evolve(2)
+    sims = run_parallel_simulation(3, ps.copy(), cfg, n_steps=2)
+    parallel = gather_particles(sims)
+    scale = np.abs(serial.particles.pos).max()
+    assert np.allclose(parallel.pos, serial.particles.pos,
+                       atol=1e-5 * scale)
+
+
+def test_step_breakdown_accounts_full_time(evolved_mw):
+    sim, _ = evolved_mw
+    bd = sim.history[-1]
+    parts = sum(bd.as_dict().values())
+    assert parts == pytest.approx(bd.total)
+    assert bd.gravity_local > bd.tree_construction

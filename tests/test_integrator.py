@@ -1,0 +1,125 @@
+"""Tests for the leap-frog integrator and diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.gravity import direct_forces
+from repro.integrator import LeapfrogIntegrator, drift, kick, system_diagnostics
+from repro.particles import ParticleSet
+
+
+def _two_body_circular():
+    """Equal-mass binary on a circular orbit, G = 1."""
+    m = 0.5
+    r = 1.0
+    # a = G m / (2r)^2 toward the COM; circular speed v = sqrt(a r).
+    v = np.sqrt(m / (4 * r))
+    ps = ParticleSet(
+        pos=np.array([[-r, 0, 0], [r, 0, 0]], dtype=float),
+        vel=np.array([[0, -v, 0], [0, v, 0]], dtype=float),
+        mass=np.array([m, m]))
+    return ps
+
+
+def _force(ps):
+    return direct_forces(ps.pos, ps.mass, eps=0.0)
+
+
+def test_kick_and_drift_are_linear():
+    ps = _two_body_circular()
+    v0 = ps.vel.copy()
+    acc = np.ones_like(ps.pos)
+    kick(ps, acc, 0.5)
+    assert np.allclose(ps.vel, v0 + 0.5)
+    p0 = ps.pos.copy()
+    drift(ps, 2.0)
+    assert np.allclose(ps.pos, p0 + 2.0 * ps.vel)
+
+
+def test_circular_orbit_radius_preserved():
+    ps = _two_body_circular()
+    period = 2 * np.pi * 1.0 / np.sqrt(0.5 / 4.0)
+    integ = LeapfrogIntegrator(_force, dt=period / 500)
+    integ.run(ps, 500)
+    assert np.linalg.norm(ps.pos[0]) == pytest.approx(1.0, abs=5e-3)
+
+
+def test_energy_conservation_long_run():
+    ps = _two_body_circular()
+    integ = LeapfrogIntegrator(_force, dt=0.02)
+    integ.prime(ps)
+    e0 = system_diagnostics(ps, integ.potential).total
+    integ.run(ps, 500)
+    e1 = system_diagnostics(ps, integ.potential).total
+    assert abs((e1 - e0) / e0) < 1e-5
+
+
+def test_second_order_convergence():
+    """Halving dt must reduce the position error ~4x."""
+    def end_pos(dt, steps):
+        ps = _two_body_circular()
+        LeapfrogIntegrator(_force, dt=dt).run(ps, steps)
+        return ps.pos[0].copy()
+
+    ref = end_pos(0.0005, 4000)
+    e1 = np.linalg.norm(end_pos(0.008, 250) - ref)
+    e2 = np.linalg.norm(end_pos(0.004, 500) - ref)
+    ratio = e1 / e2
+    assert 3.0 < ratio < 5.0
+
+
+def test_time_reversibility():
+    ps = _two_body_circular()
+    start = ps.pos.copy()
+    integ = LeapfrogIntegrator(_force, dt=0.01)
+    integ.run(ps, 100)
+    ps.vel *= -1.0
+    integ2 = LeapfrogIntegrator(_force, dt=0.01)
+    integ2.run(ps, 100)
+    assert np.allclose(ps.pos, start, atol=1e-9)
+
+
+def test_momentum_conserved_nbody():
+    rng = np.random.default_rng(26)
+    ps = ParticleSet(pos=rng.normal(size=(50, 3)),
+                     vel=rng.normal(size=(50, 3)) * 0.1,
+                     mass=rng.uniform(0.5, 1.0, 50))
+    integ = LeapfrogIntegrator(lambda p: direct_forces(p.pos, p.mass, eps=0.1),
+                               dt=0.01)
+    p0 = ps.momentum()
+    integ.run(ps, 50)
+    assert np.allclose(ps.momentum(), p0, atol=1e-10)
+
+
+def test_angular_momentum_conserved_nbody():
+    rng = np.random.default_rng(27)
+    ps = ParticleSet(pos=rng.normal(size=(30, 3)),
+                     vel=rng.normal(size=(30, 3)) * 0.1,
+                     mass=rng.uniform(0.5, 1.0, 30))
+    integ = LeapfrogIntegrator(lambda p: direct_forces(p.pos, p.mass, eps=0.1),
+                               dt=0.005)
+    integ.prime(ps)
+    L0 = ps.angular_momentum()
+    integ.run(ps, 100)
+    assert np.allclose(ps.angular_momentum(), L0, atol=1e-8)
+
+
+def test_invalid_dt():
+    with pytest.raises(ValueError):
+        LeapfrogIntegrator(_force, dt=0.0)
+
+
+def test_callback_invoked():
+    ps = _two_body_circular()
+    calls = []
+    integ = LeapfrogIntegrator(_force, dt=0.01)
+    integ.run(ps, 5, callback=lambda k, p: calls.append(k))
+    assert calls == [0, 1, 2, 3, 4]
+    assert integ.step_count == 5
+    assert integ.time == pytest.approx(0.05)
+
+
+def test_virial_ratio_of_equilibrium_model(small_plummer, plummer_direct):
+    d = system_diagnostics(small_plummer, plummer_direct[1])
+    assert d.virial_ratio == pytest.approx(1.0, abs=0.1)
+    assert d.total < 0.0  # bound system

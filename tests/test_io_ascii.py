@@ -1,0 +1,49 @@
+"""Tests for the ASCII snapshot format."""
+
+import numpy as np
+import pytest
+
+from repro.ics import plummer_model
+from repro.io.ascii import load_ascii, save_ascii
+
+
+def test_roundtrip(tmp_path):
+    ps = plummer_model(200, seed=103)
+    ps.component[:100] = 1
+    path = tmp_path / "snap.txt"
+    save_ascii(path, ps, time=3.5, step=7)
+    loaded, meta = load_ascii(path)
+    assert np.allclose(loaded.pos, ps.pos)
+    assert np.allclose(loaded.vel, ps.vel)
+    assert np.allclose(loaded.mass, ps.mass)
+    assert np.array_equal(loaded.ids, ps.ids)
+    assert np.array_equal(loaded.component, ps.component)
+    assert meta["time"] == 3.5
+    assert meta["step"] == 7
+    assert meta["n"] == 200
+
+
+def test_single_particle(tmp_path):
+    ps = plummer_model(1, seed=104)
+    path = tmp_path / "one.txt"
+    save_ascii(path, ps)
+    loaded, _ = load_ascii(path)
+    assert loaded.n == 1
+
+
+def test_wrong_columns_rejected(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("# junk\n1 2 3\n")
+    with pytest.raises(ValueError):
+        load_ascii(path)
+
+
+def test_file_is_human_readable(tmp_path):
+    ps = plummer_model(5, seed=105)
+    path = tmp_path / "readable.txt"
+    save_ascii(path, ps, time=1.0)
+    text = path.read_text()
+    assert text.startswith("# repro ascii snapshot")
+    assert "columns: id component mass x y z vx vy vz" in text
+    # one header block + 5 data rows
+    assert len([l for l in text.splitlines() if not l.startswith("#")]) == 5

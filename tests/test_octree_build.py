@@ -1,0 +1,134 @@
+"""Tests for octree construction."""
+
+import numpy as np
+import pytest
+
+from repro.octree import build_octree
+from repro.sfc import BoundingBox
+
+
+def _uniform(n, seed=0):
+    return np.random.default_rng(seed).uniform(size=(n, 3))
+
+
+def test_structure_validates():
+    tree = build_octree(_uniform(3000), nleaf=16)
+    tree.validate()
+
+
+@pytest.mark.parametrize("curve", ["hilbert", "morton"])
+def test_every_particle_in_exactly_one_leaf(curve):
+    pos = _uniform(1500, seed=1)
+    tree = build_octree(pos, nleaf=8, curve=curve)
+    leaves = tree.leaf_cells()
+    seen = np.concatenate([tree.bodies_of(int(c)) for c in leaves])
+    assert len(seen) == len(pos)
+    assert np.array_equal(np.sort(seen), np.arange(len(pos)))
+
+
+@pytest.mark.parametrize("nleaf", [1, 4, 16, 64])
+def test_leaf_capacity_respected(nleaf):
+    pos = _uniform(2000, seed=2)
+    tree = build_octree(pos, nleaf=nleaf)
+    leaves = tree.is_leaf
+    deep = tree.cell_level < 21
+    assert np.all(tree.body_count[leaves & deep] <= nleaf)
+
+
+def test_root_covers_everything():
+    tree = build_octree(_uniform(100))
+    assert tree.body_count[0] == 100
+    assert tree.cell_level[0] == 0
+    assert tree.cell_parent[0] == -1
+
+
+def test_children_partition_parent():
+    pos = _uniform(4000, seed=3)
+    tree = build_octree(pos, nleaf=16)
+    internal = np.flatnonzero(~tree.is_leaf)
+    for c in internal:
+        ch = tree.children_of(int(c))
+        assert 1 <= len(ch) <= 8
+        assert tree.body_count[ch].sum() == tree.body_count[c]
+
+
+def test_particles_in_cell_share_prefix():
+    pos = _uniform(2000, seed=4)
+    tree = build_octree(pos, nleaf=16, curve="morton")
+    for c in tree.leaf_cells()[:100]:
+        lvl = int(tree.cell_level[c])
+        if lvl == 0:
+            continue
+        shift = np.uint64(3 * (21 - lvl))
+        f = int(tree.body_first[c])
+        keys = tree.keys[f:f + int(tree.body_count[c])]
+        assert len(np.unique(keys >> shift)) == 1
+
+
+def test_geometric_containment():
+    """Particles must sit inside their leaf cell's cube."""
+    pos = _uniform(2000, seed=5)
+    tree = build_octree(pos, nleaf=16)
+    spos = pos[tree.order]
+    for c in tree.leaf_cells()[:200]:
+        f, n = int(tree.body_first[c]), int(tree.body_count[c])
+        d = np.abs(spos[f:f + n] - tree.center[c])
+        assert np.all(d <= tree.half[c] * (1 + 1e-9))
+
+
+def test_coincident_particles_terminate():
+    """Duplicated positions must not recurse forever."""
+    pos = np.zeros((100, 3))
+    pos[50:] = 1.0
+    tree = build_octree(pos, nleaf=4)
+    assert tree.n_cells >= 1
+    leaves = tree.leaf_cells()
+    assert tree.body_count[leaves].sum() == 100
+
+
+def test_single_particle():
+    tree = build_octree(np.zeros((1, 3)), nleaf=16)
+    assert tree.n_cells == 1
+    assert tree.is_leaf[0]
+
+
+def test_empty_raises():
+    with pytest.raises(ValueError):
+        build_octree(np.empty((0, 3)))
+
+
+def test_invalid_nleaf_raises():
+    with pytest.raises(ValueError):
+        build_octree(_uniform(10), nleaf=0)
+
+
+def test_external_box_makes_local_tree_global_branch():
+    """With a shared global box, disjoint particle subsets produce trees
+    whose root prefixes are consistent cells of one global octree."""
+    pos = _uniform(4000, seed=6)
+    box = BoundingBox.from_positions(pos)
+    left = pos[pos[:, 0] < 0.5]
+    tree = build_octree(left, box=box)
+    # Root geometry equals the global box, not the subset's tight box.
+    assert tree.half[0] == pytest.approx(box.size / 2)
+
+
+def test_order_is_permutation():
+    pos = _uniform(777, seed=7)
+    tree = build_octree(pos)
+    assert np.array_equal(np.sort(tree.order), np.arange(777))
+
+
+def test_keys_sorted():
+    pos = _uniform(500, seed=8)
+    tree = build_octree(pos)
+    assert np.all(tree.keys[:-1] <= tree.keys[1:])
+
+
+def test_deep_tree_max_level_leaf():
+    """A cluster tighter than the key resolution ends at max level."""
+    pos = np.zeros((40, 3))
+    pos += np.random.default_rng(9).normal(scale=1e-12, size=(40, 3))
+    pos[0] = [1.0, 1.0, 1.0]  # set the box scale
+    tree = build_octree(pos, nleaf=2)
+    assert tree.cell_level.max() <= 21

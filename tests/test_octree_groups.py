@@ -1,0 +1,71 @@
+"""Tests for particle groups (the NCRIT walk granularity)."""
+
+import numpy as np
+import pytest
+
+from repro.octree import build_octree, make_groups
+
+
+def _tree(n=3000, nleaf=16, seed=12):
+    pos = np.random.default_rng(seed).normal(size=(n, 3))
+    return build_octree(pos, nleaf=nleaf), pos
+
+
+def test_groups_partition_particles():
+    tree, _ = _tree()
+    make_groups(tree, 64)
+    gf, gc = tree.group_first, tree.group_count
+    assert gf[0] == 0
+    assert np.all(gf[1:] == gf[:-1] + gc[:-1])
+    assert gf[-1] + gc[-1] == tree.n_bodies
+
+
+@pytest.mark.parametrize("ncrit", [8, 32, 64, 256])
+def test_group_sizes_bounded(ncrit):
+    # When ncrit < nleaf, leaves that cannot split become groups, so the
+    # effective bound is max(ncrit, nleaf).
+    tree, _ = _tree(nleaf=16)
+    make_groups(tree, ncrit)
+    assert tree.group_count.max() <= max(ncrit, 16)
+
+
+def test_groups_are_maximal():
+    """No two sibling groups could merge into a cell <= ncrit: each
+    group's parent cell exceeds ncrit."""
+    tree, _ = _tree()
+    ncrit = 64
+    make_groups(tree, ncrit)
+    # map group start -> cell
+    starts = {(int(f), int(c)) for f, c in zip(tree.group_first, tree.group_count)}
+    for c in range(tree.n_cells):
+        key = (int(tree.body_first[c]), int(tree.body_count[c]))
+        if key in starts and tree.cell_parent[c] >= 0:
+            assert tree.body_count[tree.cell_parent[c]] > ncrit
+
+
+def test_ncrit_one_gives_one_particle_groups():
+    tree, _ = _tree(n=300)
+    make_groups(tree, 1)
+    # At nleaf=16 > ncrit=1, leaves become groups ("stuck"), so groups may
+    # exceed one particle only for leaf cells.
+    assert len(tree.group_first) >= 300 / 16
+
+
+def test_invalid_ncrit():
+    tree, _ = _tree(n=100)
+    with pytest.raises(ValueError):
+        make_groups(tree, 0)
+
+
+def test_small_n_single_group():
+    pos = np.random.default_rng(13).normal(size=(10, 3))
+    tree = build_octree(pos, nleaf=16)
+    make_groups(tree, 64)
+    assert len(tree.group_first) == 1
+    assert tree.group_count[0] == 10
+
+
+def test_groups_follow_sfc_order():
+    tree, _ = _tree()
+    make_groups(tree, 64)
+    assert np.all(np.diff(tree.group_first) > 0)

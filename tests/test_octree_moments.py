@@ -1,0 +1,121 @@
+"""Tests for multipole moments and tight AABBs."""
+
+import numpy as np
+import pytest
+
+from repro.octree import build_octree, compute_moments
+from repro.octree.moments import quad_to_matrix, quad_trace
+
+
+@pytest.fixture()
+def tree_and_particles():
+    rng = np.random.default_rng(10)
+    pos = rng.normal(size=(3000, 3))
+    mass = rng.uniform(0.5, 2.0, 3000)
+    tree = build_octree(pos, nleaf=16)
+    compute_moments(tree, pos, mass)
+    return tree, pos, mass
+
+
+def test_root_mass_is_total(tree_and_particles):
+    tree, pos, mass = tree_and_particles
+    assert tree.mass[0] == pytest.approx(mass.sum(), rel=1e-12)
+
+
+def test_root_com_is_global_com(tree_and_particles):
+    tree, pos, mass = tree_and_particles
+    com = (mass[:, None] * pos).sum(axis=0) / mass.sum()
+    assert np.allclose(tree.com[0], com)
+
+
+def test_cell_mass_equals_sum_of_children(tree_and_particles):
+    tree, _, _ = tree_and_particles
+    internal = np.flatnonzero(~tree.is_leaf)
+    for c in internal:
+        ch = tree.children_of(int(c))
+        assert tree.mass[c] == pytest.approx(tree.mass[ch].sum(), rel=1e-12)
+
+
+def test_com_aggregates_from_children(tree_and_particles):
+    tree, _, _ = tree_and_particles
+    internal = np.flatnonzero(~tree.is_leaf)
+    for c in internal[:300]:
+        ch = tree.children_of(int(c))
+        com = (tree.mass[ch, None] * tree.com[ch]).sum(axis=0) / tree.mass[c]
+        assert np.allclose(tree.com[c], com, atol=1e-10)
+
+
+def test_quadrupole_matches_direct_computation(tree_and_particles):
+    tree, pos, mass = tree_and_particles
+    spos = pos[tree.order]
+    smass = mass[tree.order]
+    for c in list(tree.leaf_cells()[:50]) + [0]:
+        f, n = int(tree.body_first[c]), int(tree.body_count[c])
+        d = spos[f:f + n] - tree.com[c]
+        q = np.einsum("i,ij,ik->jk", smass[f:f + n], d, d)
+        assert np.allclose(quad_to_matrix(tree.quad[c]), q, atol=1e-8)
+
+
+def test_quadrupole_parallel_axis_identity(tree_and_particles):
+    """Q_parent = sum_child (Q_child + m_child * offset offset^T)."""
+    tree, _, _ = tree_and_particles
+    internal = np.flatnonzero(~tree.is_leaf)
+    for c in internal[:100]:
+        ch = tree.children_of(int(c))
+        q = np.zeros((3, 3))
+        for k in ch:
+            off = tree.com[k] - tree.com[c]
+            q += quad_to_matrix(tree.quad[k]) + tree.mass[k] * np.outer(off, off)
+        assert np.allclose(quad_to_matrix(tree.quad[c]), q, atol=1e-8)
+
+
+def test_quadrupole_positive_semidefinite(tree_and_particles):
+    tree, _, _ = tree_and_particles
+    mats = quad_to_matrix(tree.quad)
+    eig = np.linalg.eigvalsh(mats)
+    assert eig.min() > -1e-8
+
+
+def test_quad_trace_helper(tree_and_particles):
+    tree, _, _ = tree_and_particles
+    assert np.allclose(quad_trace(tree.quad),
+                       np.trace(quad_to_matrix(tree.quad), axis1=-2, axis2=-1))
+
+
+def test_tight_aabb_contains_cell_particles(tree_and_particles):
+    tree, pos, _ = tree_and_particles
+    spos = pos[tree.order]
+    for c in range(min(tree.n_cells, 500)):
+        f, n = int(tree.body_first[c]), int(tree.body_count[c])
+        sl = spos[f:f + n]
+        assert np.all(sl >= tree.bmin[c] - 1e-12)
+        assert np.all(sl <= tree.bmax[c] + 1e-12)
+        assert np.allclose(tree.bmin[c], sl.min(axis=0))
+        assert np.allclose(tree.bmax[c], sl.max(axis=0))
+
+
+def test_aabb_nested_in_parent(tree_and_particles):
+    tree, _, _ = tree_and_particles
+    child = np.flatnonzero(tree.cell_parent >= 0)
+    p = tree.cell_parent[child]
+    assert np.all(tree.bmin[child] >= tree.bmin[p] - 1e-12)
+    assert np.all(tree.bmax[child] <= tree.bmax[p] + 1e-12)
+
+
+def test_com_inside_cell_aabb(tree_and_particles):
+    # Tolerance reflects prefix-sum cancellation error (absolute, scales
+    # with the global sum magnitude), not an algorithmic defect.
+    tree, _, _ = tree_and_particles
+    assert np.all(tree.com >= tree.bmin - 1e-9)
+    assert np.all(tree.com <= tree.bmax + 1e-9)
+
+
+def test_single_particle_cell_has_zero_quadrupole():
+    pos = np.array([[0.3, 0.2, 0.1], [5.0, 5.0, 5.0]])
+    mass = np.array([2.0, 3.0])
+    tree = build_octree(pos, nleaf=1)
+    compute_moments(tree, pos, mass)
+    leaves = tree.leaf_cells()
+    singles = leaves[tree.body_count[leaves] == 1]
+    assert len(singles) >= 1
+    assert np.allclose(tree.quad[singles], 0.0, atol=1e-12)

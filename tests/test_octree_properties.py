@@ -1,0 +1,90 @@
+"""Tests for opening radii (MAC) and AABB distance helpers."""
+
+import numpy as np
+import pytest
+
+from repro.octree import build_octree, compute_moments, compute_opening_radii
+from repro.octree.properties import aabb_aabb_distance, aabb_distance
+
+
+@pytest.fixture()
+def tree():
+    rng = np.random.default_rng(11)
+    pos = rng.normal(size=(1000, 3))
+    mass = np.ones(1000)
+    t = build_octree(pos, nleaf=16)
+    compute_moments(t, pos, mass)
+    return t
+
+
+def test_bh_radius_is_side_over_theta(tree):
+    compute_opening_radii(tree, theta=0.5, mac="bh")
+    assert np.allclose(tree.r_crit, 2.0 * tree.half / 0.5)
+
+
+def test_bonsai_radius_adds_com_offset(tree):
+    compute_opening_radii(tree, theta=0.5, mac="bh")
+    bh = tree.r_crit.copy()
+    compute_opening_radii(tree, theta=0.5, mac="bonsai")
+    delta = np.linalg.norm(tree.com - tree.center, axis=1)
+    assert np.allclose(tree.r_crit, bh + delta)
+    assert np.all(tree.r_crit >= bh)
+
+
+def test_smaller_theta_larger_radius(tree):
+    compute_opening_radii(tree, theta=0.8)
+    r8 = tree.r_crit.copy()
+    compute_opening_radii(tree, theta=0.2)
+    assert np.all(tree.r_crit >= r8)
+
+
+def test_theta_zero_rejected(tree):
+    with pytest.raises(ValueError):
+        compute_opening_radii(tree, theta=0.0)
+
+
+def test_unknown_mac_rejected(tree):
+    with pytest.raises(ValueError):
+        compute_opening_radii(tree, theta=0.5, mac="geometric")
+
+
+def test_moments_required():
+    t = build_octree(np.random.default_rng(0).uniform(size=(50, 3)))
+    with pytest.raises(ValueError):
+        compute_opening_radii(t, theta=0.5)
+
+
+def test_aabb_distance_inside_is_zero():
+    d = aabb_distance(np.zeros(3), np.ones(3), np.array([[0.5, 0.5, 0.5]]))
+    assert d[0] == 0.0
+
+
+def test_aabb_distance_face():
+    d = aabb_distance(np.zeros(3), np.ones(3), np.array([[2.0, 0.5, 0.5]]))
+    assert d[0] == pytest.approx(1.0)
+
+
+def test_aabb_distance_corner():
+    d = aabb_distance(np.zeros(3), np.ones(3), np.array([[2.0, 2.0, 2.0]]))
+    assert d[0] == pytest.approx(np.sqrt(3.0))
+
+
+def test_aabb_aabb_distance_overlap_zero():
+    d = aabb_aabb_distance(np.zeros(3), np.ones(3),
+                           np.array([0.5, 0.5, 0.5]), np.array([2.0, 2.0, 2.0]))
+    assert d == 0.0
+
+
+def test_aabb_aabb_distance_gap():
+    d = aabb_aabb_distance(np.zeros(3), np.ones(3),
+                           np.array([3.0, 0.0, 0.0]), np.array([4.0, 1.0, 1.0]))
+    assert d == pytest.approx(2.0)
+
+
+def test_aabb_distance_broadcasts_many_boxes():
+    bmin = np.zeros((4, 3))
+    bmax = np.ones((4, 3)) * np.arange(1, 5)[:, None]
+    pts = np.full((4, 3), 10.0)
+    d = aabb_distance(bmin, bmax, pts)
+    expected = np.sqrt(3) * (10 - np.arange(1, 5))
+    assert np.allclose(d, expected)

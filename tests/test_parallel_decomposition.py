@@ -1,0 +1,59 @@
+"""Tests for DomainDecomposition and domain_update."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import DomainDecomposition, domain_update
+from repro.simmpi import spmd_run
+
+
+def _decomp(p=4):
+    edges = np.linspace(0, 2 ** 63, p + 1).astype(np.uint64)
+    edges[-1] = np.uint64(0xFFFFFFFFFFFFFFFF)
+    return DomainDecomposition(boundaries=edges)
+
+
+def test_rank_of_keys_partition():
+    d = _decomp(4)
+    keys = np.random.default_rng(47).integers(0, 2 ** 63, 1000, dtype=np.uint64)
+    ranks = d.rank_of_keys(keys)
+    assert ranks.min() >= 0 and ranks.max() < 4
+    # every key belongs to the interval of its assigned rank
+    for r in range(4):
+        sel = ranks == r
+        lo, hi = d.key_range(r)
+        assert np.all(keys[sel] >= lo)
+        assert np.all(keys[sel].astype(np.float64) < float(hi))
+
+
+def test_counts_match_rank_assignment():
+    d = _decomp(3)
+    keys = np.random.default_rng(48).integers(0, 2 ** 63, 500, dtype=np.uint64)
+    counts = d.counts(keys)
+    ranks = d.rank_of_keys(keys)
+    assert np.array_equal(counts, np.bincount(ranks, minlength=3))
+
+
+def test_n_domains():
+    assert _decomp(7).n_domains == 7
+
+
+def test_domain_update_methods_produce_partition():
+    def prog(comm):
+        rng = np.random.default_rng(49 + comm.rank)
+        keys = np.sort(rng.integers(0, 2 ** 63, 2000, dtype=np.uint64))
+        d1 = domain_update(comm, keys, method="hierarchical")
+        d2 = domain_update(comm, keys, method="serial")
+        return d1.boundaries, d2.boundaries
+
+    res = spmd_run(4, prog)
+    for b1, b2 in res:
+        assert len(b1) == 5 and len(b2) == 5
+        assert b1[0] == 0 and b1[-1] == np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def test_domain_update_unknown_method():
+    def prog(comm):
+        domain_update(comm, np.zeros(1, dtype=np.uint64), method="voronoi")
+    with pytest.raises(RuntimeError):
+        spmd_run(2, prog)

@@ -1,0 +1,74 @@
+"""Tests for the particle exchange."""
+
+import numpy as np
+import pytest
+
+from repro.ics import plummer_model
+from repro.parallel import DomainDecomposition, exchange_particles
+from repro.sfc import BoundingBox
+from repro.simmpi import spmd_run
+
+
+def _run_exchange(n_ranks=4, n=2000):
+    ps = plummer_model(n, seed=50)
+    box = BoundingBox.from_positions(ps.pos)
+
+    def prog(comm):
+        lo = n * comm.rank // comm.size
+        hi = n * (comm.rank + 1) // comm.size
+        local = ps.select(np.arange(lo, hi))
+        keys = box.keys(local.pos)
+        # quantile-based decomposition from globally gathered keys
+        all_keys = np.sort(np.concatenate(comm.allgather(keys)))
+        edges = np.zeros(comm.size + 1, dtype=np.uint64)
+        edges[-1] = np.uint64(0xFFFFFFFFFFFFFFFF)
+        for d in range(1, comm.size):
+            edges[d] = all_keys[len(all_keys) * d // comm.size]
+        decomp = DomainDecomposition(boundaries=edges)
+        new_local = exchange_particles(comm, local, keys, decomp)
+        # verify ownership
+        new_keys = box.keys(new_local.pos)
+        assert np.all(decomp.rank_of_keys(new_keys) == comm.rank)
+        return new_local
+
+    return ps, spmd_run(n_ranks, prog)
+
+
+def test_every_particle_delivered_once():
+    ps, results = _run_exchange()
+    ids = np.concatenate([r.ids for r in results])
+    assert len(ids) == ps.n
+    assert np.array_equal(np.sort(ids), np.sort(ps.ids))
+
+
+def test_particle_data_preserved():
+    ps, results = _run_exchange()
+    full = np.concatenate([r.pos for r in results])
+    ids = np.concatenate([r.ids for r in results])
+    order = np.argsort(ids)
+    assert np.allclose(full[order], ps.pos)
+    vels = np.concatenate([r.vel for r in results])[order]
+    assert np.allclose(vels, ps.vel)
+    masses = np.concatenate([r.mass for r in results])[order]
+    assert np.allclose(masses, ps.mass)
+
+
+def test_counts_roughly_balanced():
+    ps, results = _run_exchange()
+    counts = np.array([r.n for r in results])
+    assert counts.sum() == ps.n
+    assert counts.max() < 1.3 * counts.mean()
+
+
+def test_size_mismatch_raises():
+    ps = plummer_model(100, seed=51)
+    box = BoundingBox.from_positions(ps.pos)
+
+    def prog(comm):
+        keys = box.keys(ps.pos)
+        bad = DomainDecomposition(
+            boundaries=np.array([0, 2 ** 63, 2 ** 64 - 1], dtype=np.uint64))
+        exchange_particles(comm, ps, keys, bad)
+
+    with pytest.raises(RuntimeError):
+        spmd_run(3, prog)

@@ -1,0 +1,167 @@
+"""Tests for LET construction, boundary structures and sufficiency."""
+
+import numpy as np
+import pytest
+
+from repro.gravity import tree_forces
+from repro.gravity.kernels import point_forces_on_targets
+from repro.octree import (
+    build_octree,
+    compute_moments,
+    compute_opening_radii,
+    make_groups,
+)
+from repro.parallel import (
+    LETData,
+    boundary_structure,
+    boundary_sufficient_for,
+    build_let_for_box,
+    prune_tree,
+)
+
+
+@pytest.fixture()
+def source_tree():
+    rng = np.random.default_rng(52)
+    pos = rng.normal(size=(4000, 3))
+    mass = rng.uniform(0.5, 1.0, 4000)
+    tree = build_octree(pos, nleaf=16)
+    compute_moments(tree, pos, mass)
+    compute_opening_radii(tree, 0.5, "bonsai")
+    spos = pos[tree.order]
+    smass = mass[tree.order]
+    return tree, pos, mass, spos, smass
+
+
+def test_let_conserves_root_mass(source_tree):
+    tree, pos, mass, spos, smass = source_tree
+    let = build_let_for_box(tree, spos, smass,
+                            np.array([10.0, 10, 10]), np.array([12.0, 12, 12]))
+    assert let.total_mass() == pytest.approx(mass.sum(), rel=1e-9)
+
+
+def test_far_viewer_gets_tiny_let(source_tree):
+    tree, _, _, spos, smass = source_tree
+    far = build_let_for_box(tree, spos, smass,
+                            np.array([1e4] * 3), np.array([1.0001e4] * 3))
+    near = build_let_for_box(tree, spos, smass,
+                             np.array([1.5, 1.5, 1.5]), np.array([3.0, 3, 3]))
+    assert far.n_cells < near.n_cells
+    assert far.n_particles <= near.n_particles
+    assert far.nbytes < near.nbytes
+
+
+def test_overlapping_viewer_exports_particles(source_tree):
+    tree, _, _, spos, smass = source_tree
+    let = build_let_for_box(tree, spos, smass,
+                            np.array([-0.5] * 3), np.array([0.5] * 3))
+    assert let.n_particles > 0
+    # Exported particle mass + pruned multipole masses cover the root.
+    assert let.total_mass() == pytest.approx(tree.mass[0], rel=1e-9)
+
+
+def test_let_children_consistency(source_tree):
+    tree, _, _, spos, smass = source_tree
+    let = build_let_for_box(tree, spos, smass,
+                            np.array([2.0, 2, 2]), np.array([4.0, 4, 4]))
+    internal = np.flatnonzero(let.n_children > 0)
+    for c in internal:
+        ch = np.arange(let.first_child[c], let.first_child[c] + let.n_children[c])
+        assert np.all(ch < let.n_cells)
+        assert let.mass[ch].sum() == pytest.approx(let.mass[c], rel=1e-9)
+
+
+def test_let_particle_ranges_valid(source_tree):
+    tree, _, _, spos, smass = source_tree
+    let = build_let_for_box(tree, spos, smass,
+                            np.array([-1.0] * 3), np.array([1.0] * 3))
+    leaves = np.flatnonzero((let.n_children == 0) & (let.body_count > 0))
+    ends = let.body_first[leaves] + let.body_count[leaves]
+    assert ends.max() <= let.n_particles
+    covered = let.body_count[leaves].sum()
+    assert covered == let.n_particles  # each exported particle exactly once
+
+
+def test_let_force_matches_exact_partial_force(source_tree):
+    """Forces computed from a LET must match the exact forces exerted by
+    the source's particles on targets inside the viewer box."""
+    tree, pos, mass, spos, smass = source_tree
+    bmin = np.array([2.0, 2.0, 2.0])
+    bmax = np.array([4.0, 4.0, 4.0])
+    let = build_let_for_box(tree, spos, smass, bmin, bmax)
+
+    rng = np.random.default_rng(53)
+    tpos = rng.uniform(2.0, 4.0, size=(500, 3))
+    ttree = build_octree(tpos, nleaf=16)
+    compute_moments(ttree, tpos, np.ones(500))
+    make_groups(ttree, 64)
+    res = tree_forces(ttree, tpos, np.ones(500), theta=0.5, eps=0.01,
+                      source=let, source_pos=let.part_pos,
+                      source_mass=let.part_mass)
+    acc_exact, phi_exact = point_forces_on_targets(tpos, pos, mass, 0.01 ** 2)
+    err = np.linalg.norm(res.acc - acc_exact, axis=1) / np.linalg.norm(acc_exact, axis=1)
+    assert np.median(err) < 1e-3
+    assert err.max() < 0.05
+
+
+def test_boundary_structure_smaller_than_tree(source_tree):
+    tree, _, _, spos, smass = source_tree
+    b = boundary_structure(tree, spos, smass)
+    assert b.n_cells < tree.n_cells
+    assert b.total_mass() == pytest.approx(tree.mass[0], rel=1e-9)
+
+
+def test_boundary_sufficient_far_insufficient_near(source_tree):
+    tree, _, _, spos, smass = source_tree
+    b = boundary_structure(tree, spos, smass)
+    far = boundary_sufficient_for(b, np.array([50.0] * 3), np.array([51.0] * 3))
+    near = boundary_sufficient_for(b, np.array([0.0] * 3), np.array([0.5] * 3))
+    assert far is True
+    assert near is False
+
+
+def test_sufficient_boundary_is_accurate_let(source_tree):
+    """When the sufficiency check passes, walking the boundary structure
+    must give accurate forces for that viewer."""
+    tree, pos, mass, spos, smass = source_tree
+    b = boundary_structure(tree, spos, smass)
+    bmin, bmax = np.array([30.0] * 3), np.array([33.0] * 3)
+    assert boundary_sufficient_for(b, bmin, bmax)
+    rng = np.random.default_rng(54)
+    tpos = rng.uniform(30.0, 33.0, size=(200, 3))
+    ttree = build_octree(tpos, nleaf=16)
+    compute_moments(ttree, tpos, np.ones(200))
+    make_groups(ttree, 64)
+    res = tree_forces(ttree, tpos, np.ones(200), theta=0.5, eps=0.0,
+                      source=b, source_pos=b.part_pos, source_mass=b.part_mass)
+    acc_exact, _ = point_forces_on_targets(tpos, pos, mass, 0.0)
+    err = np.linalg.norm(res.acc - acc_exact, axis=1) / np.linalg.norm(acc_exact, axis=1)
+    assert np.median(err) < 1e-3
+
+
+def test_prune_tree_with_open_nothing(source_tree):
+    """An opener that never opens yields a single multipole root."""
+    tree, _, _, spos, smass = source_tree
+    let = prune_tree(tree, spos, smass, lambda cells: np.zeros(len(cells), bool))
+    assert let.n_cells == 1
+    assert let.n_particles == 0
+    assert let.pruned[0]
+
+
+def test_prune_tree_with_open_everything(source_tree):
+    """An opener that always opens exports every particle."""
+    tree, _, _, spos, smass = source_tree
+    let = prune_tree(tree, spos, smass, lambda cells: np.ones(len(cells), bool))
+    assert let.n_particles == tree.n_bodies
+    assert not let.pruned.any()
+
+
+def test_requires_opening_radii():
+    pos = np.random.default_rng(55).normal(size=(100, 3))
+    tree = build_octree(pos)
+    compute_moments(tree, pos, np.ones(100))
+    with pytest.raises(ValueError):
+        build_let_for_box(tree, pos, np.ones(100),
+                          np.zeros(3), np.ones(3))
+    with pytest.raises(ValueError):
+        boundary_structure(tree, pos, np.ones(100))

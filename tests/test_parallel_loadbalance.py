@@ -1,0 +1,94 @@
+"""Tests for weighted cuts with the 30% particle cap."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import cut_weighted_with_cap
+from repro.parallel.loadbalance import domain_counts
+
+
+def _keys(n, seed=41):
+    return np.sort(np.random.default_rng(seed).integers(
+        0, 2 ** 63, n, dtype=np.uint64))
+
+
+def test_boundaries_shape_and_range():
+    keys = _keys(1000)
+    b = cut_weighted_with_cap(keys, np.ones(1000), 8)
+    assert len(b) == 9
+    assert b[0] == 0
+    assert b[-1] == np.uint64(0xFFFFFFFFFFFFFFFF)
+    assert np.all(np.diff(b.astype(np.float64)) >= 0)
+
+
+def test_uniform_weights_give_even_counts():
+    keys = _keys(10000)
+    b = cut_weighted_with_cap(keys, np.ones(10000), 10)
+    counts = domain_counts(keys, b)
+    assert counts.sum() == 10000
+    assert counts.max() < 1.15 * 1000
+    assert counts.min() > 0.85 * 1000
+
+
+def test_cost_weighting_shifts_boundaries():
+    """Samples with heavy cost at low keys must shrink the low domains'
+    key span."""
+    keys = _keys(10000)
+    cost = np.ones(10000)
+    cost[:2000] = 50.0
+    b = cut_weighted_with_cap(keys, cost, 4, cap_ratio=np.inf)
+    counts = domain_counts(keys, b)
+    # Low-key domains take fewer particles because each costs more.
+    assert counts[0] < counts[-1]
+    # The total cost per domain is roughly balanced.
+    csum = np.cumsum(cost)
+    dom = np.searchsorted(b[1:-1], keys, side="right")
+    per_dom = np.bincount(dom, weights=cost, minlength=4)
+    assert per_dom.max() / per_dom.min() < 1.6
+
+
+def test_cap_limits_particle_count():
+    """Even under extreme cost skew, no domain may exceed the 30% cap."""
+    keys = _keys(8000)
+    cost = np.ones(8000)
+    cost[-10:] = 1e6  # nearly all cost in 10 samples
+    b = cut_weighted_with_cap(keys, cost, 8, cap_ratio=1.3)
+    counts = domain_counts(keys, b)
+    assert counts.max() <= np.ceil(1.3 * 1000) + 1
+
+
+def test_single_domain():
+    keys = _keys(100)
+    b = cut_weighted_with_cap(keys, np.ones(100), 1)
+    assert len(b) == 2
+    assert domain_counts(keys, b)[0] == 100
+
+
+def test_empty_samples_uniform_split():
+    b = cut_weighted_with_cap(np.empty(0, dtype=np.uint64), np.empty(0), 4)
+    assert len(b) == 5
+    assert np.all(np.diff(b.astype(np.float64)) > 0)
+
+
+def test_zero_cost_falls_back_to_counts():
+    keys = _keys(1000)
+    b = cut_weighted_with_cap(keys, np.zeros(1000), 4)
+    counts = domain_counts(keys, b)
+    assert counts.max() < 1.3 * 250 + 1
+
+
+def test_mismatched_lengths():
+    with pytest.raises(ValueError):
+        cut_weighted_with_cap(_keys(10), np.ones(9), 2)
+
+
+def test_invalid_domain_count():
+    with pytest.raises(ValueError):
+        cut_weighted_with_cap(_keys(10), np.ones(10), 0)
+
+
+def test_duplicate_keys_keep_boundaries_monotone():
+    keys = np.sort(np.repeat(_keys(50), 40))
+    b = cut_weighted_with_cap(keys, np.ones(len(keys)), 8)
+    assert np.all(np.diff(b.astype(np.float64)) >= 0)
+    assert domain_counts(keys, b).sum() == len(keys)

@@ -1,0 +1,131 @@
+"""Tests for the serial and hierarchical sampling decomposers."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    hierarchical_sample_boundaries,
+    sample_weighted_keys,
+    serial_sample_boundaries,
+)
+from repro.parallel.loadbalance import domain_counts
+from repro.parallel.sampling import factor_grid
+from repro.simmpi import spmd_run
+
+
+def test_sample_weighted_keys_rate():
+    keys = np.sort(np.random.default_rng(42).integers(
+        0, 2 ** 63, 1000, dtype=np.uint64))
+    s, c = sample_weighted_keys(keys, None, 0.05)
+    assert len(s) == 50
+    assert np.all(np.isin(s, keys))
+    assert c.sum() == pytest.approx(1000.0)
+
+
+def test_sample_weighted_keys_weighting():
+    """Heavy particles must attract proportionally more samples."""
+    keys = np.arange(1000, dtype=np.uint64)
+    w = np.ones(1000)
+    w[:100] = 99.0  # 10% of particles hold ~92% of the weight
+    s, _ = sample_weighted_keys(keys, w, 0.1)
+    frac_low = np.mean(s < 100)
+    assert frac_low > 0.8
+
+
+def test_sample_requires_sorted():
+    with pytest.raises(ValueError):
+        sample_weighted_keys(np.array([5, 1], dtype=np.uint64), None, 0.5)
+
+
+def test_sample_empty():
+    s, c = sample_weighted_keys(np.empty(0, dtype=np.uint64), None, 0.5)
+    assert len(s) == 0 and len(c) == 0
+
+
+def test_factor_grid():
+    assert factor_grid(16) == (4, 4)
+    assert factor_grid(12) == (3, 4)
+    assert factor_grid(7) == (1, 7)
+    assert factor_grid(1) == (1, 1)
+
+
+def _distributed_keys(rank, size, n=4000, seed=43):
+    rng = np.random.default_rng(seed + rank)
+    return np.sort(rng.integers(0, 2 ** 63, n, dtype=np.uint64))
+
+
+@pytest.mark.parametrize("method_fn", [serial_sample_boundaries,
+                                       hierarchical_sample_boundaries])
+def test_boundaries_identical_on_all_ranks(method_fn):
+    def prog(comm):
+        keys = _distributed_keys(comm.rank, comm.size)
+        if method_fn is serial_sample_boundaries:
+            return method_fn(comm, keys, None, comm.size, 0.05)
+        return method_fn(comm, keys, None, comm.size, 0.02, 0.1)
+
+    results = spmd_run(4, prog)
+    for r in results[1:]:
+        assert np.array_equal(r, results[0])
+
+
+@pytest.mark.parametrize("size", [2, 4, 6])
+def test_hierarchical_balances_counts(size):
+    def prog(comm):
+        keys = _distributed_keys(comm.rank, comm.size)
+        b = hierarchical_sample_boundaries(comm, keys, None, comm.size,
+                                           0.05, 0.2)
+        return domain_counts(keys, b)
+
+    results = spmd_run(size, prog)
+    total = np.sum(results, axis=0)
+    avg = total.sum() / size
+    assert total.max() < 1.35 * avg
+    assert total.min() > 0.6 * avg
+
+
+def test_serial_balances_counts():
+    def prog(comm):
+        keys = _distributed_keys(comm.rank, comm.size, seed=44)
+        b = serial_sample_boundaries(comm, keys, None, comm.size, 0.1)
+        return domain_counts(keys, b)
+
+    results = spmd_run(4, prog)
+    total = np.sum(results, axis=0)
+    avg = total.mean()
+    assert total.max() < 1.35 * avg
+
+
+def test_hierarchical_matches_serial_quality():
+    """The parallel method must not degrade balance much vs the serial
+    one at the same refinement rate."""
+    def prog_h(comm):
+        keys = _distributed_keys(comm.rank, comm.size, seed=45)
+        b = hierarchical_sample_boundaries(comm, keys, None, comm.size,
+                                           0.05, 0.2)
+        return domain_counts(keys, b)
+
+    def prog_s(comm):
+        keys = _distributed_keys(comm.rank, comm.size, seed=45)
+        b = serial_sample_boundaries(comm, keys, None, comm.size, 0.2)
+        return domain_counts(keys, b)
+
+    th = np.sum(spmd_run(4, prog_h), axis=0)
+    ts = np.sum(spmd_run(4, prog_s), axis=0)
+    imb_h = th.max() / th.mean()
+    imb_s = ts.max() / ts.mean()
+    assert imb_h < imb_s * 1.25
+
+
+def test_weighted_decomposition_balances_cost():
+    """Cost-weighted sampling must balance cost, not just counts."""
+    def prog(comm):
+        keys = _distributed_keys(comm.rank, comm.size, seed=46)
+        # low keys are 10x more expensive on every rank
+        w = np.where(keys < np.uint64(2 ** 62), 10.0, 1.0)
+        b = serial_sample_boundaries(comm, keys, w, comm.size, 0.2,
+                                     cap_ratio=np.inf)
+        dom = np.searchsorted(b[1:-1], keys, side="right")
+        return np.bincount(dom, weights=w, minlength=comm.size)
+
+    cost = np.sum(spmd_run(4, prog), axis=0)
+    assert cost.max() / cost.min() < 1.5

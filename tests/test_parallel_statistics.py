@@ -1,0 +1,76 @@
+"""Tests for the run-statistics aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.core.step import StepBreakdown
+from repro.gravity.flops import InteractionCounts
+from repro.parallel import aggregate_rank_histories
+
+
+def _bd(gl, pp, pc):
+    return StepBreakdown(gravity_local=gl,
+                         counts=InteractionCounts(n_pp=pp, n_pc=pc))
+
+
+def test_phase_times_take_rank_maximum():
+    histories = [[_bd(1.0, 10, 1)], [_bd(3.0, 10, 1)]]
+    stats = aggregate_rank_histories(histories, [100, 100])
+    assert stats.mean_step.gravity_local == pytest.approx(3.0)
+
+
+def test_counts_summed_over_ranks():
+    histories = [[_bd(1.0, 10, 5)], [_bd(1.0, 30, 15)]]
+    stats = aggregate_rank_histories(histories, [100, 100])
+    assert stats.mean_step.counts.n_pp == 40
+    assert stats.mean_step.counts.n_pc == 20
+    assert stats.interactions_per_particle == (40 / 200, 20 / 200)
+
+
+def test_step_averaging():
+    histories = [[_bd(1.0, 100, 0), _bd(3.0, 300, 0)]]
+    stats = aggregate_rank_histories(histories, [10])
+    assert stats.mean_step.gravity_local == pytest.approx(2.0)
+    assert stats.mean_step.counts.n_pp == 200
+
+
+def test_imbalance():
+    histories = [[_bd(1, 1, 1)], [_bd(1, 1, 1)], [_bd(1, 1, 1)]]
+    stats = aggregate_rank_histories(histories, [100, 100, 130])
+    assert stats.imbalance == pytest.approx(130 / 110)
+
+
+def test_recv_wait_max():
+    histories = [[_bd(1, 1, 1)], [_bd(1, 1, 1)]]
+    stats = aggregate_rank_histories(histories, [1, 1],
+                                     recv_waits=[0.1, 0.4])
+    assert stats.recv_wait_max == pytest.approx(0.4)
+
+
+def test_gflops_total():
+    bd = _bd(2.0, 10 ** 9, 0)
+    stats = aggregate_rank_histories([[bd]], [1000])
+    assert stats.gpu_gflops_total == pytest.approx(23 * 10 ** 9 / 2.0 / 1e9)
+
+
+def test_empty_history_raises():
+    with pytest.raises(ValueError):
+        aggregate_rank_histories([], [])
+
+
+def test_real_parallel_run_aggregation():
+    """End-to-end: aggregate an actual 2-rank simulation."""
+    from repro import SimulationConfig
+    from repro.core.parallel_simulation import run_parallel_simulation
+    from repro.ics import plummer_model
+
+    ps = plummer_model(1500, seed=93)
+    cfg = SimulationConfig(theta=0.6, softening=0.05, dt=0.02)
+    sims = run_parallel_simulation(2, ps, cfg, n_steps=2)
+    stats = aggregate_rank_histories([s.history for s in sims],
+                                     [s.particles.n for s in sims])
+    assert stats.n_ranks == 2
+    assert stats.n_particles_total == 1500
+    assert stats.mean_step.gravity_local > 0
+    assert stats.interactions_per_particle[0] > 10
+    assert stats.imbalance < 1.35

@@ -1,0 +1,64 @@
+"""Tests that the perf model's structural claims hold for the real code."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel.calibration import (
+    calibrate_boundary_sizes,
+    calibrate_interactions,
+)
+
+
+@pytest.fixture(scope="module")
+def interaction_cal():
+    return calibrate_interactions(n_values=[3000, 6000, 12000, 24000],
+                                  theta=0.5, seed=65)
+
+
+@pytest.fixture(scope="module")
+def boundary_cal():
+    return calibrate_boundary_sizes(n_values=[4000, 16000, 64000],
+                                    theta=0.5, seed=66)
+
+
+def test_pc_grows_logarithmically(interaction_cal):
+    """p-c per particle increases with N and the log-linear fit is good."""
+    cal = interaction_cal
+    assert np.all(np.diff(cal.pc_per_particle) > 0)
+    # fit quality: residuals small relative to the total growth
+    x = np.log2(cal.n_values / cal.n_values[0])
+    fitted = cal.pc_intercept + cal.pc_log_slope * x
+    resid = np.abs(fitted - cal.pc_per_particle)
+    growth = cal.pc_per_particle[-1] - cal.pc_per_particle[0]
+    assert resid.max() < 0.25 * growth
+    assert cal.pc_log_slope > 0
+
+
+def test_pp_roughly_constant(interaction_cal):
+    """p-p per particle is N-independent up to finite-size effects; its
+    spread must be far smaller than the p-c growth over the same range."""
+    cal = interaction_cal
+    pp_growth = (cal.pp_per_particle.max() - cal.pp_per_particle.min())
+    pc_growth = cal.pc_per_particle[-1] - cal.pc_per_particle[0]
+    rel_pp = pp_growth / cal.pp_per_particle.mean()
+    rel_pc = pc_growth / cal.pc_per_particle.mean()
+    assert rel_pp < rel_pc
+
+
+def test_pc_extrapolation_consistent(interaction_cal):
+    cal = interaction_cal
+    assert cal.pc_extrapolated(cal.n_values[0]) == pytest.approx(cal.pc_intercept)
+    assert cal.pc_extrapolated(4 * cal.n_values[0]) == pytest.approx(
+        cal.pc_intercept + 2 * cal.pc_log_slope)
+
+
+def test_boundary_sublinear(boundary_cal):
+    """The boundary structure must grow sublinearly with local N -- the
+    property behind 'the communication time itself increases only
+    slightly' (Sec. III-B2).  Expect an exponent near 2/3."""
+    assert 0.4 < boundary_cal.power_law_exponent < 0.9
+
+
+def test_boundary_sizes_increase(boundary_cal):
+    assert np.all(np.diff(boundary_cal.boundary_cells) > 0)
+    assert np.all(np.diff(boundary_cal.boundary_bytes) > 0)

@@ -1,0 +1,61 @@
+"""Tests for the energy-efficiency figures of Sec. II."""
+
+import pytest
+
+from repro.perfmodel import PIZ_DAINT, TITAN
+from repro.perfmodel.energy import (
+    K_COMPUTER_POWER,
+    PIZ_DAINT_POWER,
+    TITAN_POWER,
+    efficiency_advantage_over_k,
+    flops_per_node_comparison,
+    power_spec_for,
+    run_energy_megawatt_hours,
+)
+
+
+def test_sec2_power_figures():
+    assert K_COMPUTER_POWER.gflops_per_watt == pytest.approx(0.830)
+    assert TITAN_POWER.gflops_per_watt == pytest.approx(2.1)
+    assert PIZ_DAINT_POWER.gflops_per_watt == pytest.approx(2.7)
+
+
+def test_gpu_machines_2_to_3x_more_efficient():
+    adv = efficiency_advantage_over_k()
+    assert 2.0 < adv["Titan"] < 3.0
+    assert 3.0 < adv["Piz Daint"] < 3.5
+
+
+def test_node_flops_ratio():
+    """Sec. II: 3.95 Tflops/node on Titan vs 0.128 on K computer --
+    a ~31x denser node, hence the tighter network balance."""
+    f = flops_per_node_comparison()
+    assert f["Titan node (K20X, SP)"] / f["K computer node"] == pytest.approx(
+        30.9, rel=0.01)
+
+
+def test_power_lookup():
+    assert power_spec_for(TITAN) is TITAN_POWER
+    assert power_spec_for(PIZ_DAINT) is PIZ_DAINT_POWER
+
+
+def test_unknown_machine_raises():
+    import dataclasses
+    fake = dataclasses.replace(TITAN, name="Summit")
+    with pytest.raises(ValueError):
+        power_spec_for(fake)
+
+
+def test_full_milky_way_run_energy():
+    """A week on all of Titan is order-megawatt-hours -- sanity scale."""
+    week_seconds = 7 * 86400
+    mwh = run_energy_megawatt_hours(TITAN, 18600, week_seconds)
+    assert 1000 < mwh < 2000  # ~8.2 MW x ~168 h x (18600/18688)
+
+
+def test_energy_scales_with_nodes_and_time():
+    e1 = run_energy_megawatt_hours(TITAN, 1000, 3600)
+    e2 = run_energy_megawatt_hours(TITAN, 2000, 3600)
+    e3 = run_energy_megawatt_hours(TITAN, 1000, 7200)
+    assert e2 == pytest.approx(2 * e1)
+    assert e3 == pytest.approx(2 * e1)

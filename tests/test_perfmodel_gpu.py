@@ -1,0 +1,69 @@
+"""Tests for the GPU kernel model (Fig. 1 quantities)."""
+
+import pytest
+
+from repro.perfmodel import C2075, K20X, direct_kernel_gflops, fig1_bars, tree_kernel_rates
+
+
+def test_fig1_values():
+    bars = {(g, k): v for g, k, v, _ in fig1_bars()}
+    assert bars[("C2075", "tree/original")] == 460.0
+    assert bars[("K20X", "tree/original")] == 829.0
+    assert bars[("K20X", "tree/tuned")] == 1768.0
+    assert bars[("C2075", "direct")] == 638.0
+    assert bars[("K20X", "direct")] == 1746.0
+
+
+def test_fig1_claims():
+    """Text claims: tuned is ~2x original on K20X and ~4x the C2075."""
+    bars = {(g, k): v for g, k, v, _ in fig1_bars()}
+    tuned = bars[("K20X", "tree/tuned")]
+    assert tuned / bars[("K20X", "tree/original")] == pytest.approx(2.0, abs=0.2)
+    assert tuned / bars[("C2075", "tree/original")] == pytest.approx(4.0, abs=0.3)
+
+
+def test_single_gpu_rate_matches_table2():
+    """The split p-p/p-c rates must blend to 1.77 Tflops at the 1-GPU
+    interaction mix and ~1.80 at the 18600-GPU mix."""
+    kr = tree_kernel_rates(K20X, "tuned")
+    assert kr.aggregate_gflops(1745, 4529) == pytest.approx(1770, rel=0.01)
+    assert kr.aggregate_gflops(1716, 6920) == pytest.approx(1800, rel=0.01)
+
+
+def test_gravity_seconds_scale_with_counts():
+    kr = tree_kernel_rates()
+    t1 = kr.gravity_seconds(1000, 1000)
+    t2 = kr.gravity_seconds(2000, 2000)
+    assert t2 == pytest.approx(2 * t1)
+
+
+def test_monopole_cheaper_than_quadrupole():
+    kr = tree_kernel_rates()
+    assert kr.gravity_seconds(0, 1000, quadrupole=False) < \
+        kr.gravity_seconds(0, 1000, quadrupole=True)
+
+
+def test_fermi_slower_than_kepler():
+    f = tree_kernel_rates(C2075, "original")
+    k = tree_kernel_rates(K20X, "tuned")
+    assert f.rpp_gflops < k.rpp_gflops
+    assert f.rpc_gflops < k.rpc_gflops
+
+
+def test_direct_kernel_rates():
+    assert direct_kernel_gflops(K20X) == 1746.0
+    assert direct_kernel_gflops(C2075) == 638.0
+
+
+def test_unknown_variant_raises():
+    with pytest.raises(ValueError):
+        tree_kernel_rates(C2075, "tuned")  # no tuned Fermi kernel exists
+
+
+def test_fraction_of_peak_sensible():
+    """Sustained fractions: K20X tuned ~45% of 3.95 Tflops peak
+    (Sec. VI-D: 'the GPUs operate at 46% of this number')."""
+    for gpu, kernel, gflops, frac in fig1_bars():
+        assert 0.1 < frac < 0.7
+    bars = {(g, k): f for g, k, _, f in fig1_bars()}
+    assert bars[("K20X", "tree/tuned")] == pytest.approx(0.45, abs=0.03)

@@ -1,0 +1,90 @@
+"""Tests for hardware descriptions and the Table I rendering."""
+
+import pytest
+
+from repro.perfmodel import C2075, K20X, PIZ_DAINT, TITAN, table1_rows
+from repro.perfmodel.network import (
+    allgather_seconds,
+    average_hops,
+    comm_time_seconds,
+    effective_bandwidth_gbs,
+    effective_latency_us,
+    neighbor_exchange_seconds,
+)
+
+
+def test_table1_values():
+    """Every Table I entry must be reproduced."""
+    rows = {r[0]: r[1:] for r in table1_rows()}
+    assert rows["Setup"] == ("Piz Daint", "Titan")
+    assert rows["GPU model"] == ("K20X", "K20X")
+    assert rows["Total GPUs"] == ("5272", "18688")
+    assert rows["GPUs used"] == ("5200", "18600")
+    assert rows["GPU RAM (ECC enabled)"] == ("5.4 GB", "5.4 GB")
+    assert rows["CPU model"] == ("Xeon E5-2670", "Opteron 6274")
+    assert rows["Node RAM"] == ("32GB", "32GB")
+    assert rows["Network"] == ("Aries/dragonfly", "Gemini/torus3d")
+
+
+def test_gpu_specs():
+    assert K20X.peak_sp_tflops == pytest.approx(3.95)
+    assert K20X.arch == "kepler"
+    assert C2075.arch == "fermi"
+    assert K20X.mem_gb == 5.4
+
+
+def test_machine_compositions():
+    assert PIZ_DAINT.network.topology == "dragonfly"
+    assert TITAN.network.topology == "torus3d"
+    assert TITAN.cpu_slowdown > PIZ_DAINT.cpu_slowdown
+
+
+def test_torus_hops_grow_with_machine():
+    assert average_hops(TITAN.network, 18600) > average_hops(TITAN.network, 1024)
+
+
+def test_dragonfly_hops_bounded():
+    assert average_hops(PIZ_DAINT.network, 5200) <= 3.0
+
+
+def test_dragonfly_beats_torus_at_scale():
+    """The paper's rationale for Piz Daint's better communication rows."""
+    p = 4096
+    assert effective_latency_us(PIZ_DAINT.network, p) < \
+        effective_latency_us(TITAN.network, p)
+    assert effective_bandwidth_gbs(PIZ_DAINT.network, p) > \
+        effective_bandwidth_gbs(TITAN.network, p)
+
+
+def test_allgather_grows_with_ranks():
+    net = PIZ_DAINT.network
+    assert allgather_seconds(net, 4096, 1e5) > allgather_seconds(net, 512, 1e5)
+    assert allgather_seconds(net, 1, 1e5) == 0.0
+
+
+def test_neighbor_exchange():
+    net = TITAN.network
+    t = neighbor_exchange_seconds(net, 1024, 40, 1e5)
+    assert t > 0
+    assert neighbor_exchange_seconds(net, 1024, 0, 1e5) == 0.0
+
+
+def test_comm_time_composition():
+    net = TITAN.network
+    total = comm_time_seconds(net, 1024, 1e5, 4e5, 40)
+    assert total == pytest.approx(
+        allgather_seconds(net, 1024, 1e5)
+        + neighbor_exchange_seconds(net, 1024, 40, 4e5))
+
+
+def test_single_node_no_comm():
+    assert comm_time_seconds(TITAN.network, 1, 1e5, 1e5) == 0.0
+
+
+def test_unknown_topology_raises():
+    from repro.perfmodel.hardware import NetworkSpec
+    bad = NetworkSpec(name="x", topology="hypercube", latency_us=1, bandwidth_gbs=1)
+    with pytest.raises(ValueError):
+        average_hops(bad, 64)
+    with pytest.raises(ValueError):
+        effective_bandwidth_gbs(bad, 64)

@@ -1,0 +1,58 @@
+"""Tests for the Sec. II state-of-the-art record table."""
+
+import pytest
+
+from repro.perfmodel.history import (
+    RECORD_RUNS,
+    history_rows,
+    sustained_performance_growth,
+    versus_previous_record,
+)
+
+
+def test_sec2_records_present():
+    years = [r.year for r in RECORD_RUNS]
+    assert years == sorted(years)
+    by_year = {r.year: r for r in RECORD_RUNS}
+    assert by_year[2009].sustained_tflops == 42.0        # "42 Tflops" [31]
+    assert by_year[2010].sustained_tflops == 190.0       # "190 Tflops" [32]
+    assert by_year[2012].sustained_tflops == 4450.0      # "4.45 Pflops" [10]
+    assert by_year[2012].n_particles == pytest.approx(1e12)  # trillion-body
+    assert by_year[2014].sustained_tflops == 24770.0     # this paper
+
+
+def test_growth_factors():
+    assert sustained_performance_growth() == pytest.approx(24770 / 42, rel=1e-6)
+    # ~5.6x over the K-computer record two years earlier.
+    assert versus_previous_record() == pytest.approx(5.57, abs=0.05)
+
+
+def test_history_rows_render():
+    rows = history_rows()
+    assert rows[0][0] == "year"
+    assert len(rows) == len(RECORD_RUNS) + 1
+    assert any("Bonsai" in " ".join(r) for r in rows)
+
+
+def test_direct_force_method_in_simulation():
+    """The config's direct-summation oracle mode must integrate
+    identically to a tiny-theta tree run."""
+    import numpy as np
+    from repro import Simulation, SimulationConfig
+    from repro.ics import plummer_model
+
+    ps = plummer_model(400, seed=118)
+    direct = Simulation(ps.copy(), SimulationConfig(
+        force_method="direct", softening=0.05, dt=0.02))
+    direct.evolve(3)
+    tree = Simulation(ps.copy(), SimulationConfig(
+        theta=0.02, softening=0.05, dt=0.02))
+    tree.evolve(3)
+    assert np.allclose(direct.particles.pos, tree.particles.pos, atol=1e-9)
+    assert direct.history[0].counts.n_pc == 0
+
+
+def test_invalid_force_method():
+    from repro import SimulationConfig
+    with pytest.raises(ValueError):
+        SimulationConfig(force_method="fmm")

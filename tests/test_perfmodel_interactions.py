@@ -1,0 +1,60 @@
+"""Tests for the interaction-count model against Table II."""
+
+import pytest
+
+from repro.perfmodel import InteractionModel
+
+
+@pytest.fixture()
+def im():
+    return InteractionModel()
+
+
+def test_pc_reference_point(im):
+    assert im.pc_isolated(13e6) == pytest.approx(4529)
+
+
+def test_pc_log_growth_matches_table2_weak_scaling(im):
+    """Table II Titan weak-scaling p-c counts (13 M per GPU)."""
+    for n_gpus, paper in ((1024, 6287), (2048, 6527), (4096, 6765),
+                          (18600, 6920)):
+        model = im.pc_total(13e6, n_gpus)
+        assert model == pytest.approx(paper, rel=0.02)
+
+
+def test_pc_strong_scaling_titan(im):
+    """Titan strong-scaling column: 6.5 M per GPU on 8192 GPUs -> 7096."""
+    assert im.pc_total(6.5e6, 8192) == pytest.approx(7096, rel=0.04)
+
+
+def test_pp_counts(im):
+    assert im.pp_per_particle(1) == 1745
+    assert im.pp_per_particle(1024) == 1716
+
+
+def test_local_fraction_reproduces_constant_local_gravity(im):
+    """pc_local at 13 M must land near 2330 (what a constant 1.45 s
+    local-gravity row implies)."""
+    assert im.pc_local(13e6, 1024) == pytest.approx(2330, rel=0.02)
+    # and be independent of P in weak scaling
+    assert im.pc_local(13e6, 18600) == pytest.approx(im.pc_local(13e6, 1024))
+
+
+def test_single_gpu_sees_everything(im):
+    assert im.pc_local(13e6, 1) == im.pc_isolated(13e6)
+    assert im.pc_let(13e6, 1) == 0.0
+
+
+def test_let_plus_local_is_total(im):
+    total = im.pc_total(13e6, 4096)
+    assert im.pc_local(13e6, 4096) + im.pc_let(13e6, 4096) == pytest.approx(total)
+
+
+def test_boundary_bytes_sublinear(im):
+    b1 = im.boundary_bytes(1e6)
+    b2 = im.boundary_bytes(8e6)
+    assert b2 / b1 == pytest.approx(4.0, rel=0.01)  # (8)^(2/3)
+
+
+def test_let_bigger_than_boundary(im):
+    assert im.let_bytes(13e6) > im.boundary_bytes(13e6)

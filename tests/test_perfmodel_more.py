@@ -1,0 +1,66 @@
+"""Additional perfmodel coverage: scaling-point helpers and edge cases."""
+
+import pytest
+
+from repro.perfmodel import (
+    InteractionModel,
+    PIZ_DAINT,
+    TITAN,
+    model_step,
+    tree_kernel_rates,
+    weak_scaling,
+)
+
+
+def test_gravity_efficiency_metric():
+    pts = weak_scaling(PIZ_DAINT, [1, 1024])
+    eff = pts[1].gravity_efficiency_vs(pts[0])
+    assert 0.8 < eff <= 1.05
+
+
+def test_scaling_point_totals():
+    pts = weak_scaling(TITAN, [256], n_per_gpu=13e6)
+    assert pts[0].n_total == pytest.approx(256 * 13e6)
+
+
+def test_full_piz_daint_machine():
+    """The 5200-GPU production configuration of the 51B run."""
+    bd = model_step(PIZ_DAINT, 5200, 13e6)
+    assert 4.0 < bd.total < 4.6
+    assert bd.counts.n_pc / 13e6 > 6500
+
+
+def test_two_gpu_edge():
+    """Smallest multi-GPU configuration stays self-consistent."""
+    im = InteractionModel()
+    assert im.pc_let(13e6, 2) > 0
+    assert im.pc_total(13e6, 2) > im.pc_isolated(13e6)
+    bd = model_step(TITAN, 2, 13e6)
+    assert bd.gravity_let > 0
+    assert bd.domain_update > 0
+
+
+def test_aggregate_rate_between_component_rates():
+    kr = tree_kernel_rates()
+    agg = kr.aggregate_gflops(1000, 1000)
+    assert kr.rpp_gflops < agg < kr.rpc_gflops
+
+
+def test_pure_pp_and_pure_pc_rates():
+    kr = tree_kernel_rates()
+    assert kr.aggregate_gflops(1000, 0) == pytest.approx(kr.rpp_gflops)
+    assert kr.aggregate_gflops(0, 1000) == pytest.approx(kr.rpc_gflops)
+
+
+def test_interaction_model_custom_parameters():
+    im = InteractionModel(pc_ref=5000.0, pc_log_slope=100.0)
+    assert im.pc_isolated(13e6) == pytest.approx(5000.0)
+    assert im.pc_isolated(26e6) == pytest.approx(5100.0)
+
+
+def test_pc_isolated_floors_at_zero():
+    # The clamp engages once the log term exceeds the reference count
+    # (n/n_ref < 2^(-4529/176)); pass an absurdly small n to hit it.
+    im = InteractionModel()
+    assert im.pc_isolated(0.1) == 0.0
+    assert im.pc_isolated(1.0) > 0.0

@@ -1,0 +1,96 @@
+"""Tests for the Fig. 4 scaling curves and headline results."""
+
+import pytest
+
+from repro.perfmodel import (
+    PIZ_DAINT,
+    TITAN,
+    strong_scaling,
+    time_to_solution,
+    weak_scaling,
+)
+
+
+def test_peak_performance_headline():
+    """The paper's title numbers: 24.77 Pflops application, 33.49 Pflops
+    GPU at 18600 GPUs with 242 billion particles."""
+    pts = weak_scaling(TITAN, [1, 18600], n_per_gpu=13e6)
+    peak = pts[1]
+    assert peak.application_tflops / 1e3 == pytest.approx(24.77, rel=0.05)
+    assert peak.gpu_kernel_tflops / 1e3 == pytest.approx(33.49, rel=0.05)
+    assert peak.n_total == pytest.approx(242e9, rel=0.01)
+
+
+def test_fraction_of_theoretical_peak():
+    """Sec. VI-D: 46% of peak during force computation, 34% overall."""
+    pts = weak_scaling(TITAN, [18600], n_per_gpu=13e6)
+    theoretical = 18600 * 3.95e3  # Gflops -> Tflops: 73.2 Pflops
+    assert pts[0].gpu_kernel_tflops / theoretical * 1e3 == pytest.approx(0.46, abs=0.02)
+    assert pts[0].application_tflops / theoretical * 1e3 == pytest.approx(0.34, abs=0.02)
+
+
+def test_titan_efficiency_at_full_scale():
+    """86% application efficiency vs a single GPU (Sec. VI-B)."""
+    pts = weak_scaling(TITAN, [1, 18600])
+    assert pts[1].efficiency_vs(pts[0]) == pytest.approx(0.86, abs=0.03)
+
+
+def test_piz_daint_efficiency_above_95():
+    """Parallel efficiency never below 95% on Piz Daint (abstract)."""
+    pts = weak_scaling(PIZ_DAINT, [1, 64, 256, 1024, 2048, 4096, 5200])
+    for p in pts[1:]:
+        assert p.efficiency_vs(pts[0]) >= 0.93
+
+
+def test_titan_efficiency_90_at_midscale():
+    """~90% up to 8192 GPUs on Titan (Sec. VI-B)."""
+    pts = weak_scaling(TITAN, [1, 4096, 8192])
+    for p in pts[1:]:
+        assert p.efficiency_vs(pts[0]) == pytest.approx(0.90, abs=0.04)
+
+
+def test_gpu_curve_above_gravity_above_application():
+    """Fig. 4 ordering of the three curves."""
+    pts = weak_scaling(TITAN, [2048])
+    p = pts[0]
+    assert p.gpu_kernel_tflops >= p.gravity_tflops >= p.application_tflops
+
+
+def test_near_linear_weak_scaling():
+    pts = weak_scaling(PIZ_DAINT, [1, 16, 256, 4096])
+    rates = [p.application_tflops / p.n_gpus for p in pts]
+    assert min(rates) / max(rates) > 0.9
+
+
+def test_strong_scaling_parallel_efficiency():
+    """Strong scaling: 95% Piz Daint 2048->4096; 87% Titan 4096->8192."""
+    pd = strong_scaling(PIZ_DAINT, 26.6e9, [2048, 4096])
+    eff_pd = (pd[1].application_tflops / pd[0].application_tflops) / 2.0
+    assert eff_pd == pytest.approx(0.95, abs=0.05)
+    ti = strong_scaling(TITAN, 53.2e9, [4096, 8192])
+    eff_ti = (ti[1].application_tflops / ti[0].application_tflops) / 2.0
+    assert eff_ti == pytest.approx(0.87, abs=0.06)
+
+
+def test_more_particles_per_gpu_raises_application_rate():
+    """Sec. VI-B: 'It is possible to do runs with up to 20 million
+    particles per K20X, and thereby achieve higher application
+    performance, as more time is spent on the GPU'."""
+    lo = weak_scaling(TITAN, [4096], n_per_gpu=13e6)[0]
+    hi = weak_scaling(TITAN, [4096], n_per_gpu=20e6)[0]
+    assert hi.application_tflops / hi.n_gpus > lo.application_tflops / lo.n_gpus
+
+
+def test_time_to_solution_one_week():
+    """Sec. VI-C: 242 B particles, 18600 GPUs, 8 Gyr in about a week."""
+    t = time_to_solution()
+    assert t["seconds_per_step_barred"] < 5.6
+    assert 4.0 < t["wall_clock_days"] < 8.5
+    assert t["n_steps"] == pytest.approx(106667, rel=0.01)
+
+
+def test_time_to_solution_modest_model():
+    """106 B particles on 8192 nodes: 5.1 s/step, just over six days."""
+    t = time_to_solution(n_gpus=8192, n_total=106e9)
+    assert t["seconds_per_step_barred"] == pytest.approx(5.1, rel=0.06)
+    assert 5.5 < t["wall_clock_days"] < 7.5

@@ -1,0 +1,76 @@
+"""Tests for the step timeline model against Table II columns."""
+
+import pytest
+
+from repro.perfmodel import PIZ_DAINT, TITAN, model_step
+from repro.perfmodel.timeline import imbalance_factor
+
+#: (machine, n_gpus, n_per_gpu) -> paper Table II (total, gravity_local,
+#: gravity_let, non_hidden) targets.
+TABLE2 = {
+    ("Titan", 1, 13e6): (2.79, 2.45, 0.0, 0.0),
+    ("Titan", 1024, 13e6): (4.02, 1.45, 1.78, 0.09),
+    ("Titan", 2048, 13e6): (4.15, 1.45, 1.89, 0.10),
+    ("Titan", 4096, 13e6): (4.41, 1.45, 2.00, 0.14),
+    ("Titan", 18600, 13e6): (4.77, 1.45, 2.09, 0.22),
+    ("Titan", 8192, 6.5e6): (2.65, 0.68, 1.13, 0.25),
+    ("Piz Daint", 1024, 13e6): (3.84, 1.45, 1.79, 0.09),
+    ("Piz Daint", 2048, 13e6): (3.94, 1.45, 1.89, 0.06),
+    ("Piz Daint", 4096, 13e6): (4.15, 1.45, 2.02, 0.07),
+    ("Piz Daint", 4096, 6.5e6): (2.10, 0.68, 1.01, 0.07),
+}
+
+MACHINES = {"Titan": TITAN, "Piz Daint": PIZ_DAINT}
+
+
+@pytest.mark.parametrize("key", list(TABLE2))
+def test_total_step_time_matches_paper(key):
+    name, p, n = key
+    bd = model_step(MACHINES[name], p, n)
+    assert bd.total == pytest.approx(TABLE2[key][0], rel=0.10)
+
+
+@pytest.mark.parametrize("key", list(TABLE2))
+def test_gravity_rows_match_paper(key):
+    name, p, n = key
+    bd = model_step(MACHINES[name], p, n)
+    total, gl, let, nh = TABLE2[key]
+    assert bd.gravity_local == pytest.approx(gl, rel=0.08)
+    if let > 0:
+        assert bd.gravity_let == pytest.approx(let, rel=0.10)
+    if nh > 0:
+        assert bd.non_hidden_comm == pytest.approx(nh, abs=0.08)
+
+
+def test_single_gpu_application_rate():
+    bd = model_step(TITAN, 1, 13e6)
+    assert bd.application_tflops() == pytest.approx(1.55, rel=0.03)
+    assert bd.gpu_tflops() == pytest.approx(1.77, rel=0.03)
+
+
+def test_titan_slower_than_piz_daint_at_scale():
+    """Sec. VI-B: Piz Daint's faster CPUs and newer network give lower
+    step times at equal GPU counts."""
+    t = model_step(TITAN, 4096, 13e6).total
+    d = model_step(PIZ_DAINT, 4096, 13e6).total
+    assert d < t
+
+
+def test_imbalance_saturates_at_cap():
+    assert imbalance_factor(1) == 1.0
+    assert imbalance_factor(2 ** 20) == pytest.approx(1.3)
+    assert imbalance_factor(1024) < 1.3
+
+
+def test_interaction_counts_in_breakdown():
+    bd = model_step(TITAN, 18600, 13e6)
+    assert bd.counts.n_pp / 13e6 == pytest.approx(1716, rel=0.01)
+    assert bd.counts.n_pc / 13e6 == pytest.approx(6920, rel=0.02)
+
+
+def test_more_particles_per_gpu_more_efficient():
+    """Sec. III-B2: 'the gravity step as a whole becomes more efficient
+    with more particles per GPU'."""
+    lo = model_step(TITAN, 4096, 6.5e6)
+    hi = model_step(TITAN, 4096, 13e6)
+    assert hi.application_tflops() > lo.application_tflops()

@@ -1,0 +1,121 @@
+"""Property-based tests of core invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gravity import direct_forces, tree_forces
+from repro.octree import build_octree, compute_moments, make_groups
+from repro.parallel import cut_weighted_with_cap
+from repro.parallel.loadbalance import domain_counts
+from repro.sfc import BoundingBox
+
+
+@st.composite
+def particle_clouds(draw, max_n=400):
+    """Random particle clouds with varied anisotropy and clustering."""
+    n = draw(st.integers(8, max_n))
+    seed = draw(st.integers(0, 2 ** 31))
+    rng = np.random.default_rng(seed)
+    shape = draw(st.sampled_from(["uniform", "gaussian", "disk", "clusters"]))
+    if shape == "uniform":
+        pos = rng.uniform(-1, 1, (n, 3))
+    elif shape == "gaussian":
+        pos = rng.normal(size=(n, 3))
+    elif shape == "disk":
+        pos = rng.normal(size=(n, 3)) * [3.0, 3.0, 0.1]
+    else:
+        centers = rng.uniform(-5, 5, (4, 3))
+        pos = centers[rng.integers(0, 4, n)] + rng.normal(scale=0.2, size=(n, 3))
+    mass = rng.uniform(0.1, 2.0, n)
+    return pos, mass
+
+
+@settings(max_examples=25, deadline=None)
+@given(particle_clouds())
+def test_tree_structure_invariants(cloud):
+    """Any cloud produces a valid tree whose leaves partition particles."""
+    pos, mass = cloud
+    tree = build_octree(pos, nleaf=8)
+    tree.validate()
+    leaves = tree.leaf_cells()
+    assert tree.body_count[leaves].sum() == len(pos)
+
+
+@settings(max_examples=25, deadline=None)
+@given(particle_clouds())
+def test_moment_mass_conservation(cloud):
+    """Root mass equals total mass for any cloud, and every internal
+    cell's mass equals the sum of its children."""
+    pos, mass = cloud
+    tree = build_octree(pos, nleaf=8)
+    compute_moments(tree, pos, mass)
+    assert tree.mass[0] == pytest.approx(mass.sum(), rel=1e-9)
+    internal = np.flatnonzero(~tree.is_leaf)
+    for c in internal:
+        ch = tree.children_of(int(c))
+        assert tree.mass[c] == pytest.approx(tree.mass[ch].sum(), rel=1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(particle_clouds(max_n=200), st.floats(0.3, 0.9))
+def test_tree_force_error_bounded(cloud, theta):
+    """Tree forces stay within a few percent of direct summation for any
+    cloud and sensible opening angle."""
+    pos, mass = cloud
+    eps = 0.05
+    tree = build_octree(pos, nleaf=8)
+    compute_moments(tree, pos, mass)
+    make_groups(tree, 32)
+    res = tree_forces(tree, pos, mass, theta=theta, eps=eps)
+    acc_d, phi_d = direct_forces(pos, mass, eps=eps)
+    num = np.linalg.norm(res.acc - acc_d, axis=1)
+    den = np.linalg.norm(acc_d, axis=1) + 1e-12
+    # Median relative error bounded (individual particles can sit at
+    # force cancellation points where relative error is meaningless).
+    assert np.median(num / den) < 0.05
+
+
+@settings(max_examples=25, deadline=None)
+@given(particle_clouds(max_n=300))
+def test_group_walk_total_interactions_bounded_below(cloud):
+    """Every particle interacts with every other exactly once across the
+    p-p and p-c lists: the counts must satisfy n_pp + (cell expansions)
+    >= N-1 sources per particle at theta -> large."""
+    pos, mass = cloud
+    n = len(pos)
+    tree = build_octree(pos, nleaf=8)
+    compute_moments(tree, pos, mass)
+    make_groups(tree, 32)
+    res = tree_forces(tree, pos, mass, theta=0.5, eps=0.05)
+    # each particle must have at least one interaction partner
+    assert res.counts.n_pp + res.counts.n_pc >= n
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 32), st.integers(10, 2000), st.integers(0, 2 ** 31))
+def test_cut_partition_properties(p, n, seed):
+    """Boundary cuts are monotone, cover the key space and respect the
+    cap for any sample set."""
+    rng = np.random.default_rng(seed)
+    keys = np.sort(rng.integers(0, 2 ** 63, n, dtype=np.uint64))
+    cost = rng.uniform(0.0, 5.0, n)
+    b = cut_weighted_with_cap(keys, cost, p, cap_ratio=1.3)
+    assert len(b) == p + 1
+    assert b[0] == 0 and b[-1] == np.uint64(0xFFFFFFFFFFFFFFFF)
+    f = b.astype(np.float64)
+    assert np.all(np.diff(f) >= 0)
+    counts = domain_counts(keys, b)
+    assert counts.sum() == n
+
+
+@settings(max_examples=25, deadline=None)
+@given(particle_clouds(max_n=300))
+def test_bbox_keys_deterministic_and_bounded(cloud):
+    pos, _ = cloud
+    box = BoundingBox.from_positions(pos)
+    k1 = box.keys(pos, "hilbert")
+    k2 = box.keys(pos, "hilbert")
+    assert np.array_equal(k1, k2)
+    assert k1.max() < np.uint64(1) << np.uint64(63)

@@ -1,0 +1,96 @@
+"""Property-based tests of the LET machinery (hypothesis).
+
+These check the invariants that make the distributed algorithm correct
+for *any* geometry: mass conservation under pruning, well-formed child
+pointers, and the consistency guarantee -- a receiver group inside the
+viewer box can never be forced to open a pruned multipole.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.octree import build_octree, compute_moments, compute_opening_radii
+from repro.octree.properties import aabb_distance
+from repro.parallel import build_let_for_box, boundary_structure
+
+
+@st.composite
+def tree_and_viewer(draw):
+    seed = draw(st.integers(0, 2 ** 31))
+    n = draw(st.integers(30, 400))
+    rng = np.random.default_rng(seed)
+    pos = rng.normal(size=(n, 3)) * draw(st.floats(0.5, 20.0))
+    mass = rng.uniform(0.1, 1.0, n)
+    theta = draw(st.floats(0.3, 1.0))
+    # viewer box: random center/size, possibly overlapping the source
+    center = rng.uniform(-30, 30, 3)
+    half = draw(st.floats(0.1, 20.0))
+    return pos, mass, theta, center - half, center + half
+
+
+def _prepared(pos, mass, theta):
+    tree = build_octree(pos, nleaf=8)
+    compute_moments(tree, pos, mass)
+    compute_opening_radii(tree, theta, "bonsai")
+    return tree, pos[tree.order], mass[tree.order]
+
+
+@settings(max_examples=40, deadline=None)
+@given(tree_and_viewer())
+def test_let_mass_conserved(case):
+    pos, mass, theta, bmin, bmax = case
+    tree, spos, smass = _prepared(pos, mass, theta)
+    let = build_let_for_box(tree, spos, smass, bmin, bmax)
+    assert let.total_mass() == pytest.approx(mass.sum(), rel=1e-9)
+    # exported particle mass is part of the structure
+    covered = let.part_mass.sum() + let.mass[let.pruned].sum()
+    # covered counts pruned multipoles + particles; internal kept cells
+    # hold the rest through their children, so covered <= total
+    assert covered <= mass.sum() * (1 + 1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(tree_and_viewer())
+def test_let_child_pointers_wellformed(case):
+    pos, mass, theta, bmin, bmax = case
+    tree, spos, smass = _prepared(pos, mass, theta)
+    let = build_let_for_box(tree, spos, smass, bmin, bmax)
+    internal = np.flatnonzero(let.n_children > 0)
+    for c in internal:
+        lo = let.first_child[c]
+        hi = lo + let.n_children[c]
+        assert 0 < lo < hi <= let.n_cells
+        assert let.mass[lo:hi].sum() == pytest.approx(let.mass[c], rel=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(tree_and_viewer())
+def test_pruned_cells_always_accepted_by_viewer(case):
+    """The consistency guarantee behind hiding communication: any point
+    (hence any group AABB) inside the viewer box is farther from a
+    pruned cell's COM than its opening radius."""
+    pos, mass, theta, bmin, bmax = case
+    tree, spos, smass = _prepared(pos, mass, theta)
+    let = build_let_for_box(tree, spos, smass, bmin, bmax)
+    pruned = np.flatnonzero(let.pruned)
+    if len(pruned) == 0:
+        return
+    d = aabb_distance(bmin, bmax, let.com[pruned])
+    assert np.all(d > let.r_crit[pruned])
+
+
+@settings(max_examples=30, deadline=None)
+@given(tree_and_viewer())
+def test_boundary_structure_invariants(case):
+    pos, mass, theta, _, _ = case
+    tree, spos, smass = _prepared(pos, mass, theta)
+    b = boundary_structure(tree, spos, smass)
+    assert b.total_mass() == pytest.approx(mass.sum(), rel=1e-9)
+    assert b.n_cells <= tree.n_cells
+    # particle ranges stay within the exported arrays
+    leaves = np.flatnonzero((b.n_children == 0) & (b.body_count > 0))
+    if len(leaves):
+        assert (b.body_first[leaves] + b.body_count[leaves]).max() \
+            <= b.n_particles

@@ -1,0 +1,94 @@
+"""Tests for bounding boxes and position -> key mapping."""
+
+import numpy as np
+import pytest
+
+from repro.sfc import BoundingBox, cell_geometry, keys_for_positions
+from repro.sfc.morton import KEY_BITS_PER_DIM
+
+
+def test_from_positions_contains_all():
+    rng = np.random.default_rng(2)
+    pos = rng.normal(size=(500, 3)) * [5, 1, 0.2]
+    box = BoundingBox.from_positions(pos)
+    assert np.all(pos >= box.origin)
+    assert np.all(pos <= box.origin + box.size)
+
+
+def test_box_is_cubic():
+    pos = np.array([[0.0, 0.0, 0.0], [10.0, 1.0, 0.5]])
+    box = BoundingBox.from_positions(pos)
+    # size is scalar; all axes share it.
+    assert box.size > 10.0
+
+
+def test_degenerate_single_point():
+    box = BoundingBox.from_positions(np.zeros((1, 3)))
+    assert box.size > 0
+
+
+def test_zero_particles_raises():
+    with pytest.raises(ValueError):
+        BoundingBox.from_positions(np.empty((0, 3)))
+
+
+def test_bad_shape_raises():
+    with pytest.raises(ValueError):
+        BoundingBox.from_positions(np.zeros((5, 2)))
+
+
+def test_merge_covers_members():
+    b1 = BoundingBox(origin=np.zeros(3), size=1.0)
+    b2 = BoundingBox(origin=np.array([5.0, 0.0, 0.0]), size=2.0)
+    merged = BoundingBox.merge([b1, b2])
+    for b in (b1, b2):
+        assert np.all(merged.origin <= b.origin + 1e-12)
+        assert np.all(merged.origin + merged.size >= b.origin + b.size - 1e-12)
+
+
+def test_grid_coordinates_clip():
+    box = BoundingBox(origin=np.zeros(3), size=1.0)
+    ijk = box.grid_coordinates(np.array([[2.0, -1.0, 0.5]]))
+    nmax = (1 << KEY_BITS_PER_DIM) - 1
+    assert ijk[0][0] == nmax and ijk[1][0] == 0
+
+
+def test_keys_sorted_particles_are_spatially_coherent():
+    rng = np.random.default_rng(3)
+    pos = rng.uniform(size=(2000, 3))
+    keys, box = keys_for_positions(pos, curve="hilbert")
+    order = np.argsort(keys)
+    steps = np.linalg.norm(np.diff(pos[order], axis=0), axis=1)
+    # Mean jump along the curve should be far below the random-pair mean.
+    assert steps.mean() < 0.25 * np.linalg.norm(
+        pos[rng.permutation(2000)] - pos, axis=1).mean() + 1e-9
+
+
+@pytest.mark.parametrize("curve", ["hilbert", "morton"])
+def test_cell_geometry_contains_particles(curve):
+    """Every particle's key must land inside the decoded root/child cell."""
+    rng = np.random.default_rng(4)
+    pos = rng.normal(size=(300, 3))
+    box = BoundingBox.from_positions(pos)
+    keys = box.keys(pos, curve)
+    # Treat each particle's key as a level-3 cell and verify containment.
+    level = np.full(len(keys), 3)
+    centers, half = cell_geometry(keys, level, box, curve)
+    assert np.all(np.abs(pos - centers) <= half[:, None] * (1 + 1e-9))
+
+
+def test_unknown_curve_raises():
+    box = BoundingBox(origin=np.zeros(3), size=1.0)
+    with pytest.raises(ValueError):
+        box.keys(np.zeros((1, 3)), "peano")
+    with pytest.raises(ValueError):
+        cell_geometry(np.zeros(1, dtype=np.uint64), np.zeros(1, dtype=int),
+                      box, "zigzag")
+
+
+def test_root_cell_geometry_is_box():
+    box = BoundingBox(origin=np.array([-1.0, -1.0, -1.0]), size=2.0)
+    centers, half = cell_geometry(np.zeros(1, dtype=np.uint64),
+                                  np.zeros(1, dtype=np.int64), box)
+    assert np.allclose(centers[0], [0, 0, 0])
+    assert half[0] == pytest.approx(1.0)

@@ -1,0 +1,106 @@
+"""Tests for the Peano-Hilbert curve, including its locality property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.sfc import hilbert_decode, hilbert_encode
+
+
+def _full_curve(bits: int):
+    n = 1 << bits
+    g = np.arange(n, dtype=np.uint64)
+    X, Y, Z = np.meshgrid(g, g, g, indexing="ij")
+    coords = np.stack([X.ravel(), Y.ravel(), Z.ravel()], axis=1)
+    keys = hilbert_encode(coords[:, 0], coords[:, 1], coords[:, 2], bits=bits)
+    return coords, keys
+
+
+def test_roundtrip_random_full_depth():
+    rng = np.random.default_rng(1)
+    coords = [rng.integers(0, 2 ** 21, 5000, dtype=np.uint64) for _ in range(3)]
+    out = hilbert_decode(hilbert_encode(*coords))
+    for a, b in zip(out, coords):
+        assert np.array_equal(a, b)
+
+
+@pytest.mark.parametrize("bits", [1, 2, 3, 4])
+def test_bijective_on_full_grid(bits):
+    _, keys = _full_curve(bits)
+    n = 1 << bits
+    assert len(np.unique(keys)) == n ** 3
+    assert keys.min() == 0
+    assert keys.max() == n ** 3 - 1
+
+
+@pytest.mark.parametrize("bits", [2, 3, 4])
+def test_adjacency(bits):
+    """The defining Hilbert property: consecutive indices are neighbours."""
+    coords, keys = _full_curve(bits)
+    order = np.argsort(keys)
+    walk = coords[order].astype(np.int64)
+    step = np.abs(np.diff(walk, axis=0)).sum(axis=1)
+    assert step.max() == 1
+
+
+def test_prefix_denotes_octant():
+    """Grouping keys by their top 3 bits must split the cube into the
+    8 spatial octants -- the property the octree build relies on."""
+    bits = 4
+    coords, keys = _full_curve(bits)
+    top = keys >> np.uint64(3 * (bits - 1))
+    half = np.uint64(1 << (bits - 1))
+    octant = ((coords[:, 0] >= half).astype(int) * 4
+              + (coords[:, 1] >= half).astype(int) * 2
+              + (coords[:, 2] >= half).astype(int))
+    # Each key-prefix class must map to exactly one spatial octant.
+    for t in range(8):
+        sel = top == t
+        assert len(np.unique(octant[sel])) == 1
+
+
+def test_locality_beats_morton_on_average():
+    """Average key distance of spatial neighbours should be smaller for
+    Hilbert than for Morton ordering (why the paper picked PH-SFC)."""
+    from repro.sfc import morton_encode
+    bits = 4
+    coords, hk = _full_curve(bits)
+    mk = morton_encode(coords[:, 0], coords[:, 1], coords[:, 2])
+    # x-neighbour pairs
+    n = 1 << bits
+    sel = coords[:, 0] < n - 1
+    a = np.flatnonzero(sel)
+    b = a + n * n  # +1 in x given ij-order raveling
+    dh = np.abs(hk[a].astype(np.int64) - hk[b].astype(np.int64))
+    dm = np.abs(mk[a].astype(np.float64) - mk[b].astype(np.float64))
+    assert dh.mean() < dm.mean()
+
+
+@settings(max_examples=50, deadline=None)
+@given(hnp.arrays(np.uint64, st.integers(1, 50),
+                  elements=st.integers(0, 2 ** 21 - 1)),
+       hnp.arrays(np.uint64, 1, elements=st.integers(0, 2 ** 21 - 1)))
+def test_property_roundtrip(xs, seed):
+    """Hypothesis: encode/decode is the identity for any coordinates."""
+    ys = np.roll(xs, 1) ^ seed[0]
+    zs = (xs + seed[0]) & np.uint64(2 ** 21 - 1)
+    ys &= np.uint64(2 ** 21 - 1)
+    out = hilbert_decode(hilbert_encode(xs, ys, zs))
+    assert np.array_equal(out[0], xs)
+    assert np.array_equal(out[1], ys)
+    assert np.array_equal(out[2], zs)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 2 ** 12 - 2))
+def test_property_adjacency_full_depth_segments(start):
+    """Hypothesis: consecutive Hilbert indices decode to adjacent cells,
+    checked on random segments of the 2^12-cell curve."""
+    bits = 4
+    keys = np.array([start, start + 1], dtype=np.uint64)
+    x, y, z = hilbert_decode(keys, bits=bits)
+    d = (abs(int(x[1]) - int(x[0])) + abs(int(y[1]) - int(y[0]))
+         + abs(int(z[1]) - int(z[0])))
+    assert d == 1

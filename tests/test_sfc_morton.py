@@ -1,0 +1,79 @@
+"""Tests for Morton key encoding/decoding."""
+
+import numpy as np
+import pytest
+
+from repro.sfc import (
+    KEY_BITS_PER_DIM,
+    compact_bits,
+    morton_decode,
+    morton_encode,
+    spread_bits,
+)
+
+
+def test_spread_compact_roundtrip():
+    x = np.arange(0, 2 ** 21, 977, dtype=np.uint64)
+    assert np.array_equal(compact_bits(spread_bits(x)), x)
+
+
+def test_spread_bits_places_every_third_bit():
+    one = spread_bits(np.array([0b111], dtype=np.uint64))
+    assert one[0] == 0b1001001
+
+
+def test_encode_decode_roundtrip_random():
+    rng = np.random.default_rng(0)
+    coords = [rng.integers(0, 2 ** 21, 5000, dtype=np.uint64) for _ in range(3)]
+    out = morton_decode(morton_encode(*coords))
+    for a, b in zip(out, coords):
+        assert np.array_equal(a, b)
+
+
+def test_encode_is_x_major():
+    # x contributes the most significant bit of every 3-bit group.
+    kx = morton_encode(np.array([1], dtype=np.uint64),
+                       np.array([0], dtype=np.uint64),
+                       np.array([0], dtype=np.uint64))[0]
+    ky = morton_encode(np.array([0], dtype=np.uint64),
+                       np.array([1], dtype=np.uint64),
+                       np.array([0], dtype=np.uint64))[0]
+    kz = morton_encode(np.array([0], dtype=np.uint64),
+                       np.array([0], dtype=np.uint64),
+                       np.array([1], dtype=np.uint64))[0]
+    assert kx == 4 and ky == 2 and kz == 1
+
+
+def test_encode_monotone_within_octant():
+    # Keys of points in the same octant share the octant's top 3 bits.
+    n = 64
+    hi = np.uint64(1 << 20)  # MSB of the coordinate => octant selector
+    k1 = morton_encode(np.full(n, hi, dtype=np.uint64),
+                       np.zeros(n, dtype=np.uint64),
+                       np.arange(n, dtype=np.uint64))
+    top = k1 >> np.uint64(3 * (KEY_BITS_PER_DIM - 1))
+    assert np.all(top == top[0])
+
+
+def test_max_coordinate_fits():
+    m = np.array([(1 << 21) - 1], dtype=np.uint64)
+    key = morton_encode(m, m, m)[0]
+    assert key == (1 << 63) - 1
+
+
+def test_out_of_range_coordinates_are_masked():
+    big = np.array([1 << 21], dtype=np.uint64)  # one past max -> masks to 0
+    key = morton_encode(big, big, big)[0]
+    assert key == 0
+
+
+def test_interleaving_locality():
+    # Points close in space share long key prefixes: flipping a low
+    # coordinate bit changes only low key bits.
+    base = morton_encode(np.array([0b1000], dtype=np.uint64),
+                         np.array([0b1000], dtype=np.uint64),
+                         np.array([0b1000], dtype=np.uint64))[0]
+    near = morton_encode(np.array([0b1001], dtype=np.uint64),
+                         np.array([0b1000], dtype=np.uint64),
+                         np.array([0b1000], dtype=np.uint64))[0]
+    assert (base ^ near) < (1 << 3)

@@ -1,0 +1,177 @@
+"""Tests for the SimMPI runtime and communicator."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import SimWorld, spmd_run
+from repro.simmpi.traffic import payload_bytes
+
+
+def test_allgather():
+    def prog(comm):
+        return comm.allgather(comm.rank ** 2)
+    for res in spmd_run(4, prog):
+        assert res == [0, 1, 4, 9]
+
+
+def test_bcast():
+    def prog(comm):
+        return comm.bcast("hello" if comm.rank == 2 else None, root=2)
+    assert spmd_run(3, prog) == ["hello"] * 3
+
+
+def test_gather_root_only():
+    def prog(comm):
+        return comm.gather(comm.rank, root=1)
+    res = spmd_run(3, prog)
+    assert res[0] is None and res[2] is None
+    assert res[1] == [0, 1, 2]
+
+
+def test_allreduce_sum_min_max():
+    def prog(comm):
+        return (comm.allreduce(comm.rank, "sum"),
+                comm.allreduce(np.array([comm.rank]), "min")[0],
+                comm.allreduce(np.array([comm.rank]), "max")[0])
+    for s, lo, hi in spmd_run(4, prog):
+        assert (s, lo, hi) == (6, 0, 3)
+
+
+def test_allreduce_callable():
+    def prog(comm):
+        return comm.allreduce(comm.rank + 1, op=lambda xs: max(xs) * 100)
+    assert spmd_run(3, prog) == [300] * 3
+
+
+def test_allreduce_unknown_op():
+    def prog(comm):
+        comm.allreduce(1, "median")
+    with pytest.raises(RuntimeError, match="unknown op"):
+        spmd_run(2, prog)
+
+
+def test_send_recv_ring():
+    def prog(comm):
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        comm.send(np.arange(comm.rank + 1), right, tag=3)
+        return len(comm.recv(left, tag=3))
+    assert spmd_run(5, prog) == [5, 1, 2, 3, 4]
+
+
+def test_tags_keep_messages_separate():
+    def prog(comm):
+        if comm.rank == 0:
+            comm.send("a", 1, tag=1)
+            comm.send("b", 1, tag=2)
+            return None
+        if comm.rank == 1:
+            # receive in reverse tag order
+            b = comm.recv(0, tag=2)
+            a = comm.recv(0, tag=1)
+            return a + b
+        return None
+    assert spmd_run(2, prog)[1] == "ab"
+
+
+def test_alltoall():
+    def prog(comm):
+        out = [f"{comm.rank}->{d}" for d in range(comm.size)]
+        inbox = comm.alltoall(out)
+        return inbox
+    res = spmd_run(3, prog)
+    assert res[1] == ["0->1", "1->1", "2->1"]
+
+
+def test_alltoall_wrong_length():
+    def prog(comm):
+        comm.alltoall([1])
+    with pytest.raises(RuntimeError):
+        spmd_run(2, prog)
+
+
+def test_numpy_arrays_pass_through():
+    def prog(comm):
+        arr = comm.bcast(np.eye(3) if comm.rank == 0 else None)
+        return float(arr.trace())
+    assert spmd_run(2, prog) == [3.0, 3.0]
+
+
+def test_exception_propagates_with_rank():
+    def prog(comm):
+        if comm.rank == 1:
+            raise ValueError("boom")
+        comm.barrier()
+    with pytest.raises(RuntimeError, match="rank 1"):
+        spmd_run(3, prog)
+
+
+def test_traffic_accounting_p2p():
+    world = SimWorld(2)
+
+    def prog(comm):
+        if comm.rank == 0:
+            comm.send(np.zeros(100), 1, tag=0)
+        else:
+            comm.recv(0, tag=0)
+
+    spmd_run(2, prog, world=world)
+    assert world.traffic.p2p_bytes[(0, 1)] == 800
+    assert world.traffic.total_bytes == 800
+
+
+def test_traffic_phases():
+    world = SimWorld(2)
+
+    def prog(comm):
+        comm.set_phase("setup")
+        comm.allgather(np.zeros(10))
+        comm.set_phase("work")
+        if comm.rank == 0:
+            comm.send(b"xy", 1)
+        else:
+            comm.recv(0)
+
+    spmd_run(2, prog, world=world)
+    s = world.traffic.summary()
+    assert s["setup"]["collectives"] == 2
+    assert s["work"]["bytes"] == 2
+
+
+def test_payload_bytes():
+    assert payload_bytes(np.zeros(10)) == 80
+    assert payload_bytes(b"abc") == 3
+    assert payload_bytes([np.zeros(2), np.zeros(3)]) == 40
+    assert payload_bytes({"k": 1}) > 0
+
+
+def test_collective_ordering_across_many_rounds():
+    """Generation counters keep repeated collectives from colliding."""
+    def prog(comm):
+        acc = 0
+        for k in range(20):
+            acc += comm.allreduce(comm.rank * k)
+        return acc
+    res = spmd_run(3, prog)
+    expected = sum((0 + 1 + 2) * k for k in range(20))
+    assert res == [expected] * 3
+
+
+def test_single_rank_world():
+    def prog(comm):
+        assert comm.allgather(7) == [7]
+        assert comm.allreduce(5) == 5
+        return comm.size
+    assert spmd_run(1, prog) == [1]
+
+
+def test_invalid_dest():
+    def prog(comm):
+        comm.send(1, 5)
+    with pytest.raises(RuntimeError):
+        spmd_run(2, prog)
+
+
+def test_world_size_validation():
+    with pytest.raises(ValueError):
+        SimWorld(0)
