@@ -1,10 +1,15 @@
-.PHONY: install test bench bench-quick clean
+.PHONY: install test test-faults bench bench-quick clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
 
 test:
 	pytest tests/
+
+# Full fault-injection + differential-verification harness, including the
+# harness_slow matrix the default run skips (see docs/TESTING.md).
+test-faults:
+	pytest tests/harness -m "harness_slow or not harness_slow"
 
 bench:
 	pytest benchmarks/ --benchmark-only

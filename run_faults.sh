@@ -1,0 +1,16 @@
+#!/bin/bash
+# Fault-injection + differential-verification suite (see docs/TESTING.md).
+#
+# Default: the fast subset (what tier-1 runs).  FULL=1 adds the extended
+# harness_slow matrix: all serial-vs-parallel IC x ranks x theta
+# combinations and the multi-step evolution-under-faults runs.
+cd /root/repo
+if [ "${FULL:-0}" = "1" ]; then
+    MARKEXPR="harness_slow or not harness_slow"
+else
+    MARKEXPR="not harness_slow"
+fi
+: > fault_suite_output.txt
+python3 -m pytest tests/harness -m "$MARKEXPR" -q -p no:cacheprovider \
+    2>&1 | tee -a fault_suite_output.txt | tail -3
+echo FAULT_SUITE_DONE

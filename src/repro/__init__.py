@@ -27,6 +27,10 @@ Package layout (see DESIGN.md for the full inventory):
 - :mod:`repro.analysis`   -- bar strength, surface density, kinematics
   (Fig. 3).
 - :mod:`repro.io`         -- snapshots.
+- :mod:`repro.faults`     -- deterministic fault injection for SimMPI
+  (docs/TESTING.md).
+- :mod:`repro.testing`    -- invariant checkers + serial-vs-parallel
+  differential oracle.
 """
 
 from . import constants

@@ -47,18 +47,25 @@ class ParallelSimulation:
         Numerical parameters, identical on all ranks.
     decomposition_method:
         "hierarchical" (paper) or "serial" (ablation baseline).
+    invariant_checks:
+        When True (identical on all ranks -- the checks are collective),
+        every redistribute asserts exchange conservation and ownership
+        and every force evaluation asserts the local octree's structural
+        invariants, via :mod:`repro.testing.invariants`.
     """
 
     def __init__(self, comm: SimComm, particles: ParticleSet,
                  config: SimulationConfig | None = None,
                  decomposition_method: str = "hierarchical",
-                 sample_rate1: float = 0.01, sample_rate2: float = 0.05):
+                 sample_rate1: float = 0.01, sample_rate2: float = 0.05,
+                 invariant_checks: bool = False):
         self.comm = comm
         self.particles = particles
         self.config = config or SimulationConfig()
         self.method = decomposition_method
         self.rate1 = sample_rate1
         self.rate2 = sample_rate2
+        self.invariant_checks = invariant_checks
         self.time = 0.0
         self.step_count = 0
         self.history: list[StepBreakdown] = []
@@ -93,7 +100,12 @@ class ParallelSimulation:
                                            method=self.method,
                                            rate1=self.rate1, rate2=self.rate2)
         self.particles = exchange_particles(self.comm, self.particles, keys,
-                                            self.decomposition)
+                                            self.decomposition,
+                                            check=self.invariant_checks)
+        if self.invariant_checks:
+            from ..testing.invariants import check_ownership
+            keys_after = box.keys(self.particles.pos, self.config.curve)
+            check_ownership(self.comm, self.decomposition, keys_after)
         t2 = time.perf_counter()
         self._box = box
         if bd is not None:
@@ -108,6 +120,9 @@ class ParallelSimulation:
         t1 = time.perf_counter()
         self._acc, self._phi = result.acc, result.phi
         self._result = result
+        if self.invariant_checks:
+            from ..testing.invariants import check_octree
+            check_octree(result.tree, self.particles.pos, self.particles.mass)
         # Per-particle cost estimate for the next load balance: spread the
         # local walk cost uniformly over local particles (the GPU balance
         # quantity is flops per domain, which this reproduces in aggregate).
@@ -173,9 +188,16 @@ def run_parallel_simulation(n_ranks: int, particles: ParticleSet,
                             config: SimulationConfig | None = None,
                             n_steps: int = 1,
                             decomposition_method: str = "hierarchical",
-                            timeout: float = 600.0) -> list[ParallelSimulation]:
+                            timeout: float = 600.0,
+                            world=None,
+                            invariant_checks: bool = False
+                            ) -> list[ParallelSimulation]:
     """Convenience front-end: shard ``particles``, run ``n_steps`` on
-    ``n_ranks`` SimMPI ranks, return the per-rank simulation objects."""
+    ``n_ranks`` SimMPI ranks, return the per-rank simulation objects.
+
+    ``world`` lets callers supply a prepared :class:`~repro.simmpi.SimWorld`
+    (e.g. a :class:`~repro.faults.FaultyWorld`) to run the identical
+    program over an instrumented or misbehaving transport."""
     n = particles.n
 
     def prog(comm: SimComm) -> ParallelSimulation:
@@ -183,11 +205,12 @@ def run_parallel_simulation(n_ranks: int, particles: ParticleSet,
         hi = n * (comm.rank + 1) // comm.size
         local = particles.select(np.arange(lo, hi))
         sim = ParallelSimulation(comm, local, config,
-                                 decomposition_method=decomposition_method)
+                                 decomposition_method=decomposition_method,
+                                 invariant_checks=invariant_checks)
         sim.evolve(n_steps)
         return sim
 
-    return spmd_run(n_ranks, prog, timeout=timeout)
+    return spmd_run(n_ranks, prog, timeout=timeout, world=world)
 
 
 def gather_particles(sims: list[ParallelSimulation]) -> ParticleSet:

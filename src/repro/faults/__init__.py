@@ -1,0 +1,33 @@
+"""Deterministic fault injection for the SimMPI runtime.
+
+The paper's production runs survive a hostile environment -- jittery
+interconnects, straggling and dying nodes -- and the distributed tree
+code must produce serial-quality forces anyway.  This package provides
+the adversary: :class:`FaultyWorld` perturbs the SimMPI transport
+(message delay, reordering, duplication, rank slowdown and crash)
+according to a seeded :class:`FaultSchedule`, with per-fault accounting
+in :class:`FaultStats`.  See :mod:`repro.testing` for the invariant
+checkers and the differential oracle that consume it, and
+``docs/TESTING.md`` for the DSL reference.
+"""
+
+from .schedule import (
+    ALL_KINDS,
+    MESSAGE_KINDS,
+    RANK_KINDS,
+    FaultSchedule,
+    FaultSpec,
+    parse_schedule,
+)
+from .world import FaultStats, FaultyWorld
+
+__all__ = [
+    "FaultSpec",
+    "FaultSchedule",
+    "parse_schedule",
+    "FaultyWorld",
+    "FaultStats",
+    "MESSAGE_KINDS",
+    "RANK_KINDS",
+    "ALL_KINDS",
+]

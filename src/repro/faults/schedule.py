@@ -1,0 +1,177 @@
+"""The fault-schedule DSL.
+
+A *fault schedule* is an ordered list of :class:`FaultSpec` clauses that
+a :class:`~repro.faults.world.FaultyWorld` applies to the message
+stream.  Schedules are built programmatically or parsed from a compact
+text form, one clause per fault::
+
+    delay(prob=0.3, max=2ms); reorder(prob=0.5); duplicate(prob=0.2);
+    crash(rank=2, after=40); slowdown(rank=1, sleep=0.5ms)
+
+Message-level clauses (``delay``, ``reorder``, ``duplicate``) accept
+optional ``src=``, ``dst=`` and ``tag=`` filters restricting which
+messages they may hit; rank-level clauses (``crash``, ``slowdown``)
+require ``rank=``.  Durations take ``s``/``ms``/``us`` suffixes (bare
+numbers are seconds).  ``crash(after=N)`` fires on the rank's N-th
+deterministic communication operation (push, blocking pop, or
+collective exchange -- *not* probes, whose count is timing-dependent),
+so a given schedule crashes at the same program point on every run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+#: Message-level fault kinds (stochastic, per-message, seeded).
+MESSAGE_KINDS = ("delay", "reorder", "duplicate")
+#: Rank-level fault kinds (deterministic trigger points).
+RANK_KINDS = ("crash", "slowdown")
+ALL_KINDS = MESSAGE_KINDS + RANK_KINDS
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One fault clause.
+
+    Parameters
+    ----------
+    kind:
+        One of ``delay``, ``reorder``, ``duplicate``, ``crash``,
+        ``slowdown``.
+    prob:
+        Per-message firing probability for message-level kinds.
+    max_delay:
+        ``delay``: upper bound of the uniform per-message sleep;
+        ``slowdown``: the fixed sleep added to every comm op.
+    rank:
+        Target rank for ``crash``/``slowdown``.
+    after:
+        ``crash``: fire on the rank's ``after``-th comm operation.
+    src, dst, tag:
+        Optional message filters for message-level kinds.
+    """
+
+    kind: str
+    prob: float = 1.0
+    max_delay: float = 0.0
+    rank: int | None = None
+    after: int = 1
+    src: int | None = None
+    dst: int | None = None
+    tag: int | None = None
+
+    def __post_init__(self):
+        if self.kind not in ALL_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"expected one of {ALL_KINDS}")
+        if not (0.0 <= self.prob <= 1.0):
+            raise ValueError(f"{self.kind}: prob must be in [0, 1], "
+                             f"got {self.prob}")
+        if self.max_delay < 0:
+            raise ValueError(f"{self.kind}: negative duration {self.max_delay}")
+        if self.kind in RANK_KINDS and self.rank is None:
+            raise ValueError(f"{self.kind} requires rank=")
+        if self.kind == "crash" and self.after < 1:
+            raise ValueError("crash: after must be >= 1")
+
+    def matches(self, src: int, dst: int, tag: int) -> bool:
+        """True when this clause may apply to a (src, dst, tag) message."""
+        return ((self.src is None or self.src == src)
+                and (self.dst is None or self.dst == dst)
+                and (self.tag is None or self.tag == tag))
+
+    def describe(self) -> str:
+        """Canonical single-clause DSL text (round-trips via parse)."""
+        parts = []
+        if self.kind in MESSAGE_KINDS:
+            parts.append(f"prob={self.prob:g}")
+            if self.kind == "delay":
+                parts.append(f"max={self.max_delay:g}s")
+            for f in ("src", "dst", "tag"):
+                v = getattr(self, f)
+                if v is not None:
+                    parts.append(f"{f}={v}")
+        elif self.kind == "crash":
+            parts.append(f"rank={self.rank}")
+            parts.append(f"after={self.after}")
+        else:  # slowdown
+            parts.append(f"rank={self.rank}")
+            parts.append(f"sleep={self.max_delay:g}s")
+        return f"{self.kind}({', '.join(parts)})"
+
+
+_DURATION_RE = re.compile(r"^([0-9.eE+-]+)\s*(s|ms|us)?$")
+_CLAUSE_RE = re.compile(r"^\s*(\w+)\s*\(([^)]*)\)\s*$")
+_SCALE = {"s": 1.0, "ms": 1e-3, "us": 1e-6, None: 1.0}
+
+
+def _parse_duration(text: str) -> float:
+    m = _DURATION_RE.match(text.strip())
+    if not m:
+        raise ValueError(f"bad duration {text!r} (want e.g. 2ms, 0.5s, 3us)")
+    return float(m.group(1)) * _SCALE[m.group(2)]
+
+
+def _parse_clause(text: str) -> FaultSpec:
+    m = _CLAUSE_RE.match(text)
+    if not m:
+        raise ValueError(f"bad fault clause {text!r} (want kind(k=v, ...))")
+    kind, body = m.group(1).lower(), m.group(2).strip()
+    kwargs: dict = {}
+    if body:
+        for item in body.split(","):
+            if "=" not in item:
+                raise ValueError(f"bad parameter {item!r} in clause {text!r}")
+            k, v = (s.strip() for s in item.split("=", 1))
+            if k in ("prob", "p"):
+                kwargs["prob"] = float(v)
+            elif k in ("max", "sleep", "delay"):
+                kwargs["max_delay"] = _parse_duration(v)
+            elif k in ("rank", "src", "dst", "tag", "after"):
+                kwargs[k] = int(v)
+            else:
+                raise ValueError(f"unknown parameter {k!r} in clause {text!r}")
+    return FaultSpec(kind=kind, **kwargs)
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable, ordered collection of fault clauses."""
+
+    specs: tuple[FaultSpec, ...] = ()
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSchedule":
+        """Parse the ``;``-separated DSL text into a schedule."""
+        clauses = [c for c in (s.strip() for s in text.split(";")) if c]
+        return cls(specs=tuple(_parse_clause(c) for c in clauses))
+
+    @classmethod
+    def of(cls, *specs: FaultSpec) -> "FaultSchedule":
+        """Build a schedule from spec objects."""
+        return cls(specs=tuple(specs))
+
+    def describe(self) -> str:
+        """Canonical DSL text for the whole schedule."""
+        return "; ".join(s.describe() for s in self.specs)
+
+    @property
+    def message_specs(self) -> tuple[FaultSpec, ...]:
+        """The stochastic per-message clauses, in declaration order."""
+        return tuple(s for s in self.specs if s.kind in MESSAGE_KINDS)
+
+    def crash_for(self, rank: int) -> FaultSpec | None:
+        """The crash clause targeting ``rank``, if any."""
+        return next((s for s in self.specs
+                     if s.kind == "crash" and s.rank == rank), None)
+
+    def slowdown_for(self, rank: int) -> FaultSpec | None:
+        """The slowdown clause targeting ``rank``, if any."""
+        return next((s for s in self.specs
+                     if s.kind == "slowdown" and s.rank == rank), None)
+
+
+def parse_schedule(text: str) -> FaultSchedule:
+    """Module-level alias for :meth:`FaultSchedule.parse`."""
+    return FaultSchedule.parse(text)

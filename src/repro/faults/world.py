@@ -1,0 +1,300 @@
+"""Deterministic fault injection for the SimMPI transport.
+
+:class:`FaultyWorld` subclasses :class:`~repro.simmpi.runtime.SimWorld`
+and perturbs the point-to-point layer according to a seeded
+:class:`~repro.faults.schedule.FaultSchedule`:
+
+- **delay** -- sleep before enqueueing a message;
+- **reorder** -- withhold a message and release it *after* the next one
+  on the same (src, dst, tag) channel (adjacent swap);
+- **duplicate** -- enqueue the message twice;
+- **slowdown** -- add a fixed sleep to every comm op of one rank;
+- **crash** -- kill one rank at its N-th comm op, marking it failed so
+  peers get :class:`~repro.simmpi.errors.RankFailedError` promptly.
+
+Every message travels in a ``(seq, payload)`` envelope and the receive
+path reassembles per-channel sequence order, dropping duplicates --
+exactly the contract a reliable transport (MPI over a lossy fabric)
+provides.  Delay/reorder/duplicate faults are therefore *maskable*: a
+correct program must produce identical results and identical logical
+traffic under any such schedule (the property the harness asserts).
+Crash faults are not maskable and must surface as typed errors.
+
+Determinism: whether a fault hits a message is decided by a counter-
+keyed RNG (seed, src, dst, tag, seq), not by wall-clock or thread
+timing, so a (schedule, seed) pair injects the same faults on every
+run regardless of scheduling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import queue
+import threading
+import time
+from collections import defaultdict
+from typing import Any
+
+import numpy as np
+
+from ..simmpi.errors import RankFailedError, RecvTimeoutError, SimulatedRankCrash
+from ..simmpi.runtime import SimWorld
+from .schedule import FaultSchedule
+
+_MISSING = object()
+
+
+@dataclasses.dataclass
+class FaultKindStats:
+    """Tally for one fault kind."""
+
+    events: int = 0
+    bytes: int = 0
+    seconds: float = 0.0
+
+
+class FaultStats:
+    """Thread-safe per-fault traffic accounting.
+
+    Kept separate from :class:`~repro.simmpi.traffic.TrafficLog` on
+    purpose: the logical traffic of a run must be unchanged by maskable
+    faults, while this object records what the injector actually did
+    (events, affected payload bytes, injected seconds).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.kinds: dict[str, FaultKindStats] = defaultdict(FaultKindStats)
+        self.crashed_ranks: list[int] = []
+        self.duplicates_dropped: int = 0
+
+    def record(self, kind: str, nbytes: int = 0, seconds: float = 0.0) -> None:
+        with self._lock:
+            k = self.kinds[kind]
+            k.events += 1
+            k.bytes += nbytes
+            k.seconds += seconds
+
+    def record_crash(self, rank: int) -> None:
+        with self._lock:
+            self.crashed_ranks.append(rank)
+            k = self.kinds["crash"]
+            k.events += 1
+
+    def record_duplicate_dropped(self) -> None:
+        with self._lock:
+            self.duplicates_dropped += 1
+
+    def count(self, kind: str) -> int:
+        """Number of injections of one fault kind."""
+        with self._lock:
+            return self.kinds[kind].events if kind in self.kinds else 0
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Per-kind {events, bytes, seconds} snapshot."""
+        with self._lock:
+            out = {name: {"events": k.events, "bytes": k.bytes,
+                          "seconds": round(k.seconds, 6)}
+                   for name, k in self.kinds.items()}
+        out["receiver"] = {"duplicates_dropped": self.duplicates_dropped}
+        return out
+
+
+class FaultyWorld(SimWorld):
+    """A :class:`SimWorld` whose transport misbehaves on schedule.
+
+    Parameters
+    ----------
+    size:
+        Number of ranks.
+    schedule:
+        A :class:`FaultSchedule` or DSL text (see
+        :mod:`repro.faults.schedule`).
+    seed:
+        Non-negative seed for the per-message fault lottery.
+    timeout:
+        Receive/barrier deadline; keep small in tests so unmaskable
+        faults surface quickly.
+    """
+
+    def __init__(self, size: int, schedule: FaultSchedule | str = FaultSchedule(),
+                 seed: int = 0, timeout: float = 120.0):
+        super().__init__(size, timeout=timeout)
+        if isinstance(schedule, str):
+            schedule = FaultSchedule.parse(schedule)
+        if seed < 0:
+            raise ValueError("seed must be non-negative")
+        self.schedule = schedule
+        self.seed = int(seed)
+        self.stats = FaultStats()
+        self._fault_lock = threading.Lock()
+        self._send_seq: dict[tuple[int, int, int], int] = defaultdict(int)
+        self._deliver_seq: dict[tuple[int, int, int], int] = defaultdict(int)
+        self._stash: dict[tuple[int, int, int], dict[int, Any]] = defaultdict(dict)
+        self._holdback: dict[tuple[int, int, int], tuple[int, Any]] = {}
+        self._op_count: dict[int, int] = defaultdict(int)
+
+    # -- deterministic fault lottery ---------------------------------------
+
+    def _rng(self, src: int, dst: int, tag: int, seq: int) -> np.random.Generator:
+        ss = np.random.SeedSequence([self.seed, src, dst, abs(tag), seq])
+        return np.random.default_rng(ss)
+
+    def _comm_op(self, rank: int) -> None:
+        """Deterministic per-rank op counter driving crash/slowdown.
+
+        Called from push, blocking pop and exchange -- operations whose
+        per-rank ordinal is a property of the program, not of thread
+        timing -- so crashes land at the same program point every run.
+        """
+        with self._fault_lock:
+            self._op_count[rank] += 1
+            n = self._op_count[rank]
+        crash = self.schedule.crash_for(rank)
+        if crash is not None and n >= crash.after and not self.rank_failed(rank):
+            self.stats.record_crash(rank)
+            self.mark_rank_failed(rank)
+            raise SimulatedRankCrash(rank, n)
+        slow = self.schedule.slowdown_for(rank)
+        if slow is not None and slow.max_delay > 0:
+            self.stats.record("slowdown", 0, slow.max_delay)
+            time.sleep(slow.max_delay)
+
+    # -- faulty transport --------------------------------------------------
+
+    def push(self, src: int, dst: int, tag: int, payload: Any, nbytes: int) -> None:
+        self._comm_op(src)
+        # Logical traffic is recorded once per *logical* send; injected
+        # duplicates are transport noise and only appear in self.stats.
+        self.traffic.record_send(src, dst, nbytes)
+        key = (src, dst, tag)
+        with self._fault_lock:
+            seq = self._send_seq[key]
+            self._send_seq[key] = seq + 1
+        rng = self._rng(src, dst, tag, seq)
+
+        delay_s = 0.0
+        do_reorder = do_duplicate = False
+        for spec in self.schedule.message_specs:
+            # One draw per clause in declaration order: the lottery
+            # consumes a fixed stream per message whatever the outcome.
+            hit = rng.random() < spec.prob
+            if not spec.matches(src, dst, tag) or not hit:
+                continue
+            if spec.kind == "delay":
+                delay_s += spec.max_delay * float(rng.random())
+            elif spec.kind == "reorder":
+                do_reorder = True
+            elif spec.kind == "duplicate":
+                do_duplicate = True
+
+        if delay_s > 0:
+            self.stats.record("delay", nbytes, delay_s)
+            time.sleep(delay_s)
+
+        env = (seq, payload)
+        q = self._queue(src, dst, tag)
+        with self._fault_lock:
+            held = self._holdback.pop(key, None)
+            if do_reorder and held is None:
+                # Withhold; released after the channel's next push, or
+                # flushed by a starving receiver.  A duplicate copy
+                # still races ahead on the wire.
+                self._holdback[key] = env
+                self.stats.record("reorder", nbytes)
+                if do_duplicate:
+                    self.stats.record("duplicate", nbytes)
+                    q.put(env)
+                return
+        q.put(env)
+        if do_duplicate:
+            self.stats.record("duplicate", nbytes)
+            q.put(env)
+        if held is not None:
+            q.put(held)  # the older message lands after the newer one
+
+    def _take_ready(self, key: tuple[int, int, int]) -> Any:
+        """Pop the next in-sequence payload from the stash, if present."""
+        with self._fault_lock:
+            expected = self._deliver_seq[key]
+            stash = self._stash[key]
+            if expected in stash:
+                self._deliver_seq[key] = expected + 1
+                return stash.pop(expected)
+        return _MISSING
+
+    def _admit(self, key: tuple[int, int, int], env: tuple[int, Any]) -> None:
+        """File one received envelope: stash it or drop a duplicate."""
+        seq, payload = env
+        with self._fault_lock:
+            if seq < self._deliver_seq[key] or seq in self._stash[key]:
+                dropped = True
+            else:
+                self._stash[key][seq] = payload
+                dropped = False
+        if dropped:
+            self.stats.record_duplicate_dropped()
+
+    def _flush_holdback(self, key: tuple[int, int, int]) -> bool:
+        """Force-release a withheld message (receiver is starving)."""
+        with self._fault_lock:
+            env = self._holdback.pop(key, None)
+        if env is None:
+            return False
+        self._admit(key, env)
+        return True
+
+    def pop(self, src: int, dst: int, tag: int,
+            timeout: float | None = None) -> Any:
+        self._comm_op(dst)
+        key = (src, dst, tag)
+        q = self._queue(src, dst, tag)
+        budget = self.timeout if timeout is None else timeout
+        deadline = time.monotonic() + budget
+        while True:
+            payload = self._take_ready(key)
+            if payload is not _MISSING:
+                return payload
+            remaining = deadline - time.monotonic()
+            try:
+                env = q.get(timeout=max(0.0, min(self.POLL_INTERVAL, remaining)))
+            except queue.Empty:
+                if self._flush_holdback(key):
+                    continue
+                if self.rank_failed(src) and q.empty():
+                    raise RankFailedError(src, waiting_rank=dst,
+                                          detail=f"recv tag {tag}")
+                if remaining <= 0:
+                    raise RecvTimeoutError(
+                        f"recv timeout: rank {dst} waiting for rank {src} "
+                        f"tag {tag} after {budget:g}s")
+                continue
+            self._admit(key, env)
+
+    def try_pop(self, src: int, dst: int, tag: int) -> tuple[bool, Any]:
+        key = (src, dst, tag)
+        q = self._queue(src, dst, tag)
+        while True:
+            payload = self._take_ready(key)
+            if payload is not _MISSING:
+                return True, payload
+            try:
+                env = q.get_nowait()
+            except queue.Empty:
+                if self._flush_holdback(key):
+                    continue
+                return False, None
+            self._admit(key, env)
+
+    def probe(self, src: int, dst: int, tag: int) -> bool:
+        key = (src, dst, tag)
+        with self._fault_lock:
+            if self._deliver_seq[key] in self._stash[key]:
+                return True
+            if key in self._holdback:
+                return True
+        return not self._queue(src, dst, tag).empty()
+
+    def exchange(self, rank: int, generation: int, value: Any) -> list[Any]:
+        self._comm_op(rank)
+        return super().exchange(rank, generation, value)

@@ -16,15 +16,24 @@ from .decomposition import DomainDecomposition
 
 def exchange_particles(comm: SimComm, particles: ParticleSet,
                        keys: np.ndarray,
-                       decomp: DomainDecomposition) -> ParticleSet:
+                       decomp: DomainDecomposition,
+                       check: bool = False) -> ParticleSet:
     """Route every particle to the rank owning its key.
 
     Returns this rank's new local particle set.  The exchange ships each
     particle exactly once; ownership is total and disjoint because the
     boundaries partition the key space.
+
+    With ``check=True`` (identical on all ranks -- the check is
+    collective) the global particle count, mass and momentum are
+    asserted unchanged across the exchange via
+    :mod:`repro.testing.invariants`.
     """
     if decomp.n_domains != comm.size:
         raise ValueError("decomposition size does not match communicator")
+    if check:
+        from ..testing.invariants import conservation_totals
+        totals_before = conservation_totals(particles)
     dest = decomp.rank_of_keys(keys)
     order = np.argsort(dest, kind="stable")
     sorted_dest = dest[order]
@@ -45,5 +54,9 @@ def exchange_particles(comm: SimComm, particles: ParticleSet,
     mass = np.concatenate([m[2] for m in inbox])
     ids = np.concatenate([m[3] for m in inbox])
     component = np.concatenate([m[4] for m in inbox])
-    return ParticleSet(pos=pos, vel=vel, mass=mass, ids=ids,
-                       component=component)
+    out = ParticleSet(pos=pos, vel=vel, mass=mass, ids=ids,
+                      component=component)
+    if check:
+        from ..testing.invariants import check_exchange_conservation
+        check_exchange_conservation(comm, totals_before, out)
+    return out

@@ -7,10 +7,32 @@ provides a faithful in-process substitute: each logical rank runs the
 operations with mpi4py-like semantics and byte-accurate traffic
 accounting.  Tests run the real distributed algorithm on 2-16 ranks and
 the traffic tallies feed the at-scale network performance model.
+
+Failure semantics: a rank that dies is *marked* on the world, and every
+peer blocked on it receives a typed :class:`RankFailedError` within one
+poll interval; a live-but-silent peer produces :class:`RecvTimeoutError`
+after the configured deadline.  :mod:`repro.faults` builds on these
+hooks to inject deterministic message-level faults.
 """
 
+from .errors import (
+    RankFailedError,
+    RecvTimeoutError,
+    SimMPIError,
+    SimulatedRankCrash,
+)
 from .traffic import TrafficLog
-from .comm import SimComm
+from .comm import Request, SimComm
 from .runtime import SimWorld, spmd_run
 
-__all__ = ["TrafficLog", "SimComm", "SimWorld", "spmd_run"]
+__all__ = [
+    "TrafficLog",
+    "Request",
+    "SimComm",
+    "SimWorld",
+    "spmd_run",
+    "SimMPIError",
+    "RecvTimeoutError",
+    "RankFailedError",
+    "SimulatedRankCrash",
+]

@@ -85,13 +85,22 @@ class SimComm:
         self.send(obj, dest, tag)
         return Request()
 
-    def recv(self, source: int, tag: int = 0) -> Any:
-        """Blocking receive from ``source``."""
+    def recv(self, source: int, tag: int = 0,
+             timeout: float | None = None) -> Any:
+        """Blocking receive from ``source``.
+
+        ``timeout`` overrides the world default for this call only.
+        Raises :class:`~repro.simmpi.errors.RecvTimeoutError` when the
+        deadline passes with the peer alive, and
+        :class:`~repro.simmpi.errors.RankFailedError` as soon as the
+        peer is marked failed with no buffered message left.
+        """
         if not (0 <= source < self.size):
             raise ValueError(f"invalid source {source}")
-        return self.world.pop(source, self.rank, tag)
+        return self.world.pop(source, self.rank, tag, timeout=timeout)
 
-    def irecv(self, source: int, tag: int = 0) -> Request:
+    def irecv(self, source: int, tag: int = 0,
+              timeout: float | None = None) -> Request:
         """Non-blocking receive; resolve with ``wait()``/``test()``."""
         if not (0 <= source < self.size):
             raise ValueError(f"invalid source {source}")
@@ -99,7 +108,7 @@ class SimComm:
         def resolve(poll: bool = False):
             if poll:
                 return self.world.try_pop(source, self.rank, tag)
-            return self.world.pop(source, self.rank, tag)
+            return self.world.pop(source, self.rank, tag, timeout=timeout)
 
         return Request(resolve=resolve)
 

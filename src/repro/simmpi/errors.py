@@ -1,0 +1,56 @@
+"""Typed error hierarchy for the SimMPI runtime.
+
+Production MPI stacks distinguish "the network is slow" from "my peer is
+gone"; the original runtime collapsed both into a 120 s ``TimeoutError``.
+These types let callers (and the fault-injection harness) react to each
+condition: retry or extend the deadline on :class:`RecvTimeoutError`,
+abandon the epoch on :class:`RankFailedError`.
+"""
+
+from __future__ import annotations
+
+
+class SimMPIError(Exception):
+    """Base class for all SimMPI runtime errors."""
+
+
+class RecvTimeoutError(SimMPIError, TimeoutError):
+    """A blocking receive exceeded its deadline with the peer still alive.
+
+    Subclasses :class:`TimeoutError` so pre-existing callers that caught
+    the generic type keep working.
+    """
+
+
+class RankFailedError(SimMPIError):
+    """An operation could not complete because a peer rank died.
+
+    Raised by ``pop`` when the awaited source rank has been marked
+    failed, and by collectives whose barrier was aborted by a rank
+    failure.  Carries enough structure for programmatic handling.
+    """
+
+    def __init__(self, failed_rank: int, waiting_rank: int | None = None,
+                 detail: str = ""):
+        self.failed_rank = failed_rank
+        self.waiting_rank = waiting_rank
+        msg = f"rank {failed_rank} failed"
+        if waiting_rank is not None:
+            msg += f" while rank {waiting_rank} was waiting on it"
+        if detail:
+            msg += f" ({detail})"
+        super().__init__(msg)
+
+
+class SimulatedRankCrash(SimMPIError):
+    """Raised *inside* a rank that a fault schedule crashed.
+
+    The SPMD driver recognises this type and reports the run-level
+    failure as a :class:`RankFailedError` (the survivors' view), keeping
+    injected crashes distinguishable from genuine program bugs.
+    """
+
+    def __init__(self, rank: int, op_index: int):
+        self.rank = rank
+        self.op_index = op_index
+        super().__init__(f"injected crash of rank {rank} at comm op {op_index}")

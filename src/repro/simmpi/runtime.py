@@ -4,9 +4,14 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import Any, Callable, Sequence
 
+from .errors import RankFailedError, RecvTimeoutError, SimulatedRankCrash
 from .traffic import TrafficLog
+
+#: Sentinel distinguishing "no deposit" from a deposited ``None``.
+_MISSING = object()
 
 
 class SimWorld:
@@ -15,8 +20,15 @@ class SimWorld:
     Point-to-point messages travel through per-(src, dst, tag) queues;
     collectives use a generation-counted exchange board protected by a
     reusable barrier.  All blocking operations honour ``timeout`` so a
-    deadlocked test fails loudly instead of hanging.
+    deadlocked test fails loudly instead of hanging, and the runtime
+    tracks **failed ranks**: once a rank is marked failed (its program
+    raised, or a fault schedule crashed it), every peer blocked on it
+    gets a typed :class:`RankFailedError` within one poll interval
+    instead of waiting out the full timeout.
     """
+
+    #: Granularity of the receive/failure-detection poll loop (seconds).
+    POLL_INTERVAL = 0.02
 
     def __init__(self, size: int, timeout: float = 120.0):
         if size < 1:
@@ -29,6 +41,39 @@ class SimWorld:
         self._barrier = threading.Barrier(size)
         self._board: dict[tuple[int, int], Any] = {}
         self._board_lock = threading.Lock()
+        self._failed: dict[int, BaseException | None] = {}
+        self._failed_lock = threading.Lock()
+
+    # -- failure tracking --------------------------------------------------
+
+    @property
+    def failed_ranks(self) -> frozenset[int]:
+        """Ranks that have been marked failed so far."""
+        with self._failed_lock:
+            return frozenset(self._failed)
+
+    def rank_failed(self, rank: int) -> bool:
+        """True when ``rank`` has been marked failed."""
+        with self._failed_lock:
+            return rank in self._failed
+
+    def mark_rank_failed(self, rank: int, exc: BaseException | None = None) -> None:
+        """Record that ``rank`` died and wake everyone blocked on it.
+
+        Aborting the barrier converts in-flight collectives into
+        :class:`RankFailedError`; the receive poll loop notices the mark
+        on its next iteration.  Idempotent.
+        """
+        with self._failed_lock:
+            already = rank in self._failed
+            if not already:
+                self._failed[rank] = exc
+        if not already:
+            self._barrier.abort()
+
+    def _first_failed(self) -> int:
+        with self._failed_lock:
+            return min(self._failed) if self._failed else -1
 
     # -- point-to-point ----------------------------------------------------
 
@@ -44,12 +89,31 @@ class SimWorld:
         self.traffic.record_send(src, dst, nbytes)
         self._queue(src, dst, tag).put(payload)
 
-    def pop(self, src: int, dst: int, tag: int) -> Any:
-        try:
-            return self._queue(src, dst, tag).get(timeout=self.timeout)
-        except queue.Empty:
-            raise TimeoutError(
-                f"recv timeout: rank {dst} waiting for rank {src} tag {tag}")
+    def pop(self, src: int, dst: int, tag: int,
+            timeout: float | None = None) -> Any:
+        """Blocking receive with failure detection.
+
+        Messages the source sent before dying are still delivered;
+        only once its queue drains does a failed source raise
+        :class:`RankFailedError`.  A live-but-silent source raises
+        :class:`RecvTimeoutError` after ``timeout`` (world default).
+        """
+        q = self._queue(src, dst, tag)
+        budget = self.timeout if timeout is None else timeout
+        deadline = time.monotonic() + budget
+        while True:
+            if self.rank_failed(src) and q.empty():
+                raise RankFailedError(src, waiting_rank=dst,
+                                      detail=f"recv tag {tag}")
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise RecvTimeoutError(
+                    f"recv timeout: rank {dst} waiting for rank {src} "
+                    f"tag {tag} after {budget:g}s")
+            try:
+                return q.get(timeout=min(self.POLL_INTERVAL, remaining))
+            except queue.Empty:
+                continue
 
     def try_pop(self, src: int, dst: int, tag: int) -> tuple[bool, Any]:
         """Non-blocking pop: (True, payload) or (False, None)."""
@@ -65,8 +129,20 @@ class SimWorld:
     # -- collectives -------------------------------------------------------
 
     def barrier(self) -> None:
-        """Block until every rank arrives."""
-        self._barrier.wait(timeout=self.timeout)
+        """Block until every rank arrives.
+
+        If the barrier was aborted by a rank failure this raises
+        :class:`RankFailedError` naming a failed rank; a plain timeout
+        re-raises the underlying :class:`threading.BrokenBarrierError`.
+        """
+        try:
+            self._barrier.wait(timeout=self.timeout)
+        except threading.BrokenBarrierError:
+            failed = self._first_failed()
+            if failed >= 0:
+                raise RankFailedError(
+                    failed, detail="collective aborted") from None
+            raise
 
     def exchange(self, rank: int, generation: int, value: Any) -> list[Any]:
         """Allgather primitive: deposit, synchronise, read all, synchronise.
@@ -79,7 +155,12 @@ class SimWorld:
             self._board[(generation, rank)] = value
         self.barrier()
         with self._board_lock:
-            out = [self._board[(generation, r)] for r in range(self.size)]
+            out = [self._board.get((generation, r), _MISSING)
+                   for r in range(self.size)]
+        for r, v in enumerate(out):
+            if v is _MISSING:
+                raise RankFailedError(r, waiting_rank=rank,
+                                      detail=f"no deposit in generation {generation}")
         self.barrier()
         if rank == 0:
             with self._board_lock:
@@ -93,8 +174,15 @@ def spmd_run(size: int, fn: Callable[..., Any], *args: Any,
              **kwargs: Any) -> list[Any]:
     """Run ``fn(comm, *args, **kwargs)`` on ``size`` ranks; return results.
 
-    Exceptions raised on any rank are re-raised in the caller (after all
-    threads finish or time out), with the rank recorded in the message.
+    A rank that raises is marked failed on the world immediately, so
+    peers blocked on it fail fast with :class:`RankFailedError` instead
+    of timing out.  The run-level error policy:
+
+    - an injected :class:`SimulatedRankCrash` anywhere surfaces as a
+      :class:`RankFailedError` naming the crashed rank;
+    - otherwise the first *root-cause* exception (preferring non-
+      ``RankFailedError`` errors, which are secondary casualties) is
+      re-raised wrapped in ``RuntimeError`` with the rank recorded.
     """
     from .comm import SimComm
 
@@ -111,7 +199,7 @@ def spmd_run(size: int, fn: Callable[..., Any], *args: Any,
         except BaseException as exc:  # noqa: BLE001 - reraised below
             with lock:
                 errors.append((rank, exc))
-            world._barrier.abort()
+            world.mark_rank_failed(rank, exc)
 
     threads = [threading.Thread(target=body, args=(r,), name=f"simmpi-rank-{r}")
                for r in range(size)]
@@ -123,6 +211,14 @@ def spmd_run(size: int, fn: Callable[..., Any], *args: Any,
     if alive and not errors:
         raise TimeoutError(f"{len(alive)} ranks still running after {timeout}s")
     if errors:
-        rank, exc = errors[0]
+        crash = next(((r, e) for r, e in errors
+                      if isinstance(e, SimulatedRankCrash)), None)
+        if crash is not None:
+            rank, exc = crash
+            raise RankFailedError(rank, detail="injected crash") from exc
+        rank, exc = next(((r, e) for r, e in errors
+                          if not isinstance(e, RankFailedError)), errors[0])
+        if isinstance(exc, RankFailedError):
+            raise exc
         raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
     return results

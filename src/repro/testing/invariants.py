@@ -1,0 +1,322 @@
+"""Invariant checkers for the distributed tree-code pipeline.
+
+Each checker raises :class:`InvariantViolation` (an ``AssertionError``
+subclass, so plain pytest assertions interoperate) with a specific
+message, and returns silently on healthy input.  The distributed
+variants take a communicator and are safe to call *mid-run from every
+rank simultaneously* -- they only use symmetric collectives, so calling
+them under ``if self.invariant_checks:`` on all ranks preserves MPI
+collective ordering.
+
+The invariants mirror the pipeline stages of Sec. III-B:
+
+- **conservation** -- particle exchange moves particles, it must not
+  create, destroy or alter them (count, mass, momentum);
+- **decomposition** -- the SFC boundary keys must partition the key
+  space: strictly increasing, disjoint by construction, covering every
+  particle key;
+- **octree structure** -- parent/child topology, body-range partition,
+  and moment consistency of a local tree;
+- **LET completeness** -- a pruned (multipole-only) cell of a shipped
+  LET must be guaranteed-acceptable under the MAC for its viewer box,
+  i.e. the receiver can never need data that was pruned away.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..octree.properties import aabb_distance
+
+
+class InvariantViolation(AssertionError):
+    """A pipeline invariant does not hold."""
+
+
+def _fail(name: str, msg: str) -> None:
+    raise InvariantViolation(f"[{name}] {msg}")
+
+
+# -- conservation ---------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class ConservationTotals:
+    """Snapshot of the globally conserved quantities.
+
+    ``momentum_scale`` is the L1 mass-flux scale used to turn the
+    momentum comparison into a meaningful relative test (total momentum
+    itself can be arbitrarily close to zero).
+    """
+
+    n: int
+    mass: float
+    momentum: tuple[float, float, float]
+    momentum_scale: float
+
+    @classmethod
+    def of(cls, particles) -> "ConservationTotals":
+        mom = particles.mass[:, None] * particles.vel
+        return cls(n=int(particles.n),
+                   mass=float(particles.mass.sum()),
+                   momentum=tuple(float(x) for x in mom.sum(axis=0)),
+                   momentum_scale=float(np.abs(mom).sum()))
+
+    def reduced(self, comm) -> "ConservationTotals":
+        """Globally summed totals (collective; call from every rank)."""
+        n, mass, scale = comm.allreduce(np.array(
+            [self.n, self.mass, self.momentum_scale]))
+        mom = comm.allreduce(np.asarray(self.momentum))
+        return ConservationTotals(n=int(round(n)), mass=float(mass),
+                                  momentum=tuple(float(x) for x in mom),
+                                  momentum_scale=float(scale))
+
+
+def conservation_totals(particles) -> ConservationTotals:
+    """Local conserved-quantity snapshot of a particle set."""
+    return ConservationTotals.of(particles)
+
+
+def check_conservation(before: ConservationTotals, after: ConservationTotals,
+                       rtol: float = 1e-9) -> None:
+    """Particle count, total mass and total momentum must be preserved.
+
+    ``rtol`` absorbs the float-summation reassociation a redistribution
+    implies; it is far tighter than any physical drift.
+    """
+    if before.n != after.n:
+        _fail("conservation", f"particle count changed: {before.n} -> {after.n}")
+    mass_scale = max(abs(before.mass), abs(after.mass), 1e-300)
+    if abs(after.mass - before.mass) > rtol * mass_scale:
+        _fail("conservation",
+              f"total mass changed: {before.mass!r} -> {after.mass!r} "
+              f"(rel {abs(after.mass - before.mass) / mass_scale:.3e})")
+    scale = max(before.momentum_scale, after.momentum_scale, 1e-300)
+    dp = np.abs(np.subtract(after.momentum, before.momentum)).max()
+    if dp > rtol * scale:
+        _fail("conservation",
+              f"total momentum changed by {dp:.3e} "
+              f"(scale {scale:.3e}, rel {dp / scale:.3e})")
+
+
+def check_exchange_conservation(comm, before: ConservationTotals,
+                                particles_after, rtol: float = 1e-9) -> None:
+    """Distributed form: globally reduce both sides and compare.
+
+    ``before`` must be this rank's *local* totals taken before the
+    exchange; every rank must call this (it is collective).
+    """
+    g_before = before.reduced(comm)
+    g_after = conservation_totals(particles_after).reduced(comm)
+    check_conservation(g_before, g_after, rtol=rtol)
+
+
+# -- domain decomposition -------------------------------------------------
+
+def check_decomposition(boundaries: np.ndarray,
+                        keys: np.ndarray | None = None,
+                        n_ranks: int | None = None) -> None:
+    """Boundary keys must partition the key space.
+
+    Strict monotonicity makes the domains disjoint and non-empty as key
+    intervals; ``keys`` (if given) must all fall inside the covered
+    range ``[boundaries[0], boundaries[-1])``.
+    """
+    b = np.asarray(boundaries)
+    if b.ndim != 1 or len(b) < 2:
+        _fail("decomposition", f"boundaries must be a 1-D array of >= 2 keys, "
+              f"got shape {b.shape}")
+    if n_ranks is not None and len(b) != n_ranks + 1:
+        _fail("decomposition", f"expected {n_ranks + 1} boundaries for "
+              f"{n_ranks} ranks, got {len(b)}")
+    if not np.all(b[1:] > b[:-1]):
+        i = int(np.flatnonzero(~(b[1:] > b[:-1]))[0])
+        _fail("decomposition",
+              f"boundaries not strictly increasing at index {i}: "
+              f"{b[i]!r} -> {b[i + 1]!r} (overlapping or empty domains)")
+    if keys is not None and len(keys):
+        k = np.asarray(keys)
+        if k.min() < b[0] or k.max() >= b[-1]:
+            _fail("decomposition",
+                  f"keys outside covered range [{b[0]!r}, {b[-1]!r}): "
+                  f"min {k.min()!r}, max {k.max()!r}")
+
+
+def check_ownership(comm, decomp, keys: np.ndarray,
+                    n_total: int | None = None) -> None:
+    """Post-exchange ownership must be disjoint and total (collective).
+
+    Every local key must lie in this rank's interval, all ranks must
+    agree on the boundaries, and the per-rank counts must sum to the
+    global particle count.
+    """
+    b = np.asarray(decomp.boundaries)
+    check_decomposition(b, n_ranks=comm.size)
+    all_b = comm.allgather(b.tobytes())
+    if any(x != all_b[0] for x in all_b):
+        _fail("ownership", "ranks disagree on the domain boundaries")
+    lo, hi = decomp.key_range(comm.rank)
+    k = np.asarray(keys, dtype=np.uint64)
+    if len(k):
+        bad = np.count_nonzero((k < lo) | (k >= hi))
+        if bad:
+            _fail("ownership",
+                  f"rank {comm.rank} holds {bad} keys outside its domain "
+                  f"[{lo}, {hi})")
+    total = int(comm.allreduce(len(k)))
+    if n_total is not None and total != n_total:
+        _fail("ownership",
+              f"global particle count {total} != expected {n_total} "
+              "(ownership not total)")
+
+
+# -- octree structure -----------------------------------------------------
+
+def check_octree(tree, pos: np.ndarray, mass: np.ndarray,
+                 rtol: float = 1e-8) -> None:
+    """Structural + moment invariants of a local octree.
+
+    Checks: ``order`` is a permutation; the root covers every body;
+    children tile their parent's body range exactly; leaves and only
+    leaves have no children; parent pointers match; cell masses equal
+    the mass of their body range; COM and bodies sit inside the cell
+    AABB (when moments are present).
+    """
+    n = len(pos)
+    nc = tree.n_cells
+    order = np.asarray(tree.order)
+    if len(order) != n or not np.array_equal(np.sort(order), np.arange(n)):
+        _fail("octree", "order is not a permutation of the particle indices "
+              f"(len {len(order)}, n {n})")
+    if tree.body_first[0] != 0 or tree.body_count[0] != n:
+        _fail("octree", f"root body range [{tree.body_first[0]}, "
+              f"+{tree.body_count[0]}) does not cover all {n} bodies")
+
+    internal = np.flatnonzero(tree.n_children > 0)
+    for c in internal:
+        f, k = int(tree.first_child[c]), int(tree.n_children[c])
+        if f < 0 or f + k > nc:
+            _fail("octree", f"cell {c}: child range [{f}, {f + k}) out of "
+                  f"bounds (n_cells {nc})")
+        ch = np.arange(f, f + k)
+        if not np.all(tree.cell_parent[ch] == c):
+            _fail("octree", f"cell {c}: children do not point back to it")
+        if int(tree.body_count[ch].sum()) != int(tree.body_count[c]):
+            _fail("octree", f"cell {c}: children cover "
+                  f"{int(tree.body_count[ch].sum())} bodies, parent has "
+                  f"{int(tree.body_count[c])} (dropped or duplicated bodies)")
+        starts = tree.body_first[ch]
+        stops = starts + tree.body_count[ch]
+        if starts[0] != tree.body_first[c] or np.any(starts[1:] != stops[:-1]):
+            _fail("octree", f"cell {c}: children body ranges are not a "
+                  "contiguous tiling of the parent range")
+
+    if tree.mass is not None:
+        smass = np.asarray(mass)[order]
+        csum = np.concatenate([[0.0], np.cumsum(smass)])
+        expect = csum[tree.body_first + tree.body_count] - csum[tree.body_first]
+        scale = max(float(np.abs(smass).sum()), 1e-300)
+        bad = np.abs(tree.mass - expect) > rtol * scale
+        if bad.any():
+            c = int(np.flatnonzero(bad)[0])
+            _fail("octree", f"cell {c}: mass {tree.mass[c]!r} != sum of its "
+                  f"body range {expect[c]!r}")
+    if tree.bmin is not None and tree.com is not None:
+        occupied = tree.body_count > 0
+        tol = rtol * max(float(np.abs(tree.bmax[0] - tree.bmin[0]).max()), 1e-300)
+        out = occupied & (np.any(tree.com < tree.bmin - tol, axis=1)
+                          | np.any(tree.com > tree.bmax + tol, axis=1))
+        if out.any():
+            c = int(np.flatnonzero(out)[0])
+            _fail("octree", f"cell {c}: COM {tree.com[c]} outside its AABB")
+        spos = np.asarray(pos)[order]
+        leaves = np.flatnonzero((tree.n_children == 0) & occupied)
+        for c in leaves:
+            f = int(tree.body_first[c])
+            t = f + int(tree.body_count[c])
+            seg = spos[f:t]
+            if np.any(seg < tree.bmin[c] - tol) or np.any(seg > tree.bmax[c] + tol):
+                _fail("octree", f"leaf {c}: bodies outside its AABB")
+
+
+# -- LET completeness -----------------------------------------------------
+
+def check_let(let, viewer_bmin: np.ndarray | None = None,
+              viewer_bmax: np.ndarray | None = None,
+              total_mass: float | None = None, rtol: float = 1e-8) -> None:
+    """Structural and MAC-completeness invariants of a shipped LET.
+
+    Structure: consistent array lengths; pruned cells are childless and
+    bodiless; child ranges stay in bounds; exported body ranges tile the
+    particle payload exactly (a truncated payload fails here); parent
+    masses equal the sum of child masses; leaf masses equal their
+    exported particles' mass.
+
+    Completeness: with a viewer box, every pruned cell must satisfy
+    ``d(viewer, com) > r_crit`` -- the receiver's group MAC can then
+    never require opening a multipole whose children were pruned away.
+    """
+    nc = let.n_cells
+    for f in ("first_child", "n_children", "body_first", "body_count",
+              "com", "mass", "quad", "r_crit", "pruned"):
+        arr = getattr(let, f)
+        if len(arr) != nc:
+            _fail("let", f"field {f} has length {len(arr)}, expected {nc}")
+    npart = let.n_particles
+    if len(let.part_pos) != npart:
+        _fail("let", f"part_pos has {len(let.part_pos)} rows for "
+              f"{npart} particle masses")
+
+    pruned = np.asarray(let.pruned, dtype=bool)
+    if np.any(let.n_children[pruned] != 0) or np.any(let.body_count[pruned] != 0):
+        _fail("let", "a pruned (multipole-only) cell still has children "
+              "or exported bodies")
+
+    with_children = np.flatnonzero(let.n_children > 0)
+    for c in with_children:
+        f, k = int(let.first_child[c]), int(let.n_children[c])
+        if f <= int(c) or f + k > nc:
+            _fail("let", f"cell {c}: child range [{f}, {f + k}) invalid "
+                  f"for {nc} cells")
+
+    starts = let.body_first[let.body_count > 0]
+    stops = starts + let.body_count[let.body_count > 0]
+    order = np.argsort(starts)
+    starts, stops = starts[order], stops[order]
+    if len(starts):
+        if starts[0] != 0 or np.any(starts[1:] != stops[:-1]) \
+                or stops[-1] != npart:
+            _fail("let", "exported body ranges do not tile the particle "
+                  f"payload [0, {npart}) (truncated or overlapping LET)")
+    elif npart:
+        _fail("let", f"{npart} particles shipped but no cell references them")
+
+    if nc:
+        scale = max(abs(float(let.mass[0])), 1e-300)
+        for c in with_children:
+            f, k = int(let.first_child[c]), int(let.n_children[c])
+            s = float(let.mass[f:f + k].sum())
+            if abs(s - float(let.mass[c])) > rtol * scale:
+                _fail("let", f"cell {c}: mass {let.mass[c]!r} != child sum {s!r}")
+        leaves = np.flatnonzero(let.body_count > 0)
+        for c in leaves:
+            f = int(let.body_first[c])
+            t = f + int(let.body_count[c])
+            s = float(let.part_mass[f:t].sum())
+            if abs(s - float(let.mass[c])) > rtol * scale:
+                _fail("let", f"leaf {c}: mass {let.mass[c]!r} != exported "
+                      f"particle sum {s!r}")
+        if total_mass is not None and \
+                abs(float(let.mass[0]) - total_mass) > rtol * scale:
+            _fail("let", f"root mass {let.mass[0]!r} != source tree total "
+                  f"{total_mass!r}")
+
+    if viewer_bmin is not None and viewer_bmax is not None and pruned.any():
+        d = aabb_distance(np.asarray(viewer_bmin), np.asarray(viewer_bmax),
+                          let.com[pruned])
+        bad = np.atleast_1d(d <= let.r_crit[pruned])
+        if bad.any():
+            c = int(np.flatnonzero(pruned)[int(np.flatnonzero(bad)[0])])
+            _fail("let", f"pruned cell {c} violates the MAC for the viewer "
+                  "box: the receiver may need data that was pruned away")

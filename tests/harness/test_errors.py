@@ -1,0 +1,117 @@
+"""Typed-error semantics of the hardened SimMPI runtime.
+
+A dead peer must surface as :class:`RankFailedError` within one poll
+interval; a live-but-silent peer as :class:`RecvTimeoutError` after the
+deadline -- never as a bare 120 s hang.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.simmpi import (
+    RankFailedError,
+    RecvTimeoutError,
+    SimWorld,
+    spmd_run,
+)
+
+
+def test_pop_timeout_is_typed_and_backward_compatible():
+    world = SimWorld(2, timeout=0.25)
+    t0 = time.monotonic()
+    with pytest.raises(RecvTimeoutError, match="rank 0 waiting for rank 1"):
+        world.pop(1, 0, tag=0)
+    assert time.monotonic() - t0 < 5.0
+    # RecvTimeoutError still satisfies pre-existing TimeoutError handlers.
+    assert issubclass(RecvTimeoutError, TimeoutError)
+
+
+def test_pop_on_failed_rank_raises_rank_failed_not_timeout():
+    world = SimWorld(2, timeout=30.0)
+    world.mark_rank_failed(1, ValueError("boom"))
+    t0 = time.monotonic()
+    with pytest.raises(RankFailedError) as ei:
+        world.pop(1, 0, tag=0)
+    assert time.monotonic() - t0 < 5.0  # fail-fast, not the 30 s deadline
+    assert ei.value.failed_rank == 1
+    assert ei.value.waiting_rank == 0
+
+
+def test_messages_sent_before_death_still_delivered():
+    world = SimWorld(2, timeout=5.0)
+    world.push(1, 0, 0, "last words", nbytes=10)
+    world.mark_rank_failed(1)
+    assert world.pop(1, 0, 0) == "last words"
+    with pytest.raises(RankFailedError):
+        world.pop(1, 0, 0)
+
+
+def test_barrier_aborted_by_failure_is_typed():
+    world = SimWorld(2, timeout=5.0)
+    world.mark_rank_failed(1)
+    with pytest.raises(RankFailedError):
+        world.barrier()
+
+
+def test_per_call_recv_timeout_override():
+    def prog(comm):
+        if comm.rank == 0:
+            try:
+                comm.recv(1, tag=0, timeout=0.2)
+            except RecvTimeoutError:
+                return "timed out"
+            return "received?!"
+        time.sleep(0.6)
+        return "slow sender never sent"
+
+    assert spmd_run(2, prog, timeout=30.0)[0] == "timed out"
+
+
+def test_peer_exception_unblocks_receiver_promptly():
+    """A raising rank is marked failed; the receiver blocked on it sees
+    RankFailedError long before the world timeout."""
+    seen = {}
+
+    def prog(comm):
+        if comm.rank == 0:
+            t0 = time.monotonic()
+            try:
+                comm.recv(1, tag=7)
+            except RankFailedError as e:
+                seen["elapsed"] = time.monotonic() - t0
+                seen["failed_rank"] = e.failed_rank
+            return "survivor"
+        raise ValueError("boom on rank 1")
+
+    with pytest.raises(RuntimeError, match="rank 1"):
+        spmd_run(2, prog, world=SimWorld(2, timeout=60.0), timeout=60.0)
+    assert seen["failed_rank"] == 1
+    assert seen["elapsed"] < 10.0
+
+
+def test_collective_with_dead_rank_is_typed():
+    def prog(comm):
+        if comm.rank == 1:
+            raise ValueError("dies before the collective")
+        try:
+            comm.allgather(np.arange(3))
+        except RankFailedError:
+            return "typed"
+        return "untyped"
+
+    with pytest.raises(RuntimeError, match="rank 1"):
+        spmd_run(3, prog, world=SimWorld(3, timeout=60.0), timeout=60.0)
+
+
+def test_generic_error_reporting_unchanged():
+    """The pre-existing contract (RuntimeError naming the rank) holds for
+    ordinary program bugs."""
+    def prog(comm):
+        if comm.rank == 1:
+            raise KeyError("oops")
+        comm.barrier()
+
+    with pytest.raises(RuntimeError, match="rank 1"):
+        spmd_run(3, prog)

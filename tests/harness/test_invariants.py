@@ -1,0 +1,241 @@
+"""Regression tests pinning invariant-checker behaviour.
+
+Every checker must (a) pass on healthy pipeline output and (b) fail
+loudly -- with a specific InvariantViolation -- on a deliberately
+corrupted input: a dropped particle, a truncated LET payload,
+overlapping domain keys, a broken tree topology.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.ics import plummer_model
+from repro.octree import (
+    build_octree,
+    compute_moments,
+    compute_opening_radii,
+    make_groups,
+)
+from repro.parallel.decomposition import DomainDecomposition
+from repro.parallel.lettree import boundary_structure, build_let_for_box
+from repro.simmpi import spmd_run
+from repro.testing import (
+    InvariantViolation,
+    check_conservation,
+    check_decomposition,
+    check_let,
+    check_octree,
+    check_ownership,
+    conservation_totals,
+)
+
+
+@pytest.fixture(scope="module")
+def ps():
+    return plummer_model(900, seed=33)
+
+
+@pytest.fixture()
+def tree(ps):
+    """A fresh (mutable) tree with moments per test."""
+    t = build_octree(ps.pos, nleaf=16)
+    compute_moments(t, ps.pos, ps.mass)
+    compute_opening_radii(t, 0.5, "bh")
+    make_groups(t, 64)
+    return t
+
+
+# -- conservation ---------------------------------------------------------
+
+def test_conservation_passes_on_identical_sets(ps):
+    before = conservation_totals(ps)
+    after = conservation_totals(ps.copy())
+    check_conservation(before, after)
+
+
+def test_conservation_detects_dropped_particle(ps):
+    before = conservation_totals(ps)
+    truncated = ps.select(np.arange(ps.n - 1))  # one particle vanished
+    with pytest.raises(InvariantViolation, match="particle count"):
+        check_conservation(before, conservation_totals(truncated))
+
+
+def test_conservation_detects_mass_tampering(ps):
+    before = conservation_totals(ps)
+    tampered = ps.copy()
+    tampered.mass[0] *= 1.5
+    with pytest.raises(InvariantViolation, match="mass"):
+        check_conservation(before, conservation_totals(tampered))
+
+
+def test_conservation_detects_momentum_tampering(ps):
+    before = conservation_totals(ps)
+    tampered = ps.copy()
+    tampered.vel[3] += 10.0
+    with pytest.raises(InvariantViolation, match="momentum"):
+        check_conservation(before, conservation_totals(tampered))
+
+
+# -- domain decomposition -------------------------------------------------
+
+def test_decomposition_passes_on_partition():
+    b = np.array([0, 100, 250, 1000], dtype=np.uint64)
+    keys = np.array([5, 120, 999], dtype=np.uint64)
+    check_decomposition(b, keys=keys, n_ranks=3)
+
+
+def test_decomposition_detects_overlapping_domains():
+    b = np.array([0, 250, 100, 1000], dtype=np.uint64)  # non-monotone
+    with pytest.raises(InvariantViolation, match="overlapping or empty"):
+        check_decomposition(b)
+
+
+def test_decomposition_detects_empty_domain():
+    b = np.array([0, 100, 100, 1000], dtype=np.uint64)
+    with pytest.raises(InvariantViolation, match="overlapping or empty"):
+        check_decomposition(b)
+
+
+def test_decomposition_detects_uncovered_keys():
+    b = np.array([10, 100, 1000], dtype=np.uint64)
+    with pytest.raises(InvariantViolation, match="outside covered range"):
+        check_decomposition(b, keys=np.array([5], dtype=np.uint64))
+
+
+def test_decomposition_detects_rank_count_mismatch():
+    b = np.array([0, 100, 1000], dtype=np.uint64)
+    with pytest.raises(InvariantViolation, match="boundaries"):
+        check_decomposition(b, n_ranks=3)
+
+
+def test_ownership_detects_stray_keys():
+    """Distributed form: a rank holding keys outside its interval must
+    trip the (collective) ownership check on that rank."""
+    decomp = DomainDecomposition(
+        boundaries=np.array([0, 100, 200], dtype=np.uint64))
+
+    def prog(comm):
+        # rank 1 wrongly holds key 5, owned by rank 0
+        keys = np.array([10, 20] if comm.rank == 0 else [5], dtype=np.uint64)
+        check_ownership(comm, decomp, keys)
+
+    with pytest.raises(RuntimeError, match="ownership"):
+        spmd_run(2, prog)
+
+
+def test_ownership_passes_on_disjoint_total(ps):
+    decomp = DomainDecomposition(
+        boundaries=np.array([0, 100, 200], dtype=np.uint64))
+
+    def prog(comm):
+        keys = np.array([10, 20] if comm.rank == 0 else [150],
+                        dtype=np.uint64)
+        check_ownership(comm, decomp, keys, n_total=3)
+        return "ok"
+
+    assert spmd_run(2, prog) == ["ok", "ok"]
+
+
+# -- octree structure -----------------------------------------------------
+
+def test_octree_passes_on_clean_tree(ps, tree):
+    check_octree(tree, ps.pos, ps.mass)
+
+
+def test_octree_detects_dropped_body(ps, tree):
+    tree.body_count[0] -= 1  # root no longer covers every particle
+    with pytest.raises(InvariantViolation, match="root body range"):
+        check_octree(tree, ps.pos, ps.mass)
+
+
+def test_octree_detects_child_range_corruption(ps, tree):
+    c = int(np.flatnonzero(tree.n_children > 0)[1])
+    tree.body_count[int(tree.first_child[c])] += 3
+    with pytest.raises(InvariantViolation):
+        check_octree(tree, ps.pos, ps.mass)
+
+
+def test_octree_detects_mass_corruption(ps, tree):
+    tree.mass[0] *= 1.01
+    with pytest.raises(InvariantViolation, match="mass"):
+        check_octree(tree, ps.pos, ps.mass)
+
+
+def test_octree_detects_broken_order_permutation(ps, tree):
+    tree.order[0] = tree.order[1]  # no longer a permutation
+    with pytest.raises(InvariantViolation, match="permutation"):
+        check_octree(tree, ps.pos, ps.mass)
+
+
+def test_octree_detects_displaced_com(ps, tree):
+    occupied = np.flatnonzero(tree.body_count > 0)
+    tree.com[occupied[-1]] += 100.0
+    with pytest.raises(InvariantViolation, match="COM"):
+        check_octree(tree, ps.pos, ps.mass)
+
+
+# -- LET completeness -----------------------------------------------------
+
+def _sorted(ps, tree):
+    return ps.pos[tree.order], ps.mass[tree.order]
+
+
+def test_let_passes_on_clean_structures(ps, tree):
+    spos, smass = _sorted(ps, tree)
+    total = float(ps.mass.sum())
+    check_let(boundary_structure(tree, spos, smass), total_mass=total)
+    vmin, vmax = np.array([2.0, 2.0, 2.0]), np.array([4.0, 4.0, 4.0])
+    let = build_let_for_box(tree, spos, smass, vmin, vmax)
+    check_let(let, vmin, vmax, total_mass=total)
+
+
+def test_let_detects_truncated_payload(ps, tree):
+    spos, smass = _sorted(ps, tree)
+    let = boundary_structure(tree, spos, smass)
+    assert let.n_particles > 1
+    truncated = dataclasses.replace(let,
+                                    part_pos=let.part_pos[:-1],
+                                    part_mass=let.part_mass[:-1])
+    with pytest.raises(InvariantViolation, match="truncated|tile"):
+        check_let(truncated)
+
+
+def test_let_detects_dropped_exported_cell(ps, tree):
+    spos, smass = _sorted(ps, tree)
+    let = boundary_structure(tree, spos, smass)
+    c = int(np.flatnonzero(let.body_count > 0)[0])
+    let.body_count[c] = 0  # its particles are now orphaned
+    with pytest.raises(InvariantViolation):
+        check_let(let)
+
+
+def test_let_detects_mac_incompleteness(ps, tree):
+    """A pruned cell the viewer could open means pruned-away data the
+    receiver may need: the completeness check must catch it."""
+    spos, smass = _sorted(ps, tree)
+    vmin, vmax = np.array([2.0, 2.0, 2.0]), np.array([4.0, 4.0, 4.0])
+    let = build_let_for_box(tree, spos, smass, vmin, vmax)
+    pruned = np.flatnonzero(let.pruned)
+    assert len(pruned)
+    let.r_crit[pruned[0]] = 1e9  # opening radius now reaches the viewer
+    with pytest.raises(InvariantViolation, match="pruned cell"):
+        check_let(let, vmin, vmax)
+
+
+def test_let_detects_pruned_cell_with_children(ps, tree):
+    spos, smass = _sorted(ps, tree)
+    let = boundary_structure(tree, spos, smass)
+    c = int(np.flatnonzero(let.n_children > 0)[0])
+    let.pruned[c] = True
+    with pytest.raises(InvariantViolation, match="pruned"):
+        check_let(let)
+
+
+def test_let_detects_mass_inconsistency(ps, tree):
+    spos, smass = _sorted(ps, tree)
+    let = boundary_structure(tree, spos, smass)
+    let.mass[0] *= 1.01
+    with pytest.raises(InvariantViolation, match="mass"):
+        check_let(let)
