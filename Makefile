@@ -1,4 +1,4 @@
-.PHONY: install test test-faults bench bench-quick clean
+.PHONY: install test test-faults bench bench-quick trace clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -20,6 +20,13 @@ bench-quick:
 	pytest benchmarks/bench_fig1_kernel.py benchmarks/bench_fig4_weak_scaling.py \
 	       benchmarks/bench_table2_breakdown.py benchmarks/bench_time_to_solution.py \
 	       benchmarks/bench_state_of_the_art.py --benchmark-only
+
+# Traced 4-rank smoke run: writes trace.json + metrics.txt, then prints
+# the Table II report reconstructed from the trace (docs/OBSERVABILITY.md).
+trace:
+	PYTHONPATH=src:$$PYTHONPATH python -m repro.obs.smoke --ranks 4 --n 2000 \
+	       --steps 2 --trace-out trace.json --metrics-out metrics.txt
+	PYTHONPATH=src:$$PYTHONPATH python -m repro.obs.report trace.json --validate
 
 clean:
 	rm -rf benchmarks/results .pytest_cache src/repro.egg-info

@@ -1,0 +1,88 @@
+"""Tracer overhead: zero when disabled, a few percent when enabled.
+
+The acceptance criteria the observability PR must hold (documented with
+measured numbers in ``docs/OBSERVABILITY.md``):
+
+- the hot force path carries no per-interaction instrumentation at all,
+  so a disabled tracer (:data:`~repro.obs.NULL_TRACER`) adds zero cost
+  there -- the only cost anywhere is an ``if tr.enabled`` check at
+  phase/message granularity (a few dozen per step);
+- a wall-clock tracer on a 2-rank benchmark stays under ~5% overhead.
+
+Timing comparisons on shared CI hosts are noisy, so the asserted bounds
+are deliberately looser than the documented measurements; the measured
+numbers land in ``benchmarks/results/obs_overhead.txt``.
+"""
+
+import time
+import timeit
+
+from conftest import write_result
+from repro import SimulationConfig
+from repro.core.parallel_simulation import run_parallel_simulation
+from repro.ics import plummer_model
+from repro.obs import NULL_TRACER, Tracer
+from repro.simmpi import SimWorld
+
+N_RANKS = 2
+N = 4000
+STEPS = 2
+ROUNDS = 3
+
+
+def _step_seconds(trace):
+    world = SimWorld(N_RANKS)
+    particles = plummer_model(N, seed=9)
+    cfg = SimulationConfig(theta=0.6, softening=0.02, dt=0.01)
+    t0 = time.perf_counter()
+    run_parallel_simulation(N_RANKS, particles, cfg, n_steps=STEPS,
+                            world=world, trace=trace)
+    return time.perf_counter() - t0
+
+
+def test_null_tracer_per_call_cost(results_dir):
+    """The disabled path is a handful of attribute loads, no allocation."""
+    n_calls = 100_000
+    span_s = timeit.timeit(
+        "tr.span('x', rank=0)", globals={"tr": NULL_TRACER}, number=n_calls)
+    record_s = timeit.timeit(
+        "tr.record('x', 0, 0.0, 1.0)", globals={"tr": NULL_TRACER},
+        number=n_calls)
+    per_span_ns = span_s / n_calls * 1e9
+    per_record_ns = record_s / n_calls * 1e9
+    write_result("obs_null_tracer", [
+        "NullTracer per-call cost (disabled tracing):",
+        f"  span():   {per_span_ns:8.1f} ns",
+        f"  record(): {per_record_ns:8.1f} ns",
+        f"  (~{STEPS * 40} such calls per parallel step -- nanoseconds "
+        "against a multi-millisecond step)",
+    ])
+    # Sub-microsecond per call even on a loaded host.
+    assert per_span_ns < 5_000
+    assert per_record_ns < 5_000
+
+
+def test_enabled_tracer_overhead(results_dir):
+    """Wall-tracer overhead on the 2-rank pipeline, best-of-N runs."""
+    baseline = min(_step_seconds(None) for _ in range(ROUNDS))
+    traced = min(_step_seconds(Tracer()) for _ in range(ROUNDS))
+    overhead = traced / baseline - 1.0
+    write_result("obs_overhead", [
+        f"Tracer overhead ({N_RANKS} ranks, N={N}, {STEPS} steps, "
+        f"best of {ROUNDS}):",
+        f"  disabled: {baseline:8.4f} s",
+        f"  enabled:  {traced:8.4f} s",
+        f"  overhead: {overhead:+8.2%}   (acceptance target < 5%)",
+    ])
+    # CI-safe bound; the documented measurement is the real claim.
+    assert overhead < 0.25
+
+
+def test_disabled_tracer_changes_nothing(results_dir):
+    """A run without trace= emits zero events and books no tracer state."""
+    world = SimWorld(N_RANKS)
+    run_parallel_simulation(N_RANKS, plummer_model(800, seed=9),
+                            SimulationConfig(theta=0.6), n_steps=1,
+                            world=world)
+    assert world.tracer is NULL_TRACER
+    assert world.tracer.events() == []

@@ -81,16 +81,24 @@ def test_table2_model(benchmark, results_dir):
 
 
 @pytest.mark.parametrize("n", [20_000])
-def test_table2_measured_pipeline(benchmark, results_dir, n):
+def test_table2_measured_pipeline(benchmark, results_dir, trace_out, n):
     """The same breakdown measured for real on this host (our 'single
     GPU' column): the structure must match -- gravity dominates, tree
-    build and properties are minor."""
+    build and properties are minor.  With ``--trace-out PATH`` the
+    measured steps are also exported as a Chrome trace."""
     ps = milky_way_model(n, seed=102)
     cfg = SimulationConfig(theta=0.5, softening=0.1, dt=0.5)
-    sim = Simulation(ps, cfg)
+    tracer = None
+    if trace_out:
+        from repro.obs import Tracer
+        tracer = Tracer()
+    sim = Simulation(ps, cfg, trace=tracer)
     sim.step()  # warm-up / prime
 
     bd = benchmark.pedantic(sim.step, rounds=3, iterations=1)
+    if tracer is not None:
+        from repro.obs import write_chrome_trace
+        write_chrome_trace(tracer, trace_out)
     lines = [f"Table II analogue measured on this host (N = {n}):"]
     for phase in TABLE2_PHASES:
         lines.append(f"  {phase:18s} {getattr(bd, phase):8.3f} s")

@@ -18,6 +18,19 @@ if str(_SRC) not in sys.path:
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--trace-out", default=None,
+        help="write a Chrome trace of trace-aware benchmarks to this path "
+             "(view in Perfetto, reduce with python -m repro.obs.report)")
+
+
+@pytest.fixture(scope="session")
+def trace_out(request):
+    """Path for benchmark trace output (None when --trace-out not given)."""
+    return request.config.getoption("--trace-out")
+
+
 @pytest.fixture(scope="session")
 def results_dir():
     """Directory collecting the regenerated tables and figure data."""

@@ -15,6 +15,12 @@ Each step performs exactly the paper's pipeline:
 Forces are computed on the post-exchange layout, and both half-kicks of
 a force evaluation run on that same layout, so the integrator remains a
 well-defined KDK leap-frog even though particles migrate between ranks.
+
+When constructed with ``trace=`` (a :class:`repro.obs.Tracer`) -- or on
+a world that already carries one -- every pipeline phase is emitted as a
+per-rank span using the same clock readings booked into the
+:class:`StepBreakdown`, so ``python -m repro.obs.report`` reconstructs
+the identical Table II numbers from the trace alone.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ import numpy as np
 from ..config import SimulationConfig
 from ..gravity.flops import InteractionCounts
 from ..integrator import EnergyDiagnostics
+from ..obs.tracer import Tracer
 from ..particles import ParticleSet
 from ..parallel import DomainDecomposition, distributed_forces, domain_update, exchange_particles
 from ..sfc import BoundingBox
@@ -52,13 +59,19 @@ class ParallelSimulation:
         every redistribute asserts exchange conservation and ownership
         and every force evaluation asserts the local octree's structural
         invariants, via :mod:`repro.testing.invariants`.
+    trace:
+        Optional :class:`repro.obs.Tracer`; attached to the world (all
+        ranks must pass the same tracer) so every phase, message and
+        collective lands in one trace.  When omitted, a tracer already
+        attached to the world is picked up automatically.
     """
 
     def __init__(self, comm: SimComm, particles: ParticleSet,
                  config: SimulationConfig | None = None,
                  decomposition_method: str = "hierarchical",
                  sample_rate1: float = 0.01, sample_rate2: float = 0.05,
-                 invariant_checks: bool = False):
+                 invariant_checks: bool = False,
+                 trace: Tracer | None = None):
         self.comm = comm
         self.particles = particles
         self.config = config or SimulationConfig()
@@ -66,13 +79,41 @@ class ParallelSimulation:
         self.rate1 = sample_rate1
         self.rate2 = sample_rate2
         self.invariant_checks = invariant_checks
+        if trace is not None:
+            comm.world.attach_tracer(trace)
         self.time = 0.0
         self.step_count = 0
         self.history: list[StepBreakdown] = []
         self.decomposition: DomainDecomposition | None = None
+        self.recv_wait_seconds = 0.0
         self._acc: np.ndarray | None = None
         self._phi: np.ndarray | None = None
         self._weights: np.ndarray | None = None
+
+    # -- observability ----------------------------------------------------
+
+    @property
+    def tracer(self) -> Tracer:
+        """The world's tracer (:data:`repro.obs.NULL_TRACER` when off)."""
+        return self.comm.tracer
+
+    def _now(self) -> float:
+        """Phase-boundary clock: tracer clock when tracing, else wall.
+
+        Using the tracer's clock for the breakdown keeps the trace and
+        the :class:`StepBreakdown` numerically identical -- one
+        measurement, two views.
+        """
+        tr = self.comm.tracer
+        if tr.enabled:
+            return tr.clock.now(self.comm.rank)
+        return time.perf_counter()
+
+    def _rec(self, name: str, t0: float, t1: float, **attrs) -> None:
+        tr = self.comm.tracer
+        if tr.enabled:
+            tr.record(name, self.comm.rank, t0, t1, cat="phase",
+                      step=self.step_count, **attrs)
 
     # -- pipeline pieces --------------------------------------------------
 
@@ -85,7 +126,7 @@ class ParallelSimulation:
 
     def redistribute(self, bd: StepBreakdown | None = None) -> None:
         """Domain update + particle exchange (Table II "Domain Update")."""
-        t0 = time.perf_counter()
+        t0 = self._now()
         box = self._global_box()
         keys = box.keys(self.particles.pos, self.config.curve)
         order = np.argsort(keys, kind="stable")
@@ -93,7 +134,8 @@ class ParallelSimulation:
         keys = keys[order]
         weights = self._weights[order] if self._weights is not None and \
             len(self._weights) == len(order) else None
-        t1 = time.perf_counter()
+        t1 = self._now()
+        self._rec("sorting", t0, t1)
 
         self.comm.set_phase("domain_update")
         self.decomposition = domain_update(self.comm, keys, weights,
@@ -106,20 +148,26 @@ class ParallelSimulation:
             from ..testing.invariants import check_ownership
             keys_after = box.keys(self.particles.pos, self.config.curve)
             check_ownership(self.comm, self.decomposition, keys_after)
-        t2 = time.perf_counter()
+        t2 = self._now()
+        self._rec("domain_update", t1, t2)
         self._box = box
         if bd is not None:
             bd.sorting += t1 - t0
             bd.domain_update += t2 - t1
 
     def compute_forces(self, bd: StepBreakdown | None = None) -> None:
-        """Distributed force computation on the current layout."""
-        t0 = time.perf_counter()
+        """Distributed force computation on the current layout.
+
+        The per-sub-phase times measured inside
+        :func:`distributed_forces` are mapped onto Table II rows here:
+        boundary/LET *build+send* time books under "Unbalance + Other"
+        (the paper hides it), the rest map one-to-one.
+        """
         result = distributed_forces(self.comm, self.particles, self.config,
-                                    self._box)
-        t1 = time.perf_counter()
+                                    self._box, step=self.step_count)
         self._acc, self._phi = result.acc, result.phi
         self._result = result
+        self.recv_wait_seconds += result.recv_wait_seconds
         if self.invariant_checks:
             from ..testing.invariants import check_octree
             check_octree(result.tree, self.particles.pos, self.particles.mass)
@@ -129,7 +177,13 @@ class ParallelSimulation:
         flops_pp = result.counts_total.flops / max(self.particles.n, 1)
         self._weights = np.full(self.particles.n, flops_pp)
         if bd is not None:
-            bd.gravity_local += t1 - t0
+            ph = result.phases
+            bd.tree_construction += ph["tree_construction"]
+            bd.tree_properties += ph["tree_properties"]
+            bd.gravity_local += ph["gravity_local"]
+            bd.gravity_let += ph["gravity_let"]
+            bd.non_hidden_comm += ph["non_hidden_comm"]
+            bd.other += ph["boundary_exchange"] + ph["let_exchange"]
             bd.counts.add(result.counts_total)
             bd.counts.quadrupole = self.config.quadrupole
             bd.n_particles = self.particles.n
@@ -147,17 +201,21 @@ class ParallelSimulation:
         dt = self.config.dt
         half = 0.5 * dt
 
-        t0 = time.perf_counter()
+        t0 = self._now()
         self.particles.vel += self._acc * half
         self.particles.pos += self.particles.vel * dt
-        bd.other += time.perf_counter() - t0
+        t1 = self._now()
+        self._rec("other", t0, t1)
+        bd.other += t1 - t0
 
         self.redistribute(bd)
         self.compute_forces(bd)
 
-        t0 = time.perf_counter()
+        t0 = self._now()
         self.particles.vel += self._acc * half
-        bd.other += time.perf_counter() - t0
+        t1 = self._now()
+        self._rec("other", t0, t1)
+        bd.other += t1 - t0
 
         self.time += dt
         self.step_count += 1
@@ -190,14 +248,18 @@ def run_parallel_simulation(n_ranks: int, particles: ParticleSet,
                             decomposition_method: str = "hierarchical",
                             timeout: float = 600.0,
                             world=None,
-                            invariant_checks: bool = False
+                            invariant_checks: bool = False,
+                            trace: Tracer | None = None
                             ) -> list[ParallelSimulation]:
     """Convenience front-end: shard ``particles``, run ``n_steps`` on
     ``n_ranks`` SimMPI ranks, return the per-rank simulation objects.
 
     ``world`` lets callers supply a prepared :class:`~repro.simmpi.SimWorld`
     (e.g. a :class:`~repro.faults.FaultyWorld`) to run the identical
-    program over an instrumented or misbehaving transport."""
+    program over an instrumented or misbehaving transport.  ``trace``
+    attaches a :class:`repro.obs.Tracer` to that world so the whole run
+    lands in one trace (export with
+    :func:`repro.obs.write_chrome_trace`)."""
     n = particles.n
 
     def prog(comm: SimComm) -> ParallelSimulation:
@@ -206,7 +268,8 @@ def run_parallel_simulation(n_ranks: int, particles: ParticleSet,
         local = particles.select(np.arange(lo, hi))
         sim = ParallelSimulation(comm, local, config,
                                  decomposition_method=decomposition_method,
-                                 invariant_checks=invariant_checks)
+                                 invariant_checks=invariant_checks,
+                                 trace=trace)
         sim.evolve(n_steps)
         return sim
 

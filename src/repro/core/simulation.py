@@ -5,6 +5,11 @@ SFC key sort, tree construction, tree properties (multipole moments +
 opening radii), the fused tree-walk/force kernel, and the leap-frog
 update.  The "domain update" and LET phases are identically zero here;
 :class:`~repro.core.parallel_simulation.ParallelSimulation` adds them.
+
+With ``trace=`` (a :class:`repro.obs.Tracer`) every phase is also
+emitted as a rank-0 span, using the very clock readings booked into the
+:class:`StepBreakdown` -- the serial twin of the parallel driver's
+instrumentation.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ import numpy as np
 
 from ..config import SimulationConfig
 from ..gravity import tree_forces
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..integrator import EnergyDiagnostics, system_diagnostics
 from ..octree import build_octree, compute_moments, make_groups
 from ..particles import ParticleSet
@@ -32,6 +38,9 @@ class Simulation:
         The particle system (modified in place).
     config:
         Numerical parameters (theta, softening, dt, ...).
+    trace:
+        Optional :class:`repro.obs.Tracer`; phases are emitted as
+        rank-0 spans (a one-rank trace, same tooling as parallel runs).
 
     Examples
     --------
@@ -43,14 +52,27 @@ class Simulation:
     0.1
     """
 
-    def __init__(self, particles: ParticleSet, config: SimulationConfig | None = None):
+    def __init__(self, particles: ParticleSet, config: SimulationConfig | None = None,
+                 trace: Tracer | None = None):
         self.particles = particles
         self.config = config or SimulationConfig()
+        self.tracer = trace if trace is not None else NULL_TRACER
         self.time = 0.0
         self.step_count = 0
         self.history: list[StepBreakdown] = []
         self._acc: np.ndarray | None = None
         self._phi: np.ndarray | None = None
+
+    def _now(self) -> float:
+        """Phase clock: the tracer's when tracing (so trace == breakdown)."""
+        tr = self.tracer
+        return tr.clock.now(0) if tr.enabled else time.perf_counter()
+
+    def _rec(self, name: str, t0: float, t1: float, **attrs) -> None:
+        tr = self.tracer
+        if tr.enabled:
+            tr.record(name, 0, t0, t1, cat="phase",
+                      step=self.step_count, **attrs)
 
     @property
     def potential(self) -> np.ndarray | None:
@@ -74,35 +96,44 @@ class Simulation:
             # The O(N^2) oracle ("if the opening angle is infinitesimal
             # the tree-code reduces to a ... direct N-body code").
             from ..gravity import direct_forces
-            t0 = time.perf_counter()
+            t0 = self._now()
             acc, phi = direct_forces(ps.pos, ps.mass, eps=cfg.softening,
                                      counts=bd.counts)
-            bd.gravity_local += time.perf_counter() - t0
+            t1 = self._now()
+            bd.gravity_local += t1 - t0
+            self._rec("gravity_local", t0, t1, n_particles=ps.n,
+                      n_pp=bd.counts.n_pp, n_pc=0, quadrupole=False)
             bd.counts.quadrupole = False
             self._acc, self._phi = acc, phi
             return acc, phi
 
-        t0 = time.perf_counter()
+        t0 = self._now()
         box = BoundingBox.from_positions(ps.pos)
         keys = box.keys(ps.pos, cfg.curve)
-        t1 = time.perf_counter()
+        t1 = self._now()
         bd.sorting += t1 - t0
+        self._rec("sorting", t0, t1)
 
         tree = build_octree(ps.pos, nleaf=cfg.nleaf, curve=cfg.curve,
                             box=box, keys=keys)
-        t2 = time.perf_counter()
+        t2 = self._now()
         bd.tree_construction += t2 - t1
+        self._rec("tree_construction", t1, t2)
 
         compute_moments(tree, ps.pos, ps.mass)
         make_groups(tree, cfg.ncrit)
-        t3 = time.perf_counter()
+        t3 = self._now()
         bd.tree_properties += t3 - t2
+        self._rec("tree_properties", t2, t3)
 
         result = tree_forces(tree, ps.pos, ps.mass, theta=cfg.theta,
                              eps=cfg.softening, mac=cfg.mac,
                              quadrupole=cfg.quadrupole)
-        t4 = time.perf_counter()
+        t4 = self._now()
         bd.gravity_local += t4 - t3
+        self._rec("gravity_local", t3, t4, n_particles=ps.n,
+                  n_pp=result.counts.n_pp, n_pc=result.counts.n_pc,
+                  quadrupole=cfg.quadrupole)
         bd.counts.add(result.counts)
         bd.counts.quadrupole = cfg.quadrupole
 
@@ -117,17 +148,20 @@ class Simulation:
         dt = self.config.dt
         half = 0.5 * dt
 
-        t0 = time.perf_counter()
+        t0 = self._now()
         self.particles.vel += self._acc * half
         self.particles.pos += self.particles.vel * dt
-        t1 = time.perf_counter()
+        t1 = self._now()
         bd.other += t1 - t0
+        self._rec("other", t0, t1)
 
         self.compute_forces(bd)
 
-        t2 = time.perf_counter()
+        t2 = self._now()
         self.particles.vel += self._acc * half
-        bd.other += time.perf_counter() - t2
+        t3 = self._now()
+        bd.other += t3 - t2
+        self._rec("other", t2, t3)
 
         self.time += dt
         self.step_count += 1

@@ -59,14 +59,33 @@ class FaultStats:
     Kept separate from :class:`~repro.simmpi.traffic.TrafficLog` on
     purpose: the logical traffic of a run must be unchanged by maskable
     faults, while this object records what the injector actually did
-    (events, affected payload bytes, injected seconds).
+    (events, affected payload bytes, injected seconds).  When a
+    :class:`~repro.obs.metrics.MetricsRegistry` is supplied every tally
+    is mirrored into labelled fault metrics
+    (``fault_events_total{kind=...}``, ...), so the injector shows up in
+    the same scrape as traffic and recv-wait accounting.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, registry=None) -> None:
         self._lock = threading.Lock()
         self.kinds: dict[str, FaultKindStats] = defaultdict(FaultKindStats)
         self.crashed_ranks: list[int] = []
         self.duplicates_dropped: int = 0
+        self._m_events = self._m_bytes = self._m_seconds = None
+        self._m_dropped = None
+        if registry is not None:
+            self._m_events = registry.counter(
+                "fault_events_total", "Injected fault events by kind",
+                labelnames=("kind",))
+            self._m_bytes = registry.counter(
+                "fault_bytes_total", "Payload bytes touched by faults",
+                labelnames=("kind",))
+            self._m_seconds = registry.counter(
+                "fault_seconds_total", "Seconds of injected stall by kind",
+                labelnames=("kind",))
+            self._m_dropped = registry.counter(
+                "fault_duplicates_dropped_total",
+                "Duplicate envelopes discarded by the receive path")
 
     def record(self, kind: str, nbytes: int = 0, seconds: float = 0.0) -> None:
         with self._lock:
@@ -74,16 +93,24 @@ class FaultStats:
             k.events += 1
             k.bytes += nbytes
             k.seconds += seconds
+        if self._m_events is not None:
+            self._m_events.inc(kind=kind)
+            self._m_bytes.inc(nbytes, kind=kind)
+            self._m_seconds.inc(seconds, kind=kind)
 
     def record_crash(self, rank: int) -> None:
         with self._lock:
             self.crashed_ranks.append(rank)
             k = self.kinds["crash"]
             k.events += 1
+        if self._m_events is not None:
+            self._m_events.inc(kind="crash")
 
     def record_duplicate_dropped(self) -> None:
         with self._lock:
             self.duplicates_dropped += 1
+        if self._m_dropped is not None:
+            self._m_dropped.inc()
 
     def count(self, kind: str) -> int:
         """Number of injections of one fault kind."""
@@ -126,7 +153,7 @@ class FaultyWorld(SimWorld):
             raise ValueError("seed must be non-negative")
         self.schedule = schedule
         self.seed = int(seed)
-        self.stats = FaultStats()
+        self.stats = FaultStats(self.metrics)
         self._fault_lock = threading.Lock()
         self._send_seq: dict[tuple[int, int, int], int] = defaultdict(int)
         self._deliver_seq: dict[tuple[int, int, int], int] = defaultdict(int)
@@ -139,6 +166,15 @@ class FaultyWorld(SimWorld):
     def _rng(self, src: int, dst: int, tag: int, seq: int) -> np.random.Generator:
         ss = np.random.SeedSequence([self.seed, src, dst, abs(tag), seq])
         return np.random.default_rng(ss)
+
+    def _fault_instant(self, kind: str, rank: int, **attrs) -> None:
+        """Emit a cat="fault" instant without advancing the rank's
+        logical clock (``peek``): injected faults must never shift the
+        logical timeline, so maskable schedules stay trace-transparent."""
+        tr = self.tracer
+        if tr.enabled:
+            tr.instant(f"fault_{kind}", rank=rank, ts=tr.clock.peek(rank),
+                       cat="fault", **attrs)
 
     def _comm_op(self, rank: int) -> None:
         """Deterministic per-rank op counter driving crash/slowdown.
@@ -153,20 +189,25 @@ class FaultyWorld(SimWorld):
         crash = self.schedule.crash_for(rank)
         if crash is not None and n >= crash.after and not self.rank_failed(rank):
             self.stats.record_crash(rank)
+            self._fault_instant("crash", rank, op=n)
             self.mark_rank_failed(rank)
             raise SimulatedRankCrash(rank, n)
         slow = self.schedule.slowdown_for(rank)
         if slow is not None and slow.max_delay > 0:
             self.stats.record("slowdown", 0, slow.max_delay)
+            self._fault_instant("slowdown", rank, seconds=slow.max_delay)
             time.sleep(slow.max_delay)
 
     # -- faulty transport --------------------------------------------------
 
-    def push(self, src: int, dst: int, tag: int, payload: Any, nbytes: int) -> None:
+    def _pre_send(self, src: int) -> None:
         self._comm_op(src)
-        # Logical traffic is recorded once per *logical* send; injected
-        # duplicates are transport noise and only appear in self.stats.
-        self.traffic.record_send(src, dst, nbytes)
+
+    def _enqueue(self, src: int, dst: int, tag: int, payload: Any,
+                 nbytes: int) -> None:
+        # Logical traffic/tracing happen once per *logical* send in
+        # SimWorld.push; injected duplicates are transport noise and only
+        # appear in self.stats and cat="fault" trace instants.
         key = (src, dst, tag)
         with self._fault_lock:
             seq = self._send_seq[key]
@@ -190,6 +231,7 @@ class FaultyWorld(SimWorld):
 
         if delay_s > 0:
             self.stats.record("delay", nbytes, delay_s)
+            self._fault_instant("delay", src, dst=dst, seconds=delay_s)
             time.sleep(delay_s)
 
         env = (seq, payload)
@@ -202,13 +244,16 @@ class FaultyWorld(SimWorld):
                 # still races ahead on the wire.
                 self._holdback[key] = env
                 self.stats.record("reorder", nbytes)
+                self._fault_instant("reorder", src, dst=dst)
                 if do_duplicate:
                     self.stats.record("duplicate", nbytes)
+                    self._fault_instant("duplicate", src, dst=dst)
                     q.put(env)
                 return
         q.put(env)
         if do_duplicate:
             self.stats.record("duplicate", nbytes)
+            self._fault_instant("duplicate", src, dst=dst)
             q.put(env)
         if held is not None:
             q.put(held)  # the older message lands after the newer one
@@ -244,8 +289,8 @@ class FaultyWorld(SimWorld):
         self._admit(key, env)
         return True
 
-    def pop(self, src: int, dst: int, tag: int,
-            timeout: float | None = None) -> Any:
+    def _pop(self, src: int, dst: int, tag: int,
+             timeout: float | None = None) -> Any:
         self._comm_op(dst)
         key = (src, dst, tag)
         q = self._queue(src, dst, tag)

@@ -1,0 +1,54 @@
+"""repro.obs: unified observability -- span tracing, metrics, reporting.
+
+The subsystem every other layer emits into (docs/OBSERVABILITY.md):
+
+- :mod:`repro.obs.clock`   -- pluggable span clocks (wall / deterministic
+  virtual).
+- :mod:`repro.obs.tracer`  -- nestable per-rank span tracer with
+  attachable counters; :data:`NULL_TRACER` is the zero-cost disabled
+  path.
+- :mod:`repro.obs.metrics` -- labelled counters/gauges/histograms with
+  Prometheus text export; one registry per
+  :class:`~repro.simmpi.SimWorld` absorbs the traffic, recv-wait and
+  fault accounting.
+- :mod:`repro.obs.export`  -- Chrome trace-event JSON (one lane per
+  rank, send->recv flows; loads in Perfetto) and JSONL.
+- :mod:`repro.obs.report`  -- ``python -m repro.obs.report trace.json``:
+  Table II phase breakdown, overlap/hiding summary, per-rank imbalance,
+  reconstructed from the trace alone.
+- :mod:`repro.obs.smoke`   -- ``python -m repro.obs.smoke``: a small
+  traced parallel run for CI and ``make trace``.
+"""
+
+from .clock import VirtualClock, WallClock
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracer import NULL_TRACER, NullTracer, TraceEvent, Tracer
+from .export import (
+    chrome_trace_events,
+    chrome_trace_json,
+    jsonl_lines,
+    validate_chrome_trace,
+    validate_chrome_trace_file,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "WallClock",
+    "VirtualClock",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TraceEvent",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "chrome_trace_events",
+    "chrome_trace_json",
+    "jsonl_lines",
+    "write_chrome_trace",
+    "write_jsonl",
+    "validate_chrome_trace",
+    "validate_chrome_trace_file",
+]

@@ -1,0 +1,71 @@
+"""Pluggable clocks for the span tracer.
+
+Two implementations share one protocol (``now``/``peek`` per rank):
+
+- :class:`WallClock` -- ``time.perf_counter``; what production traces
+  use.  ``rank`` is accepted and ignored.
+- :class:`VirtualClock` -- a deterministic logical clock.  Each rank
+  owns an independent counter that advances by a fixed ``tick`` on
+  every ``now`` call, so a rank's timestamps are a pure function of its
+  event sequence, not of thread scheduling.  Two runs of the same
+  program therefore produce byte-identical traces (the determinism the
+  harness tests assert).
+
+``peek`` reads a rank's current time *without* advancing it.  Fault
+instants use it so an injected fault never perturbs the logical
+timeline of the run it was injected into.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import defaultdict
+
+
+class WallClock:
+    """Real time via ``time.perf_counter`` (rank-independent)."""
+
+    deterministic = False
+
+    def now(self, rank: int = 0) -> float:
+        """Current time in seconds; advances with the world."""
+        return time.perf_counter()
+
+    def peek(self, rank: int = 0) -> float:
+        """Same as :meth:`now`: wall time has no side effects."""
+        return time.perf_counter()
+
+
+class VirtualClock:
+    """Deterministic per-rank logical clock.
+
+    Parameters
+    ----------
+    tick:
+        Seconds added to a rank's clock per ``now`` call.
+    start:
+        Initial time of every rank.
+    """
+
+    deterministic = True
+
+    def __init__(self, tick: float = 1e-3, start: float = 0.0):
+        if tick <= 0:
+            raise ValueError("tick must be positive")
+        self.tick = tick
+        self.start = start
+        self._lock = threading.Lock()
+        self._t: dict[int, float] = defaultdict(float)
+
+    def now(self, rank: int = 0) -> float:
+        """Return this rank's time, then advance it by one tick."""
+        with self._lock:
+            t = self._t[rank]
+            self._t[rank] = t + self.tick
+        return self.start + t
+
+    def peek(self, rank: int = 0) -> float:
+        """This rank's time without advancing it."""
+        with self._lock:
+            return self.start + self._t[rank]

@@ -1,0 +1,154 @@
+"""Trace exporters: Chrome trace-event JSON (Perfetto) and JSONL.
+
+The Chrome export lays the run out one lane per rank (``pid`` 0,
+``tid`` = rank, with thread-name metadata), emits spans as complete
+``"X"`` events, injected faults as ``"i"`` instants and send->recv
+links as ``"s"``/``"f"`` flow pairs.  Events are ordered by
+``(rank, emission index)`` and serialised with sorted keys and fixed
+separators, so a deterministic event stream (virtual clock) yields a
+byte-identical file -- the property the determinism tests assert.
+
+``validate_chrome_trace`` checks the subset of the trace-event schema
+Perfetto requires, and is run by the CI trace-smoke job on a real
+2-rank trace.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from .tracer import TraceEvent, Tracer
+
+#: Event phases the exporter produces / the validator accepts.
+_KNOWN_PHASES = frozenset({"X", "i", "s", "f", "M"})
+
+
+def chrome_trace_events(tracer: Tracer,
+                        exclude_categories: Iterable[str] = ()
+                        ) -> list[dict[str, Any]]:
+    """Convert a tracer's events into Chrome trace-event dicts.
+
+    ``exclude_categories`` drops whole categories (e.g. ``("fault",)``
+    to compare the logical trace across maskable fault schedules).
+    Timestamps are normalised so the earliest event sits at t=0 and
+    converted to microseconds (the trace-event unit).
+    """
+    excluded = frozenset(exclude_categories)
+    events = [e for e in tracer.events() if e.cat not in excluded]
+    t0 = min((e.ts for e in events), default=0.0)
+    out: list[dict[str, Any]] = [{
+        "args": {"name": "repro"}, "cat": "__metadata", "name": "process_name",
+        "ph": "M", "pid": 0, "tid": 0, "ts": 0,
+    }]
+    for rank in sorted({e.rank for e in events}):
+        out.append({"args": {"name": f"rank {rank}"}, "cat": "__metadata",
+                    "name": "thread_name", "ph": "M", "pid": 0, "tid": rank,
+                    "ts": 0})
+        out.append({"args": {"sort_index": rank}, "cat": "__metadata",
+                    "name": "thread_sort_index", "ph": "M", "pid": 0,
+                    "tid": rank, "ts": 0})
+    for e in events:
+        rec: dict[str, Any] = {
+            "cat": e.cat, "name": e.name, "ph": e.ph, "pid": 0,
+            "tid": e.rank, "ts": (e.ts - t0) * 1e6,
+        }
+        if e.ph == "X":
+            rec["dur"] = e.dur * 1e6
+            if e.args:
+                rec["args"] = e.args
+        elif e.ph == "i":
+            rec["s"] = "t"  # thread-scoped instant
+            if e.args:
+                rec["args"] = e.args
+        else:  # flow endpoints
+            rec["id"] = e.flow_id
+            if e.ph == "f":
+                rec["bp"] = "e"  # bind to the enclosing slice
+        out.append(rec)
+    return out
+
+
+def chrome_trace_json(tracer: Tracer,
+                      exclude_categories: Iterable[str] = ()) -> str:
+    """Serialise to canonical (byte-stable) Chrome trace JSON."""
+    doc = {"displayTimeUnit": "ms",
+           "traceEvents": chrome_trace_events(tracer, exclude_categories)}
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def write_chrome_trace(tracer: Tracer, path,
+                       exclude_categories: Iterable[str] = ()) -> None:
+    """Write the Chrome trace JSON to ``path``."""
+    with open(path, "w") as fh:
+        fh.write(chrome_trace_json(tracer, exclude_categories))
+
+
+def jsonl_lines(tracer: Tracer) -> list[str]:
+    """One canonical JSON object per event (streaming-friendly view)."""
+    lines = []
+    for e in tracer.events():
+        rec: dict[str, Any] = {"rank": e.rank, "seq": e.seq, "ph": e.ph,
+                               "name": e.name, "cat": e.cat, "ts": e.ts}
+        if e.ph == "X":
+            rec["dur"] = e.dur
+        if e.args:
+            rec["args"] = e.args
+        if e.flow_id is not None:
+            rec["flow_id"] = e.flow_id
+        lines.append(json.dumps(rec, sort_keys=True, separators=(",", ":")))
+    return lines
+
+
+def write_jsonl(tracer: Tracer, path) -> None:
+    """Write the JSONL event stream to ``path``."""
+    with open(path, "w") as fh:
+        fh.write("\n".join(jsonl_lines(tracer)) + "\n")
+
+
+def validate_chrome_trace(doc: Any) -> None:
+    """Raise :class:`ValueError` unless ``doc`` is schema-valid.
+
+    Checks the trace-event contract Perfetto's importer relies on:
+    a ``traceEvents`` list whose entries carry a known ``ph``, string
+    ``name``/``cat``, integer ``pid``/``tid``, numeric ``ts`` (and
+    non-negative ``dur`` for ``"X"``), dict ``args`` where present, and
+    an ``id`` on every flow endpoint.
+    """
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError("trace must be an object with a traceEvents key")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    for i, e in enumerate(events):
+        ctx = f"traceEvents[{i}]"
+        if not isinstance(e, dict):
+            raise ValueError(f"{ctx}: not an object")
+        ph = e.get("ph")
+        if ph not in _KNOWN_PHASES:
+            raise ValueError(f"{ctx}: unknown ph {ph!r}")
+        if not isinstance(e.get("name"), str):
+            raise ValueError(f"{ctx}: name must be a string")
+        if not isinstance(e.get("cat"), str):
+            raise ValueError(f"{ctx}: cat must be a string")
+        for field in ("pid", "tid"):
+            if not isinstance(e.get(field), int):
+                raise ValueError(f"{ctx}: {field} must be an integer")
+        if not isinstance(e.get("ts"), (int, float)):
+            raise ValueError(f"{ctx}: ts must be numeric")
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"{ctx}: X event needs a non-negative dur")
+        if ph in ("s", "f") and not isinstance(e.get("id"), (str, int)):
+            raise ValueError(f"{ctx}: flow event needs an id")
+        if "args" in e and not isinstance(e["args"], dict):
+            raise ValueError(f"{ctx}: args must be an object")
+
+
+def validate_chrome_trace_file(path) -> dict:
+    """Load ``path``, validate it, and return the parsed document."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    validate_chrome_trace(doc)
+    return doc

@@ -1,0 +1,233 @@
+"""Labelled counters, gauges and histograms with Prometheus export.
+
+One :class:`MetricsRegistry` per :class:`~repro.simmpi.SimWorld` absorbs
+the accounting that previously lived in three silos (``simmpi.traffic``
+per-phase byte counts, blocked-recv wait time, ``faults.FaultStats``):
+every producer registers its series here, and
+:meth:`MetricsRegistry.render` emits the whole lot in the Prometheus
+text exposition format for scraping or diffing.
+
+Registration is get-or-create and idempotent: asking twice for the same
+name returns the same metric object, so independent subsystems can
+share series without plumbing references around.  Re-registering with a
+different type or label set is an error (it would silently fork the
+series).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Mapping
+
+#: Default histogram bucket upper bounds (seconds-flavoured).
+DEFAULT_BUCKETS = (1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0)
+
+
+def _label_key(labelnames: tuple[str, ...], labels: Mapping[str, object]) -> tuple[str, ...]:
+    if set(labels) != set(labelnames):
+        raise ValueError(
+            f"labels {sorted(labels)} do not match declared {sorted(labelnames)}")
+    return tuple(str(labels[name]) for name in labelnames)
+
+
+class Metric:
+    """Base class: one named family of labelled series."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: Iterable[str] = ()):
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+
+    def _key(self, labels: Mapping[str, object]) -> tuple[str, ...]:
+        return _label_key(self.labelnames, labels)
+
+    def _render_labels(self, key: tuple[str, ...]) -> str:
+        if not self.labelnames:
+            return ""
+        pairs = ",".join(f'{n}="{v}"' for n, v in zip(self.labelnames, key))
+        return "{" + pairs + "}"
+
+    def render(self) -> list[str]:
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """Monotonically increasing value per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, labelnames: Iterable[str] = ()):
+        super().__init__(name, help, labelnames)
+        self._values: dict[tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add ``amount`` (must be >= 0) to the labelled series."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        """Current value of one labelled series (0 if never touched)."""
+        with self._lock:
+            return self._values.get(self._key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over every label combination."""
+        with self._lock:
+            return sum(self._values.values())
+
+    def series(self) -> dict[tuple[str, ...], float]:
+        """Snapshot of {label-values tuple: value}."""
+        with self._lock:
+            return dict(self._values)
+
+    def render(self) -> list[str]:
+        with self._lock:
+            return [f"{self.name}{self._render_labels(k)} {v:g}"
+                    for k, v in sorted(self._values.items())]
+
+
+class Gauge(Counter):
+    """A value that can go either way (set/inc/dec)."""
+
+    kind = "gauge"
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def set(self, value: float, **labels: object) -> None:
+        with self._lock:
+            self._values[self._key(labels)] = float(value)
+
+
+class Histogram(Metric):
+    """Cumulative-bucket histogram (Prometheus convention)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str, labelnames: Iterable[str] = (),
+                 buckets: Iterable[float] = DEFAULT_BUCKETS):
+        super().__init__(name, help, labelnames)
+        self.buckets = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket")
+        # per label set: ([per-bucket counts..., +Inf count], sum)
+        self._values: dict[tuple[str, ...], tuple[list[int], float]] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        """Record one observation."""
+        key = self._key(labels)
+        with self._lock:
+            counts, total = self._values.get(
+                key, ([0] * (len(self.buckets) + 1), 0.0))
+            for i, ub in enumerate(self.buckets):
+                if value <= ub:
+                    counts[i] += 1
+                    break
+            else:
+                counts[-1] += 1
+            self._values[key] = (counts, total + value)
+
+    def count(self, **labels: object) -> int:
+        """Number of observations for one labelled series."""
+        with self._lock:
+            entry = self._values.get(self._key(labels))
+            return sum(entry[0]) if entry else 0
+
+    def sum(self, **labels: object) -> float:
+        """Sum of observations for one labelled series."""
+        with self._lock:
+            entry = self._values.get(self._key(labels))
+            return entry[1] if entry else 0.0
+
+    def render(self) -> list[str]:
+        out = []
+        with self._lock:
+            for key, (counts, total) in sorted(self._values.items()):
+                cum = 0
+                for ub, c in zip(self.buckets, counts):
+                    cum += c
+                    k = key + (f"{ub:g}",)
+                    pairs = ",".join(
+                        f'{n}="{v}"' for n, v in
+                        zip(self.labelnames + ("le",), k))
+                    out.append(f"{self.name}_bucket{{{pairs}}} {cum}")
+                cum += counts[-1]
+                inf_key = key + ("+Inf",)
+                pairs = ",".join(f'{n}="{v}"' for n, v in
+                                 zip(self.labelnames + ("le",), inf_key))
+                out.append(f"{self.name}_bucket{{{pairs}}} {cum}")
+                out.append(f"{self.name}_sum{self._render_labels(key)} {total:g}")
+                out.append(f"{self.name}_count{self._render_labels(key)} {cum}")
+        return out
+
+
+class MetricsRegistry:
+    """Thread-safe, get-or-create home for a run's metrics."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help: str,
+                       labelnames: Iterable[str], **kwargs) -> Metric:
+        labelnames = tuple(labelnames)
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls or existing.labelnames != labelnames:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind} with labels {existing.labelnames}")
+                return existing
+            metric = cls(name, help, labelnames, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "",
+                labelnames: Iterable[str] = ()) -> Counter:
+        """Get or create a :class:`Counter`."""
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Iterable[str] = ()) -> Gauge:
+        """Get or create a :class:`Gauge`."""
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: Iterable[str] = (),
+                  buckets: Iterable[float] = DEFAULT_BUCKETS) -> Histogram:
+        """Get or create a :class:`Histogram`."""
+        return self._get_or_create(Histogram, name, help, labelnames,
+                                   buckets=buckets)
+
+    def get(self, name: str) -> Metric | None:
+        """Look up a metric by name (None when absent)."""
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        """Registered metric names, sorted."""
+        with self._lock:
+            return sorted(self._metrics)
+
+    def render(self) -> str:
+        """Prometheus text exposition format for every metric."""
+        with self._lock:
+            metrics = [self._metrics[n] for n in sorted(self._metrics)]
+        lines = []
+        for m in metrics:
+            lines.append(f"# HELP {m.name} {m.help}")
+            lines.append(f"# TYPE {m.name} {m.kind}")
+            lines.extend(m.render())
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,234 @@
+"""Reconstruct Table II, overlap and imbalance reports from a trace.
+
+``python -m repro.obs.report trace.json`` reads a Chrome trace-event
+file produced by the instrumented drivers and rebuilds, *from the trace
+alone*:
+
+1. the Table II phase breakdown -- per-rank, per-step phase times
+   reduced with the same slowest-rank-then-step-average rule as
+   :func:`repro.parallel.statistics.aggregate_rank_histories` (the
+   driver-side view of the identical measurement: one source of truth,
+   two views);
+2. an overlap/hiding summary -- per step, the fraction of LET
+   communication hidden behind local gravity work;
+3. a per-rank imbalance table (gravity seconds and particle counts).
+
+Options: ``--validate`` schema-checks the file first, ``--json`` emits
+the reconstructed statistics as JSON instead of text tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+from typing import Any
+
+from ..core.step import StepBreakdown, TABLE2_PHASES
+from ..gravity.flops import InteractionCounts
+from ..parallel.statistics import RunStatistics, aggregate_rank_histories
+from .export import validate_chrome_trace
+
+#: Phase-span name -> StepBreakdown field.  Spans the driver books under
+#: "Unbalance + Other" (boundary allgather, LET build/send, integrator
+#: kick/drift) all fold into ``other``.
+SPAN_TO_FIELD = {
+    "sorting": "sorting",
+    "domain_update": "domain_update",
+    "tree_construction": "tree_construction",
+    "tree_properties": "tree_properties",
+    "gravity_local": "gravity_local",
+    "gravity_let": "gravity_let",
+    "non_hidden_comm": "non_hidden_comm",
+    "other": "other",
+    "boundary_exchange": "other",
+    "let_exchange": "other",
+}
+
+
+def load_trace(path) -> dict:
+    """Load a Chrome trace-event JSON file."""
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def histories_from_trace(doc: dict
+                         ) -> tuple[list[list[StepBreakdown]], list[int],
+                                    list[float]]:
+    """Rebuild per-rank :class:`StepBreakdown` histories from a trace.
+
+    Returns ``(histories, particle_counts, recv_waits)`` shaped exactly
+    like the inputs of :func:`aggregate_rank_histories`: one history per
+    rank (steps truncated to the shortest rank), final-step particle
+    counts, and per-rank total blocked LET wait seconds.
+    """
+    by_rank_step: dict[tuple[int, int], StepBreakdown] = {}
+    counts: dict[tuple[int, int], InteractionCounts] = {}
+    n_particles: dict[int, int] = {}
+    recv_waits: dict[int, float] = defaultdict(float)
+    quadrupole = True
+
+    for e in doc.get("traceEvents", ()):
+        if e.get("ph") != "X" or e.get("cat") != "phase":
+            continue
+        field = SPAN_TO_FIELD.get(e.get("name"))
+        if field is None:
+            continue
+        args = e.get("args", {})
+        rank = int(e["tid"])
+        step = int(args.get("step", 0))
+        key = (rank, step)
+        bd = by_rank_step.get(key)
+        if bd is None:
+            bd = by_rank_step[key] = StepBreakdown()
+            counts[key] = InteractionCounts(n_pp=0, n_pc=0)
+        setattr(bd, field, getattr(bd, field) + e["dur"] / 1e6)
+        if "n_pp" in args or "n_pc" in args:
+            counts[key].n_pp += int(args.get("n_pp", 0))
+            counts[key].n_pc += int(args.get("n_pc", 0))
+        if "quadrupole" in args:
+            quadrupole = bool(args["quadrupole"])
+        if "n_particles" in args:
+            n_particles[rank] = int(args["n_particles"])
+        if e["name"] == "non_hidden_comm":
+            recv_waits[rank] += e["dur"] / 1e6
+
+    if not by_rank_step:
+        raise ValueError("trace contains no phase spans "
+                         "(was the run traced with trace= enabled?)")
+    ranks = sorted({r for r, _ in by_rank_step})
+    n_steps = min(max(s for r2, s in by_rank_step if r2 == r) + 1
+                  for r in ranks)
+    histories: list[list[StepBreakdown]] = []
+    for r in ranks:
+        history = []
+        for s in range(n_steps):
+            bd = by_rank_step.get((r, s), StepBreakdown())
+            c = counts.get((r, s), InteractionCounts(n_pp=0, n_pc=0))
+            c.quadrupole = quadrupole
+            bd.counts = c
+            history.append(bd)
+        histories.append(history)
+    particle_counts = [n_particles.get(r, 0) for r in ranks]
+    waits = [recv_waits[r] for r in ranks]
+    return histories, particle_counts, waits
+
+
+def statistics_from_trace(doc: dict) -> RunStatistics:
+    """The trace-side Table II reduction (slowest rank, step-averaged)."""
+    histories, particle_counts, waits = histories_from_trace(doc)
+    return aggregate_rank_histories(histories, particle_counts,
+                                    recv_waits=waits)
+
+
+def table2_lines(stats: RunStatistics) -> list[str]:
+    """Render the reconstructed Table II phase breakdown."""
+    lines = [f"Table II breakdown from trace "
+             f"({stats.n_ranks} ranks, {stats.n_particles_total} particles, "
+             f"slowest-rank reduction, step-averaged):"]
+    for phase in TABLE2_PHASES:
+        lines.append(f"  {phase:18s} {getattr(stats.mean_step, phase):10.6f} s")
+    lines.append(f"  {'TOTAL':18s} {stats.mean_step.total:10.6f} s")
+    pp, pc = stats.interactions_per_particle
+    lines.append(f"  pp/particle {pp:.1f}  pc/particle {pc:.1f}")
+    lines.append(f"  aggregate force-kernel rate {stats.gpu_gflops_total:.3f} Gflops")
+    lines.append(f"  slowest-rank blocked recv {stats.recv_wait_max:.6f} s")
+    return lines
+
+
+def overlap_lines(histories: list[list[StepBreakdown]]) -> list[str]:
+    """Per-step communication-hiding summary.
+
+    For each step the hidden fraction is
+    ``1 - wait / (wait + gravity)`` with both terms at their
+    slowest-rank value: the share of the LET-exchange window the slowest
+    rank spent computing rather than blocked (Sec. III-B2's overlap
+    claim, measured)."""
+    lines = ["Overlap (fraction of LET comm hidden behind gravity):"]
+    n_steps = min(len(h) for h in histories)
+    for s in range(n_steps):
+        wait = max(h[s].non_hidden_comm for h in histories)
+        gravity = max(h[s].gravity_local + h[s].gravity_let
+                      for h in histories)
+        denom = wait + gravity
+        hidden = 1.0 - wait / denom if denom > 0 else 1.0
+        lines.append(f"  step {s}: hidden {hidden:6.1%}  "
+                     f"(blocked {wait:.6f} s vs gravity {gravity:.6f} s)")
+    return lines
+
+
+def imbalance_lines(histories: list[list[StepBreakdown]],
+                    particle_counts: list[int]) -> list[str]:
+    """Per-rank step-time/particle imbalance table."""
+    lines = ["Per-rank imbalance (mean over steps):",
+             f"  {'rank':>4s} {'step total':>12s} {'gravity':>12s} "
+             f"{'particles':>10s}"]
+    n_steps = min(len(h) for h in histories)
+    totals = []
+    for r, h in enumerate(histories):
+        tot = sum(bd.total for bd in h[:n_steps]) / n_steps
+        grav = sum(bd.gravity_local + bd.gravity_let
+                   for bd in h[:n_steps]) / n_steps
+        totals.append(tot)
+        n = particle_counts[r] if r < len(particle_counts) else 0
+        lines.append(f"  {r:>4d} {tot:>12.6f} {grav:>12.6f} {n:>10d}")
+    mean = sum(totals) / len(totals)
+    if mean > 0:
+        lines.append(f"  step-time imbalance (max/mean): "
+                     f"{max(totals) / mean:.3f}")
+    return lines
+
+
+def render_report(doc: dict) -> str:
+    """The full text report for one trace document."""
+    histories, particle_counts, waits = histories_from_trace(doc)
+    stats = aggregate_rank_histories(histories, particle_counts,
+                                     recv_waits=waits)
+    sections = [table2_lines(stats), overlap_lines(histories),
+                imbalance_lines(histories, particle_counts)]
+    return "\n\n".join("\n".join(s) for s in sections)
+
+
+def _json_report(doc: dict) -> dict[str, Any]:
+    histories, particle_counts, waits = histories_from_trace(doc)
+    stats = aggregate_rank_histories(histories, particle_counts,
+                                     recv_waits=waits)
+    return {
+        "n_ranks": stats.n_ranks,
+        "n_particles_total": stats.n_particles_total,
+        "phases": stats.mean_step.as_dict(),
+        "total": stats.mean_step.total,
+        "interactions_per_particle": list(stats.interactions_per_particle),
+        "imbalance": stats.imbalance,
+        "recv_wait_max": stats.recv_wait_max,
+        "gpu_gflops_total": stats.gpu_gflops_total,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Reconstruct Table II / overlap / imbalance reports "
+                    "from a Chrome trace-event file.")
+    parser.add_argument("trace", help="trace JSON written by the tracer")
+    parser.add_argument("--validate", action="store_true",
+                        help="schema-check the trace before reporting")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the statistics as JSON")
+    args = parser.parse_args(argv)
+
+    doc = load_trace(args.trace)
+    if args.validate:
+        validate_chrome_trace(doc)
+        print(f"{args.trace}: schema OK "
+              f"({len(doc['traceEvents'])} events)", file=sys.stderr)
+    if args.as_json:
+        print(json.dumps(_json_report(doc), indent=2, sort_keys=True))
+    else:
+        print(render_report(doc))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,7 @@ from .decomposition import DomainDecomposition, domain_update
 from .exchange import exchange_particles
 from .lettree import LETData, prune_tree, build_let_for_box, boundary_structure, boundary_sufficient_for
 from .gravity_parallel import DistributedForceResult, distributed_forces
-from .statistics import RunStatistics, aggregate_rank_histories
+from .statistics import RunStatistics, aggregate_rank_histories, run_statistics
 
 __all__ = [
     "cut_weighted_with_cap",
@@ -39,4 +39,5 @@ __all__ = [
     "distributed_forces",
     "RunStatistics",
     "aggregate_rank_histories",
+    "run_statistics",
 ]

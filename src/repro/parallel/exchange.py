@@ -47,7 +47,18 @@ def exchange_particles(comm: SimComm, particles: ParticleSet,
         outbox.append((particles.pos[sel], particles.vel[sel],
                        particles.mass[sel], particles.ids[sel],
                        particles.component[sel]))
-    inbox = comm.alltoallv(outbox)
+    n_kept = int(ends[comm.rank] - starts[comm.rank])
+    tr = comm.tracer
+    if tr.enabled:
+        # Nested inside the driver's domain_update phase span: the
+        # alltoallv plus how many particles actually migrated.
+        with tr.span("particle_exchange", rank=comm.rank, cat="comm") as sp:
+            inbox = comm.alltoallv(outbox)
+            sp.add(n_sent=particles.n - n_kept,
+                   n_recv=sum(len(m[3]) for i, m in enumerate(inbox)
+                              if i != comm.rank))
+    else:
+        inbox = comm.alltoallv(outbox)
 
     pos = np.concatenate([m[0] for m in inbox])
     vel = np.concatenate([m[1] for m in inbox])

@@ -13,6 +13,12 @@ Implements the full "Compute gravity" phase of Table II:
 5. forces are the sum of the local-tree walk plus one walk per remote
    structure (boundary or LET) -- "process them separately as soon as
    they arrive".
+
+Every sub-phase is timed into :attr:`DistributedForceResult.phases` and,
+when the communicator's world carries an enabled tracer
+(:mod:`repro.obs`), emitted as a ``cat="phase"`` span with interaction
+counters attached, using the *same* clock readings -- so the trace and
+the driver's :class:`~repro.core.step.StepBreakdown` agree exactly.
 """
 
 from __future__ import annotations
@@ -39,6 +45,11 @@ from .lettree import LETData, boundary_structure, boundary_sufficient_for, build
 #: Message tag for LET payloads.
 TAG_LET = 11
 
+#: Sub-phase keys of :attr:`DistributedForceResult.phases`.
+FORCE_PHASES = ("tree_construction", "tree_properties", "boundary_exchange",
+                "let_exchange", "gravity_local", "gravity_let",
+                "non_hidden_comm")
+
 
 @dataclasses.dataclass
 class DistributedForceResult:
@@ -58,6 +69,9 @@ class DistributedForceResult:
     #: comm" row.  LETs that arrived while the rank was walking other
     #: sources cost nothing here: that communication was hidden.
     recv_wait_seconds: float = 0.0
+    #: Seconds per sub-phase (keys: :data:`FORCE_PHASES`); the driver
+    #: maps these onto Table II's :class:`StepBreakdown` rows.
+    phases: dict[str, float] = dataclasses.field(default_factory=dict)
 
     @property
     def counts_total(self) -> InteractionCounts:
@@ -83,11 +97,13 @@ def _walk_source(tree: Octree, tpos_sorted: np.ndarray,
 
 def distributed_forces(comm: SimComm, particles: ParticleSet,
                        config: SimulationConfig,
-                       global_box: BoundingBox) -> DistributedForceResult:
+                       global_box: BoundingBox,
+                       step: int | None = None) -> DistributedForceResult:
     """Compute gravitational forces on this rank's particles.
 
     ``particles`` must already be domain-decomposed (each rank holds its
     own key interval).  ``global_box`` must be identical on all ranks.
+    ``step`` labels emitted trace spans (drivers pass their step count).
 
     Returns accelerations/potentials in this rank's particle order.
     """
@@ -96,17 +112,40 @@ def distributed_forces(comm: SimComm, particles: ParticleSet,
         raise ValueError("distributed_forces requires a non-empty local set; "
                          "the 30% cap decomposition never empties a domain")
 
-    # --- local tree (Sorting/Tree-construction/Tree-properties phases) ----
+    tr = comm.tracer
+    rank = comm.rank
+    # One clock for both the phases dict and the trace spans: the
+    # breakdown the driver books and the spans the report reduces are
+    # the same measurement, never two drifting ones.
+    if tr.enabled:
+        def now() -> float:
+            return tr.clock.now(rank)
+    else:
+        now = time.perf_counter
+    phases = dict.fromkeys(FORCE_PHASES, 0.0)
+    step_arg = {} if step is None else {"step": step}
+
+    def rec(name: str, t0: float, t1: float, **attrs) -> None:
+        phases[name] += t1 - t0
+        if tr.enabled:
+            tr.record(name, rank, t0, t1, cat="phase", **step_arg, **attrs)
+
+    # --- local tree (Tree-construction / Tree-properties phases) ---------
+    t0 = now()
     tree = build_octree(particles.pos, nleaf=config.nleaf, curve=config.curve,
                         box=global_box)
+    rec("tree_construction", t0, now())
+
+    t0 = now()
     compute_moments(tree, particles.pos, particles.mass)
     compute_opening_radii(tree, config.theta, config.mac)
     make_groups(tree, config.ncrit)
-
     spos = particles.pos[tree.order]
     smass = particles.mass[tree.order]
+    rec("tree_properties", t0, now())
 
     # --- boundary exchange (MPI_Allgatherv of boundary trees) -------------
+    t0 = now()
     my_boundary = boundary_structure(tree, spos, smass)
     my_aabb = (tree.bmin[0].copy(), tree.bmax[0].copy())
     comm.set_phase("boundary_exchange")
@@ -120,8 +159,10 @@ def distributed_forces(comm: SimComm, particles: ParticleSet,
                       and not boundary_sufficient_for(boundaries[r], *my_aabb)]
     must_send_to = [r for r in range(comm.size) if r != comm.rank
                     and not boundary_sufficient_for(my_boundary, *aabbs[r])]
+    rec("boundary_exchange", t0, now(), bytes=my_boundary.nbytes)
 
     # --- LET exchange -------------------------------------------------------
+    t0 = now()
     comm.set_phase("let_exchange")
     let_bytes = 0
     for r in must_send_to:
@@ -129,6 +170,7 @@ def distributed_forces(comm: SimComm, particles: ParticleSet,
                                 np.asarray(aabbs[r][0]), np.asarray(aabbs[r][1]))
         let_bytes += let.nbytes
         comm.send(let, dest=r, tag=TAG_LET)
+    rec("let_exchange", t0, now(), n_lets=len(must_send_to), bytes=let_bytes)
 
     # --- force computation ---------------------------------------------------
     comm.set_phase("gravity")
@@ -140,40 +182,53 @@ def distributed_forces(comm: SimComm, particles: ParticleSet,
     gmin, gmax = group_aabbs(tree, spos)
 
     # Local tree first (the GPU starts on local work while LETs arrive).
+    t0 = now()
     _walk_source(tree, spos, gmin, gmax, tree, acc_sorted, phi_sorted,
                  counts_local, eps2, config.quadrupole,
                  exclude_self=True, spos=spos, smass=smass)
+    rec("gravity_local", t0, now(), n_particles=n,
+        n_pp=counts_local.n_pp, n_pc=counts_local.n_pc,
+        quadrupole=config.quadrupole)
+
+    def walk_remote(source, src_rank: int, spos_r, smass_r) -> None:
+        pp0, pc0 = counts_let.n_pp, counts_let.n_pc
+        t0 = now()
+        _walk_source(tree, spos, gmin, gmax, source, acc_sorted, phi_sorted,
+                     counts_let, eps2, config.quadrupole,
+                     exclude_self=False, spos=spos_r, smass=smass_r)
+        rec("gravity_let", t0, now(), src=src_rank,
+            n_pp=counts_let.n_pp - pp0, n_pc=counts_let.n_pc - pc0)
 
     # Remote contributions: sufficient boundaries directly...
     for r in range(comm.size):
         if r == comm.rank or r in need_full_from:
             continue
         b = boundaries[r]
-        _walk_source(tree, spos, gmin, gmax, b, acc_sorted, phi_sorted,
-                     counts_let, eps2, config.quadrupole,
-                     exclude_self=False, spos=b.part_pos, smass=b.part_mass)
+        walk_remote(b, r, b.part_pos, b.part_mass)
 
     # ...full LETs from near neighbours, processed *as they arrive*
     # (Sec. III-B2: the driver thread feeds whichever LET is ready to
     # the GPU).  Only time spent blocked with nothing to process counts
-    # as non-hidden communication.
+    # as non-hidden communication.  Under a deterministic tracer the
+    # arrival race is removed: LETs are consumed in rank order with a
+    # blocking recv, so traced runs replay identically.
     n_received = 0
-    recv_wait = 0.0
     pending = list(need_full_from)
     while pending:
-        ready = next((r for r in pending if comm.iprobe(r, TAG_LET)), None)
+        if tr.deterministic:
+            ready = None
+        else:
+            ready = next((r for r in pending if comm.iprobe(r, TAG_LET)), None)
         if ready is None:
             ready = pending[0]
-            t0 = time.perf_counter()
+            t0 = now()
             let: LETData = comm.recv(source=ready, tag=TAG_LET)
-            recv_wait += time.perf_counter() - t0
+            rec("non_hidden_comm", t0, now(), src=ready)
         else:
             let = comm.recv(source=ready, tag=TAG_LET)
         pending.remove(ready)
         n_received += 1
-        _walk_source(tree, spos, gmin, gmax, let, acc_sorted, phi_sorted,
-                     counts_let, eps2, config.quadrupole,
-                     exclude_self=False, spos=let.part_pos, smass=let.part_mass)
+        walk_remote(let, ready, let.part_pos, let.part_mass)
 
     acc = np.empty_like(acc_sorted)
     phi = np.empty_like(phi_sorted)
@@ -186,5 +241,6 @@ def distributed_forces(comm: SimComm, particles: ParticleSet,
         let_bytes_sent=let_bytes,
         boundary_bytes=my_boundary.nbytes,
         tree=tree,
-        recv_wait_seconds=recv_wait,
+        recv_wait_seconds=phases["non_hidden_comm"],
+        phases=phases,
     )

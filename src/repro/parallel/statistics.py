@@ -75,3 +75,17 @@ def aggregate_rank_histories(histories: list[list[StepBreakdown]],
                                    mean.counts.n_pc / n_total),
         recv_wait_max=float(max(recv_waits)) if recv_waits else 0.0,
     )
+
+
+def run_statistics(sims) -> RunStatistics:
+    """One-call Table II reduction over ``run_parallel_simulation`` output.
+
+    Takes the per-rank :class:`~repro.core.parallel_simulation.\
+ParallelSimulation` objects and feeds their histories, final particle
+    counts and cumulative blocked-recv waits to
+    :func:`aggregate_rank_histories`.
+    """
+    return aggregate_rank_histories(
+        [s.history for s in sims],
+        [s.particles.n for s in sims],
+        recv_waits=[s.recv_wait_seconds for s in sims])

@@ -59,6 +59,19 @@ class SimComm:
         self.size = world.size
         self._generation = 0
 
+    @property
+    def tracer(self):
+        """The world's span tracer (:data:`~repro.obs.NULL_TRACER` when
+        tracing is off)."""
+        return self.world.tracer
+
+    @property
+    def recv_wait_seconds(self) -> float:
+        """Wall seconds this rank has spent blocked inside recvs -- the
+        first-class per-rank wait timer behind
+        :attr:`~repro.parallel.statistics.RunStatistics.recv_wait_max`."""
+        return self.world.recv_wait_seconds(self.rank)
+
     # -- bookkeeping ---------------------------------------------------
 
     def _next_generation(self) -> int:
@@ -78,7 +91,8 @@ class SimComm:
         """Blocking-semantics send (buffered; never deadlocks on itself)."""
         if not (0 <= dest < self.size):
             raise ValueError(f"invalid dest {dest}")
-        self.world.push(self.rank, dest, tag, obj, payload_bytes(obj))
+        self.world.push(self.rank, dest, tag, obj,
+                        payload_bytes(obj, self.world.traffic))
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
         """Non-blocking send; completes immediately (buffered runtime)."""
@@ -127,7 +141,17 @@ class SimComm:
 
         Models ``MPI_Allgatherv``: contributions may differ in size.
         """
-        self.world.traffic.record_collective(payload_bytes(obj) * (self.size - 1))
+        nbytes = payload_bytes(obj, self.world.traffic) * (self.size - 1)
+        self.world.traffic.record_collective(nbytes)
+        return self._collective("allgather", nbytes, obj)
+
+    def _collective(self, name: str, nbytes: int, obj: Any) -> list[Any]:
+        """Run one exchange, wrapped in a comm span when tracing."""
+        tr = self.world.tracer
+        if tr.enabled:
+            with tr.span(name, rank=self.rank, cat="comm", bytes=nbytes):
+                return self.world.exchange(self.rank,
+                                           self._next_generation(), obj)
         return self.world.exchange(self.rank, self._next_generation(), obj)
 
     def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
@@ -137,10 +161,12 @@ class SimComm:
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
         """Broadcast ``root``'s object to every rank."""
-        out = self.world.exchange(self.rank, self._next_generation(),
-                                  obj if self.rank == root else None)
+        nbytes = payload_bytes(obj, self.world.traffic) * (self.size - 1) \
+            if self.rank == root else 0
+        out = self._collective("bcast", nbytes,
+                               obj if self.rank == root else None)
         if self.rank == root:
-            self.world.traffic.record_collective(payload_bytes(obj) * (self.size - 1))
+            self.world.traffic.record_collective(nbytes)
         return out[root]
 
     def allreduce(self, value: Any, op: Callable[[Sequence[Any]], Any] | str = "sum") -> Any:
@@ -165,10 +191,13 @@ class SimComm:
         objects addressed to this rank, indexed by source."""
         if len(objs) != self.size:
             raise ValueError("alltoall needs exactly one object per rank")
+        nbytes = 0
         for dst, o in enumerate(objs):
             if dst != self.rank:
-                self.world.traffic.record_collective(payload_bytes(o))
-        matrix = self.world.exchange(self.rank, self._next_generation(), list(objs))
+                b = payload_bytes(o, self.world.traffic)
+                self.world.traffic.record_collective(b)
+                nbytes += b
+        matrix = self._collective("alltoall", nbytes, list(objs))
         return [matrix[src][self.rank] for src in range(self.size)]
 
     # Particle exchange ships variable-length arrays; in this runtime the

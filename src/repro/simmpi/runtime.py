@@ -5,8 +5,11 @@ from __future__ import annotations
 import queue
 import threading
 import time
+from collections import defaultdict
 from typing import Any, Callable, Sequence
 
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import NULL_TRACER, Tracer
 from .errors import RankFailedError, RecvTimeoutError, SimulatedRankCrash
 from .traffic import TrafficLog
 
@@ -35,7 +38,9 @@ class SimWorld:
             raise ValueError("size must be >= 1")
         self.size = size
         self.timeout = timeout
-        self.traffic = TrafficLog()
+        self.metrics = MetricsRegistry()
+        self.traffic = TrafficLog(self.metrics)
+        self.tracer: Tracer = NULL_TRACER
         self._queues: dict[tuple[int, int, int], queue.Queue] = {}
         self._queues_lock = threading.Lock()
         self._barrier = threading.Barrier(size)
@@ -43,6 +48,39 @@ class SimWorld:
         self._board_lock = threading.Lock()
         self._failed: dict[int, BaseException | None] = {}
         self._failed_lock = threading.Lock()
+        self._obs_lock = threading.Lock()
+        self._recv_wait: dict[int, float] = defaultdict(float)
+        self._recv_wait_hist = self.metrics.histogram(
+            "comm_recv_wait_seconds",
+            "Wall seconds a rank spent inside a blocking recv",
+            labelnames=("rank",))
+        self._flow_send: dict[tuple[int, int, int], int] = defaultdict(int)
+        self._flow_recv: dict[tuple[int, int, int], int] = defaultdict(int)
+
+    # -- observability -----------------------------------------------------
+
+    def attach_tracer(self, tracer: Tracer) -> None:
+        """Install a span tracer on the world (idempotent).
+
+        All ranks of a traced run must share one tracer; attaching a
+        second distinct tracer is an error, attaching the same object
+        again is a no-op.
+        """
+        with self._obs_lock:
+            if self.tracer is not NULL_TRACER and self.tracer is not tracer:
+                raise ValueError("a different tracer is already attached")
+            self.tracer = tracer
+
+    def recv_wait_seconds(self, rank: int) -> float:
+        """Total wall seconds ``rank`` has spent inside blocking recvs."""
+        with self._obs_lock:
+            return self._recv_wait[rank]
+
+    @property
+    def recv_waits(self) -> list[float]:
+        """Per-rank blocked-recv totals, indexed by rank."""
+        with self._obs_lock:
+            return [self._recv_wait[r] for r in range(self.size)]
 
     # -- failure tracking --------------------------------------------------
 
@@ -86,11 +124,58 @@ class SimWorld:
             return q
 
     def push(self, src: int, dst: int, tag: int, payload: Any, nbytes: int) -> None:
+        """Send: account traffic, trace, and enqueue (see ``_enqueue``)."""
+        self._pre_send(src)
         self.traffic.record_send(src, dst, nbytes)
+        tr = self.tracer
+        if tr.enabled:
+            key = (src, dst, tag)
+            with self._obs_lock:
+                n = self._flow_send[key]
+                self._flow_send[key] = n + 1
+            with tr.span("send", rank=src, cat="comm", dst=dst, tag=tag,
+                         bytes=nbytes) as sp:
+                self._enqueue(src, dst, tag, payload, nbytes)
+            tr.flow("s", f"{src}.{dst}.{tag}.{n}", rank=src, ts=sp.t0)
+        else:
+            self._enqueue(src, dst, tag, payload, nbytes)
+
+    def _pre_send(self, src: int) -> None:
+        """Hook run before a send is accounted (fault injectors override)."""
+
+    def _enqueue(self, src: int, dst: int, tag: int, payload: Any,
+                 nbytes: int) -> None:
+        """Transport-level delivery; subclasses may misbehave here."""
         self._queue(src, dst, tag).put(payload)
 
     def pop(self, src: int, dst: int, tag: int,
             timeout: float | None = None) -> Any:
+        """Blocking receive: waits are accounted per rank (the
+        ``comm_recv_wait_seconds`` histogram and ``recv_wait_seconds``)
+        and, when tracing, emit a ``recv`` span flow-linked to the
+        matching send."""
+        tr = self.tracer
+        t0 = tr.clock.now(dst) if tr.enabled else 0.0
+        t0_wall = time.perf_counter()
+        try:
+            payload = self._pop(src, dst, tag, timeout)
+        finally:
+            waited = time.perf_counter() - t0_wall
+            with self._obs_lock:
+                self._recv_wait[dst] += waited
+            self._recv_wait_hist.observe(waited, rank=dst)
+        if tr.enabled:
+            t1 = tr.clock.now(dst)
+            key = (src, dst, tag)
+            with self._obs_lock:
+                n = self._flow_recv[key]
+                self._flow_recv[key] = n + 1
+            tr.record("recv", dst, t0, t1, cat="comm", src=src, tag=tag)
+            tr.flow("f", f"{src}.{dst}.{tag}.{n}", rank=dst, ts=t0)
+        return payload
+
+    def _pop(self, src: int, dst: int, tag: int,
+             timeout: float | None = None) -> Any:
         """Blocking receive with failure detection.
 
         Messages the source sent before dying are still delivered;

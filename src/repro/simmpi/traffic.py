@@ -3,24 +3,36 @@
 Every send and collective is recorded so the scaling benchmarks can
 report, per algorithm phase, how many bytes crossed the (simulated)
 interconnect -- the quantity the paper's LET strategy minimises.
+
+Since the observability PR, :class:`TrafficLog` is a thin view over a
+:class:`~repro.obs.metrics.MetricsRegistry`: every tally lives as a
+labelled metric series (``traffic_bytes_total{phase=...}``,
+``traffic_p2p_bytes_total{src=...,dst=...}``, ...) and the legacy
+methods read those series back, so the registry and the log can never
+disagree -- one source of truth, two views.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import pickle
-import threading
-from collections import defaultdict
+import sys
 
-import numpy as np
+from ..obs.metrics import MetricsRegistry
 
 
-def payload_bytes(obj) -> int:
+def payload_bytes(obj, traffic: "TrafficLog | None" = None) -> int:
     """Size of a message payload in bytes.
 
     Numpy arrays are counted exactly; other Python objects are measured
-    by their pickle length (what a real MPI pickle transport would ship).
+    by their pickle length (what a real MPI pickle transport would
+    ship).  An unpicklable payload falls back to a shallow
+    ``sys.getsizeof`` estimate -- never silently zero -- and, when a
+    :class:`TrafficLog` is supplied, bumps its
+    ``traffic_unmeasured_payloads_total`` counter so the lossy estimate
+    is visible in the metrics.
     """
+    import numpy as np
+
     if isinstance(obj, np.ndarray):
         return obj.nbytes
     if isinstance(obj, (bytes, bytearray, memoryview)):
@@ -30,59 +42,85 @@ def payload_bytes(obj) -> int:
     try:
         return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
     except Exception:
-        return 0
-
-
-@dataclasses.dataclass
-class PhaseTraffic:
-    """Aggregate traffic within one named phase."""
-
-    n_messages: int = 0
-    n_bytes: int = 0
-    n_collectives: int = 0
-
-    def add_message(self, nbytes: int) -> None:
-        self.n_messages += 1
-        self.n_bytes += nbytes
-
-    def add_collective(self, nbytes: int) -> None:
-        self.n_collectives += 1
-        self.n_bytes += nbytes
+        if traffic is not None:
+            traffic.record_unmeasured()
+        return max(sys.getsizeof(obj), 1)
 
 
 class TrafficLog:
-    """Thread-safe traffic tally shared by all ranks of a SimWorld."""
+    """Traffic tally shared by all ranks of a SimWorld.
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self.phases: dict[str, PhaseTraffic] = defaultdict(PhaseTraffic)
-        self.p2p_bytes: dict[tuple[int, int], int] = defaultdict(int)
+    Thread safety comes from the underlying metric objects; this class
+    holds no mutable state of its own beyond the current phase label.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._messages = self.registry.counter(
+            "traffic_messages_total",
+            "Point-to-point messages sent, by algorithm phase",
+            labelnames=("phase",))
+        self._collectives = self.registry.counter(
+            "traffic_collectives_total",
+            "Collective operations recorded, by algorithm phase",
+            labelnames=("phase",))
+        self._bytes = self.registry.counter(
+            "traffic_bytes_total",
+            "Bytes shipped over the simulated interconnect, by phase",
+            labelnames=("phase",))
+        self._p2p = self.registry.counter(
+            "traffic_p2p_bytes_total",
+            "Point-to-point bytes by (source, destination) rank pair",
+            labelnames=("src", "dst"))
+        self._unmeasured = self.registry.counter(
+            "traffic_unmeasured_payloads_total",
+            "Payloads whose size had to be estimated (unpicklable)")
         self._phase = "default"
 
     def set_phase(self, name: str) -> None:
         """Label subsequent traffic (phases mirror Table II rows)."""
-        with self._lock:
-            self._phase = name
+        self._phase = name
+
+    @property
+    def phase(self) -> str:
+        """The phase label applied to subsequent traffic."""
+        return self._phase
 
     def record_send(self, src: int, dst: int, nbytes: int) -> None:
-        with self._lock:
-            self.phases[self._phase].add_message(nbytes)
-            self.p2p_bytes[(src, dst)] += nbytes
+        self._messages.inc(phase=self._phase)
+        self._bytes.inc(nbytes, phase=self._phase)
+        self._p2p.inc(nbytes, src=src, dst=dst)
 
     def record_collective(self, nbytes: int) -> None:
-        with self._lock:
-            self.phases[self._phase].add_collective(nbytes)
+        self._collectives.inc(phase=self._phase)
+        self._bytes.inc(nbytes, phase=self._phase)
+
+    def record_unmeasured(self) -> None:
+        """Count one payload whose byte size is only an estimate."""
+        self._unmeasured.inc()
+
+    @property
+    def unmeasured_payloads(self) -> int:
+        """Payloads counted via the fallback estimate so far."""
+        return int(self._unmeasured.value())
 
     @property
     def total_bytes(self) -> int:
         """All bytes shipped, across phases."""
-        with self._lock:
-            return sum(p.n_bytes for p in self.phases.values())
+        return int(self._bytes.total())
+
+    @property
+    def p2p_bytes(self) -> dict[tuple[int, int], int]:
+        """{(src, dst): bytes} over all point-to-point sends."""
+        return {(int(src), int(dst)): int(v)
+                for (src, dst), v in self._p2p.series().items()}
 
     def summary(self) -> dict[str, dict[str, int]]:
         """Per-phase {messages, collectives, bytes} snapshot."""
-        with self._lock:
-            return {name: {"messages": p.n_messages,
-                           "collectives": p.n_collectives,
-                           "bytes": p.n_bytes}
-                    for name, p in self.phases.items()}
+        msgs = {k[0]: v for k, v in self._messages.series().items()}
+        colls = {k[0]: v for k, v in self._collectives.series().items()}
+        nbytes = {k[0]: v for k, v in self._bytes.series().items()}
+        return {phase: {"messages": int(msgs.get(phase, 0)),
+                        "collectives": int(colls.get(phase, 0)),
+                        "bytes": int(nbytes.get(phase, 0))}
+                for phase in sorted(set(msgs) | set(colls) | set(nbytes))}

@@ -1,0 +1,110 @@
+"""Exporter tests: Chrome trace structure, JSONL, schema validation."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Tracer,
+    VirtualClock,
+    chrome_trace_events,
+    chrome_trace_json,
+    jsonl_lines,
+    validate_chrome_trace,
+    validate_chrome_trace_file,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def _sample_tracer():
+    tr = Tracer(clock=VirtualClock())
+    with tr.span("gravity_local", rank=0, cat="phase", step=0) as sp:
+        sp.add(n_pp=12)
+    tr.flow("s", "0.1.11.0", rank=0, ts=0.5)
+    tr.record("recv", 1, 0.0, 1.0, cat="comm", src=0)
+    tr.flow("f", "0.1.11.0", rank=1, ts=0.0)
+    tr.instant("fault_delay", rank=1, ts=0.25, cat="fault", dst=0)
+    return tr
+
+
+def test_chrome_events_have_rank_lanes_and_metadata():
+    events = chrome_trace_events(_sample_tracer())
+    meta = [e for e in events if e["ph"] == "M"]
+    names = {(e["name"], e["tid"]) for e in meta}
+    assert ("process_name", 0) in names
+    assert ("thread_name", 0) in names and ("thread_name", 1) in names
+    assert ("thread_sort_index", 1) in names
+    lanes = {e["tid"] for e in events if e["ph"] != "M"}
+    assert lanes == {0, 1}
+    assert all(e["pid"] == 0 for e in events)
+
+
+def test_chrome_events_units_and_flows():
+    events = chrome_trace_events(_sample_tracer())
+    x = next(e for e in events if e["ph"] == "X" and e["name"] == "gravity_local")
+    assert x["dur"] > 0                       # microseconds
+    assert x["args"]["n_pp"] == 12
+    s = next(e for e in events if e["ph"] == "s")
+    f = next(e for e in events if e["ph"] == "f")
+    assert s["id"] == f["id"]
+    assert f["bp"] == "e"
+    i = next(e for e in events if e["ph"] == "i")
+    assert i["s"] == "t" and i["cat"] == "fault"
+
+
+def test_exclude_categories_drops_faults():
+    events = chrome_trace_events(_sample_tracer(),
+                                 exclude_categories=("fault",))
+    assert not any(e.get("cat") == "fault" for e in events)
+
+
+def test_timestamps_normalised_to_zero():
+    tr = Tracer(clock=VirtualClock(start=100.0))
+    tr.record("a", 0, 100.0, 101.0)
+    events = chrome_trace_events(tr)
+    x = next(e for e in events if e["ph"] == "X")
+    assert x["ts"] == 0.0
+
+
+def test_chrome_json_is_valid_and_canonical(tmp_path):
+    tr = _sample_tracer()
+    text = chrome_trace_json(tr)
+    doc = json.loads(text)
+    validate_chrome_trace(doc)
+    assert doc["displayTimeUnit"] == "ms"
+    path = tmp_path / "trace.json"
+    write_chrome_trace(tr, path)
+    assert path.read_text() == text
+    assert validate_chrome_trace_file(path)["traceEvents"] == doc["traceEvents"]
+
+
+def test_jsonl_roundtrip(tmp_path):
+    tr = _sample_tracer()
+    lines = jsonl_lines(tr)
+    assert len(lines) == len(tr.events())
+    recs = [json.loads(ln) for ln in lines]
+    assert recs[0]["rank"] == 0 and recs[0]["seq"] == 0
+    assert any(r.get("flow_id") for r in recs)
+    path = tmp_path / "trace.jsonl"
+    write_jsonl(tr, path)
+    assert path.read_text().splitlines() == lines
+
+
+@pytest.mark.parametrize("doc,msg", [
+    ([], "traceEvents"),
+    ({"traceEvents": {}}, "list"),
+    ({"traceEvents": [{"ph": "Z", "name": "x", "cat": "c", "pid": 0,
+                       "tid": 0, "ts": 0}]}, "unknown ph"),
+    ({"traceEvents": [{"ph": "X", "name": 3, "cat": "c", "pid": 0,
+                       "tid": 0, "ts": 0, "dur": 1}]}, "name"),
+    ({"traceEvents": [{"ph": "X", "name": "x", "cat": "c", "pid": 0,
+                       "tid": 0, "ts": 0, "dur": -1}]}, "dur"),
+    ({"traceEvents": [{"ph": "s", "name": "x", "cat": "c", "pid": 0,
+                       "tid": 0, "ts": 0}]}, "id"),
+    ({"traceEvents": [{"ph": "X", "name": "x", "cat": "c", "pid": "0",
+                       "tid": 0, "ts": 0, "dur": 1}]}, "pid"),
+])
+def test_validate_rejects_malformed(doc, msg):
+    with pytest.raises(ValueError, match=msg):
+        validate_chrome_trace(doc)

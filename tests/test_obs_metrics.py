@@ -1,0 +1,88 @@
+"""Metrics registry unit tests: counters, gauges, histograms, export."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+def test_counter_inc_and_series():
+    reg = MetricsRegistry()
+    c = reg.counter("msgs_total", "messages", labelnames=("phase",))
+    c.inc(phase="a")
+    c.inc(2, phase="a")
+    c.inc(5, phase="b")
+    assert c.value(phase="a") == 3
+    assert c.total() == 8
+    assert c.series() == {("a",): 3, ("b",): 5}
+
+
+def test_counter_rejects_negative():
+    reg = MetricsRegistry()
+    c = reg.counter("c_total", "c")
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_set_inc_dec():
+    reg = MetricsRegistry()
+    g = reg.gauge("queue_depth", "depth", labelnames=("rank",))
+    g.set(5, rank=0)
+    g.inc(rank=0)
+    g.dec(3, rank=0)
+    assert g.value(rank=0) == 3
+
+
+def test_histogram_buckets_sum_count():
+    reg = MetricsRegistry()
+    h = reg.histogram("wait_seconds", "waits", buckets=(0.1, 1.0))
+    for v in (0.05, 0.5, 5.0):
+        h.observe(v)
+    assert h.count() == 3
+    assert h.sum() == pytest.approx(5.55)
+    text = reg.render()
+    assert 'wait_seconds_bucket{le="0.1"} 1' in text
+    assert 'wait_seconds_bucket{le="1"} 2' in text
+    assert 'wait_seconds_bucket{le="+Inf"} 3' in text
+    assert "wait_seconds_count 3" in text
+
+
+def test_get_or_create_same_object():
+    reg = MetricsRegistry()
+    a = reg.counter("x_total", "x", labelnames=("k",))
+    b = reg.counter("x_total", "x", labelnames=("k",))
+    assert a is b
+    assert reg.get("x_total") is a
+    assert "x_total" in reg.names()
+
+
+def test_type_and_label_mismatch_rejected():
+    reg = MetricsRegistry()
+    reg.counter("m", "m", labelnames=("k",))
+    with pytest.raises(ValueError):
+        reg.gauge("m", "m", labelnames=("k",))
+    with pytest.raises(ValueError):
+        reg.counter("m", "m", labelnames=("other",))
+
+
+def test_prometheus_render_format():
+    reg = MetricsRegistry()
+    c = reg.counter("traffic_bytes_total", "Bytes shipped",
+                    labelnames=("phase",))
+    c.inc(100, phase="let_exchange")
+    g = reg.gauge("ranks", "rank count")
+    g.set(4)
+    text = reg.render()
+    assert "# HELP traffic_bytes_total Bytes shipped" in text
+    assert "# TYPE traffic_bytes_total counter" in text
+    assert 'traffic_bytes_total{phase="let_exchange"} 100' in text
+    assert "# TYPE ranks gauge" in text
+    assert "ranks 4" in text
+
+
+def test_unlabelled_metric_requires_no_labels():
+    reg = MetricsRegistry()
+    c = reg.counter("plain_total", "plain")
+    c.inc()
+    assert c.value() == 1
+    with pytest.raises(ValueError):
+        c.inc(rank=0)

@@ -1,0 +1,96 @@
+"""Report CLI tests: Table II reconstruction from synthetic traces."""
+
+import json
+
+import pytest
+
+from repro.obs import Tracer, VirtualClock, chrome_trace_json
+from repro.obs.report import (
+    histories_from_trace,
+    main,
+    statistics_from_trace,
+)
+from repro.parallel.statistics import aggregate_rank_histories
+
+
+def _synthetic_trace():
+    """Two ranks, two steps, phase times chosen by hand."""
+    tr = Tracer(clock=VirtualClock())
+    t = {0: 0.0, 1: 0.0}
+
+    def rec(rank, name, dur, step, **attrs):
+        tr.record(name, rank, t[rank], t[rank] + dur, cat="phase",
+                  step=step, **attrs)
+        t[rank] += dur
+
+    for step in range(2):
+        for rank in range(2):
+            rec(rank, "sorting", 0.01 * (rank + 1), step)
+            rec(rank, "domain_update", 0.02, step)
+            rec(rank, "tree_construction", 0.005, step)
+            rec(rank, "tree_properties", 0.002, step)
+            rec(rank, "gravity_local", 0.1 + 0.05 * rank, step,
+                n_particles=500, n_pp=1000, n_pc=100, quadrupole=True)
+            rec(rank, "gravity_let", 0.03, step, n_pp=200, n_pc=20)
+            rec(rank, "non_hidden_comm", 0.004 * rank, step)
+            rec(rank, "boundary_exchange", 0.001, step)
+            rec(rank, "other", 0.002, step)
+    return tr
+
+
+def test_histories_reconstruction():
+    doc = json.loads(chrome_trace_json(_synthetic_trace()))
+    histories, particle_counts, waits = histories_from_trace(doc)
+    assert len(histories) == 2 and len(histories[0]) == 2
+    bd = histories[1][0]
+    assert bd.sorting == pytest.approx(0.02)
+    assert bd.gravity_local == pytest.approx(0.15)
+    # boundary_exchange folds into "other"
+    assert bd.other == pytest.approx(0.003)
+    assert bd.counts.n_pp == 1200 and bd.counts.n_pc == 120
+    assert bd.counts.quadrupole
+    assert particle_counts == [500, 500]
+    assert waits == pytest.approx([0.0, 0.008])
+
+
+def test_statistics_match_driver_side_reduction():
+    doc = json.loads(chrome_trace_json(_synthetic_trace()))
+    stats = statistics_from_trace(doc)
+    histories, particle_counts, waits = histories_from_trace(doc)
+    expected = aggregate_rank_histories(histories, particle_counts,
+                                        recv_waits=waits)
+    assert stats.mean_step.as_dict() == expected.mean_step.as_dict()
+    # Slowest-rank semantics: rank 1's gravity_local wins.
+    assert stats.mean_step.gravity_local == pytest.approx(0.15)
+    assert stats.recv_wait_max == pytest.approx(0.008)
+
+
+def test_report_requires_phase_spans():
+    with pytest.raises(ValueError, match="phase spans"):
+        histories_from_trace({"traceEvents": []})
+
+
+def test_cli_text_and_json(tmp_path, capsys):
+    path = tmp_path / "trace.json"
+    path.write_text(chrome_trace_json(_synthetic_trace()))
+
+    assert main([str(path), "--validate"]) == 0
+    out = capsys.readouterr().out
+    assert "Table II breakdown" in out
+    assert "Overlap" in out and "imbalance" in out
+
+    assert main([str(path), "--json"]) == 0
+    rep = json.loads(capsys.readouterr().out)
+    assert rep["n_ranks"] == 2
+    assert rep["phases"]["gravity_local"] == pytest.approx(0.15)
+    assert rep["total"] == pytest.approx(sum(rep["phases"].values()))
+
+
+def test_unknown_span_names_ignored():
+    tr = _synthetic_trace()
+    tr.record("particle_exchange", 0, 99.0, 99.5, cat="comm")
+    tr.record("mystery_phase", 0, 99.0, 99.5, cat="phase")
+    doc = json.loads(chrome_trace_json(tr))
+    histories, _, _ = histories_from_trace(doc)
+    total = sum(bd.total for h in histories for bd in h)
+    assert total == pytest.approx(2 * (0.17 + 0.234), abs=1e-9)
