@@ -1,4 +1,4 @@
-.PHONY: install test test-faults bench bench-quick trace clean
+.PHONY: install test test-faults test-loadbalance bench bench-quick trace clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -10,6 +10,14 @@ test:
 # harness_slow matrix the default run skips (see docs/TESTING.md).
 test-faults:
 	pytest tests/harness -m "harness_slow or not harness_slow"
+
+# Load-balance feedback loop: property + convergence suites including
+# the harness_slow 8-rank variant (docs/OBSERVABILITY.md §5b).
+test-loadbalance:
+	pytest tests/harness/test_loadbalance_properties.py \
+	       tests/harness/test_loadbalance_convergence.py \
+	       tests/test_parallel_feedback.py \
+	       -m "harness_slow or not harness_slow"
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -25,6 +25,7 @@ the identical Table II numbers from the trace alone.
 
 from __future__ import annotations
 
+import math
 import time
 
 import numpy as np
@@ -35,6 +36,7 @@ from ..integrator import EnergyDiagnostics
 from ..obs.tracer import Tracer
 from ..particles import ParticleSet
 from ..parallel import DomainDecomposition, distributed_forces, domain_update, exchange_particles
+from ..parallel.feedback import CostModel, LB_MODES
 from ..sfc import BoundingBox
 from ..simmpi import SimComm, spmd_run
 from .step import StepBreakdown
@@ -54,6 +56,18 @@ class ParallelSimulation:
         Numerical parameters, identical on all ranks.
     decomposition_method:
         "hierarchical" (paper) or "serial" (ablation baseline).
+    load_balance:
+        What the domain cut balances: ``"measured"`` closes the paper's
+        feedback loop (previous-step measured force cost via a
+        :class:`~repro.parallel.feedback.CostModel`, EWMA-smoothed,
+        re-cutting only when the imbalance trigger fires),
+        ``"flops"`` (default) spreads the previous step's interaction
+        flop estimate uniformly per rank and re-cuts every step, and
+        ``"count"`` balances raw particle counts.
+    lb_source, lb_alpha, lb_trigger_ratio:
+        Measured-mode knobs, forwarded to
+        :class:`~repro.parallel.feedback.CostModel` (cost source,
+        EWMA weight, rebalance trigger).
     invariant_checks:
         When True (identical on all ranks -- the checks are collective),
         every redistribute asserts exchange conservation and ownership
@@ -70,6 +84,9 @@ class ParallelSimulation:
                  config: SimulationConfig | None = None,
                  decomposition_method: str = "hierarchical",
                  sample_rate1: float = 0.01, sample_rate2: float = 0.05,
+                 load_balance: str = "flops",
+                 lb_source: str = "auto", lb_alpha: float = 0.5,
+                 lb_trigger_ratio: float = 1.1,
                  invariant_checks: bool = False,
                  trace: Tracer | None = None):
         self.comm = comm
@@ -78,13 +95,25 @@ class ParallelSimulation:
         self.method = decomposition_method
         self.rate1 = sample_rate1
         self.rate2 = sample_rate2
+        if load_balance not in LB_MODES:
+            raise ValueError(f"unknown load_balance {load_balance!r}; "
+                             f"expected one of {LB_MODES}")
+        self.load_balance = load_balance
         self.invariant_checks = invariant_checks
         if trace is not None:
             comm.world.attach_tracer(trace)
+        self._cost_model = CostModel(
+            comm, source=lb_source, alpha=lb_alpha,
+            trigger_ratio=lb_trigger_ratio) \
+            if load_balance == "measured" else None
         self.time = 0.0
         self.step_count = 0
         self.history: list[StepBreakdown] = []
         self.decomposition: DomainDecomposition | None = None
+        self._box: BoundingBox | None = None
+        #: Boundary tuple after every redistribute (the sequence the
+        #: determinism harness pins across runs).
+        self.boundary_history: list[tuple[int, ...]] = []
         self.recv_wait_seconds = 0.0
         self._acc: np.ndarray | None = None
         self._phi: np.ndarray | None = None
@@ -115,6 +144,43 @@ class ParallelSimulation:
             tr.record(name, self.comm.rank, t0, t1, cat="phase",
                       step=self.step_count, **attrs)
 
+    # -- load balancing ----------------------------------------------------
+
+    def _lb_decision(self, keys: np.ndarray,
+                     flop_weights: np.ndarray | None,
+                     box_changed: bool
+                     ) -> tuple[np.ndarray | None, bool, float]:
+        """Pick cut weights and decide whether to re-cut this step.
+
+        Returns ``(weights, rebalance, ratio)``.  The decision is
+        collective but needs no agreement protocol: every rank computes
+        it from identically allgathered data.
+
+        - ``"count"``: no weights, re-cut every step (the baseline).
+        - ``"flops"``: previous-step flop-estimate weights, re-cut
+          every step (the pre-feedback behaviour).
+        - ``"measured"``: smoothed measured-cost weights; re-cut only
+          when the imbalance trigger fires (or on cold start, falling
+          back to the flop-estimate weights), otherwise keep the
+          previous boundaries -- unless the global box had to be
+          regrown (old boundary keys are meaningless against a new
+          box) or a domain would come up empty under them.
+        """
+        if self.load_balance == "count":
+            return None, True, math.inf
+        if self._cost_model is None:
+            return flop_weights, True, math.inf
+        ratio = self._cost_model.imbalance()
+        rebalance = (self.decomposition is None or box_changed
+                     or self._cost_model.should_rebalance(ratio))
+        if not rebalance:
+            counts = self.comm.allreduce(self.decomposition.counts(keys))
+            rebalance = bool(np.any(counts == 0))
+        weights = self._cost_model.weights(len(keys))
+        if weights is None:
+            weights = flop_weights    # cold start: flop-estimate fallback
+        return weights, rebalance, ratio
+
     # -- pipeline pieces --------------------------------------------------
 
     def _global_box(self) -> BoundingBox:
@@ -124,10 +190,31 @@ class ParallelSimulation:
         return BoundingBox.merge([BoundingBox(origin=o, size=s)
                                   for o, s in boxes], pad=1e-3)
 
+    def _update_box(self) -> tuple[BoundingBox, bool]:
+        """Global box for this step's keys; returns ``(box, changed)``.
+
+        In measured mode the previous box is reused while it still
+        contains every particle: keeping old boundary *keys* across a
+        skipped re-cut is only meaningful against the box that produced
+        them.  A fresh min/max box jiggles with the outermost particles,
+        and near octant planes even a tiny origin shift relabels whole
+        Hilbert octants -- enough to wreck a balanced cut without any
+        cost change.  When a particle escapes, the box is regrown and
+        the caller must re-cut.
+        """
+        if self._cost_model is None or self._box is None:
+            return self._global_box(), True
+        b = self._box
+        pos = self.particles.pos
+        inside = bool(np.all(pos >= b.origin) and np.all(pos < b.origin + b.size))
+        if bool(self.comm.allreduce(inside, op="min")):
+            return b, False
+        return self._global_box(), True
+
     def redistribute(self, bd: StepBreakdown | None = None) -> None:
         """Domain update + particle exchange (Table II "Domain Update")."""
         t0 = self._now()
-        box = self._global_box()
+        box, box_changed = self._update_box()
         keys = box.keys(self.particles.pos, self.config.curve)
         order = np.argsort(keys, kind="stable")
         self.particles.reorder(order)
@@ -138,9 +225,22 @@ class ParallelSimulation:
         self._rec("sorting", t0, t1)
 
         self.comm.set_phase("domain_update")
-        self.decomposition = domain_update(self.comm, keys, weights,
-                                           method=self.method,
-                                           rate1=self.rate1, rate2=self.rate2)
+        weights, rebalance, ratio = self._lb_decision(keys, weights,
+                                                      box_changed)
+        if rebalance:
+            t_rb = self._now()
+            self.decomposition = domain_update(self.comm, keys, weights,
+                                               method=self.method,
+                                               rate1=self.rate1,
+                                               rate2=self.rate2)
+            if self._cost_model is not None:
+                self._cost_model.record_rebalance()
+                attrs = {"mode": self.load_balance}
+                if math.isfinite(ratio):
+                    attrs["imbalance"] = ratio
+                self._rec("rebalance", t_rb, self._now(), **attrs)
+        self.boundary_history.append(
+            tuple(int(b) for b in self.decomposition.boundaries))
         self.particles = exchange_particles(self.comm, self.particles, keys,
                                             self.decomposition,
                                             check=self.invariant_checks)
@@ -149,7 +249,12 @@ class ParallelSimulation:
             keys_after = box.keys(self.particles.pos, self.config.curve)
             check_ownership(self.comm, self.decomposition, keys_after)
         t2 = self._now()
-        self._rec("domain_update", t1, t2)
+        du_attrs = {}
+        if self._cost_model is not None:
+            du_attrs["rebalanced"] = rebalance
+            if math.isfinite(ratio):
+                du_attrs["lb_imbalance"] = ratio
+        self._rec("domain_update", t1, t2, **du_attrs)
         self._box = box
         if bd is not None:
             bd.sorting += t1 - t0
@@ -176,6 +281,10 @@ class ParallelSimulation:
         # quantity is flops per domain, which this reproduces in aggregate).
         flops_pp = result.counts_total.flops / max(self.particles.n, 1)
         self._weights = np.full(self.particles.n, flops_pp)
+        if self._cost_model is not None:
+            # Fold the measurement distributed_forces just booked into
+            # the metrics registry into the smoothed cost model.
+            self._cost_model.observe(self.particles.n)
         if bd is not None:
             ph = result.phases
             bd.tree_construction += ph["tree_construction"]
@@ -248,6 +357,10 @@ def run_parallel_simulation(n_ranks: int, particles: ParticleSet,
                             decomposition_method: str = "hierarchical",
                             timeout: float = 600.0,
                             world=None,
+                            load_balance: str = "flops",
+                            lb_source: str = "auto",
+                            lb_alpha: float = 0.5,
+                            lb_trigger_ratio: float = 1.1,
                             invariant_checks: bool = False,
                             trace: Tracer | None = None
                             ) -> list[ParallelSimulation]:
@@ -259,7 +372,9 @@ def run_parallel_simulation(n_ranks: int, particles: ParticleSet,
     program over an instrumented or misbehaving transport.  ``trace``
     attaches a :class:`repro.obs.Tracer` to that world so the whole run
     lands in one trace (export with
-    :func:`repro.obs.write_chrome_trace`)."""
+    :func:`repro.obs.write_chrome_trace`).  ``load_balance`` /
+    ``lb_*`` select and tune the domain-cut weighting (see
+    :class:`ParallelSimulation`)."""
     n = particles.n
 
     def prog(comm: SimComm) -> ParallelSimulation:
@@ -268,6 +383,9 @@ def run_parallel_simulation(n_ranks: int, particles: ParticleSet,
         local = particles.select(np.arange(lo, hi))
         sim = ParallelSimulation(comm, local, config,
                                  decomposition_method=decomposition_method,
+                                 load_balance=load_balance,
+                                 lb_source=lb_source, lb_alpha=lb_alpha,
+                                 lb_trigger_ratio=lb_trigger_ratio,
                                  invariant_checks=invariant_checks,
                                  trace=trace)
         sim.evolve(n_steps)

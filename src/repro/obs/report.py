@@ -180,6 +180,50 @@ def imbalance_lines(histories: list[list[StepBreakdown]],
     return lines
 
 
+def loadbalance_summary(doc: dict) -> dict[str, Any] | None:
+    """Measured-mode feedback summary: imbalance over time, re-cut count.
+
+    Scans ``domain_update`` spans for the ``lb_imbalance`` /
+    ``rebalanced`` args the measured-mode driver attaches plus the
+    nested ``rebalance`` spans.  Only rank 0's copies are read -- the
+    ratio is computed collectively, so every rank records the same
+    value.  Returns ``None`` when the run did not use
+    ``load_balance="measured"`` (no such args in the trace).
+
+    ``rebalance`` spans deliberately stay out of :data:`SPAN_TO_FIELD`:
+    they nest inside ``domain_update`` and would double-count its time.
+    """
+    checks: list[dict[str, Any]] = []
+    n_recuts = 0
+    for e in doc.get("traceEvents", ()):
+        if e.get("ph") != "X" or e.get("cat") != "phase":
+            continue
+        if int(e.get("tid", -1)) != 0:
+            continue
+        args = e.get("args", {})
+        if e.get("name") == "rebalance":
+            n_recuts += 1
+        elif e.get("name") == "domain_update" and "rebalanced" in args:
+            checks.append({"step": int(args.get("step", 0)),
+                           "imbalance": args.get("lb_imbalance"),
+                           "rebalanced": bool(args["rebalanced"])})
+    if not checks:
+        return None
+    return {"rebalances": n_recuts, "checks": checks}
+
+
+def loadbalance_lines(summary: dict[str, Any]) -> list[str]:
+    """Render the measured-mode imbalance-over-time section."""
+    lines = [f"Load balance (measured-cost feedback, "
+             f"{summary['rebalances']} re-cuts):"]
+    for c in summary["checks"]:
+        ratio = c["imbalance"]
+        shown = f"{ratio:6.3f}" if ratio is not None else "  cold"
+        action = "re-cut" if c["rebalanced"] else "kept boundaries"
+        lines.append(f"  step {c['step']}: imbalance {shown}  {action}")
+    return lines
+
+
 def render_report(doc: dict) -> str:
     """The full text report for one trace document."""
     histories, particle_counts, waits = histories_from_trace(doc)
@@ -187,6 +231,9 @@ def render_report(doc: dict) -> str:
                                      recv_waits=waits)
     sections = [table2_lines(stats), overlap_lines(histories),
                 imbalance_lines(histories, particle_counts)]
+    lb = loadbalance_summary(doc)
+    if lb is not None:
+        sections.append(loadbalance_lines(lb))
     return "\n\n".join("\n".join(s) for s in sections)
 
 
@@ -194,7 +241,7 @@ def _json_report(doc: dict) -> dict[str, Any]:
     histories, particle_counts, waits = histories_from_trace(doc)
     stats = aggregate_rank_histories(histories, particle_counts,
                                      recv_waits=waits)
-    return {
+    out = {
         "n_ranks": stats.n_ranks,
         "n_particles_total": stats.n_particles_total,
         "phases": stats.mean_step.as_dict(),
@@ -204,6 +251,10 @@ def _json_report(doc: dict) -> dict[str, Any]:
         "recv_wait_max": stats.recv_wait_max,
         "gpu_gflops_total": stats.gpu_gflops_total,
     }
+    lb = loadbalance_summary(doc)
+    if lb is not None:
+        out["lb"] = lb
+    return out
 
 
 def main(argv: list[str] | None = None) -> int:

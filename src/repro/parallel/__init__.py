@@ -20,6 +20,7 @@ from .decomposition import DomainDecomposition, domain_update
 from .exchange import exchange_particles
 from .lettree import LETData, prune_tree, build_let_for_box, boundary_structure, boundary_sufficient_for
 from .gravity_parallel import DistributedForceResult, distributed_forces
+from .feedback import COST_SOURCES, CostModel, LB_MODES, imbalance_ratio
 from .statistics import RunStatistics, aggregate_rank_histories, run_statistics
 
 __all__ = [
@@ -37,6 +38,10 @@ __all__ = [
     "boundary_sufficient_for",
     "DistributedForceResult",
     "distributed_forces",
+    "CostModel",
+    "LB_MODES",
+    "COST_SOURCES",
+    "imbalance_ratio",
     "RunStatistics",
     "aggregate_rank_histories",
     "run_statistics",

@@ -1,0 +1,215 @@
+"""Measured-cost load-balance feedback (the loop Sec. III-B1 closes).
+
+The paper rebalances domains from the *measured* execution time of the
+gravity kernels of the previous step, capped at 30% above the mean
+particle count.  :mod:`~repro.parallel.loadbalance` implements the
+capped cut; this module supplies what feeds it: a :class:`CostModel`
+per rank that
+
+1. consumes the per-rank ``force_phase_seconds_total{rank,phase}`` /
+   ``force_flops_total{rank}`` series that
+   :func:`~repro.parallel.gravity_parallel.distributed_forces` books
+   into the world's :class:`~repro.obs.metrics.MetricsRegistry` (span
+   durations when a tracer is attached, interaction counts otherwise),
+2. smooths the per-step deltas with an EWMA so one noisy step cannot
+   whipsaw the decomposition,
+3. exposes uniform per-particle weights (this rank's smoothed cost
+   spread over its particles -- the same aggregate quantity the paper's
+   per-GPU timings provide) for
+   :func:`~repro.parallel.sampling.sample_weighted_keys`, and
+4. decides collectively *when* to re-cut: the paper's "when the
+   imbalance exceeds X%" policy, via the slowest-rank/mean ratio of the
+   smoothed costs.
+
+The driver (:class:`~repro.core.parallel_simulation.ParallelSimulation`
+with ``load_balance="measured"``) threads the weights into
+``domain_update`` on the next step, emits the ``lb_imbalance_ratio``
+gauge / ``lb_rebalance_total`` counter and a ``rebalance`` span, and
+falls back to the flop-estimate weights while the model is cold.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..simmpi import SimComm
+from .gravity_parallel import FORCE_PHASES
+
+#: Load-balance modes of the parallel driver.
+LB_MODES = ("measured", "flops", "count")
+
+#: Where a :class:`CostModel` takes its cost samples from.
+COST_SOURCES = ("auto", "seconds", "counts")
+
+
+def imbalance_ratio(costs) -> float:
+    """Slowest-rank/mean ratio of a per-rank cost vector (1.0 when the
+    total cost is zero: nothing to balance)."""
+    costs = np.asarray(costs, dtype=np.float64)
+    mean = float(costs.mean()) if len(costs) else 0.0
+    if mean <= 0.0:
+        return 1.0
+    return float(costs.max()) / mean
+
+
+class CostModel:
+    """EWMA model of one rank's measured force cost.
+
+    Parameters
+    ----------
+    comm:
+        This rank's communicator; the model registers its series on the
+        world's metrics registry and uses the communicator for the
+        collective imbalance reduction.
+    source:
+        ``"seconds"`` uses the measured force sub-phase durations (the
+        whole distributed force computation: gravity walks plus the
+        comm stalls a slow rank causes -- the closest analogue of the
+        paper's GPU timings this transport can perturb); ``"counts"``
+        uses tree-walk interaction flops, which are deterministic;
+        ``"auto"`` picks seconds when a tracer is attached (spans
+        exist) and counts otherwise.
+    alpha:
+        EWMA weight of the newest observation (1.0 = no smoothing).
+    trigger_ratio:
+        Re-cut only when the smoothed slowest-rank/mean cost ratio
+        exceeds this (paper policy: rebalance when imbalance exceeds
+        X%; the count cap itself stays at 30%).
+    cost_phases:
+        Which ``force_phase_seconds_total`` phases make up one seconds
+        observation (default: all of them).
+    """
+
+    def __init__(self, comm: SimComm, source: str = "auto",
+                 alpha: float = 0.5, trigger_ratio: float = 1.1,
+                 cost_phases=FORCE_PHASES):
+        if source not in COST_SOURCES:
+            raise ValueError(f"unknown cost source {source!r}; "
+                             f"expected one of {COST_SOURCES}")
+        if not (0.0 < alpha <= 1.0):
+            raise ValueError("alpha must be in (0, 1]")
+        if trigger_ratio < 1.0:
+            raise ValueError("trigger_ratio must be >= 1.0")
+        self.comm = comm
+        self.source = source
+        self.alpha = alpha
+        self.trigger_ratio = trigger_ratio
+        self.cost_phases = tuple(cost_phases)
+        #: EWMA of this rank's per-step cost (drives the trigger ratio).
+        self.smoothed: float | None = None
+        #: EWMA of this rank's per-*particle* cost (drives the weights).
+        #: Smoothing the intrinsic per-particle quantity -- rather than
+        #: dividing a lagging rank total by a fresh particle count --
+        #: keeps the feedback loop stable: a domain that just shrank
+        #: does not look artificially expensive on the next cut.
+        self.smoothed_per_particle: float | None = None
+        self.n_local = 0
+        self._seen = 0.0
+        reg = comm.world.metrics
+        self._phase_seconds = reg.counter(
+            "force_phase_seconds_total",
+            "Measured seconds per distributed-force sub-phase",
+            labelnames=("rank", "phase"))
+        self._flops = reg.counter(
+            "force_flops_total", "Tree-walk interaction flops per rank",
+            labelnames=("rank",))
+        self._cost_gauge = reg.gauge(
+            "lb_rank_cost", "Smoothed per-rank load-balance cost",
+            labelnames=("rank",))
+        self._imbalance_gauge = reg.gauge(
+            "lb_imbalance_ratio",
+            "Slowest-rank/mean smoothed cost ratio at the last check")
+        self._rebalance_counter = reg.counter(
+            "lb_rebalance_total",
+            "Measured-cost domain re-cuts triggered so far")
+
+    # -- observation -------------------------------------------------------
+
+    def _use_seconds(self) -> bool:
+        if self.source == "seconds":
+            return True
+        if self.source == "counts":
+            return False
+        return self.comm.tracer.enabled
+
+    @property
+    def warm(self) -> bool:
+        """True once at least one force step has been observed."""
+        return self.smoothed is not None
+
+    def observe(self, n_local: int) -> float:
+        """Fold the newest force measurement into the smoothed cost.
+
+        Reads the cumulative registry series for this rank and takes
+        the delta since the previous call as one step's cost sample,
+        so whatever produced the metrics (the distributed force path,
+        or a test poking counters directly) is the source of truth.
+        Returns the updated smoothed cost.
+        """
+        rank = self.comm.rank
+        if self._use_seconds():
+            raw = sum(self._phase_seconds.value(rank=rank, phase=p)
+                      for p in self.cost_phases)
+        else:
+            raw = self._flops.value(rank=rank)
+        sample = raw - self._seen
+        self._seen = raw
+        if not math.isfinite(sample) or sample < 0.0:
+            sample = 0.0
+        sample_pp = sample / max(int(n_local), 1)
+        if self.smoothed is None:
+            self.smoothed = sample
+            self.smoothed_per_particle = sample_pp
+        else:
+            self.smoothed = self.alpha * sample \
+                + (1.0 - self.alpha) * self.smoothed
+            self.smoothed_per_particle = self.alpha * sample_pp \
+                + (1.0 - self.alpha) * self.smoothed_per_particle
+        self.n_local = int(n_local)
+        self._cost_gauge.set(self.smoothed, rank=rank)
+        return self.smoothed
+
+    # -- decomposition inputs ----------------------------------------------
+
+    def weights(self, n: int) -> np.ndarray | None:
+        """Per-particle cost weights for the next domain update.
+
+        This rank's smoothed per-particle cost, uniform over its ``n``
+        particles (the same aggregate quantity the paper's per-GPU
+        timings provide); ``None`` while cold (or when the smoothed
+        cost is zero), signalling the caller to fall back to
+        flop-estimate weights.
+        """
+        if self.smoothed_per_particle is None \
+                or self.smoothed_per_particle <= 0.0 or n <= 0:
+            return None
+        return np.full(n, self.smoothed_per_particle)
+
+    def imbalance(self) -> float:
+        """Collective slowest-rank/mean ratio of the smoothed costs.
+
+        All ranks must call this together (it allgathers); every rank
+        computes the identical value, so rebalance decisions made from
+        it are consistent without further agreement.  Returns ``inf``
+        while any rank is cold (forcing the cold-start rebalance path).
+        """
+        costs = self.comm.allgather(
+            -1.0 if self.smoothed is None else self.smoothed)
+        if any(c < 0.0 for c in costs):
+            return math.inf
+        ratio = imbalance_ratio(costs)
+        self._imbalance_gauge.set(ratio)
+        return ratio
+
+    def should_rebalance(self, ratio: float) -> bool:
+        """The trigger policy: re-cut when imbalance exceeds the
+        threshold (a cold model always re-cuts)."""
+        return ratio > self.trigger_ratio
+
+    def record_rebalance(self) -> None:
+        """Count one triggered re-cut (rank 0 books it, so the counter
+        counts rebalances, not rebalances x ranks)."""
+        if self.comm.rank == 0:
+            self._rebalance_counter.inc()

@@ -234,6 +234,23 @@ def distributed_forces(comm: SimComm, particles: ParticleSet,
     phi = np.empty_like(phi_sorted)
     acc[tree.order] = acc_sorted
     phi[tree.order] = phi_sorted
+
+    # Book the per-rank measurement into the world's metrics registry.
+    # These series are what the measured-cost load balancer
+    # (:mod:`repro.parallel.feedback`) consumes to close Sec. III-B1's
+    # feedback loop; they also make per-rank force cost scrapeable.
+    reg = comm.world.metrics
+    phase_seconds = reg.counter(
+        "force_phase_seconds_total",
+        "Measured seconds per distributed-force sub-phase",
+        labelnames=("rank", "phase"))
+    for name in FORCE_PHASES:
+        phase_seconds.inc(max(phases[name], 0.0), rank=rank, phase=name)
+    reg.counter("force_flops_total",
+                "Tree-walk interaction flops per rank",
+                labelnames=("rank",)).inc(
+        (counts_local + counts_let).flops, rank=rank)
+
     return DistributedForceResult(
         acc=acc, phi=phi,
         counts_local=counts_local, counts_let=counts_let,

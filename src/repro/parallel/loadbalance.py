@@ -49,10 +49,13 @@ def cut_weighted_with_cap(keys: np.ndarray, cost: np.ndarray, n_domains: int,
     if n_domains == 1:
         return boundaries
     if n == 0:
-        # Degenerate: no information; split key space uniformly.
-        span = int(boundaries[-1]) // n_domains
-        for d in range(1, n_domains):
-            boundaries[d] = np.uint64(d * span)
+        # Degenerate: no information; split key space uniformly.  The
+        # multiply is pinned to uint64 explicitly: d * span cannot wrap
+        # because span <= KEY_MAX // n_domains, so (n_domains-1) * span
+        # < KEY_MAX, and the cast keeps numpy from promoting through
+        # float64 (which would round large n_domains boundaries).
+        span = np.uint64(int(boundaries[-1]) // n_domains)
+        boundaries[1:-1] = np.arange(1, n_domains, dtype=np.uint64) * span
         return boundaries
 
     total_cost = float(cost.sum())
@@ -75,6 +78,13 @@ def cut_weighted_with_cap(keys: np.ndarray, cost: np.ndarray, n_domains: int,
         # under their caps too (feasibility of the tail).
         min_here = n - cap * (remaining_domains - 1)
         j = max(j, min_here, idx)
+        if n >= n_domains:
+            # A single sample whose cost exceeds the whole per-domain
+            # target (extreme measured skew, e.g. a fault-slowed rank)
+            # must not collapse a domain to zero width: every domain
+            # keeps at least one sample when enough samples exist.
+            j = max(j, idx + 1)
+            j = min(j, n - (n_domains - d))
         j = min(j, n - 1)
         boundaries[d] = keys[j]
         idx = j

@@ -55,6 +55,10 @@ def sample_weighted_keys(keys: np.ndarray, weights: np.ndarray | None,
         w = np.asarray(weights, dtype=np.float64)
         if len(w) != n:
             raise ValueError("weights must align with keys")
+        # Measured costs can carry NaN/inf (clock glitches, div-by-zero
+        # upstream); treat them as "no information" rather than letting
+        # one bad sample swallow the whole cumulative-weight ramp.
+        w = np.where(np.isfinite(w), w, 0.0)
         w = np.maximum(w, 0.0)
         if w.sum() <= 0.0:
             w = np.ones(n)
@@ -118,8 +122,12 @@ def hierarchical_sample_boundaries(comm: SimComm, keys_sorted: np.ndarray,
         all_keys = np.concatenate([g[0] for g in gathered])
         all_cost = np.concatenate([g[1] for g in gathered])
         order = np.argsort(all_keys, kind="stable")
+        # The particle-count cap applies to the coarse cut too: cost
+        # skew (e.g. measured-cost weights around a slow rank) must not
+        # route through the super-domain level uncapped, or the global
+        # 30% guarantee only holds within super-domains.
         super_bounds = cut_weighted_with_cap(all_keys[order], all_cost[order],
-                                             px, cap_ratio=np.inf)
+                                             px, cap_ratio)
     else:
         super_bounds = None
     super_bounds = comm.bcast(super_bounds, root=0)

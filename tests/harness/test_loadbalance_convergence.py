@@ -1,0 +1,146 @@
+"""Convergence harness for the measured-cost load-balance feedback loop.
+
+The paper (Sec. III-B1) rebalances domains from the measured execution
+time of the previous step's gravity kernels.  These tests close that
+loop end to end on a deliberately *skewed* initial condition -- a
+Plummer sphere plus a much denser satellite clump, so per-particle tree
+walk cost varies strongly across space -- and check that
+
+1. ``load_balance="measured"`` ends with a strictly lower
+   slowest-rank/mean gravity-cost ratio than the count-balanced
+   baseline (the PR's acceptance criterion),
+2. the smoothed imbalance trajectory recorded in the ``domain_update``
+   spans converges below an envelope and stays there,
+3. a fault-injected slow rank (repro.faults ``slowdown``) is
+   compensated with a smaller domain when costs come from measured
+   seconds,
+4. the ``lb_*`` metrics and ``rebalance`` spans are emitted.
+
+Runs use the deterministic ``counts`` cost source (tree-walk flops)
+except for the slowdown test, which is exactly the case where wall
+seconds carry information flops cannot.
+"""
+
+import numpy as np
+import pytest
+
+from repro import SimulationConfig
+from repro.core.parallel_simulation import run_parallel_simulation
+from repro.faults import FaultyWorld
+from repro.ics import plummer_model
+from repro.obs import Tracer, VirtualClock
+from repro.particles import ParticleSet
+
+N = 1600
+P = 4
+STEPS = 8
+#: Smoothed imbalance must settle below this once the model is warm.
+ENVELOPE = 1.15
+#: ...within this many warm checks.
+K_SETTLE = 3
+
+
+def clustered(n=N, seed=11, scale=0.05, frac=0.25):
+    """Plummer sphere + dense satellite clump: strong cost-per-particle
+    skew (clump particles see far more interactions), which count
+    balancing cannot see."""
+    nb = int(n * frac)
+    a = plummer_model(n - nb, seed=seed)
+    b = plummer_model(nb, seed=seed + 1)
+    b.pos *= scale
+    b.vel *= np.sqrt(1.0 / scale)   # keep the shrunk clump near-virial
+    b.pos += np.array([3.0, 0.0, 0.0])
+    p = ParticleSet.concatenate([a, b])
+    p.ids = np.arange(p.n)
+    return p
+
+
+def final_cost_ratio(sims):
+    """Slowest-rank/mean gravity cost (tree-walk flops) of the last step."""
+    fl = np.array([s.history[-1].counts.flops for s in sims], dtype=float)
+    return float(fl.max() / fl.mean())
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return SimulationConfig(dt=1.0 / 64)
+
+
+@pytest.fixture(scope="module")
+def measured_run(cfg):
+    tracer = Tracer(clock=VirtualClock())
+    sims = run_parallel_simulation(P, clustered(), cfg, n_steps=STEPS,
+                                   load_balance="measured",
+                                   lb_source="counts", trace=tracer)
+    return sims, tracer
+
+
+@pytest.fixture(scope="module")
+def count_run(cfg):
+    return run_parallel_simulation(P, clustered(), cfg, n_steps=STEPS,
+                                   load_balance="count")
+
+
+def test_measured_beats_count(measured_run, count_run):
+    """Acceptance criterion: measured-cost cuts end strictly better
+    balanced (in gravity cost) than count-balanced cuts."""
+    measured, _ = measured_run
+    r_measured = final_cost_ratio(measured)
+    r_count = final_cost_ratio(count_run)
+    assert r_measured < r_count
+    assert r_measured < 1.2     # and well balanced in absolute terms
+
+
+def test_imbalance_converges_below_envelope(measured_run):
+    """The smoothed imbalance recorded per domain_update span settles
+    below the envelope within K_SETTLE warm checks and stays there."""
+    _, tracer = measured_run
+    ratios = [e.args["lb_imbalance"] for e in tracer.events()
+              if e.name == "domain_update" and e.rank == 0
+              and "lb_imbalance" in e.args]
+    # One cold check (no ratio) plus one warm check per redistribute.
+    assert len(ratios) >= STEPS
+    assert all(r <= ENVELOPE for r in ratios[K_SETTLE:])
+    assert ratios[-1] <= 1.12
+
+
+def test_lb_metrics_and_spans_emitted(measured_run):
+    measured, tracer = measured_run
+    reg = measured[0].comm.world.metrics
+    assert reg.counter("lb_rebalance_total", "").value() >= 1
+    assert reg.gauge("lb_imbalance_ratio", "").value() > 0
+    for rank in range(P):
+        assert reg.gauge("lb_rank_cost", "",
+                         labelnames=("rank",)).value(rank=rank) > 0
+    names = {e.name for e in tracer.events()}
+    assert "rebalance" in names
+    # Every redistribute appended one boundary tuple (prime + per step),
+    # identically on every rank (the decision is collective).
+    for s in measured:
+        assert len(s.boundary_history) == STEPS + 1
+        assert s.boundary_history == measured[0].boundary_history
+
+
+def test_slow_rank_gets_smaller_domain(cfg):
+    """A transport-level slowdown fault on rank 2 shows up in measured
+    seconds (comm stalls inside the force phases) and the feedback loop
+    compensates by shrinking that rank's domain."""
+    world = FaultyWorld(P, "slowdown(rank=2, sleep=40ms)", seed=1,
+                        timeout=300.0)
+    sims = run_parallel_simulation(P, clustered(), cfg, n_steps=6,
+                                   world=world, load_balance="measured",
+                                   lb_source="seconds", lb_alpha=0.7)
+    counts = [s.particles.n for s in sims]
+    assert counts[2] == min(counts)
+    assert counts[2] < 0.9 * (N / P)
+
+
+@pytest.mark.harness_slow
+def test_measured_beats_count_8_ranks(cfg):
+    """Same acceptance comparison at twice the rank count."""
+    measured = run_parallel_simulation(8, clustered(), cfg, n_steps=STEPS,
+                                       load_balance="measured",
+                                       lb_source="counts")
+    count = run_parallel_simulation(8, clustered(), cfg, n_steps=STEPS,
+                                    load_balance="count")
+    assert final_cost_ratio(measured) < final_cost_ratio(count)

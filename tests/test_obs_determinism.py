@@ -78,6 +78,29 @@ def test_fault_instants_present_in_faulty_trace(cfg):
                for k in ("delay", "reorder", "duplicate")) > 0
 
 
+def _measured_run(cfg):
+    """A measured-mode run under the virtual clock: the cost feedback
+    consumes tracer-clock phase durations, which are deterministic
+    logical ticks, so the whole feedback loop must replay exactly."""
+    tracer = Tracer(clock=VirtualClock())
+    particles = plummer_model(N, seed=5)
+    sims = run_parallel_simulation(N_RANKS, particles, cfg, n_steps=3,
+                                   load_balance="measured",
+                                   lb_source="counts", trace=tracer)
+    return tracer, [s.boundary_history for s in sims]
+
+
+def test_measured_loadbalance_trace_and_boundaries_deterministic(cfg):
+    """Closing the feedback loop must not open a nondeterminism hole:
+    byte-identical traces and identical domain-boundary sequences."""
+    trace_a, bounds_a = _measured_run(cfg)
+    trace_b, bounds_b = _measured_run(cfg)
+    assert chrome_trace_json(trace_a) == chrome_trace_json(trace_b)
+    assert bounds_a == bounds_b
+    # and the collective decision left all ranks with the same sequence
+    assert all(b == bounds_a[0] for b in bounds_a)
+
+
 def test_serial_trace_byte_identical():
     def run():
         tracer = Tracer(clock=VirtualClock())

@@ -7,6 +7,7 @@ import pytest
 from repro.obs import Tracer, VirtualClock, chrome_trace_json
 from repro.obs.report import (
     histories_from_trace,
+    loadbalance_summary,
     main,
     statistics_from_trace,
 )
@@ -84,6 +85,49 @@ def test_cli_text_and_json(tmp_path, capsys):
     assert rep["n_ranks"] == 2
     assert rep["phases"]["gravity_local"] == pytest.approx(0.15)
     assert rep["total"] == pytest.approx(sum(rep["phases"].values()))
+
+
+def _measured_trace():
+    """Synthetic trace with measured-mode load-balance annotations."""
+    tr = _synthetic_trace()
+    t = 10.0
+    for rank in range(2):
+        tr.record("rebalance", rank, t, t + 0.001, cat="phase", step=0,
+                  mode="measured")
+        tr.record("domain_update", rank, t, t + 0.002, cat="phase", step=0,
+                  rebalanced=True)
+        tr.record("domain_update", rank, t + 1, t + 1.002, cat="phase",
+                  step=1, rebalanced=False, lb_imbalance=1.05)
+    return tr
+
+
+def test_loadbalance_summary_from_trace(capsys, tmp_path):
+    doc = json.loads(chrome_trace_json(_measured_trace()))
+    lb = loadbalance_summary(doc)
+    # Only rank 0's copies count; the ratio is collective.
+    assert lb == {"rebalances": 1,
+                  "checks": [{"step": 0, "imbalance": None,
+                              "rebalanced": True},
+                             {"step": 1, "imbalance": 1.05,
+                              "rebalanced": False}]}
+    path = tmp_path / "trace.json"
+    path.write_text(chrome_trace_json(_measured_trace()))
+    assert main([str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "Load balance (measured-cost feedback, 1 re-cuts):" in out
+    assert "kept boundaries" in out
+    assert main([str(path), "--json"]) == 0
+    rep = json.loads(capsys.readouterr().out)
+    assert rep["lb"]["rebalances"] == 1
+
+
+def test_loadbalance_section_absent_without_measured_mode(capsys, tmp_path):
+    path = tmp_path / "trace.json"
+    path.write_text(chrome_trace_json(_synthetic_trace()))
+    assert loadbalance_summary(
+        json.loads(chrome_trace_json(_synthetic_trace()))) is None
+    assert main([str(path), "--json"]) == 0
+    assert "lb" not in json.loads(capsys.readouterr().out)
 
 
 def test_unknown_span_names_ignored():

@@ -1,0 +1,171 @@
+"""Unit tests for the measured-cost CostModel (repro.parallel.feedback).
+
+The model's data path is the world's metrics registry: whatever booked
+``force_phase_seconds_total`` / ``force_flops_total`` is the source of
+truth, so these tests poke the counters directly and check the EWMA,
+the source selection, the collective imbalance/trigger logic and the
+driver-facing validation -- no force computation required.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import SimulationConfig
+from repro.core.parallel_simulation import run_parallel_simulation
+from repro.ics import plummer_model
+from repro.obs import Tracer, VirtualClock
+from repro.parallel import COST_SOURCES, CostModel, LB_MODES, imbalance_ratio
+from repro.parallel.gravity_parallel import FORCE_PHASES
+from repro.simmpi import SimComm, SimWorld, spmd_run
+
+
+def _solo_model(**kw):
+    world = SimWorld(1)
+    comm = SimComm(world, 0)
+    return CostModel(comm, **kw)
+
+
+def _book_seconds(model, per_phase):
+    for p in FORCE_PHASES:
+        model._phase_seconds.inc(per_phase, rank=model.comm.rank, phase=p)
+
+
+# -- construction and validation ----------------------------------------
+
+def test_mode_and_source_tuples():
+    assert "measured" in LB_MODES
+    assert set(COST_SOURCES) == {"auto", "seconds", "counts"}
+
+
+@pytest.mark.parametrize("kw", [dict(source="wallclock"),
+                                dict(alpha=0.0), dict(alpha=1.5),
+                                dict(trigger_ratio=0.9)])
+def test_invalid_parameters_raise(kw):
+    with pytest.raises(ValueError):
+        _solo_model(**kw)
+
+
+def test_invalid_load_balance_mode_raises():
+    from repro.core.parallel_simulation import ParallelSimulation
+    with pytest.raises(ValueError, match="load_balance"):
+        ParallelSimulation(SimComm(SimWorld(1), 0), plummer_model(16, seed=0),
+                           SimulationConfig(), load_balance="lucky")
+
+
+# -- imbalance_ratio helper ---------------------------------------------
+
+def test_imbalance_ratio():
+    assert imbalance_ratio([1.0, 1.0, 1.0, 1.0]) == 1.0
+    assert imbalance_ratio([2.0, 1.0, 1.0]) == pytest.approx(1.5)
+    assert imbalance_ratio([]) == 1.0
+    assert imbalance_ratio([0.0, 0.0]) == 1.0   # nothing to balance
+
+
+# -- EWMA observation ----------------------------------------------------
+
+def test_cold_model_has_no_weights():
+    m = _solo_model(source="counts")
+    assert not m.warm
+    assert m.weights(100) is None
+
+
+def test_observe_counts_ewma():
+    m = _solo_model(source="counts", alpha=0.5)
+    m._flops.inc(1000.0, rank=0)
+    assert m.observe(10) == pytest.approx(1000.0)     # first sample seeds
+    assert m.smoothed_per_particle == pytest.approx(100.0)
+    m._flops.inc(2000.0, rank=0)                      # delta = 2000
+    assert m.observe(10) == pytest.approx(0.5 * 2000 + 0.5 * 1000)
+    assert m.smoothed_per_particle == pytest.approx(0.5 * 200 + 0.5 * 100)
+    w = m.weights(4)
+    assert w.shape == (4,)
+    assert np.all(w == m.smoothed_per_particle)
+
+
+def test_observe_seconds_sums_configured_phases():
+    m = _solo_model(source="seconds", alpha=1.0)
+    _book_seconds(m, 0.25)
+    assert m.observe(5) == pytest.approx(0.25 * len(FORCE_PHASES))
+
+
+def test_observe_reads_deltas_not_totals():
+    m = _solo_model(source="counts", alpha=1.0)
+    m._flops.inc(500.0, rank=0)
+    m.observe(5)
+    m.observe(5)            # no new flops booked: sample is 0, not 500
+    assert m.smoothed == 0.0
+    assert m.weights(5) is None     # zero cost => fall back to flop est.
+
+
+def test_per_particle_smoothing_survives_domain_shrink():
+    """The weight is the EWMA of the intrinsic per-particle cost: a rank
+    whose domain just shrank must not look more expensive per particle."""
+    m = _solo_model(source="counts", alpha=0.5)
+    m._flops.inc(1000.0, rank=0)
+    m.observe(100)          # 10 / particle
+    m._flops.inc(100.0, rank=0)
+    m.observe(10)           # still 10 / particle, despite 10x fewer
+    assert m.smoothed_per_particle == pytest.approx(10.0)
+
+
+# -- source selection ----------------------------------------------------
+
+def test_auto_source_follows_tracer():
+    world = SimWorld(1)
+    comm = SimComm(world, 0)
+    m = CostModel(comm, source="auto")
+    assert not m._use_seconds()          # no tracer attached
+    world.attach_tracer(Tracer(clock=VirtualClock()))
+    assert m._use_seconds()
+    assert CostModel(comm, source="counts")._use_seconds() is False
+    assert CostModel(SimComm(SimWorld(1), 0),
+                     source="seconds")._use_seconds() is True
+
+
+# -- collective imbalance / trigger --------------------------------------
+
+def test_imbalance_is_collective_and_cold_is_inf():
+    def prog(comm):
+        m = CostModel(comm, source="counts", alpha=1.0, trigger_ratio=1.1)
+        cold = m.imbalance()                    # nobody observed yet
+        m._flops.inc(3000.0 if comm.rank == 0 else 1000.0, rank=comm.rank)
+        m.observe(10)
+        warm = m.imbalance()
+        return cold, warm, m.should_rebalance(warm)
+
+    results = spmd_run(2, prog)
+    for cold, warm, fire in results:
+        assert math.isinf(cold)
+        assert warm == pytest.approx(3000.0 / 2000.0)   # max/mean
+        assert fire                                     # 1.5 > 1.1
+    # every rank computed the identical ratio
+    assert len({r[1] for r in results}) == 1
+
+
+def test_rebalance_counter_books_once_not_per_rank():
+    def prog(comm):
+        m = CostModel(comm, source="counts")
+        m.record_rebalance()
+        return comm.world.metrics.counter("lb_rebalance_total", "").value()
+
+    assert max(spmd_run(4, prog)) == 1.0
+
+
+# -- driver integration smoke -------------------------------------------
+
+def test_measured_driver_smoke():
+    sims = run_parallel_simulation(2, plummer_model(120, seed=2),
+                                   SimulationConfig(dt=0.01), n_steps=2,
+                                   load_balance="measured",
+                                   lb_source="counts")
+    reg = sims[0].comm.world.metrics
+    assert reg.counter("lb_rebalance_total", "").value() >= 1
+    for rank in range(2):
+        assert reg.counter("force_flops_total", "",
+                           labelnames=("rank",)).value(rank=rank) > 0
+    for s in sims:
+        # prime + one redistribute per step
+        assert len(s.boundary_history) == 3
+        assert s.boundary_history == sims[0].boundary_history

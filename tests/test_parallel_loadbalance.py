@@ -70,6 +70,37 @@ def test_empty_samples_uniform_split():
     assert np.all(np.diff(b.astype(np.float64)) > 0)
 
 
+def test_empty_samples_uniform_split_stays_uint64_at_large_p():
+    """The degenerate uniform split must do its arithmetic in uint64.
+
+    A float64 detour (numpy's default promotion for int * uint64 scalar
+    mixes) only has 53 mantissa bits, so at large n_domains the upper
+    boundaries would round -- and equality with the exact integer grid
+    would silently break.
+    """
+    p = 1 << 20
+    b = cut_weighted_with_cap(np.empty(0, dtype=np.uint64), np.empty(0), p)
+    assert b.dtype == np.uint64
+    assert len(b) == p + 1
+    span = int(np.uint64(0xFFFFFFFFFFFFFFFF)) // p
+    assert int(b[1]) == span
+    assert int(b[-2]) == (p - 1) * span
+    # Monotone without wrap-around: compare as Python ints (float casts
+    # would mask exactly the rounding this test pins down).
+    db = np.diff(b.astype(object))
+    assert all(int(d) >= 0 for d in db)
+
+
+def test_extreme_skew_keeps_every_domain_nonempty():
+    """One sample with ~all the cost must not collapse any domain to
+    zero samples (a fault-slowed rank produces exactly this shape)."""
+    keys = _keys(400)
+    cost = np.ones(400)
+    cost[137] = 1e9
+    b = cut_weighted_with_cap(keys, cost, 8, cap_ratio=1.3)
+    assert domain_counts(keys, b).min() >= 1
+
+
 def test_zero_cost_falls_back_to_counts():
     keys = _keys(1000)
     b = cut_weighted_with_cap(keys, np.zeros(1000), 4)
