@@ -1,4 +1,5 @@
-.PHONY: install test test-faults test-loadbalance bench bench-quick trace clean
+.PHONY: install test test-faults test-loadbalance bench bench-quick trace \
+	flame dashboard clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -29,12 +30,25 @@ bench-quick:
 	       benchmarks/bench_table2_breakdown.py benchmarks/bench_time_to_solution.py \
 	       benchmarks/bench_state_of_the_art.py --benchmark-only
 
-# Traced 4-rank smoke run: writes trace.json + metrics.txt, then prints
-# the Table II report reconstructed from the trace (docs/OBSERVABILITY.md).
+# Traced 4-rank smoke run: writes trace.json + metrics.txt (and streams
+# trace.jsonl incrementally during the run), then prints the Table II
+# report reconstructed from the trace (docs/OBSERVABILITY.md).
 trace:
 	PYTHONPATH=src:$$PYTHONPATH python -m repro.obs.smoke --ranks 4 --n 2000 \
-	       --steps 2 --trace-out trace.json --metrics-out metrics.txt
+	       --steps 2 --trace-out trace.json --metrics-out metrics.txt \
+	       --jsonl-out trace.jsonl
 	PYTHONPATH=src:$$PYTHONPATH python -m repro.obs.report trace.json --validate
+
+# Collapsed-stack flamegraph from the `make trace` output, fold-back
+# checked; feed trace.folded to flamegraph.pl or speedscope.
+flame: trace
+	PYTHONPATH=src:$$PYTHONPATH python -m repro.obs.export trace.json \
+	       --out trace.folded --check
+
+# Live terminal dashboard over a small demo run (ANSI redraw per step).
+dashboard:
+	PYTHONPATH=src:$$PYTHONPATH python -m repro.obs.dashboard --ranks 2 \
+	       --n 2000 --steps 6
 
 clean:
 	rm -rf benchmarks/results .pytest_cache src/repro.egg-info

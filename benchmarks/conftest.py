@@ -38,10 +38,18 @@ def results_dir():
     return RESULTS_DIR
 
 
-def write_result(name: str, lines) -> str:
-    """Write a result file; returns the text (also echoed to stdout)."""
+def write_result(name: str, lines, append: bool = False) -> str:
+    """Write a result file; returns the text (also echoed to stdout).
+
+    ``append=True`` extends an existing file -- for benchmarks whose
+    sections come from separate tests sharing one result file.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     text = "\n".join(lines) + "\n"
-    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    path = RESULTS_DIR / f"{name}.txt"
+    if append and path.exists():
+        path.write_text(path.read_text() + text)
+    else:
+        path.write_text(text)
     print(f"\n=== {name} ===\n{text}")
     return text

@@ -331,10 +331,18 @@ class ParallelSimulation:
         self.history.append(bd)
         return bd
 
-    def evolve(self, n_steps: int) -> None:
-        """Advance ``n_steps`` steps."""
+    def evolve(self, n_steps: int,
+               callback=None) -> None:
+        """Advance ``n_steps`` steps.
+
+        ``callback(self)`` runs after every step on *every rank's*
+        thread -- live consumers (e.g. the
+        :mod:`repro.obs.dashboard`) filter on ``self.comm.rank``.
+        """
         for _ in range(n_steps):
             self.step()
+            if callback is not None:
+                callback(self)
 
     def diagnostics(self) -> EnergyDiagnostics:
         """Globally reduced energy/momentum diagnostics."""
@@ -362,7 +370,9 @@ def run_parallel_simulation(n_ranks: int, particles: ParticleSet,
                             lb_alpha: float = 0.5,
                             lb_trigger_ratio: float = 1.1,
                             invariant_checks: bool = False,
-                            trace: Tracer | None = None
+                            trace: Tracer | None = None,
+                            trace_sink=None,
+                            on_step=None
                             ) -> list[ParallelSimulation]:
     """Convenience front-end: shard ``particles``, run ``n_steps`` on
     ``n_ranks`` SimMPI ranks, return the per-rank simulation objects.
@@ -372,10 +382,30 @@ def run_parallel_simulation(n_ranks: int, particles: ParticleSet,
     program over an instrumented or misbehaving transport.  ``trace``
     attaches a :class:`repro.obs.Tracer` to that world so the whole run
     lands in one trace (export with
-    :func:`repro.obs.write_chrome_trace`).  ``load_balance`` /
-    ``lb_*`` select and tune the domain-cut weighting (see
-    :class:`ParallelSimulation`)."""
+    :func:`repro.obs.write_chrome_trace`).
+
+    ``trace_sink`` accepts anything
+    :func:`repro.obs.sink.coerce_sink` does -- a path streams the run
+    to JSONL incrementally, an int caps tracer memory with a ring, a
+    :class:`~repro.obs.sink.Sink` is used as-is.  Without ``trace=``
+    the front-end builds the tracer around that sink and *owns* it:
+    the sink is flushed and closed (streaming files finalised) before
+    this returns.  With an explicit ``trace=`` the sink is attached to
+    it and merely flushed -- the caller closes its own tracer.
+
+    ``on_step(sim)`` runs after every step on every rank's thread (the
+    dashboard hook).  ``load_balance`` / ``lb_*`` select and tune the
+    domain-cut weighting (see :class:`ParallelSimulation`)."""
     n = particles.n
+    owns_tracer = False
+    if trace_sink is not None:
+        from ..obs.sink import coerce_sink
+        sink = coerce_sink(trace_sink)
+        if trace is None:
+            trace = Tracer(sink=sink)
+            owns_tracer = True
+        else:
+            trace.add_sink(sink)
 
     def prog(comm: SimComm) -> ParallelSimulation:
         lo = n * comm.rank // comm.size
@@ -388,10 +418,16 @@ def run_parallel_simulation(n_ranks: int, particles: ParticleSet,
                                  lb_trigger_ratio=lb_trigger_ratio,
                                  invariant_checks=invariant_checks,
                                  trace=trace)
-        sim.evolve(n_steps)
+        sim.evolve(n_steps, callback=on_step)
         return sim
 
-    return spmd_run(n_ranks, prog, timeout=timeout, world=world)
+    try:
+        return spmd_run(n_ranks, prog, timeout=timeout, world=world)
+    finally:
+        if owns_tracer:
+            trace.close()
+        elif trace is not None and trace_sink is not None:
+            trace.flush()
 
 
 def gather_particles(sims: list[ParallelSimulation]) -> ParticleSet:

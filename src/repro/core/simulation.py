@@ -41,6 +41,12 @@ class Simulation:
     trace:
         Optional :class:`repro.obs.Tracer`; phases are emitted as
         rank-0 spans (a one-rank trace, same tooling as parallel runs).
+    trace_sink:
+        Optional sink spec (see :func:`repro.obs.sink.coerce_sink`):
+        a path streams the run to JSONL incrementally, an int bounds
+        tracer memory with a ring.  Without ``trace=`` a tracer is
+        built around it; call ``sim.tracer.close()`` (or use the
+        tracer as a context manager) to finalise streaming files.
 
     Examples
     --------
@@ -53,9 +59,16 @@ class Simulation:
     """
 
     def __init__(self, particles: ParticleSet, config: SimulationConfig | None = None,
-                 trace: Tracer | None = None):
+                 trace: Tracer | None = None, trace_sink=None):
         self.particles = particles
         self.config = config or SimulationConfig()
+        if trace_sink is not None:
+            from ..obs.sink import coerce_sink
+            sink = coerce_sink(trace_sink)
+            if trace is None:
+                trace = Tracer(sink=sink)
+            else:
+                trace.add_sink(sink)
         self.tracer = trace if trace is not None else NULL_TRACER
         self.time = 0.0
         self.step_count = 0

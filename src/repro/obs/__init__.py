@@ -7,31 +7,65 @@ The subsystem every other layer emits into (docs/OBSERVABILITY.md):
 - :mod:`repro.obs.tracer`  -- nestable per-rank span tracer with
   attachable counters; :data:`NULL_TRACER` is the zero-cost disabled
   path.
+- :mod:`repro.obs.sink`    -- streaming event sinks: unbounded buffer,
+  bounded ring with drop accounting, incremental JSONL file writer,
+  tee/null -- O(1) tracer memory on long runs.
 - :mod:`repro.obs.metrics` -- labelled counters/gauges/histograms with
   Prometheus text export; one registry per
   :class:`~repro.simmpi.SimWorld` absorbs the traffic, recv-wait and
   fault accounting.
 - :mod:`repro.obs.export`  -- Chrome trace-event JSON (one lane per
-  rank, send->recv flows; loads in Perfetto) and JSONL.
+  rank, send->recv flows; loads in Perfetto), JSONL, and
+  collapsed-stack flamegraph folding
+  (``python -m repro.obs.export trace.json``).
 - :mod:`repro.obs.report`  -- ``python -m repro.obs.report trace.json``:
   Table II phase breakdown, overlap/hiding summary, per-rank imbalance,
-  reconstructed from the trace alone.
+  reconstructed from the trace alone; two traces diff phase-by-phase
+  with a regression-threshold exit code.
+- :mod:`repro.obs.dashboard` -- ``python -m repro.obs.dashboard``: live
+  terminal view over a running world's registry + ring sink.
 - :mod:`repro.obs.smoke`   -- ``python -m repro.obs.smoke``: a small
   traced parallel run for CI and ``make trace``.
 """
 
 from .clock import VirtualClock, WallClock
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
-from .tracer import NULL_TRACER, NullTracer, TraceEvent, Tracer
-from .export import (
-    chrome_trace_events,
-    chrome_trace_json,
-    jsonl_lines,
-    validate_chrome_trace,
-    validate_chrome_trace_file,
-    write_chrome_trace,
-    write_jsonl,
+from .sink import (
+    NULL_SINK,
+    BufferSink,
+    NullSink,
+    RingSink,
+    Sink,
+    StreamingJsonlSink,
+    TeeSink,
+    TraceDropWarning,
+    coerce_sink,
+    encode_jsonl_line,
 )
+from .tracer import NULL_TRACER, NullTracer, TraceEvent, Tracer
+
+#: Names resolved lazily from .export (PEP 562): importing them eagerly
+#: would make ``python -m repro.obs.export`` warn about the module
+#: already being in sys.modules when runpy re-executes it as __main__.
+_EXPORT_NAMES = frozenset({
+    "chrome_trace_events",
+    "chrome_trace_json",
+    "collapsed_lines",
+    "export_collapsed",
+    "jsonl_lines",
+    "trace_events_from_doc",
+    "validate_chrome_trace",
+    "validate_chrome_trace_file",
+    "write_chrome_trace",
+    "write_jsonl",
+})
+
+
+def __getattr__(name: str):
+    if name in _EXPORT_NAMES:
+        from . import export
+        return getattr(export, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "WallClock",
@@ -40,13 +74,26 @@ __all__ = [
     "NullTracer",
     "NULL_TRACER",
     "TraceEvent",
+    "Sink",
+    "BufferSink",
+    "RingSink",
+    "StreamingJsonlSink",
+    "TeeSink",
+    "NullSink",
+    "NULL_SINK",
+    "TraceDropWarning",
+    "coerce_sink",
+    "encode_jsonl_line",
     "MetricsRegistry",
     "Counter",
     "Gauge",
     "Histogram",
     "chrome_trace_events",
     "chrome_trace_json",
+    "collapsed_lines",
+    "export_collapsed",
     "jsonl_lines",
+    "trace_events_from_doc",
     "write_chrome_trace",
     "write_jsonl",
     "validate_chrome_trace",

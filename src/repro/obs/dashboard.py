@@ -1,0 +1,284 @@
+"""Live terminal dashboard: ``python -m repro.obs.dashboard``.
+
+Tails a *running* world's observability state -- the
+:class:`~repro.obs.metrics.MetricsRegistry` every subsystem books into
+plus a bounded :class:`~repro.obs.sink.RingSink` of recent trace events
+-- and redraws a plain-ANSI view after every step:
+
+- last-step Table II phase timings (slowest rank, with bars),
+- per-rank traffic (bytes sent/received) and blocked-recv wait, with a
+  sparkline over the recv-wait histogram buckets,
+- the measured-mode load-balance state (``lb_imbalance_ratio``,
+  re-cut count) when the run uses ``load_balance="measured"``,
+- ring-sink drop accounting (``trace_events_dropped_total``).
+
+No curses/rich dependency: frames are plain text, redrawn with a
+clear-home escape; ``--headless`` prints frames sequentially instead
+(the CI mode).  The module's ``main`` runs a small live demo
+simulation; in your own driver code attach one per step::
+
+    ring = RingSink(65536)
+    dash = Dashboard(world, ring=ring)
+    run_parallel_simulation(..., world=world, trace=Tracer(sink=ring),
+                            on_step=lambda sim: dash.draw()
+                                if sim.comm.rank == 0 else None)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import defaultdict
+from typing import TextIO
+
+from ..core.step import TABLE2_PHASES
+from .report import SPAN_TO_FIELD
+
+#: Sparkline glyphs, lowest to highest occupancy.
+_SPARK = "▁▂▃▄▅▆▇█"
+
+#: ANSI clear-screen + cursor-home.
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def sparkline(counts: list[int]) -> str:
+    """Render bucket counts as one block glyph per bucket.
+
+    Zero stays visually empty (``·``); nonzero counts scale linearly
+    into eight block heights against the largest bucket.
+    """
+    peak = max(counts) if counts else 0
+    if peak <= 0:
+        return "·" * len(counts)
+    out = []
+    for c in counts:
+        if c <= 0:
+            out.append("·")
+        else:
+            idx = min(int(c / peak * len(_SPARK)), len(_SPARK) - 1)
+            out.append(_SPARK[idx])
+    return "".join(out)
+
+
+def format_bytes(n: float) -> str:
+    """Human bytes, fixed 9-char field (e.g. ``' 12.3 MB'``)."""
+    for unit in ("B", "kB", "MB", "GB"):
+        if abs(n) < 1000 or unit == "GB":
+            return f"{n:7.1f} {unit}" if unit != "B" else f"{n:7.0f} B "
+        n /= 1000.0
+    return f"{n:7.1f} GB"  # pragma: no cover - loop always returns
+
+
+class Dashboard:
+    """Renders one world's live observability state as text frames.
+
+    Parameters
+    ----------
+    world:
+        The :class:`~repro.simmpi.SimWorld` under observation (its
+        ``metrics`` registry is the data source).
+    ring:
+        Optional :class:`~repro.obs.sink.RingSink` receiving the run's
+        trace events; supplies the last-step phase table.  Without it
+        the phase section falls back to cumulative
+        ``force_phase_seconds_total`` deltas between frames.
+    out:
+        Output stream (default ``sys.stdout``).
+    ansi:
+        Redraw in place with clear-home escapes; ``False`` appends
+        frames sequentially (headless / CI mode).
+    """
+
+    def __init__(self, world, ring=None, out: TextIO | None = None,
+                 ansi: bool = True, width: int = 72):
+        self.world = world
+        self.ring = ring
+        self.out = out if out is not None else sys.stdout
+        self.ansi = ansi
+        self.width = width
+        self.frames = 0
+        self._prev_force: dict[tuple[str, str], float] = {}
+
+    # -- data extraction ---------------------------------------------------
+
+    def _phase_rows(self) -> tuple[int | None, list[tuple[str, float]]]:
+        """(last step seen, per-phase slowest-rank seconds for it)."""
+        if self.ring is not None:
+            events = [e for e in self.ring.events()
+                      if e.ph == "X" and e.cat == "phase"
+                      and e.name in SPAN_TO_FIELD and "step" in e.args]
+            if not events:
+                return None, []
+            step = max(int(e.args["step"]) for e in events)
+            per_rank: dict[str, dict[int, float]] = defaultdict(
+                lambda: defaultdict(float))
+            for e in events:
+                if int(e.args["step"]) == step:
+                    per_rank[SPAN_TO_FIELD[e.name]][e.rank] += e.dur
+            rows = [(phase, max(per_rank[phase].values()))
+                    for phase in TABLE2_PHASES if phase in per_rank]
+            return step, rows
+        # Registry fallback: delta of the cumulative per-phase counter
+        # since the previous frame (an approximation of "last step").
+        counter = self.world.metrics.get("force_phase_seconds_total")
+        if counter is None:
+            return None, []
+        series = counter.series()  # {(rank, phase): seconds}
+        per_phase: dict[str, float] = defaultdict(float)
+        for (rank, phase), secs in series.items():
+            delta = secs - self._prev_force.get((rank, phase), 0.0)
+            per_phase[phase] = max(per_phase[phase], delta)
+        self._prev_force = dict(series)
+        return None, sorted(per_phase.items())
+
+    def _traffic_rows(self) -> list[tuple[int, float, float]]:
+        """Per-rank (rank, bytes sent, bytes received)."""
+        counter = self.world.metrics.get("traffic_p2p_bytes_total")
+        if counter is None:
+            return []
+        sent: dict[int, float] = defaultdict(float)
+        recv: dict[int, float] = defaultdict(float)
+        for (src, dst), nbytes in counter.series().items():
+            sent[int(src)] += nbytes
+            recv[int(dst)] += nbytes
+        ranks = sorted(set(sent) | set(recv))
+        return [(r, sent[r], recv[r]) for r in ranks]
+
+    def _recv_wait_rows(self) -> dict[int, tuple[list[int], float]]:
+        """Per-rank (histogram bucket counts, total blocked seconds)."""
+        hist = self.world.metrics.get("comm_recv_wait_seconds")
+        if hist is None:
+            return {}
+        return {int(key[0]): (counts, total)
+                for key, (counts, total) in hist.series().items()}
+
+    # -- rendering ---------------------------------------------------------
+
+    def render(self) -> str:
+        """Build one frame (no escapes -- pure text)."""
+        w = self.world
+        lines: list[str] = []
+        step, phase_rows = self._phase_rows()
+        dropped = 0
+        counter = w.metrics.get("trace_events_dropped_total")
+        if counter is not None:
+            dropped = int(counter.total())
+        head = f" repro.obs dashboard · {w.size} ranks"
+        if step is not None:
+            head += f" · step {step}"
+        if dropped:
+            head += f" · {dropped} trace events dropped"
+        lines.append(head)
+        lines.append("─" * self.width)
+
+        lines.append(" Phase timings, last step (slowest rank):")
+        if phase_rows:
+            peak = max(secs for _, secs in phase_rows) or 1.0
+            for phase, secs in phase_rows:
+                bar = "█" * max(int(secs / peak * 30), 1 if secs > 0 else 0)
+                lines.append(f"   {phase:18s} {secs:10.6f} s  {bar}")
+        else:
+            lines.append("   (no phase spans yet)")
+
+        traffic = self._traffic_rows()
+        waits = self._recv_wait_rows()
+        lines.append("")
+        lines.append(" Per-rank traffic and blocked-recv wait:")
+        if traffic or waits:
+            hist = w.metrics.get("comm_recv_wait_seconds")
+            buckets = getattr(hist, "buckets", ())
+            lines.append(f"   {'rank':>4s} {'sent':>10s} {'recv':>10s} "
+                         f"{'wait [s]':>10s}  wait histogram "
+                         f"({len(buckets)}+1 buckets)")
+            ranks = sorted({r for r, _, _ in traffic} | set(waits))
+            for r in ranks:
+                s = next((s for rr, s, _ in traffic if rr == r), 0.0)
+                v = next((v for rr, _, v in traffic if rr == r), 0.0)
+                counts, wait = waits.get(r, ([], 0.0))
+                lines.append(f"   {r:>4d} {format_bytes(s):>10s} "
+                             f"{format_bytes(v):>10s} {wait:>10.4f}  "
+                             f"{sparkline(counts)}")
+        else:
+            lines.append("   (no traffic yet)")
+
+        msgs = w.metrics.get("traffic_messages_total")
+        total_bytes = w.metrics.get("traffic_bytes_total")
+        if msgs is not None and total_bytes is not None:
+            lines.append(f"   total {format_bytes(total_bytes.total())} "
+                         f"in {int(msgs.total())} messages")
+
+        ratio = w.metrics.get("lb_imbalance_ratio")
+        recuts = w.metrics.get("lb_rebalance_total")
+        if ratio is not None and ratio.series():
+            shown = f"{ratio.value():.3f}"
+            n = int(recuts.total()) if recuts is not None else 0
+            lines.append("")
+            lines.append(f" Load balance: imbalance {shown} "
+                         f"(slowest/mean smoothed cost), {n} re-cuts")
+
+        lines.append("─" * self.width)
+        return "\n".join(lines)
+
+    def draw(self) -> None:
+        """Render and write one frame (clear-home in ANSI mode)."""
+        frame = self.render()
+        if self.ansi:
+            self.out.write(_CLEAR + frame + "\n")
+        else:
+            self.out.write(frame + "\n")
+        self.out.flush()
+        self.frames += 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.dashboard",
+        description="Run a small parallel simulation and redraw a live "
+                    "terminal dashboard of its metrics registry after "
+                    "every step.")
+    parser.add_argument("--ranks", type=int, default=2)
+    parser.add_argument("--n", type=int, default=1000,
+                        help="total particle count")
+    parser.add_argument("--steps", type=int, default=4)
+    parser.add_argument("--theta", type=float, default=0.75)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--ring", type=int, default=65536,
+                        help="ring-sink capacity (bounded trace memory)")
+    parser.add_argument("--load-balance", default="flops",
+                        help="domain-cut mode (measured shows the lb row)")
+    parser.add_argument("--headless", action="store_true",
+                        help="print frames sequentially without ANSI "
+                             "redraw (CI mode)")
+    args = parser.parse_args(argv)
+
+    from ..config import SimulationConfig
+    from ..core.parallel_simulation import run_parallel_simulation
+    from ..ics import plummer_model
+    from ..simmpi import SimWorld
+    from .sink import RingSink
+    from .tracer import Tracer
+
+    world = SimWorld(args.ranks)
+    ring = RingSink(args.ring)
+    tracer = Tracer(sink=ring)
+    dash = Dashboard(world, ring=ring, ansi=not args.headless)
+
+    def on_step(sim) -> None:
+        if sim.comm.rank == 0:
+            dash.draw()
+
+    particles = plummer_model(args.n, seed=args.seed)
+    config = SimulationConfig(theta=args.theta)
+    run_parallel_simulation(args.ranks, particles, config,
+                            n_steps=args.steps, world=world, trace=tracer,
+                            load_balance=args.load_balance,
+                            on_step=on_step)
+    if dash.frames == 0:
+        dash.draw()
+    print(f"dashboard: {dash.frames} frames, ring retained "
+          f"{len(ring)} events, dropped {ring.dropped}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,4 +1,4 @@
-"""Trace exporters: Chrome trace-event JSON (Perfetto) and JSONL.
+"""Trace exporters: Chrome trace JSON, JSONL, collapsed-stack flamegraphs.
 
 The Chrome export lays the run out one lane per rank (``pid`` 0,
 ``tid`` = rank, with thread-name metadata), emits spans as complete
@@ -8,6 +8,19 @@ links as ``"s"``/``"f"`` flow pairs.  Events are ordered by
 separators, so a deterministic event stream (virtual clock) yields a
 byte-identical file -- the property the determinism tests assert.
 
+The JSONL exporter is a thin consumer of the *same* per-event
+serialisation the streaming sink uses
+(:func:`repro.obs.sink.encode_jsonl_line`): a buffered post-hoc export
+and a :class:`~repro.obs.sink.StreamingJsonlSink` written live during
+the run produce byte-identical files.
+
+:func:`export_collapsed` folds nested spans into the collapsed-stack
+format ``flamegraph.pl`` and speedscope consume (one ``a;b;c <count>``
+line per unique stack, counts in integer microseconds of *self* time),
+with slowest-rank and per-rank modes; ``python -m repro.obs.export``
+is the file-level CLI, and ``--check`` asserts the folded totals sum
+back to the span totals (the CI smoke).
+
 ``validate_chrome_trace`` checks the subset of the trace-event schema
 Perfetto requires, and is run by the CI trace-smoke job on a real
 2-rank trace.
@@ -15,9 +28,13 @@ Perfetto requires, and is run by the CI trace-smoke job on a real
 
 from __future__ import annotations
 
+import argparse
 import json
+import sys
+from collections import defaultdict
 from typing import Any, Iterable
 
+from .sink import encode_jsonl_line
 from .tracer import TraceEvent, Tracer
 
 #: Event phases the exporter produces / the validator accepts.
@@ -85,25 +102,21 @@ def write_chrome_trace(tracer: Tracer, path,
 
 
 def jsonl_lines(tracer: Tracer) -> list[str]:
-    """One canonical JSON object per event (streaming-friendly view)."""
-    lines = []
-    for e in tracer.events():
-        rec: dict[str, Any] = {"rank": e.rank, "seq": e.seq, "ph": e.ph,
-                               "name": e.name, "cat": e.cat, "ts": e.ts}
-        if e.ph == "X":
-            rec["dur"] = e.dur
-        if e.args:
-            rec["args"] = e.args
-        if e.flow_id is not None:
-            rec["flow_id"] = e.flow_id
-        lines.append(json.dumps(rec, sort_keys=True, separators=(",", ":")))
-    return lines
+    """One canonical JSON object per event (streaming-friendly view).
+
+    Each line comes from :func:`repro.obs.sink.encode_jsonl_line` --
+    the identical serialisation the streaming sink writes live, so the
+    buffered and streaming paths cannot diverge.
+    """
+    return [encode_jsonl_line(e) for e in tracer.events()]
 
 
 def write_jsonl(tracer: Tracer, path) -> None:
-    """Write the JSONL event stream to ``path``."""
+    """Write the JSONL event stream to ``path`` (byte-identical to what
+    a :class:`~repro.obs.sink.StreamingJsonlSink` streams during the
+    same run)."""
     with open(path, "w") as fh:
-        fh.write("\n".join(jsonl_lines(tracer)) + "\n")
+        fh.write("".join(line + "\n" for line in jsonl_lines(tracer)))
 
 
 def validate_chrome_trace(doc: Any) -> None:
@@ -152,3 +165,230 @@ def validate_chrome_trace_file(path) -> dict:
         doc = json.load(fh)
     validate_chrome_trace(doc)
     return doc
+
+
+# -- collapsed-stack (flamegraph) export ----------------------------------
+
+#: Containment slack when deciding span nesting, in seconds.  Chrome
+#: traces round-trip timestamps through microseconds, so sibling spans
+#: can overlap by sub-microsecond noise.
+_NEST_EPS = 5e-7
+
+
+def trace_events_from_doc(doc: dict) -> list[TraceEvent]:
+    """Rebuild :class:`TraceEvent` records from a Chrome trace document.
+
+    The inverse of :func:`chrome_trace_events` up to the lost absolute
+    epoch (timestamps were normalised to t=0) and the microsecond
+    rounding of the trace-event format.  ``seq`` is re-assigned per rank
+    in document order, which *is* emission order for files this package
+    wrote.
+    """
+    events: list[TraceEvent] = []
+    seq: dict[int, int] = defaultdict(int)
+    for e in doc.get("traceEvents", ()):
+        ph = e.get("ph")
+        if ph == "M":
+            continue
+        rank = int(e.get("tid", 0))
+        events.append(TraceEvent(
+            rank=rank, seq=seq[rank], ph=ph, name=e.get("name", ""),
+            cat=e.get("cat", ""), ts=e.get("ts", 0) / 1e6,
+            dur=e.get("dur", 0) / 1e6 if ph == "X" else 0.0,
+            args=e.get("args", {}) or {},
+            flow_id=str(e["id"]) if ph in ("s", "f") and "id" in e else None))
+        seq[rank] += 1
+    return events
+
+
+def _as_events(source) -> list[TraceEvent]:
+    """Accept a Tracer, a Chrome trace document, or an event iterable."""
+    if isinstance(source, dict):
+        return trace_events_from_doc(source)
+    if hasattr(source, "events"):
+        return list(source.events())
+    return sorted(source, key=lambda e: (e.rank, e.seq))
+
+
+def fold_rank_stacks(events: Iterable[TraceEvent], rank: int
+                     ) -> dict[str, float]:
+    """Fold one rank's spans into ``{"a;b;c": self_seconds}``.
+
+    Nesting is inferred from time containment: a span starting inside
+    the currently open span (and ending no later) is its child.  A
+    span's *self* time is its duration minus its children's durations,
+    so the folded values sum exactly to the rank's top-level span total
+    -- the invariant ``--check`` and the CI smoke assert.
+    """
+    spans = sorted((e for e in events if e.ph == "X" and e.rank == rank),
+                   key=lambda e: (e.ts, -e.dur, e.seq))
+    out: dict[str, float] = defaultdict(float)
+    # Open-span stack: [name, end, child_seconds, dur]
+    stack: list[list] = []
+
+    def close_top() -> None:
+        path = ";".join(fr[0] for fr in stack)
+        name, end, child, dur = stack.pop()
+        out[path] += max(dur - child, 0.0)
+        if stack:
+            stack[-1][2] += dur
+
+    for e in spans:
+        end = e.ts + e.dur
+        # Pop spans this one does not nest inside (started after their
+        # end, or extends beyond them -- partial overlap counts as
+        # sibling, which only degrades attribution, never the totals).
+        while stack and (e.ts >= stack[-1][1] - _NEST_EPS
+                         or end > stack[-1][1] + _NEST_EPS):
+            close_top()
+        stack.append([e.name, end, 0.0, e.dur])
+    while stack:
+        close_top()
+    return dict(out)
+
+
+def rank_span_totals(source) -> dict[int, float]:
+    """Per-rank total *top-level* span seconds (nested spans excluded).
+
+    This is what a rank's folded stacks must sum back to; ``"slowest"``
+    mode picks the argmax of it.
+    """
+    events = _as_events(source)
+    totals: dict[int, float] = {}
+    for rank in sorted({e.rank for e in events if e.ph == "X"}):
+        totals[rank] = sum(fold_rank_stacks(events, rank).values())
+    return totals
+
+
+def collapsed_stacks(source, mode: str = "slowest",
+                     rank: int | None = None) -> dict[str, float]:
+    """Folded stacks in seconds, before formatting.
+
+    ``mode="slowest"`` keeps only the rank with the largest top-level
+    span total (the rank that sets the step time -- the Table II
+    reduction's point of view); ``mode="per-rank"`` prefixes every
+    stack with its ``rank N`` frame; an explicit ``rank=`` overrides
+    both and folds just that lane.
+    """
+    events = _as_events(source)
+    ranks = sorted({e.rank for e in events if e.ph == "X"})
+    if not ranks:
+        return {}
+    if rank is not None:
+        if rank not in ranks:
+            raise ValueError(f"rank {rank} has no spans in this trace "
+                             f"(ranks: {ranks})")
+        return fold_rank_stacks(events, rank)
+    if mode == "slowest":
+        totals = {r: sum(fold_rank_stacks(events, r).values())
+                  for r in ranks}
+        slowest = max(totals, key=lambda r: (totals[r], -r))
+        return fold_rank_stacks(events, slowest)
+    if mode == "per-rank":
+        out: dict[str, float] = {}
+        for r in ranks:
+            for path, secs in fold_rank_stacks(events, r).items():
+                out[f"rank {r};{path}"] = secs
+        return out
+    raise ValueError(f"unknown mode {mode!r}; expected 'slowest' or "
+                     "'per-rank' (or pass rank=)")
+
+
+def collapsed_lines(source, mode: str = "slowest",
+                    rank: int | None = None) -> list[str]:
+    """Collapsed-stack lines (``stack count``; counts = self-µs).
+
+    The output feeds straight into ``flamegraph.pl`` or speedscope.
+    Lines are sorted, counts rounded once per stack, so a deterministic
+    trace yields deterministic bytes.
+    """
+    stacks = collapsed_stacks(source, mode=mode, rank=rank)
+    return [f"{path} {round(secs * 1e6)}"
+            for path, secs in sorted(stacks.items())]
+
+
+def export_collapsed(source, path=None, mode: str = "slowest",
+                     rank: int | None = None) -> list[str]:
+    """Fold ``source`` (Tracer / Chrome doc / events) to collapsed-stack
+    format; write to ``path`` when given.  Returns the lines."""
+    lines = collapsed_lines(source, mode=mode, rank=rank)
+    if path is not None:
+        with open(path, "w") as fh:
+            fh.write("".join(line + "\n" for line in lines))
+    return lines
+
+
+def check_collapsed(source, mode: str = "slowest",
+                    rank: int | None = None, tolerance: float = 1e-3
+                    ) -> dict[str, float]:
+    """Assert the folded output sums back to the span totals.
+
+    Compares the collapsed-stack total (after integer-µs rounding,
+    i.e. exactly what a flamegraph renders) against the top-level span
+    totals of the ranks included by ``mode``/``rank``.  Raises
+    :class:`ValueError` on mismatch; returns
+    ``{"folded_seconds", "span_seconds", "n_stacks"}``.
+    """
+    events = _as_events(source)
+    totals = rank_span_totals(events)
+    if not totals:
+        raise ValueError("trace contains no spans to fold")
+    if rank is not None:
+        expected = totals[rank]
+    elif mode == "slowest":
+        expected = max(totals.values())
+    else:
+        expected = sum(totals.values())
+    lines = collapsed_lines(events, mode=mode, rank=rank)
+    folded = sum(int(line.rsplit(" ", 1)[1]) for line in lines) / 1e6
+    # Rounding once per stack bounds the error at 0.5 µs per line.
+    budget = tolerance + 5e-7 * max(len(lines), 1)
+    if abs(folded - expected) > budget:
+        raise ValueError(
+            f"collapsed stacks sum to {folded:.6f} s but top-level spans "
+            f"total {expected:.6f} s (diff {folded - expected:+.6f} s, "
+            f"budget {budget:.6f} s)")
+    return {"folded_seconds": folded, "span_seconds": expected,
+            "n_stacks": float(len(lines))}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.export",
+        description="Fold a Chrome trace-event file into collapsed-stack "
+                    "format for flamegraph.pl / speedscope.")
+    parser.add_argument("trace", help="trace JSON written by the tracer")
+    parser.add_argument("--out", default="-",
+                        help="output file ('-' = stdout)")
+    parser.add_argument("--mode", choices=("slowest", "per-rank"),
+                        default="slowest",
+                        help="fold the slowest rank's lane (default) or "
+                             "all lanes under 'rank N' root frames")
+    parser.add_argument("--rank", type=int, default=None,
+                        help="fold exactly this rank (overrides --mode)")
+    parser.add_argument("--check", action="store_true",
+                        help="verify the folded totals sum back to the "
+                             "span totals before writing")
+    args = parser.parse_args(argv)
+
+    with open(args.trace) as fh:
+        doc = json.load(fh)
+    if args.check:
+        summary = check_collapsed(doc, mode=args.mode, rank=args.rank)
+        print(f"{args.trace}: {int(summary['n_stacks'])} stacks fold to "
+              f"{summary['folded_seconds']:.6f} s "
+              f"(span total {summary['span_seconds']:.6f} s)",
+              file=sys.stderr)
+    lines = collapsed_lines(doc, mode=args.mode, rank=args.rank)
+    if args.out == "-":
+        for line in lines:
+            print(line)
+    else:
+        with open(args.out, "w") as fh:
+            fh.write("".join(line + "\n" for line in lines))
+        print(f"wrote {len(lines)} stacks to {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

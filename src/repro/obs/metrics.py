@@ -150,6 +150,16 @@ class Histogram(Metric):
             entry = self._values.get(self._key(labels))
             return entry[1] if entry else 0.0
 
+    def series(self) -> dict[tuple[str, ...], tuple[list[int], float]]:
+        """Snapshot of ``{label-values: (per-bucket counts, sum)}``.
+
+        Counts are per bucket (not cumulative), with the final entry
+        the +Inf overflow -- the raw shape a live dashboard renders.
+        """
+        with self._lock:
+            return {k: (list(counts), total)
+                    for k, (counts, total) in self._values.items()}
+
     def render(self) -> list[str]:
         out = []
         with self._lock:

@@ -13,8 +13,16 @@ alone*:
    communication hidden behind local gravity work;
 3. a per-rank imbalance table (gravity seconds and particle counts).
 
-Options: ``--validate`` schema-checks the file first, ``--json`` emits
-the reconstructed statistics as JSON instead of text tables.
+``python -m repro.obs.report a.json b.json`` instead *diffs* two runs
+phase by phase (absolute and relative deltas on every Table II row,
+the total, blocked-recv wait and step-time imbalance); with
+``--threshold R`` the exit code is 1 whenever any phase of ``b``
+regressed more than the relative threshold -- so "fault-free vs
+degraded" or "theta=0.3 vs theta=0.8" comparisons become one command
+with a CI-able verdict.
+
+Options: ``--validate`` schema-checks the file(s) first, ``--json``
+emits the statistics (or the diff) as JSON instead of text tables.
 """
 
 from __future__ import annotations
@@ -257,16 +265,107 @@ def _json_report(doc: dict) -> dict[str, Any]:
     return out
 
 
+# -- run-to-run diffing ----------------------------------------------------
+
+#: Time-like rows the regression threshold applies to (phase rows plus
+#: the total -- a slower ``b`` on any of them can trip the exit code).
+_DIFF_TIME_ROWS = tuple(TABLE2_PHASES) + ("total",)
+
+
+def diff_reports(ra: dict[str, Any], rb: dict[str, Any]) -> dict[str, Any]:
+    """Phase-by-phase delta between two ``_json_report`` dicts.
+
+    Every row carries ``a``, ``b``, ``delta`` (= b - a) and ``rel``
+    (delta / a; ``None`` when ``a`` is 0 -- a phase appearing from
+    nowhere has no meaningful relative change).
+    """
+    def row(a: float, b: float) -> dict[str, float | None]:
+        return {"a": a, "b": b, "delta": b - a,
+                "rel": (b - a) / a if a > 0 else None}
+
+    rows = {phase: row(ra["phases"][phase], rb["phases"][phase])
+            for phase in TABLE2_PHASES}
+    rows["total"] = row(ra["total"], rb["total"])
+    return {
+        "n_ranks": {"a": ra["n_ranks"], "b": rb["n_ranks"]},
+        "rows": rows,
+        "recv_wait_max": row(ra["recv_wait_max"], rb["recv_wait_max"]),
+        "imbalance": row(ra["imbalance"], rb["imbalance"]),
+    }
+
+
+def diff_regressions(diff: dict[str, Any], threshold: float,
+                     min_abs: float = 0.0) -> list[str]:
+    """Time rows of ``b`` that regressed beyond ``threshold``.
+
+    A row regresses when its relative slowdown exceeds ``threshold``
+    *and* the absolute slowdown exceeds ``min_abs`` seconds (the floor
+    keeps microsecond noise in near-empty phases from tripping CI).  A
+    phase growing from exactly zero counts as a regression when it
+    clears the absolute floor.
+    """
+    out = []
+    for name in _DIFF_TIME_ROWS:
+        r = diff["rows"][name]
+        if r["delta"] <= min_abs:
+            continue
+        if r["rel"] is None or r["rel"] > threshold:
+            out.append(name)
+    return out
+
+
+def diff_lines(diff: dict[str, Any], threshold: float | None = None,
+               min_abs: float = 0.0) -> list[str]:
+    """Render the run-to-run delta table."""
+    def fmt(r: dict[str, Any], label: str) -> str:
+        rel = f"{r['rel']:+9.1%}" if r["rel"] is not None else \
+            ("      new" if r["delta"] > 0 else "        -")
+        return (f"  {label:18s} {r['a']:12.6f} {r['b']:12.6f} "
+                f"{r['delta']:+12.6f} {rel}")
+
+    lines = [f"Run diff (A -> B, {diff['n_ranks']['a']} vs "
+             f"{diff['n_ranks']['b']} ranks; per-step, slowest-rank "
+             "reduction):",
+             f"  {'phase':18s} {'A [s]':>12s} {'B [s]':>12s} "
+             f"{'delta':>12s} {'rel':>9s}"]
+    for name in _DIFF_TIME_ROWS:
+        lines.append(fmt(diff["rows"][name],
+                         name if name != "total" else "TOTAL"))
+    lines.append(fmt(diff["recv_wait_max"], "recv_wait_max"))
+    lines.append(fmt(diff["imbalance"], "imbalance(max/mean)"))
+    if threshold is not None:
+        bad = diff_regressions(diff, threshold, min_abs)
+        if bad:
+            lines.append(f"  REGRESSION: {', '.join(bad)} slower than A "
+                         f"beyond {threshold:.1%}")
+        else:
+            lines.append(f"  OK: no phase slower than A beyond "
+                         f"{threshold:.1%}")
+    return lines
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.report",
         description="Reconstruct Table II / overlap / imbalance reports "
-                    "from a Chrome trace-event file.")
+                    "from a Chrome trace-event file, or diff two of "
+                    "them phase by phase.")
     parser.add_argument("trace", help="trace JSON written by the tracer")
+    parser.add_argument("trace_b", nargs="?", default=None,
+                        help="second trace: diff mode (A -> B)")
     parser.add_argument("--validate", action="store_true",
-                        help="schema-check the trace before reporting")
+                        help="schema-check the trace(s) before reporting")
     parser.add_argument("--json", action="store_true", dest="as_json",
-                        help="emit the statistics as JSON")
+                        help="emit the statistics (or diff) as JSON")
+    parser.add_argument("--threshold", type=float, default=None,
+                        metavar="REL",
+                        help="diff mode: exit 1 when any phase of B is "
+                             "slower than A by more than this relative "
+                             "fraction (e.g. 0.1 = 10%%)")
+    parser.add_argument("--min-abs", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="diff mode: ignore regressions smaller than "
+                             "this many absolute seconds (noise floor)")
     args = parser.parse_args(argv)
 
     doc = load_trace(args.trace)
@@ -274,11 +373,31 @@ def main(argv: list[str] | None = None) -> int:
         validate_chrome_trace(doc)
         print(f"{args.trace}: schema OK "
               f"({len(doc['traceEvents'])} events)", file=sys.stderr)
+
+    if args.trace_b is None:
+        if args.as_json:
+            print(json.dumps(_json_report(doc), indent=2, sort_keys=True))
+        else:
+            print(render_report(doc))
+        return 0
+
+    doc_b = load_trace(args.trace_b)
+    if args.validate:
+        validate_chrome_trace(doc_b)
+        print(f"{args.trace_b}: schema OK "
+              f"({len(doc_b['traceEvents'])} events)", file=sys.stderr)
+    diff = diff_reports(_json_report(doc), _json_report(doc_b))
+    regressions = [] if args.threshold is None else \
+        diff_regressions(diff, args.threshold, args.min_abs)
     if args.as_json:
-        print(json.dumps(_json_report(doc), indent=2, sort_keys=True))
+        out = dict(diff)
+        if args.threshold is not None:
+            out["threshold"] = args.threshold
+            out["regressions"] = regressions
+        print(json.dumps(out, indent=2, sort_keys=True))
     else:
-        print(render_report(doc))
-    return 0
+        print("\n".join(diff_lines(diff, args.threshold, args.min_abs)))
+    return 1 if regressions else 0
 
 
 if __name__ == "__main__":

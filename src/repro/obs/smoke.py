@@ -19,6 +19,7 @@ from ..parallel.statistics import run_statistics
 from ..simmpi import SimWorld
 from .clock import VirtualClock
 from .export import validate_chrome_trace_file, write_chrome_trace
+from .sink import BufferSink, StreamingJsonlSink
 from .tracer import Tracer
 
 
@@ -37,13 +38,20 @@ def main(argv: list[str] | None = None) -> int:
                         help="Chrome trace output path")
     parser.add_argument("--metrics-out", default=None,
                         help="also write Prometheus metrics text here")
+    parser.add_argument("--jsonl-out", default=None,
+                        help="also stream the trace to this JSONL file "
+                             "*during* the run (StreamingJsonlSink; "
+                             "byte-identical to the post-hoc export)")
     parser.add_argument("--virtual-clock", action="store_true",
                         help="deterministic logical timestamps instead of "
                              "wall time (byte-reproducible trace)")
     args = parser.parse_args(argv)
 
     clock = VirtualClock() if args.virtual_clock else None
-    tracer = Tracer(clock=clock)
+    sinks = [BufferSink()]
+    if args.jsonl_out:
+        sinks.append(StreamingJsonlSink(args.jsonl_out))
+    tracer = Tracer(clock=clock, sink=sinks)
     world = SimWorld(args.ranks)
     particles = plummer_model(args.n, seed=args.seed)
     config = SimulationConfig(theta=args.theta)
@@ -53,6 +61,10 @@ def main(argv: list[str] | None = None) -> int:
 
     write_chrome_trace(tracer, args.trace_out)
     doc = validate_chrome_trace_file(args.trace_out)
+    tracer.close()  # finalises the streaming JSONL, when requested
+    if args.jsonl_out:
+        print(f"{args.jsonl_out}: streamed during the run "
+              "(cmp against repro.obs.export.write_jsonl)")
     if args.metrics_out:
         with open(args.metrics_out, "w") as fh:
             fh.write(world.metrics.render())

@@ -7,6 +7,14 @@ emitting rank.  Every event carries a per-rank sequence number assigned
 under the tracer lock, so exports can order events deterministically
 (rank lane, then emission order) independent of thread scheduling.
 
+Events are pushed, as they are emitted, into one or more pluggable
+:class:`~repro.obs.sink.Sink` objects (``sink=``): the default
+:class:`~repro.obs.sink.BufferSink` reproduces the classic buffer-all
+behaviour, a :class:`~repro.obs.sink.RingSink` caps memory with drop
+accounting, and a :class:`~repro.obs.sink.StreamingJsonlSink` writes
+the run to disk incrementally -- O(1) tracer memory however long the
+run (docs/OBSERVABILITY.md section 8).
+
 The disabled path is :data:`NULL_TRACER`: ``enabled`` is False, ``span``
 returns a shared no-op context manager and every recording method is a
 single early-returning call, so instrumented code costs nothing when
@@ -21,6 +29,7 @@ Usage::
         sp.add(n_pp=dpp, n_cells=42)        # attach counters
 
     tracer = Tracer(clock=VirtualClock())   # deterministic test traces
+    tracer = Tracer(sink="run.jsonl")       # stream to disk as it runs
 """
 
 from __future__ import annotations
@@ -32,6 +41,7 @@ from collections import defaultdict
 from typing import Any
 
 from .clock import VirtualClock, WallClock
+from .sink import BufferSink, Sink, TeeSink, coerce_sink
 
 
 @dataclasses.dataclass(frozen=True)
@@ -140,6 +150,15 @@ class NullTracer:
     def events(self) -> list[TraceEvent]:
         return []
 
+    def bind_metrics(self, registry) -> None:
+        pass
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
 
 #: The process-wide disabled tracer.
 NULL_TRACER = NullTracer()
@@ -153,20 +172,52 @@ class Tracer:
     clock:
         A :class:`~repro.obs.clock.WallClock` (default) or
         :class:`~repro.obs.clock.VirtualClock` for deterministic traces.
+    sink:
+        Where emitted events go: a :class:`~repro.obs.sink.Sink`, a
+        sink *spec* accepted by :func:`~repro.obs.sink.coerce_sink`
+        (path -> streaming JSONL, int -> ring), or a list of either
+        (tee).  Default: one unbounded
+        :class:`~repro.obs.sink.BufferSink` (the classic post-hoc
+        export path).
     """
 
     enabled = True
 
-    def __init__(self, clock=None):
+    def __init__(self, clock=None, sink=None):
         self.clock = clock if clock is not None else WallClock()
         self._lock = threading.Lock()
-        self._events: list[TraceEvent] = []
         self._seq: dict[int, int] = defaultdict(int)
+        if sink is None:
+            self._sinks: list[Sink] = [BufferSink()]
+        else:
+            coerced = coerce_sink(sink)
+            self._sinks = list(coerced.sinks) \
+                if isinstance(coerced, TeeSink) else [coerced]
 
     @property
     def deterministic(self) -> bool:
         """True when the clock makes traces run-to-run reproducible."""
         return getattr(self.clock, "deterministic", False)
+
+    @property
+    def sinks(self) -> tuple[Sink, ...]:
+        """The sinks receiving this tracer's events."""
+        with self._lock:
+            return tuple(self._sinks)
+
+    def add_sink(self, sink) -> Sink:
+        """Attach an additional sink (spec coerced); returns it."""
+        s = coerce_sink(sink)
+        with self._lock:
+            self._sinks.append(s)
+        return s
+
+    def bind_metrics(self, registry) -> None:
+        """Give every sink a registry for its accounting (e.g. the ring
+        sink's ``trace_events_dropped_total``).  The SPMD runtime calls
+        this from ``SimWorld.attach_tracer``."""
+        for s in self.sinks:
+            s.bind_metrics(registry)
 
     def now(self, rank: int = 0) -> float:
         """This rank's clock time (advances a virtual clock)."""
@@ -180,7 +231,8 @@ class Tracer:
 
     def _emit(self, event: TraceEvent) -> None:
         with self._lock:
-            self._events.append(event)
+            for s in self._sinks:
+                s.emit(event)
 
     # -- producer API ------------------------------------------------------
 
@@ -222,16 +274,40 @@ class Tracer:
     # -- consumer API ------------------------------------------------------
 
     def events(self) -> list[TraceEvent]:
-        """Snapshot of all events, ordered by (rank, emission index)."""
-        with self._lock:
-            return sorted(self._events, key=lambda e: (e.rank, e.seq))
+        """Retained events ordered by (rank, emission index).
+
+        Comes from the first retaining sink: everything for the default
+        :class:`~repro.obs.sink.BufferSink`, the newest tail for a
+        :class:`~repro.obs.sink.RingSink`, and ``[]`` for a purely
+        streaming tracer (whose events live on disk -- that is the
+        O(1)-memory point).
+        """
+        for s in self.sinks:
+            if s.retains:
+                return s.events()
+        return []
 
     def ranks(self) -> list[int]:
-        """Ranks that emitted at least one event."""
-        with self._lock:
-            return sorted({e.rank for e in self._events})
+        """Ranks that emitted at least one retained event."""
+        return sorted({e.rank for e in self.events()})
 
     def clear(self) -> None:
-        """Drop all collected events (sequence numbers keep counting)."""
-        with self._lock:
-            self._events.clear()
+        """Drop retained events (sequence numbers keep counting)."""
+        for s in self.sinks:
+            s.clear()
+
+    def flush(self) -> None:
+        """Flush every sink (streaming sinks push buffers to disk)."""
+        for s in self.sinks:
+            s.flush()
+
+    def close(self) -> None:
+        """Close every sink; streaming JSONL files are finalised here."""
+        for s in self.sinks:
+            s.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

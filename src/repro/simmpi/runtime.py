@@ -64,12 +64,15 @@ class SimWorld:
 
         All ranks of a traced run must share one tracer; attaching a
         second distinct tracer is an error, attaching the same object
-        again is a no-op.
+        again is a no-op.  The tracer's sinks are bound to this world's
+        metrics registry, so bounded sinks account their drops in
+        ``trace_events_dropped_total`` here.
         """
         with self._obs_lock:
             if self.tracer is not NULL_TRACER and self.tracer is not tracer:
                 raise ValueError("a different tracer is already attached")
             self.tracer = tracer
+        tracer.bind_metrics(self.metrics)
 
     def recv_wait_seconds(self, rank: int) -> float:
         """Total wall seconds ``rank`` has spent inside blocking recvs."""

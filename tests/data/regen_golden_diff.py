@@ -1,0 +1,53 @@
+"""Regenerate the golden report-diff fixtures in this directory.
+
+Two wall-clock traces of the same 2-rank, 400-particle, 2-step run:
+
+- ``golden_clean.json``  -- fault-free :class:`~repro.simmpi.SimWorld`,
+- ``golden_slow.json``   -- :class:`~repro.faults.FaultyWorld` with a
+  deterministic ``slowdown(rank=1, sleep=2ms)`` schedule, stretching
+  rank 1's communication wall time.
+
+Slowdown faults sleep *wall* time, which a virtual clock cannot see, so
+these fixtures are real timings frozen at generation; the golden test
+(tests/test_obs_diff.py) asserts relations that survive freezing --
+B strictly slower than A, nonzero exit at the threshold -- never exact
+seconds.  Rerun only when the trace schema changes::
+
+    PYTHONPATH=src python tests/data/regen_golden_diff.py
+"""
+
+import pathlib
+import sys
+
+from repro import SimulationConfig
+from repro.core.parallel_simulation import run_parallel_simulation
+from repro.faults import FaultyWorld
+from repro.ics import plummer_model
+from repro.obs import Tracer, write_chrome_trace
+from repro.simmpi import SimWorld
+
+HERE = pathlib.Path(__file__).parent
+N_RANKS, N, STEPS = 2, 400, 2
+SCHEDULE = "slowdown(rank=1, sleep=2ms)"
+
+
+def trace_run(world) -> Tracer:
+    tracer = Tracer()
+    run_parallel_simulation(N_RANKS, plummer_model(N, seed=5),
+                            SimulationConfig(theta=0.6), n_steps=STEPS,
+                            world=world, trace=tracer)
+    return tracer
+
+
+def main() -> int:
+    write_chrome_trace(trace_run(SimWorld(N_RANKS)),
+                       HERE / "golden_clean.json")
+    faulty = FaultyWorld(N_RANKS, SCHEDULE, seed=123, timeout=120.0)
+    write_chrome_trace(trace_run(faulty), HERE / "golden_slow.json")
+    print(f"wrote golden_clean.json / golden_slow.json "
+          f"({faulty.stats.count('slowdown')} slowdowns injected)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,7 +15,14 @@ from repro.core.parallel_simulation import run_parallel_simulation
 from repro.core.simulation import Simulation
 from repro.faults import FaultyWorld
 from repro.ics import plummer_model
-from repro.obs import Tracer, VirtualClock, chrome_trace_json, jsonl_lines
+from repro.obs import (
+    StreamingJsonlSink,
+    Tracer,
+    VirtualClock,
+    chrome_trace_json,
+    jsonl_lines,
+    write_jsonl,
+)
 from repro.simmpi import SimWorld
 
 #: Every maskable fault kind at once (mirrors tests/harness/test_faults).
@@ -99,6 +106,41 @@ def test_measured_loadbalance_trace_and_boundaries_deterministic(cfg):
     assert bounds_a == bounds_b
     # and the collective decision left all ranks with the same sequence
     assert all(b == bounds_a[0] for b in bounds_a)
+
+
+def _streamed_run(cfg, path, flush_every=16):
+    """A virtual-clock run streamed to JSONL *during* execution."""
+    sink = StreamingJsonlSink(path, flush_every=flush_every)
+    tracer = Tracer(clock=VirtualClock(), sink=sink)
+    particles = plummer_model(N, seed=5)
+    run_parallel_simulation(N_RANKS, particles, cfg, n_steps=2,
+                            trace=tracer)
+    tracer.close()
+    return sink
+
+
+def test_streaming_jsonl_byte_identical_to_posthoc_export(cfg, tmp_path):
+    """Tentpole invariant: the incremental writer's bytes equal the
+    buffered exporter's on the same logical run -- one serialization,
+    two paths, zero divergence."""
+    streamed = tmp_path / "streamed.jsonl"
+    _streamed_run(cfg, streamed)
+    buffered = tmp_path / "buffered.jsonl"
+    write_jsonl(_traced_run(cfg), buffered)
+    assert streamed.read_bytes() == buffered.read_bytes()
+
+
+def test_streaming_run_byte_identical_across_runs(cfg, tmp_path):
+    a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    _streamed_run(cfg, a, flush_every=8)
+    _streamed_run(cfg, b, flush_every=128)  # cadence can't change bytes
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_streaming_only_tracer_holds_no_events(cfg, tmp_path):
+    sink = _streamed_run(cfg, tmp_path / "t.jsonl")
+    assert sink.n_events > 0
+    assert sink.max_buffered <= 16 * N_RANKS  # flush cadence bounds memory
 
 
 def test_serial_trace_byte_identical():

@@ -1,0 +1,160 @@
+"""Run-to-run report diffing: delta math, thresholds, golden fixtures.
+
+``python -m repro.obs.report a.json b.json`` compares two traces phase
+by phase; ``--threshold`` turns it into a CI gate (exit 1 on any phase
+of B slower than A beyond the relative fraction, with a ``--min-abs``
+noise floor).  The golden pair under tests/data/ freezes a fault-free
+run against one slowed down by a deterministic 2 ms transport fault on
+rank 1, so the gate is exercised against a *real* regression, not a
+synthetic one.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.obs import Tracer, VirtualClock, chrome_trace_json
+from repro.obs.report import (
+    _json_report,
+    diff_lines,
+    diff_regressions,
+    diff_reports,
+    main,
+)
+
+DATA = pathlib.Path(__file__).parent / "data"
+GOLDEN_CLEAN = DATA / "golden_clean.json"
+GOLDEN_SLOW = DATA / "golden_slow.json"
+
+
+def _trace(scale: float = 1.0, skip_comm: bool = False):
+    """One rank, one step, phase times scaled by ``scale``."""
+    tr = Tracer(clock=VirtualClock())
+    t = 0.0
+    phases = [("sorting", 0.010), ("domain_update", 0.020),
+              ("tree_construction", 0.005), ("tree_properties", 0.002),
+              ("gravity_local", 0.100), ("gravity_let", 0.030),
+              ("non_hidden_comm", 0.004), ("other", 0.002)]
+    for name, dur in phases:
+        if skip_comm and name == "non_hidden_comm":
+            continue
+        dur *= scale
+        tr.record(name, 0, t, t + dur, cat="phase", step=0,
+                  **({"n_particles": 500, "n_pp": 1000, "n_pc": 100}
+                     if name == "gravity_local" else {}))
+        t += dur
+    return json.loads(chrome_trace_json(tr))
+
+
+def test_diff_rows_exact_math():
+    diff = diff_reports(_json_report(_trace(1.0)), _json_report(_trace(1.2)))
+    row = diff["rows"]["gravity_local"]
+    assert row["a"] == pytest.approx(0.100)
+    assert row["b"] == pytest.approx(0.120)
+    assert row["delta"] == pytest.approx(0.020)
+    assert row["rel"] == pytest.approx(0.20)
+    assert diff["rows"]["total"]["rel"] == pytest.approx(0.20)
+    assert diff["n_ranks"] == {"a": 1, "b": 1}
+
+
+def test_diff_phase_appearing_from_zero_has_no_rel():
+    diff = diff_reports(_json_report(_trace(skip_comm=True)),
+                        _json_report(_trace()))
+    row = diff["rows"]["non_hidden_comm"]
+    assert row["a"] == 0.0 and row["delta"] == pytest.approx(0.004)
+    assert row["rel"] is None
+    # ... and it still counts as a regression when above the floor.
+    assert "non_hidden_comm" in diff_regressions(diff, threshold=10.0)
+    assert "non_hidden_comm" not in diff_regressions(diff, threshold=10.0,
+                                                    min_abs=0.005)
+
+
+def test_diff_regressions_threshold_and_floor():
+    diff = diff_reports(_json_report(_trace(1.0)), _json_report(_trace(1.2)))
+    assert diff_regressions(diff, threshold=0.25) == []
+    bad = diff_regressions(diff, threshold=0.10)
+    assert "gravity_local" in bad and "total" in bad
+    # min_abs floor drops the microscopic phases but keeps the big ones.
+    floored = diff_regressions(diff, threshold=0.10, min_abs=0.003)
+    assert floored == ["domain_update", "gravity_local", "gravity_let",
+                       "total"]
+    # A faster B never regresses.
+    assert diff_regressions(
+        diff_reports(_json_report(_trace(1.0)), _json_report(_trace(0.5))),
+        threshold=0.0) == []
+
+
+def test_diff_lines_render():
+    diff = diff_reports(_json_report(_trace(1.0)), _json_report(_trace(1.2)))
+    text = "\n".join(diff_lines(diff, threshold=0.1))
+    assert "Run diff (A -> B, 1 vs 1 ranks" in text
+    assert "+20.0%" in text and "TOTAL" in text
+    assert "REGRESSION:" in text
+    ok = "\n".join(diff_lines(diff, threshold=0.5))
+    assert "OK: no phase slower" in ok
+
+
+def test_cli_single_trace_unchanged(tmp_path, capsys):
+    path = tmp_path / "a.json"
+    path.write_text(json.dumps(_trace()))
+    assert main([str(path)]) == 0
+    assert "Table II breakdown" in capsys.readouterr().out
+
+
+def test_cli_diff_exit_codes(tmp_path, capsys):
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    a.write_text(json.dumps(_trace(1.0)))
+    b.write_text(json.dumps(_trace(1.2)))
+    # No threshold: informational, exit 0.
+    assert main([str(a), str(b)]) == 0
+    assert "Run diff" in capsys.readouterr().out
+    # Loose threshold: OK line, exit 0.
+    assert main([str(a), str(b), "--threshold", "0.5"]) == 0
+    capsys.readouterr()
+    # Tight threshold: exit 1.
+    assert main([str(a), str(b), "--threshold", "0.1"]) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_cli_diff_json(tmp_path, capsys):
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    a.write_text(json.dumps(_trace(1.0)))
+    b.write_text(json.dumps(_trace(1.2)))
+    assert main([str(a), str(b), "--json", "--threshold", "0.1"]) == 1
+    rep = json.loads(capsys.readouterr().out)
+    assert rep["threshold"] == 0.1
+    assert "gravity_local" in rep["regressions"]
+    assert rep["rows"]["total"]["rel"] == pytest.approx(0.20)
+
+
+# -- golden fixtures -------------------------------------------------------
+
+def test_golden_fixture_detects_slowdown_fault(capsys):
+    """The frozen fault-free/slowdown pair trips the regression gate."""
+    assert main([str(GOLDEN_CLEAN), str(GOLDEN_SLOW), "--validate",
+                 "--threshold", "0.10"]) == 1
+    captured = capsys.readouterr()
+    assert "schema OK" in captured.err
+    out = captured.out
+    assert "Run diff (A -> B, 2 vs 2 ranks" in out
+    assert "REGRESSION:" in out and "total" in out.split("REGRESSION:")[1]
+
+    diff = diff_reports(_json_report(json.loads(GOLDEN_CLEAN.read_text())),
+                        _json_report(json.loads(GOLDEN_SLOW.read_text())))
+    # The 2 ms sleeps land in wall time: B's step total is strictly
+    # slower, by well over the 10% gate (exact seconds are frozen but
+    # not asserted -- see tests/data/regen_golden_diff.py).
+    assert diff["rows"]["total"]["delta"] > 0
+    assert diff["rows"]["total"]["rel"] > 0.10
+
+
+def test_golden_fixture_self_diff_is_clean(capsys):
+    """A trace diffed against itself is all-zero and exits 0."""
+    assert main([str(GOLDEN_CLEAN), str(GOLDEN_CLEAN),
+                 "--threshold", "0.01"]) == 0
+    out = capsys.readouterr().out
+    assert "OK: no phase slower" in out
+    diff = diff_reports(*[_json_report(json.loads(GOLDEN_CLEAN.read_text()))
+                          for _ in range(2)])
+    assert all(r["delta"] == 0.0 for r in diff["rows"].values())

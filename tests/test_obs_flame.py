@@ -1,0 +1,154 @@
+"""Flamegraph export: collapsed-stack folding and the fold-back invariant.
+
+``export_collapsed`` turns the per-rank span streams into
+flamegraph.pl/speedscope "collapsed" lines, reconstructing nesting by
+time containment and attributing *self* time per frame.  The key
+invariant (also asserted by ``--check`` in CI): the folded counts sum
+back to the top-level span totals -- nothing gained, nothing lost.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Tracer,
+    VirtualClock,
+    chrome_trace_json,
+    collapsed_lines,
+    export_collapsed,
+    trace_events_from_doc,
+)
+from repro.obs.export import (
+    check_collapsed,
+    collapsed_stacks,
+    fold_rank_stacks,
+    main,
+    rank_span_totals,
+)
+
+
+def _nested_tracer():
+    """One rank, hand-built nesting:
+
+    step [0, 10]
+      ├─ gravity [1, 6]
+      │    └─ kernel [2, 5]
+      └─ comm [6, 9]
+
+    Self times: step 2, gravity 2, kernel 3, comm 3.
+    """
+    tr = Tracer(clock=VirtualClock())
+    tr.record("step", 0, 0.0, 10.0, cat="phase")
+    tr.record("gravity", 0, 1.0, 6.0, cat="phase")
+    tr.record("kernel", 0, 2.0, 5.0, cat="phase")
+    tr.record("comm", 0, 6.0, 9.0, cat="comm")
+    return tr
+
+
+def test_fold_nested_self_times():
+    stacks = fold_rank_stacks(_nested_tracer().events(), rank=0)
+    assert stacks == pytest.approx({
+        "step": 2.0,
+        "step;gravity": 2.0,
+        "step;gravity;kernel": 3.0,
+        "step;comm": 3.0,
+    })
+    # Fold-back: self times sum to the root span's duration.
+    assert sum(stacks.values()) == pytest.approx(10.0)
+
+
+def test_fold_siblings_and_instants_ignored():
+    tr = Tracer(clock=VirtualClock())
+    tr.record("a", 0, 0.0, 2.0)
+    tr.record("b", 0, 2.0, 5.0)   # sibling, touching boundary
+    tr.instant("marker", 0)       # instants never fold
+    stacks = fold_rank_stacks(tr.events(), rank=0)
+    assert stacks == pytest.approx({"a": 2.0, "b": 3.0})
+
+
+def test_rank_span_totals_and_slowest_mode():
+    tr = Tracer(clock=VirtualClock())
+    tr.record("step", 0, 0.0, 1.0)
+    tr.record("step", 1, 0.0, 4.0)
+    tr.record("inner", 1, 1.0, 2.0)
+    totals = rank_span_totals(tr.events())
+    assert totals == pytest.approx({0: 1.0, 1: 4.0})
+    # Slowest mode picks rank 1 and drops the rank prefix.
+    stacks = collapsed_stacks(tr, mode="slowest")
+    assert stacks == pytest.approx({"step": 3.0, "step;inner": 1.0})
+    # Explicit rank selection.
+    assert collapsed_stacks(tr, rank=0) == pytest.approx({"step": 1.0})
+
+
+def test_per_rank_mode_prefixes():
+    tr = Tracer(clock=VirtualClock())
+    tr.record("step", 0, 0.0, 1.0)
+    tr.record("step", 1, 0.0, 2.0)
+    stacks = collapsed_stacks(tr, mode="per-rank")
+    assert stacks == pytest.approx({"rank 0;step": 1.0, "rank 1;step": 2.0})
+
+
+def test_collapsed_lines_integer_microseconds():
+    lines = collapsed_lines(_nested_tracer())
+    assert lines == [
+        "step 2000000",
+        "step;comm 3000000",
+        "step;gravity 2000000",
+        "step;gravity;kernel 3000000",
+    ]
+
+
+def test_trace_doc_roundtrip():
+    """Folding the Chrome-trace doc equals folding the tracer directly."""
+    tr = _nested_tracer()
+    doc = json.loads(chrome_trace_json(tr))
+    events = trace_events_from_doc(doc)
+    assert fold_rank_stacks(events, 0) == \
+        pytest.approx(fold_rank_stacks(tr.events(), 0))
+    assert collapsed_lines(doc) == collapsed_lines(tr)
+
+
+def test_real_run_folds_back_to_span_totals():
+    """Acceptance criterion: folded totals match the slowest rank's
+    top-level span total on a genuine parallel run."""
+    from repro import SimulationConfig
+    from repro.core.parallel_simulation import run_parallel_simulation
+    from repro.ics import plummer_model
+
+    tracer = Tracer(clock=VirtualClock())
+    run_parallel_simulation(2, plummer_model(400, seed=5),
+                            SimulationConfig(theta=0.6), n_steps=2,
+                            trace=tracer)
+    check_collapsed(tracer, mode="slowest")       # raises on mismatch
+    check_collapsed(tracer, mode="per-rank")
+    totals = rank_span_totals(tracer.events())
+    slowest = max(totals.values())
+    folded = sum(collapsed_stacks(tracer, mode="slowest").values())
+    assert folded == pytest.approx(slowest, rel=1e-9)
+
+
+def test_check_collapsed_raises_outside_budget():
+    # An impossible (negative) tolerance forces the mismatch branch,
+    # proving --check actually fails closed rather than always passing.
+    with pytest.raises(ValueError, match="collapsed stacks"):
+        check_collapsed(_nested_tracer(), mode="slowest", tolerance=-1.0)
+
+
+def test_export_collapsed_writes_file(tmp_path):
+    out = tmp_path / "trace.folded"
+    lines = export_collapsed(_nested_tracer(), out)
+    assert out.read_text().splitlines() == lines
+
+
+def test_cli_check_and_output(tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    trace.write_text(chrome_trace_json(_nested_tracer()))
+    out = tmp_path / "trace.folded"
+    assert main([str(trace), "--out", str(out), "--check"]) == 0
+    assert "fold to" in capsys.readouterr().err
+    assert out.read_text().splitlines() == collapsed_lines(_nested_tracer())
+    # stdout mode
+    assert main([str(trace)]) == 0
+    assert capsys.readouterr().out.splitlines() == \
+        collapsed_lines(_nested_tracer())

@@ -1,0 +1,260 @@
+"""Sink abstraction tests: streaming, ring drop accounting, tee, coercion.
+
+The tentpole property under test: the tracer no longer *has* to buffer.
+Events flow incrementally into pluggable sinks -- a streaming JSONL
+writer whose final bytes equal the post-hoc export, a bounded ring
+whose drops are warned about and counted, and tees of either -- so a
+long run's tracing memory is O(1), not O(steps).
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro import SimulationConfig
+from repro.core.parallel_simulation import run_parallel_simulation
+from repro.ics import plummer_model
+from repro.obs import (
+    NULL_SINK,
+    BufferSink,
+    NullSink,
+    RingSink,
+    StreamingJsonlSink,
+    TeeSink,
+    TraceDropWarning,
+    Tracer,
+    VirtualClock,
+    coerce_sink,
+    encode_jsonl_line,
+    write_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import TraceEvent
+from repro.simmpi import SimWorld
+
+
+def _event(rank=0, seq=0, name="phase_x", ts=1.0, dur=0.5):
+    return TraceEvent(name=name, cat="phase", ph="X", rank=rank,
+                      ts=ts, dur=dur, seq=seq, args={"step": 0})
+
+
+def _fill(sink, n, rank=0):
+    for i in range(n):
+        sink.emit(_event(rank=rank, seq=i, ts=float(i)))
+
+
+# -- BufferSink ------------------------------------------------------------
+
+def test_buffer_sink_retains_all_sorted():
+    sink = BufferSink()
+    sink.emit(_event(rank=1, seq=0))
+    sink.emit(_event(rank=0, seq=1))
+    sink.emit(_event(rank=0, seq=0))
+    assert [(e.rank, e.seq) for e in sink.events()] == [(0, 0), (0, 1), (1, 0)]
+    assert len(sink) == 3
+    sink.clear()
+    assert sink.events() == []
+
+
+# -- RingSink: bounded memory with drop accounting -------------------------
+
+def test_ring_sink_bounds_memory_and_counts_drops():
+    sink = RingSink(capacity=10)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        _fill(sink, 25)
+    assert len(sink) == 10
+    assert sink.dropped == 15
+    # Oldest events evicted, newest retained.
+    assert [e.seq for e in sink.events()] == list(range(15, 25))
+    # Exactly one warning, not one per dropped event.
+    drops = [w for w in caught if issubclass(w.category, TraceDropWarning)]
+    assert len(drops) == 1
+    assert "RingSink" in str(drops[0].message)
+
+
+def test_ring_sink_increments_registry_counter():
+    reg = MetricsRegistry()
+    sink = RingSink(capacity=4, registry=reg)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", TraceDropWarning)
+        _fill(sink, 9)
+    counter = reg.get("trace_events_dropped_total")
+    assert counter is not None and int(counter.total()) == 5
+
+
+def test_ring_sink_bind_metrics_folds_earlier_drops():
+    """Drops before the registry is attached still land in the counter."""
+    sink = RingSink(capacity=2)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", TraceDropWarning)
+        _fill(sink, 5)  # 3 drops, no registry yet
+    reg = MetricsRegistry()
+    sink.bind_metrics(reg)
+    assert int(reg.get("trace_events_dropped_total").total()) == 3
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", TraceDropWarning)
+        _fill(sink, 2)  # 2 more drops, live counter now
+    assert int(reg.get("trace_events_dropped_total").total()) == 5
+
+
+def test_world_attach_tracer_binds_drop_counter():
+    """SimWorld.attach_tracer wires ring drops into the world registry."""
+    world = SimWorld(2)
+    tracer = Tracer(clock=VirtualClock(), sink=RingSink(capacity=8))
+    world.attach_tracer(tracer)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", TraceDropWarning)
+        for i in range(20):
+            tracer.instant("tick", 0)
+    counter = world.metrics.get("trace_events_dropped_total")
+    assert counter is not None and int(counter.total()) == 12
+
+
+# -- StreamingJsonlSink: incremental bytes == post-hoc export --------------
+
+def _traced_run(sink=None):
+    tracer = Tracer(clock=VirtualClock(), sink=sink)
+    particles = plummer_model(400, seed=5)
+    run_parallel_simulation(2, particles, SimulationConfig(theta=0.6),
+                            n_steps=2, trace=tracer)
+    return tracer
+
+
+def test_streaming_jsonl_matches_buffered_export(tmp_path):
+    streamed = tmp_path / "streamed.jsonl"
+    buffered = tmp_path / "buffered.jsonl"
+
+    sink = StreamingJsonlSink(streamed, flush_every=16)
+    with _traced_run(sink=[BufferSink(), sink]) as tracer:
+        write_jsonl(tracer, buffered)
+    assert streamed.read_bytes() == buffered.read_bytes()
+    assert sink.n_events == len(buffered.read_text().splitlines())
+
+
+def test_streaming_sink_memory_stays_bounded(tmp_path):
+    """The acceptance criterion: tracer memory constant in run length."""
+    sink = StreamingJsonlSink(tmp_path / "t.jsonl", flush_every=8)
+    tracer = _traced_run(sink=sink)
+    tracer.close()
+    assert sink.max_buffered <= 8 * 2  # flush_every per rank, 2 ranks
+    # With no retaining sink attached the tracer itself holds nothing.
+    assert tracer.events() == []
+
+
+def test_streaming_sink_part_files_cleaned_up(tmp_path):
+    path = tmp_path / "t.jsonl"
+    sink = StreamingJsonlSink(path, flush_every=4)
+    for rank in range(2):
+        _fill(sink, 6, rank=rank)
+    sink.close()
+    assert path.exists()
+    assert list(tmp_path.glob("*.part")) == []
+    lines = path.read_text().splitlines()
+    assert len(lines) == 12
+    # Rank-major, seq-ordered -- same order write_jsonl produces.
+    recs = [json.loads(ln) for ln in lines]
+    assert [(r["rank"], r["seq"]) for r in recs] == \
+        [(r, s) for r in range(2) for s in range(6)]
+
+
+def test_streaming_sink_empty_trace_writes_empty_file(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    StreamingJsonlSink(path).close()
+    assert path.read_bytes() == b""
+    tracer = Tracer(clock=VirtualClock())
+    write_jsonl(tracer, tmp_path / "empty2.jsonl")
+    assert (tmp_path / "empty2.jsonl").read_bytes() == b""
+
+
+def test_encode_jsonl_line_canonical():
+    line = encode_jsonl_line(_event(rank=1, seq=2))
+    rec = json.loads(line)
+    assert rec == {"rank": 1, "seq": 2, "ph": "X", "name": "phase_x",
+                   "cat": "phase", "ts": 1.0, "dur": 0.5,
+                   "args": {"step": 0}}
+    # Canonical form: sorted keys, no whitespace.
+    assert line == json.dumps(rec, sort_keys=True, separators=(",", ":"))
+
+
+# -- TeeSink / NullSink / coercion ----------------------------------------
+
+def test_tee_sink_forwards_to_all():
+    buf, ring = BufferSink(), RingSink(capacity=2)
+    tee = TeeSink(buf, ring)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", TraceDropWarning)
+        _fill(tee, 5)
+    assert len(buf) == 5 and len(ring) == 2 and ring.dropped == 3
+    assert tee.retains
+    assert [e.seq for e in tee.events()] == list(range(5))  # first retainer
+    tee.clear()
+    assert len(buf) == 0 and len(ring) == 0
+
+
+def test_null_sink_discards():
+    _fill(NULL_SINK, 3)
+    assert not NULL_SINK.retains
+    assert NULL_SINK.events() == []
+
+
+@pytest.mark.parametrize("spec,kind", [
+    (BufferSink(), BufferSink),
+    (1024, RingSink),
+    ("trace.jsonl", StreamingJsonlSink),
+    ([BufferSink(), 16], TeeSink),
+])
+def test_coerce_sink(spec, kind, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    sink = coerce_sink(spec)
+    assert isinstance(sink, kind)
+    if isinstance(sink, StreamingJsonlSink):
+        sink.close()
+
+
+def test_coerce_sink_rejects_bool_and_junk():
+    with pytest.raises(TypeError):
+        coerce_sink(True)
+    with pytest.raises(TypeError):
+        coerce_sink(object())
+
+
+# -- Tracer integration ----------------------------------------------------
+
+def test_tracer_default_buffers_and_add_sink():
+    tracer = Tracer(clock=VirtualClock())
+    assert isinstance(tracer.sinks[0], BufferSink)
+    ring = RingSink(capacity=4)
+    tracer.add_sink(ring)
+    tracer.instant("tick", 0)
+    assert len(tracer.events()) == 1 and len(ring) == 1
+
+
+def test_tracer_ring_only_keeps_tail():
+    tracer = Tracer(clock=VirtualClock(), sink=RingSink(capacity=3))
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", TraceDropWarning)
+        for _ in range(7):
+            tracer.instant("tick", 0)
+    assert [e.seq for e in tracer.events()] == [4, 5, 6]
+
+
+def test_run_parallel_simulation_trace_sink_path(tmp_path):
+    """A bare path as trace_sink streams the run with an owned tracer."""
+    out = tmp_path / "run.jsonl"
+    run_parallel_simulation(2, plummer_model(300, seed=7),
+                            SimulationConfig(theta=0.7), n_steps=1,
+                            trace_sink=out)
+    lines = out.read_text().splitlines()
+    assert lines and all(json.loads(ln)["rank"] in (0, 1) for ln in lines)
+
+
+def test_simulation_trace_sink(tmp_path):
+    from repro.core.simulation import Simulation
+    out = tmp_path / "serial.jsonl"
+    sim = Simulation(plummer_model(200, seed=3), SimulationConfig(dt=0.01),
+                     trace_sink=out)
+    sim.evolve(1)
+    sim.tracer.close()
+    assert out.read_text().splitlines()
