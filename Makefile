@@ -1,5 +1,5 @@
-.PHONY: install test test-faults test-loadbalance bench bench-quick trace \
-	flame dashboard clean
+.PHONY: install test test-faults test-loadbalance bench bench-quick \
+	bench-step trace flame dashboard clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -22,6 +22,12 @@ test-loadbalance:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Fast-path vs reference force pipeline: golden interaction-count check
+# plus the per-phase before/after table (docs/PERFORMANCE.md).  Scale
+# the timed comparison with STEP_BENCH_N / STEP_BENCH_STEPS.
+bench-step:
+	pytest benchmarks/bench_step_pipeline.py -q
 
 # The subset that regenerates every table/figure without the long
 # evolution runs (fig3, equal-mass heating).

@@ -5,6 +5,7 @@ from __future__ import annotations
 import dataclasses
 
 from .constants import PAPER_NLEAF, PAPER_THETA
+from .gravity.treewalk import DEFAULT_CHUNK, PRECISIONS, SCATTER_MODES
 
 
 @dataclasses.dataclass
@@ -26,6 +27,23 @@ class SimulationConfig:
     quadrupole: bool = True
     force_method: str = "tree"       # "tree" or "direct" (O(N^2) oracle)
 
+    # --- Fast-path force pipeline knobs ---------------------------------
+    #: Pairs per evaluation chunk (cache blocking of the interaction
+    #: kernels); the default fits the workspace in L2/L3 on this host.
+    chunk: int = DEFAULT_CHUNK
+    #: Kernel evaluation dtype: "float64", or "float32" (f32 kernels with
+    #: f64 accumulators; bounded by the differential oracle).
+    precision: str = "float64"
+    #: Pair-to-target reduction: "segment" (reduceat over target runs,
+    #: allocation-free) or "bincount" (legacy length-N scatter).
+    scatter: str = "segment"
+    #: Walk all remote boundary/LET structures in one concatenated
+    #: forest pass instead of one walk per source.
+    batch_sources: bool = True
+    #: Seed each step's tree build with the previous step's SFC sort
+    #: permutation (verified/repaired instead of a cold argsort).
+    sort_reuse: bool = True
+
     def __post_init__(self) -> None:
         if self.force_method not in ("tree", "direct"):
             raise ValueError(f"unknown force_method {self.force_method!r}")
@@ -39,3 +57,11 @@ class SimulationConfig:
             raise ValueError(f"unknown MAC {self.mac!r}")
         if self.curve not in ("hilbert", "morton"):
             raise ValueError(f"unknown curve {self.curve!r}")
+        if self.chunk < 1:
+            raise ValueError("chunk must be >= 1")
+        if self.precision not in PRECISIONS:
+            raise ValueError(f"unknown precision {self.precision!r}")
+        if self.scatter not in SCATTER_MODES:
+            raise ValueError(f"unknown scatter {self.scatter!r}")
+        if self.precision == "float32" and self.scatter != "segment":
+            raise ValueError("precision='float32' requires scatter='segment'")

@@ -32,12 +32,13 @@ import numpy as np
 
 from ..config import SimulationConfig
 from ..gravity.flops import InteractionCounts
+from ..gravity.treewalk import KernelWorkspace
 from ..integrator import EnergyDiagnostics
 from ..obs.tracer import Tracer
 from ..particles import ParticleSet
 from ..parallel import DomainDecomposition, distributed_forces, domain_update, exchange_particles
 from ..parallel.feedback import CostModel, LB_MODES
-from ..sfc import BoundingBox
+from ..sfc import BoundingBox, SortCache
 from ..simmpi import SimComm, spmd_run
 from .step import StepBreakdown
 
@@ -118,6 +119,14 @@ class ParallelSimulation:
         self._acc: np.ndarray | None = None
         self._phi: np.ndarray | None = None
         self._weights: np.ndarray | None = None
+        # Fast-path state: one sort cache per sort site (pre-exchange
+        # "Sorting SFC" and the in-force tree build), a persistent
+        # kernel workspace, and the post-exchange keys carried from
+        # redistribute to compute_forces (valid: same box).
+        self._sort_cache = SortCache()
+        self._tree_sort_cache = SortCache()
+        self._workspace: KernelWorkspace | None = None
+        self._keys: np.ndarray | None = None
 
     # -- observability ----------------------------------------------------
 
@@ -216,13 +225,23 @@ class ParallelSimulation:
         t0 = self._now()
         box, box_changed = self._update_box()
         keys = box.keys(self.particles.pos, self.config.curve)
-        order = np.argsort(keys, kind="stable")
-        self.particles.reorder(order)
-        keys = keys[order]
-        weights = self._weights[order] if self._weights is not None and \
+        if self.config.sort_reuse:
+            order = self._sort_cache.order_for(keys)
+            sort_mode = self._sort_cache.last_mode
+        else:
+            order = np.argsort(keys, kind="stable")
+            sort_mode = "cold"
+        weights = self._weights if self._weights is not None and \
             len(self._weights) == len(order) else None
+        if sort_mode != "identity":
+            # identity == keys already non-decreasing: skip the reorder
+            # copies entirely.
+            self.particles.reorder(order)
+            keys = keys[order]
+            if weights is not None:
+                weights = weights[order]
         t1 = self._now()
-        self._rec("sorting", t0, t1)
+        self._rec("sorting", t0, t1, sort_mode=sort_mode)
 
         self.comm.set_phase("domain_update")
         weights, rebalance, ratio = self._lb_decision(keys, weights,
@@ -241,9 +260,9 @@ class ParallelSimulation:
                 self._rec("rebalance", t_rb, self._now(), **attrs)
         self.boundary_history.append(
             tuple(int(b) for b in self.decomposition.boundaries))
-        self.particles = exchange_particles(self.comm, self.particles, keys,
-                                            self.decomposition,
-                                            check=self.invariant_checks)
+        self.particles, self._keys = exchange_particles(
+            self.comm, self.particles, keys, self.decomposition,
+            check=self.invariant_checks, return_keys=True)
         if self.invariant_checks:
             from ..testing.invariants import check_ownership
             keys_after = box.keys(self.particles.pos, self.config.curve)
@@ -268,8 +287,16 @@ class ParallelSimulation:
         boundary/LET *build+send* time books under "Unbalance + Other"
         (the paper hides it), the rest map one-to-one.
         """
-        result = distributed_forces(self.comm, self.particles, self.config,
-                                    self._box, step=self.step_count)
+        if self._workspace is None and self.config.scatter == "segment":
+            self._workspace = KernelWorkspace(self.config.chunk,
+                                              self.config.precision)
+        keys, self._keys = self._keys, None
+        result = distributed_forces(
+            self.comm, self.particles, self.config, self._box,
+            step=self.step_count, keys=keys,
+            sort_cache=self._tree_sort_cache if self.config.sort_reuse
+            else None,
+            workspace=self._workspace)
         self._acc, self._phi = result.acc, result.phi
         self._result = result
         self.recv_wait_seconds += result.recv_wait_seconds

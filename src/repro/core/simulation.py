@@ -20,12 +20,12 @@ from typing import Callable
 import numpy as np
 
 from ..config import SimulationConfig
-from ..gravity import tree_forces
+from ..gravity import KernelWorkspace, tree_forces
 from ..obs.tracer import NULL_TRACER, Tracer
 from ..integrator import EnergyDiagnostics, system_diagnostics
 from ..octree import build_octree, compute_moments, make_groups
 from ..particles import ParticleSet
-from ..sfc import BoundingBox
+from ..sfc import BoundingBox, SortCache
 from .step import StepBreakdown
 
 
@@ -75,6 +75,8 @@ class Simulation:
         self.history: list[StepBreakdown] = []
         self._acc: np.ndarray | None = None
         self._phi: np.ndarray | None = None
+        self._sort_cache = SortCache()
+        self._workspace: KernelWorkspace | None = None
 
     def _now(self) -> float:
         """Phase clock: the tracer's when tracing (so trace == breakdown)."""
@@ -123,12 +125,15 @@ class Simulation:
         t0 = self._now()
         box = BoundingBox.from_positions(ps.pos)
         keys = box.keys(ps.pos, cfg.curve)
+        order = self._sort_cache.order_for(keys) if cfg.sort_reuse else None
         t1 = self._now()
         bd.sorting += t1 - t0
-        self._rec("sorting", t0, t1)
+        sort_attr = {} if order is None else \
+            {"sort_mode": self._sort_cache.last_mode}
+        self._rec("sorting", t0, t1, **sort_attr)
 
         tree = build_octree(ps.pos, nleaf=cfg.nleaf, curve=cfg.curve,
-                            box=box, keys=keys)
+                            box=box, keys=keys, order=order)
         t2 = self._now()
         bd.tree_construction += t2 - t1
         self._rec("tree_construction", t1, t2)
@@ -139,9 +144,14 @@ class Simulation:
         bd.tree_properties += t3 - t2
         self._rec("tree_properties", t2, t3)
 
+        if self._workspace is None and cfg.scatter == "segment":
+            self._workspace = KernelWorkspace(cfg.chunk, cfg.precision)
         result = tree_forces(tree, ps.pos, ps.mass, theta=cfg.theta,
                              eps=cfg.softening, mac=cfg.mac,
-                             quadrupole=cfg.quadrupole)
+                             quadrupole=cfg.quadrupole,
+                             chunk=cfg.chunk, scatter=cfg.scatter,
+                             precision=cfg.precision,
+                             workspace=self._workspace)
         t4 = self._now()
         bd.gravity_local += t4 - t3
         self._rec("gravity_local", t3, t4, n_particles=ps.n,

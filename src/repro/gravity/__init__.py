@@ -15,7 +15,22 @@ from .flops import (
 )
 from .kernels import pp_interactions, pc_interactions
 from .direct import direct_forces
-from .treewalk import TreeWalkResult, tree_forces, walk_interaction_lists
+from .treewalk import (
+    DEFAULT_CHUNK,
+    PRECISIONS,
+    SCATTER_MODES,
+    KernelWorkspace,
+    SourceView,
+    TreeWalkResult,
+    tree_forces,
+    walk_frontier,
+    walk_interaction_lists,
+)
+from .forest import (
+    SourceForest,
+    split_by_source,
+    walk_forest_interaction_lists,
+)
 
 __all__ = [
     "FLOPS_PER_PP",
@@ -26,6 +41,15 @@ __all__ = [
     "pc_interactions",
     "direct_forces",
     "tree_forces",
+    "walk_frontier",
     "walk_interaction_lists",
     "TreeWalkResult",
+    "KernelWorkspace",
+    "SourceView",
+    "DEFAULT_CHUNK",
+    "SCATTER_MODES",
+    "PRECISIONS",
+    "SourceForest",
+    "walk_forest_interaction_lists",
+    "split_by_source",
 ]

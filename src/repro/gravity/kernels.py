@@ -19,6 +19,16 @@ Both kernels are flat: they take pre-gathered target/source pairs as 1-D
 arrays and return per-pair contributions, which callers accumulate (see
 ``treewalk``).  This mirrors the GPU organisation where the interaction
 list is evaluated on the fly and never stored in off-chip memory.
+
+Each kernel exists in two forms: the original allocating form
+(``pp_interactions`` / ``pc_interactions``), and an in-place workspace
+form (``pp_interactions_ws`` / ``pc_interactions_ws``) whose every ufunc
+writes into caller-provided scratch via ``out=`` so steady-state
+evaluation allocates nothing -- the register-resident evaluation the
+paper credits for its single-GPU efficiency, transposed to numpy.  The
+workspace forms accept float32 buffers (``SimulationConfig.precision``),
+matching the paper's single-precision GPU kernels; accumulation back
+into the per-particle sums stays float64 (see ``treewalk``).
 """
 
 from __future__ import annotations
@@ -44,7 +54,7 @@ def pp_interactions(dx: np.ndarray, dy: np.ndarray, dz: np.ndarray,
 
 
 def pc_interactions(dx: np.ndarray, dy: np.ndarray, dz: np.ndarray,
-                    m: np.ndarray, quad: np.ndarray, eps2: float
+                    m: np.ndarray, quad: np.ndarray | None, eps2: float
                     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Particle-cell kernel with quadrupole corrections.
 
@@ -55,12 +65,17 @@ def pc_interactions(dx: np.ndarray, dy: np.ndarray, dz: np.ndarray,
     m:
         Cell masses per pair.
     quad:
-        (n, 6) packed quadrupole components (xx, yy, zz, xy, xz, yz).
+        (n, 6) packed quadrupole components (xx, yy, zz, xy, xz, yz),
+        or None for a monopole-only cell expansion.  The monopole branch
+        is the p-p arithmetic on COM separations -- 23 flops, not the
+        65-flop quadrupole kernel fed a zero tensor.
     eps2:
         Softening squared (applied exactly as in the p-p kernel).
 
     Returns per-pair (ax, ay, az, phi).
     """
+    if quad is None:
+        return pp_interactions(dx, dy, dz, m, eps2)
     qxx, qyy, qzz, qxy, qxz, qyz = (quad[:, k] for k in range(6))
 
     r2 = dx * dx + dy * dy + dz * dz + eps2
@@ -86,6 +101,136 @@ def pc_interactions(dx: np.ndarray, dy: np.ndarray, dz: np.ndarray,
     ay = radial * dy - 3.0 * qry * rinv5
     az = radial * dz - 3.0 * qrz * rinv5
     return ax, ay, az, phi
+
+
+def pp_interactions_ws(dx: np.ndarray, dy: np.ndarray, dz: np.ndarray,
+                       m: np.ndarray, eps2: float,
+                       r2: np.ndarray, tmp: np.ndarray
+                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """In-place p-p kernel: allocation-free workspace form.
+
+    All six arrays must be same-length, same-dtype scratch buffers owned
+    by the caller.  ``dx``/``dy``/``dz``/``m`` are *consumed*: on return
+    they alias (ax, ay, az, phi).
+    """
+    np.multiply(dx, dx, out=r2)
+    np.multiply(dy, dy, out=tmp)
+    r2 += tmp
+    np.multiply(dz, dz, out=tmp)
+    r2 += tmp
+    if eps2 != 0.0:
+        r2 += eps2
+    with np.errstate(divide="ignore", invalid="ignore"):
+        np.sqrt(r2, out=r2)
+        np.divide(1.0, r2, out=r2)          # r2 now holds rinv
+        rinv = r2
+        np.multiply(m, rinv, out=m)         # m now holds mrinv
+        np.multiply(rinv, rinv, out=tmp)
+        np.multiply(m, tmp, out=tmp)        # tmp now holds mrinv3
+        np.multiply(dx, tmp, out=dx)
+        np.multiply(dy, tmp, out=dy)
+        np.multiply(dz, tmp, out=dz)
+        np.negative(m, out=m)               # phi
+    return dx, dy, dz, m
+
+
+def pc_interactions_ws(dx: np.ndarray, dy: np.ndarray, dz: np.ndarray,
+                       m: np.ndarray, quad: tuple[np.ndarray, ...] | None,
+                       eps2: float,
+                       r2: np.ndarray, tmp: np.ndarray,
+                       trq: np.ndarray, qrx: np.ndarray,
+                       qry: np.ndarray, qrz: np.ndarray
+                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """In-place p-c kernel: allocation-free workspace form.
+
+    ``quad`` is a 6-tuple of per-pair component buffers (xx, yy, zz, xy,
+    xz, yz) -- *consumed* as scratch after their values are read -- or
+    None for the monopole branch.  ``dx``/``dy``/``dz``/``m`` are
+    consumed and alias (ax, ay, az, phi) on return.
+    """
+    if quad is None:
+        return pp_interactions_ws(dx, dy, dz, m, eps2, r2, tmp)
+    qxx, qyy, qzz, qxy, qxz, qyz = quad
+
+    np.multiply(dx, dx, out=r2)
+    np.multiply(dy, dy, out=tmp)
+    r2 += tmp
+    np.multiply(dz, dz, out=tmp)
+    r2 += tmp
+    if eps2 != 0.0:
+        r2 += eps2
+    np.sqrt(r2, out=r2)
+    np.divide(1.0, r2, out=r2)              # rinv
+    rinv = r2
+
+    np.add(qxx, qyy, out=trq)
+    trq += qzz
+
+    # Q r before the q-component buffers are recycled.
+    np.multiply(qxx, dx, out=qrx)
+    np.multiply(qxy, dy, out=tmp)
+    qrx += tmp
+    np.multiply(qxz, dz, out=tmp)
+    qrx += tmp
+    np.multiply(qxy, dx, out=qry)
+    np.multiply(qyy, dy, out=tmp)
+    qry += tmp
+    np.multiply(qyz, dz, out=tmp)
+    qry += tmp
+    np.multiply(qxz, dx, out=qrz)
+    np.multiply(qyz, dy, out=tmp)
+    qrz += tmp
+    np.multiply(qzz, dz, out=tmp)
+    qrz += tmp
+
+    rqr = qxx                               # recycle: qxx is dead
+    np.multiply(dx, qrx, out=rqr)
+    np.multiply(dy, qry, out=tmp)
+    rqr += tmp
+    np.multiply(dz, qrz, out=tmp)
+    rqr += tmp
+
+    rinv2 = qyy                             # recycle the remaining q bufs
+    rinv3 = qzz
+    rinv5 = qxy
+    rinv7 = qxz
+    np.multiply(rinv, rinv, out=rinv2)
+    np.multiply(rinv, rinv2, out=rinv3)
+    np.multiply(rinv3, rinv2, out=rinv5)
+    np.multiply(rinv5, rinv2, out=rinv7)
+
+    phi = qyz
+    np.multiply(m, rinv, out=phi)
+    np.negative(phi, out=phi)
+    np.multiply(trq, rinv3, out=tmp)
+    tmp *= 0.5
+    phi += tmp
+    np.multiply(rqr, rinv5, out=tmp)
+    tmp *= 1.5
+    phi -= tmp
+
+    radial = m                              # m is dead after this product
+    np.multiply(m, rinv3, out=radial)
+    np.multiply(trq, rinv5, out=tmp)
+    tmp *= 1.5
+    radial -= tmp
+    np.multiply(rqr, rinv7, out=tmp)
+    tmp *= 7.5
+    radial += tmp
+
+    np.multiply(dx, radial, out=dx)
+    np.multiply(qrx, rinv5, out=tmp)
+    tmp *= 3.0
+    dx -= tmp
+    np.multiply(dy, radial, out=dy)
+    np.multiply(qry, rinv5, out=tmp)
+    tmp *= 3.0
+    dy -= tmp
+    np.multiply(dz, radial, out=dz)
+    np.multiply(qrz, rinv5, out=tmp)
+    tmp *= 3.0
+    dz -= tmp
+    return dx, dy, dz, phi
 
 
 def point_forces_on_targets(targets: np.ndarray, sources: np.ndarray,

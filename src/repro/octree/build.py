@@ -23,6 +23,7 @@ def build_octree(pos: np.ndarray,
                  curve: str = "hilbert",
                  box: BoundingBox | None = None,
                  keys: np.ndarray | None = None,
+                 order: np.ndarray | None = None,
                  max_level: int = KEY_MAX_LEVEL) -> Octree:
     """Construct a sparse octree over ``pos``.
 
@@ -42,6 +43,10 @@ def build_octree(pos: np.ndarray,
         octree (Sec. III-B1).
     keys:
         Pre-computed SFC keys for ``pos`` (skips re-encoding).
+    order:
+        Pre-computed stable sort permutation of ``keys`` (skips the
+        argsort; see :class:`repro.sfc.SortCache`).  Must actually sort
+        ``keys`` -- the caller vouches for it.
     max_level:
         Maximum tree depth; cells at this depth become leaves regardless
         of occupancy (guards against coincident particles).
@@ -63,7 +68,10 @@ def build_octree(pos: np.ndarray,
     else:
         keys = np.asarray(keys, dtype=np.uint64)
 
-    order = np.argsort(keys, kind="stable").astype(np.int64)
+    if order is None:
+        order = np.argsort(keys, kind="stable").astype(np.int64)
+    else:
+        order = np.asarray(order, dtype=np.int64)
     skeys = keys[order]
 
     # Per-level accumulators.

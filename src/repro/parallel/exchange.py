@@ -17,7 +17,8 @@ from .decomposition import DomainDecomposition
 def exchange_particles(comm: SimComm, particles: ParticleSet,
                        keys: np.ndarray,
                        decomp: DomainDecomposition,
-                       check: bool = False) -> ParticleSet:
+                       check: bool = False,
+                       return_keys: bool = False):
     """Route every particle to the rank owning its key.
 
     Returns this rank's new local particle set.  The exchange ships each
@@ -28,6 +29,11 @@ def exchange_particles(comm: SimComm, particles: ParticleSet,
     collective) the global particle count, mass and momentum are
     asserted unchanged across the exchange via
     :mod:`repro.testing.invariants`.
+
+    With ``return_keys=True`` each particle's SFC key rides along in the
+    exchange and ``(particles, keys)`` is returned, saving the driver a
+    re-encode of the post-exchange positions (the keys stay valid: the
+    global box is fixed across a domain update).
     """
     if decomp.n_domains != comm.size:
         raise ValueError("decomposition size does not match communicator")
@@ -44,9 +50,12 @@ def exchange_particles(comm: SimComm, particles: ParticleSet,
     outbox = []
     for d in range(comm.size):
         sel = order[starts[d]:ends[d]]
-        outbox.append((particles.pos[sel], particles.vel[sel],
-                       particles.mass[sel], particles.ids[sel],
-                       particles.component[sel]))
+        cols = (particles.pos[sel], particles.vel[sel],
+                particles.mass[sel], particles.ids[sel],
+                particles.component[sel])
+        if return_keys:
+            cols = cols + (keys[sel],)
+        outbox.append(cols)
     n_kept = int(ends[comm.rank] - starts[comm.rank])
     tr = comm.tracer
     if tr.enabled:
@@ -70,4 +79,6 @@ def exchange_particles(comm: SimComm, particles: ParticleSet,
     if check:
         from ..testing.invariants import check_exchange_conservation
         check_exchange_conservation(comm, totals_before, out)
+    if return_keys:
+        return out, np.concatenate([m[5] for m in inbox])
     return out

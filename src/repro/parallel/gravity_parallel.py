@@ -10,9 +10,13 @@ Implements the full "Compute gravity" phase of Table II:
    remote ranks can use its boundary directly and which need a full LET
    (typically only the ~40 nearest neighbours);
 4. full LETs are exchanged point-to-point;
-5. forces are the sum of the local-tree walk plus one walk per remote
-   structure (boundary or LET) -- "process them separately as soon as
-   they arrive".
+5. forces are the sum of the local-tree walk plus the remote
+   contributions -- by default every batch of arrived structures
+   (boundaries or LETs) is concatenated into one
+   :class:`~repro.gravity.forest.SourceForest` and walked in a single
+   pass ("process them as they arrive", amortized over the whole
+   batch); ``config.batch_sources=False`` restores the reference
+   one-walk-per-source path, which produces bitwise-identical forces.
 
 Every sub-phase is timed into :attr:`DistributedForceResult.phases` and,
 when the communicator's world carries an enabled tracer
@@ -30,15 +34,23 @@ import numpy as np
 
 from ..config import SimulationConfig
 from ..gravity.flops import InteractionCounts
+from ..gravity.forest import (
+    SourceForest,
+    split_by_source,
+    walk_forest_interaction_lists,
+)
 from ..gravity.treewalk import (
+    KernelWorkspace,
+    SourceView,
     evaluate_pc_pairs,
     evaluate_pp_pairs,
     group_aabbs,
+    target_columns,
     walk_interaction_lists,
 )
 from ..octree import Octree, build_octree, compute_moments, compute_opening_radii, make_groups
 from ..particles import ParticleSet
-from ..sfc import BoundingBox
+from ..sfc import BoundingBox, SortCache
 from ..simmpi import SimComm
 from .lettree import LETData, boundary_structure, boundary_sufficient_for, build_let_for_box
 
@@ -72,6 +84,10 @@ class DistributedForceResult:
     #: Seconds per sub-phase (keys: :data:`FORCE_PHASES`); the driver
     #: maps these onto Table II's :class:`StepBreakdown` rows.
     phases: dict[str, float] = dataclasses.field(default_factory=dict)
+    #: Peak frontier width (group, cell) pairs over every walk this
+    #: rank ran this step (local + remote; the forest walk reports its
+    #: combined peak).  Sizes the walk's transient memory high-water.
+    max_frontier: int = 0
 
     @property
     def counts_total(self) -> InteractionCounts:
@@ -79,31 +95,26 @@ class DistributedForceResult:
         return self.counts_local + self.counts_let
 
 
-def _walk_source(tree: Octree, tpos_sorted: np.ndarray,
-                 gmin: np.ndarray, gmax: np.ndarray,
-                 source, acc_sorted: np.ndarray, phi_sorted: np.ndarray,
-                 counts: InteractionCounts, eps2: float, quadrupole: bool,
-                 exclude_self: bool, spos: np.ndarray, smass: np.ndarray) -> None:
-    """Walk one source structure, accumulating into the sorted-order acc."""
-    pc_g, pc_c, pp_g, pp_c, _ = walk_interaction_lists(source, gmin, gmax)
-    evaluate_pc_pairs(acc_sorted, phi_sorted, tpos_sorted, source, pc_g, pc_c,
-                      tree.group_first, tree.group_count, eps2, quadrupole,
-                      counts)
-    evaluate_pp_pairs(acc_sorted, phi_sorted, tpos_sorted, spos, smass,
-                      pp_g, pp_c, tree.group_first, tree.group_count,
-                      source.body_first, source.body_count, eps2, counts,
-                      exclude_self=exclude_self)
-
-
 def distributed_forces(comm: SimComm, particles: ParticleSet,
                        config: SimulationConfig,
                        global_box: BoundingBox,
-                       step: int | None = None) -> DistributedForceResult:
+                       step: int | None = None,
+                       keys: np.ndarray | None = None,
+                       sort_cache: SortCache | None = None,
+                       workspace: KernelWorkspace | None = None,
+                       ) -> DistributedForceResult:
     """Compute gravitational forces on this rank's particles.
 
     ``particles`` must already be domain-decomposed (each rank holds its
     own key interval).  ``global_box`` must be identical on all ranks.
     ``step`` labels emitted trace spans (drivers pass their step count).
+
+    ``keys`` are this rank's SFC keys for ``particles.pos`` if the
+    driver already has them (e.g. carried through the exchange);
+    ``sort_cache`` reuses the previous step's sort permutation when
+    ``config.sort_reuse`` is on; ``workspace`` is a persistent
+    :class:`KernelWorkspace` so steady-state evaluation allocates
+    nothing (one is created locally when absent).
 
     Returns accelerations/potentials in this rank's particle order.
     """
@@ -132,9 +143,15 @@ def distributed_forces(comm: SimComm, particles: ParticleSet,
 
     # --- local tree (Tree-construction / Tree-properties phases) ---------
     t0 = now()
+    if keys is None:
+        keys = global_box.keys(particles.pos, config.curve)
+    order = None
+    if config.sort_reuse and sort_cache is not None:
+        order = sort_cache.order_for(keys)
     tree = build_octree(particles.pos, nleaf=config.nleaf, curve=config.curve,
-                        box=global_box)
-    rec("tree_construction", t0, now())
+                        box=global_box, keys=keys, order=order)
+    sort_attr = {} if order is None else {"sort_mode": sort_cache.last_mode}
+    rec("tree_construction", t0, now(), **sort_attr)
 
     t0 = now()
     compute_moments(tree, particles.pos, particles.mass)
@@ -181,54 +198,153 @@ def distributed_forces(comm: SimComm, particles: ParticleSet,
     counts_let = InteractionCounts(quadrupole=config.quadrupole)
     gmin, gmax = group_aabbs(tree, spos)
 
+    segment = config.scatter == "segment"
+    ws = None
+    tview = None
+    if segment:
+        ws = workspace if workspace is not None else KernelWorkspace(
+            config.chunk, config.precision)
+        ws.ensure(config.chunk)
+        tview = target_columns(spos)
+    eval_kw = dict(chunk=config.chunk, scatter=config.scatter,
+                   workspace=ws, tview=tview)
+    max_frontier = 0
+
     # Local tree first (the GPU starts on local work while LETs arrive).
     t0 = now()
-    _walk_source(tree, spos, gmin, gmax, tree, acc_sorted, phi_sorted,
-                 counts_local, eps2, config.quadrupole,
-                 exclude_self=True, spos=spos, smass=smass)
+    pc_g, pc_c, pp_g, pp_c, mf = walk_interaction_lists(tree, gmin, gmax)
+    max_frontier = max(max_frontier, mf)
+    lview = SourceView.build(tree, spos=spos, smass=smass) if segment else None
+    evaluate_pc_pairs(acc_sorted, phi_sorted, spos, tree, pc_g, pc_c,
+                      tree.group_first, tree.group_count, eps2,
+                      config.quadrupole, counts_local, sview=lview, **eval_kw)
+    evaluate_pp_pairs(acc_sorted, phi_sorted, spos, spos, smass,
+                      pp_g, pp_c, tree.group_first, tree.group_count,
+                      tree.body_first, tree.body_count, eps2, counts_local,
+                      exclude_self=True, sview=lview, **eval_kw)
     rec("gravity_local", t0, now(), n_particles=n,
         n_pp=counts_local.n_pp, n_pc=counts_local.n_pc,
         quadrupole=config.quadrupole)
 
-    def walk_remote(source, src_rank: int, spos_r, smass_r) -> None:
+    def walk_remote(source, src_rank: int) -> None:
+        nonlocal max_frontier
         pp0, pc0 = counts_let.n_pp, counts_let.n_pc
         t0 = now()
-        _walk_source(tree, spos, gmin, gmax, source, acc_sorted, phi_sorted,
-                     counts_let, eps2, config.quadrupole,
-                     exclude_self=False, spos=spos_r, smass=smass_r)
+        pg1, pcl1, pg2, pcl2, mf = walk_interaction_lists(source, gmin, gmax)
+        max_frontier = max(max_frontier, mf)
+        sview = (SourceView.build(source, spos=source.part_pos,
+                                  smass=source.part_mass)
+                 if segment else None)
+        evaluate_pc_pairs(acc_sorted, phi_sorted, spos, source, pg1, pcl1,
+                          tree.group_first, tree.group_count, eps2,
+                          config.quadrupole, counts_let, sview=sview,
+                          **eval_kw)
+        evaluate_pp_pairs(acc_sorted, phi_sorted, spos, source.part_pos,
+                          source.part_mass, pg2, pcl2,
+                          tree.group_first, tree.group_count,
+                          source.body_first, source.body_count, eps2,
+                          counts_let, exclude_self=False, sview=sview,
+                          **eval_kw)
         rec("gravity_let", t0, now(), src=src_rank,
             n_pp=counts_let.n_pp - pp0, n_pc=counts_let.n_pc - pc0)
 
-    # Remote contributions: sufficient boundaries directly...
-    for r in range(comm.size):
-        if r == comm.rank or r in need_full_from:
-            continue
-        b = boundaries[r]
-        walk_remote(b, r, b.part_pos, b.part_mass)
+    def walk_batch(sources: list, ranks: list[int]) -> None:
+        # One frontier pass over every source in the batch.  Each
+        # source's pair segment is then evaluated separately, in batch
+        # order, with a fresh chunk layout -- accumulation order, and
+        # hence float64 bitwise results, match the per-source path.
+        nonlocal max_frontier
+        pp0, pc0 = counts_let.n_pp, counts_let.n_pc
+        t0 = now()
+        forest = SourceForest.concatenate(sources, ranks)
+        fpc_g, fpc_c, fpp_g, fpp_c, mf = walk_forest_interaction_lists(
+            forest, gmin, gmax)
+        max_frontier = max(max_frontier, mf)
+        pc_gs, pc_cs, pc_starts = split_by_source(forest, fpc_g, fpc_c)
+        pp_gs, pp_cs, pp_starts = split_by_source(forest, fpp_g, fpp_c)
+        sview = (SourceView.build(forest, spos=forest.part_pos,
+                                  smass=forest.part_mass)
+                 if segment else None)
+        for i in range(forest.n_sources):
+            a, b = pc_starts[i], pc_starts[i + 1]
+            evaluate_pc_pairs(acc_sorted, phi_sorted, spos, forest,
+                              pc_gs[a:b], pc_cs[a:b],
+                              tree.group_first, tree.group_count, eps2,
+                              config.quadrupole, counts_let, sview=sview,
+                              **eval_kw)
+            a, b = pp_starts[i], pp_starts[i + 1]
+            evaluate_pp_pairs(acc_sorted, phi_sorted, spos,
+                              forest.part_pos, forest.part_mass,
+                              pp_gs[a:b], pp_cs[a:b],
+                              tree.group_first, tree.group_count,
+                              forest.body_first, forest.body_count, eps2,
+                              counts_let, exclude_self=False, sview=sview,
+                              **eval_kw)
+        rec("gravity_let", t0, now(), n_src=forest.n_sources,
+            n_pp=counts_let.n_pp - pp0, n_pc=counts_let.n_pc - pc0)
 
-    # ...full LETs from near neighbours, processed *as they arrive*
+    # Remote contributions.  Sufficient boundaries are available now;
+    # full LETs from near neighbours are processed *as they arrive*
     # (Sec. III-B2: the driver thread feeds whichever LET is ready to
     # the GPU).  Only time spent blocked with nothing to process counts
     # as non-hidden communication.  Under a deterministic tracer the
     # arrival race is removed: LETs are consumed in rank order with a
     # blocking recv, so traced runs replay identically.
+    sufficient = [r for r in range(comm.size)
+                  if r != comm.rank and r not in need_full_from]
     n_received = 0
     pending = list(need_full_from)
-    while pending:
+    if config.batch_sources:
+        # Batched fast path: every drain of available structures is one
+        # forest walk instead of one walk per source.
+        batch = [(boundaries[r], r) for r in sufficient]
         if tr.deterministic:
-            ready = None
+            for r in pending:
+                t0 = now()
+                let: LETData = comm.recv(source=r, tag=TAG_LET)
+                rec("non_hidden_comm", t0, now(), src=r)
+                batch.append((let, r))
+                n_received += 1
+            pending = []
+            if batch:
+                walk_batch([s for s, _ in batch], [r for _, r in batch])
         else:
-            ready = next((r for r in pending if comm.iprobe(r, TAG_LET)), None)
-        if ready is None:
-            ready = pending[0]
-            t0 = now()
-            let: LETData = comm.recv(source=ready, tag=TAG_LET)
-            rec("non_hidden_comm", t0, now(), src=ready)
-        else:
-            let = comm.recv(source=ready, tag=TAG_LET)
-        pending.remove(ready)
-        n_received += 1
-        walk_remote(let, ready, let.part_pos, let.part_mass)
+            while True:
+                for r in [r for r in pending if comm.iprobe(r, TAG_LET)]:
+                    batch.append((comm.recv(source=r, tag=TAG_LET), r))
+                    pending.remove(r)
+                    n_received += 1
+                if not batch and pending:
+                    r = pending.pop(0)
+                    t0 = now()
+                    batch.append((comm.recv(source=r, tag=TAG_LET), r))
+                    rec("non_hidden_comm", t0, now(), src=r)
+                    n_received += 1
+                if batch:
+                    walk_batch([s for s, _ in batch], [r for _, r in batch])
+                    batch = []
+                if not pending:
+                    break
+    else:
+        # Reference per-source path: one walk per remote structure.
+        for r in sufficient:
+            walk_remote(boundaries[r], r)
+        while pending:
+            if tr.deterministic:
+                ready = None
+            else:
+                ready = next((r for r in pending if comm.iprobe(r, TAG_LET)),
+                             None)
+            if ready is None:
+                ready = pending[0]
+                t0 = now()
+                let = comm.recv(source=ready, tag=TAG_LET)
+                rec("non_hidden_comm", t0, now(), src=ready)
+            else:
+                let = comm.recv(source=ready, tag=TAG_LET)
+            pending.remove(ready)
+            n_received += 1
+            walk_remote(let, ready)
 
     acc = np.empty_like(acc_sorted)
     phi = np.empty_like(phi_sorted)
@@ -250,6 +366,10 @@ def distributed_forces(comm: SimComm, particles: ParticleSet,
                 "Tree-walk interaction flops per rank",
                 labelnames=("rank",)).inc(
         (counts_local + counts_let).flops, rank=rank)
+    reg.gauge("walk_max_frontier",
+              "Peak (group, cell) frontier width over this rank's tree "
+              "walks in the latest force computation",
+              labelnames=("rank",)).set(max_frontier, rank=rank)
 
     return DistributedForceResult(
         acc=acc, phi=phi,
@@ -260,4 +380,5 @@ def distributed_forces(comm: SimComm, particles: ParticleSet,
         tree=tree,
         recv_wait_seconds=phases["non_hidden_comm"],
         phases=phases,
+        max_frontier=int(max_frontier),
     )

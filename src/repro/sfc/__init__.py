@@ -15,6 +15,7 @@ from .morton import (
 )
 from .hilbert import hilbert_decode, hilbert_encode
 from .bbox import BoundingBox, cell_geometry, keys_for_positions
+from .sortcache import SORT_MODES, SortCache
 
 __all__ = [
     "KEY_BITS_PER_DIM",
@@ -28,4 +29,6 @@ __all__ = [
     "BoundingBox",
     "keys_for_positions",
     "cell_geometry",
+    "SortCache",
+    "SORT_MODES",
 ]

@@ -1,0 +1,225 @@
+"""Fast-path force pipeline equivalence: batched forest walks, segment
+scatter, float32 evaluation and the sort cache.
+
+The tentpole invariant: every fast-path knob is a pure optimisation.
+In float64 the batched multi-source walk must produce *byte-identical*
+interaction counts and *bitwise-equal* forces to the reference
+one-walk-per-source path (under the deterministic tracer, which fixes
+LET arrival order for both); float32 is bounded by the theta-scaled
+differential envelope.
+"""
+
+import numpy as np
+import pytest
+
+from repro import SimulationConfig
+from repro.core.parallel_simulation import ParallelSimulation
+from repro.gravity import (
+    SourceForest,
+    split_by_source,
+    tree_forces,
+    walk_interaction_lists,
+)
+from repro.gravity.forest import walk_forest_interaction_lists
+from repro.gravity.treewalk import group_aabbs
+from repro.ics import plummer_model
+from repro.obs import Tracer, VirtualClock
+from repro.octree import (
+    build_octree,
+    compute_moments,
+    compute_opening_radii,
+    make_groups,
+)
+from repro.parallel import boundary_structure
+from repro.sfc import BoundingBox
+from repro.simmpi import SimWorld, spmd_run
+from repro.testing.differential import max_rel_difference
+
+N = 1024
+
+
+def _cfg(**kw):
+    base = dict(theta=0.5, softening=0.02, dt=0.01)
+    base.update(kw)
+    return SimulationConfig(**base)
+
+
+def _forces(particles, config, n_ranks, steps=0):
+    """One traced distributed force evaluation (+ optional steps).
+
+    The deterministic virtual clock fixes LET consumption order, so two
+    configurations that promise bitwise-equal forces can be compared
+    exactly.  Returns id-ordered (acc, phi), per-rank count tuples and
+    the per-rank peak frontier widths.
+    """
+    n = particles.n
+    world = SimWorld(n_ranks)
+    world.attach_tracer(Tracer(clock=VirtualClock()))
+
+    def prog(comm):
+        lo = n * comm.rank // comm.size
+        hi = n * (comm.rank + 1) // comm.size
+        sim = ParallelSimulation(comm, particles.select(np.arange(lo, hi)),
+                                 config)
+        sim.prime()
+        for _ in range(steps):
+            sim.step()
+        r = sim._result
+        return (sim.particles.ids, sim._acc, sim._phi,
+                (r.counts_local.n_pp, r.counts_local.n_pc,
+                 r.counts_let.n_pp, r.counts_let.n_pc),
+                r.max_frontier)
+
+    results = spmd_run(n_ranks, prog, world=world, timeout=300.0)
+    ids = np.concatenate([r[0] for r in results])
+    order = np.argsort(ids, kind="stable")
+    acc = np.concatenate([r[1] for r in results])[order]
+    phi = np.concatenate([r[2] for r in results])[order]
+    counts = [r[3] for r in results]
+    frontiers = [r[4] for r in results]
+    return acc, phi, counts, frontiers
+
+
+# -- batched forest vs per-source walks (the tentpole) --------------------
+
+@pytest.mark.parametrize("n_ranks", [1, 2, 4, 8])
+def test_batched_forest_bitwise_matches_per_source(n_ranks):
+    particles = plummer_model(N, seed=11)
+    ref = _forces(particles, _cfg(batch_sources=False), n_ranks)
+    fast = _forces(particles, _cfg(batch_sources=True), n_ranks)
+    assert fast[2] == ref[2]                      # counts byte-identical
+    assert fast[0].tobytes() == ref[0].tobytes()  # forces bitwise equal
+    assert fast[1].tobytes() == ref[1].tobytes()
+    assert all(f >= 1 for f in fast[3])
+
+
+def test_batched_forest_matches_after_steps():
+    # Multiple steps: the comparison also covers sort-cache reuse and the
+    # keys carried through the exchange.
+    particles = plummer_model(N, seed=12)
+    ref = _forces(particles, _cfg(batch_sources=False), 4, steps=2)
+    fast = _forces(particles, _cfg(batch_sources=True), 4, steps=2)
+    assert fast[2] == ref[2]
+    assert fast[0].tobytes() == ref[0].tobytes()
+
+
+def test_segment_scatter_matches_bincount_counts_exactly():
+    particles = plummer_model(N, seed=13)
+    seg = _forces(particles, _cfg(scatter="segment"), 4)
+    binc = _forces(particles, _cfg(scatter="bincount", batch_sources=True), 4)
+    assert seg[2] == binc[2]
+    # Different summation order: equal to tight tolerance, not bitwise.
+    np.testing.assert_allclose(seg[0], binc[0], rtol=1e-12, atol=1e-13)
+
+
+def test_float32_bounded_by_theta_envelope():
+    particles = plummer_model(N, seed=14)
+    cfg64 = _cfg(precision="float64")
+    cfg32 = _cfg(precision="float32")
+    a64, _, c64, _ = _forces(particles, cfg64, 4)
+    a32, _, c32, _ = _forces(particles, cfg32, 4)
+    assert c32 == c64            # precision never changes the walk
+    # f32 kernel round-off is orders below the tree's own MAC error;
+    # the differential harness's worst-particle envelope bounds it.
+    assert max_rel_difference(a32, a64) < 0.3 * cfg64.theta ** 2
+
+
+def test_sort_reuse_off_matches_on():
+    # Plummer keys are distinct, so tie-breaking cannot bite: reusing
+    # the sort permutation must reproduce the cold-sort forces exactly.
+    particles = plummer_model(N, seed=15)
+    on = _forces(particles, _cfg(sort_reuse=True), 2, steps=2)
+    off = _forces(particles, _cfg(sort_reuse=False), 2, steps=2)
+    assert on[2] == off[2]
+    assert on[0].tobytes() == off[0].tobytes()
+
+
+# -- forest walk unit tests ----------------------------------------------
+
+@pytest.fixture(scope="module")
+def slabs():
+    """A target tree plus three remote boundary structures, shared box."""
+    rng = np.random.default_rng(7)
+    pos = rng.normal(size=(4000, 3))
+    mass = rng.uniform(0.5, 1.0, 4000)
+    box = BoundingBox.from_positions(pos)
+    parts = np.array_split(np.argsort(pos[:, 0], kind="stable"), 4)
+
+    def make(idx):
+        t = build_octree(pos[idx], nleaf=16, box=box)
+        compute_moments(t, pos[idx], mass[idx])
+        compute_opening_radii(t, 0.5, "bonsai")
+        make_groups(t, 64)
+        sp = pos[idx][t.order]
+        sm = mass[idx][t.order]
+        return t, sp, sm
+
+    target, tsp, _ = make(parts[0])
+    sources = [boundary_structure(*make(p)) for p in parts[1:]]
+    gmin, gmax = group_aabbs(target, tsp)
+    return sources, gmin, gmax
+
+
+def test_forest_pairs_equal_per_source_walks(slabs):
+    sources, gmin, gmax = slabs
+    forest = SourceForest.concatenate(sources, ranks=range(1, 4))
+    assert forest.n_sources == 3
+    assert forest.n_cells == sum(len(s.mass) for s in sources)
+    fpc_g, fpc_c, fpp_g, fpp_c, mf = walk_forest_interaction_lists(
+        forest, gmin, gmax)
+    pc_g, pc_c, pc_s = split_by_source(forest, fpc_g, fpc_c)
+    pp_g, pp_c, pp_s = split_by_source(forest, fpp_g, fpp_c)
+    assert mf >= 1
+    for i, src in enumerate(sources):
+        rpc_g, rpc_c, rpp_g, rpp_c, _ = walk_interaction_lists(
+            src, gmin, gmax)
+        off = forest.cell_offsets[i]
+        a, b = pc_s[i], pc_s[i + 1]
+        assert np.array_equal(pc_g[a:b], rpc_g)
+        assert np.array_equal(pc_c[a:b] - off, rpc_c)
+        a, b = pp_s[i], pp_s[i + 1]
+        assert np.array_equal(pp_g[a:b], rpp_g)
+        assert np.array_equal(pp_c[a:b] - off, rpp_c)
+
+
+def test_forest_empty_pair_split(slabs):
+    sources, _, _ = slabs
+    forest = SourceForest.concatenate(sources, ranks=range(1, 4))
+    e = np.empty(0, dtype=np.int64)
+    pg, pc, starts = split_by_source(forest, e, e)
+    assert len(pg) == 0 and len(pc) == 0
+    assert np.array_equal(starts, np.zeros(4, dtype=np.int64))
+
+
+def test_forest_rejects_zero_sources():
+    with pytest.raises(ValueError):
+        SourceForest.concatenate([], [])
+
+
+# -- serial fast path -----------------------------------------------------
+
+def test_serial_segment_matches_bincount():
+    rng = np.random.default_rng(3)
+    pos = rng.normal(size=(2500, 3))
+    mass = rng.uniform(0.5, 1.0, 2500)
+    tree = build_octree(pos, nleaf=16)
+    compute_moments(tree, pos, mass)
+    make_groups(tree, 64)
+    a = tree_forces(tree, pos, mass, theta=0.5, eps=0.01, scatter="segment")
+    b = tree_forces(tree, pos, mass, theta=0.5, eps=0.01, scatter="bincount")
+    assert a.counts.n_pp == b.counts.n_pp
+    assert a.counts.n_pc == b.counts.n_pc
+    assert a.max_frontier == b.max_frontier
+    np.testing.assert_allclose(a.acc, b.acc, rtol=1e-12, atol=1e-13)
+    np.testing.assert_allclose(a.phi, b.phi, rtol=1e-12, atol=1e-13)
+
+
+def test_config_validates_fast_path_knobs():
+    with pytest.raises(ValueError):
+        SimulationConfig(scatter="nope")
+    with pytest.raises(ValueError):
+        SimulationConfig(precision="float16")
+    with pytest.raises(ValueError):
+        SimulationConfig(precision="float32", scatter="bincount")
+    with pytest.raises(ValueError):
+        SimulationConfig(chunk=0)

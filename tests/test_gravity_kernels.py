@@ -132,3 +132,45 @@ def test_point_forces_on_targets_chunks_consistently():
     a2 = np.einsum("ij,ijk->ik", m * rinv ** 3, d)
     assert np.allclose(a1, a2)
     assert np.allclose(p1, p2)
+
+
+def test_pc_none_quad_takes_monopole_branch():
+    """quad=None dispatches to the 23-flop p-p kernel: bitwise equal to
+    both a quad of zeros through the 65-flop path (numerically) and to
+    pp_interactions (exactly)."""
+    rng = np.random.default_rng(21)
+    d = rng.normal(size=(200, 3)) * 3
+    m = rng.uniform(0.1, 2.0, 200)
+    mono = pc_interactions(d[:, 0], d[:, 1], d[:, 2], m, None, 0.01)
+    pp = pp_interactions(d[:, 0], d[:, 1], d[:, 2], m, 0.01)
+    for a, b in zip(mono, pp):
+        assert np.array_equal(a, b)
+    zeroq = pc_interactions(d[:, 0], d[:, 1], d[:, 2], m,
+                            np.zeros((200, 6)), 0.01)
+    for a, b in zip(mono, zeroq):
+        assert np.allclose(a, b, rtol=1e-12)
+
+
+def test_workspace_kernels_match_allocating_forms():
+    from repro.gravity.kernels import pc_interactions_ws, pp_interactions_ws
+    rng = np.random.default_rng(22)
+    n = 300
+    d = rng.normal(size=(n, 3)) * 3
+    m = rng.uniform(0.1, 2.0, n)
+    q = rng.normal(size=(n, 6)) * 0.1
+    eps2 = 0.01
+
+    ref = pp_interactions(d[:, 0], d[:, 1], d[:, 2], m, eps2)
+    buf = [c.copy() for c in (d[:, 0], d[:, 1], d[:, 2], m)]
+    got = pp_interactions_ws(*buf, eps2, np.empty(n), np.empty(n))
+    # The ws form associates mrinv3 differently: ulp-equal, not bitwise.
+    for a, b in zip(got, ref):
+        assert np.allclose(a, b, rtol=1e-14, atol=0)
+
+    ref = pc_interactions(d[:, 0], d[:, 1], d[:, 2], m, q, eps2)
+    buf = [c.copy() for c in (d[:, 0], d[:, 1], d[:, 2], m)]
+    qcols = tuple(q[:, i].copy() for i in range(6))
+    scratch = [np.empty(n) for _ in range(6)]
+    got = pc_interactions_ws(*buf, qcols, eps2, *scratch)
+    for a, b in zip(got, ref):
+        assert np.allclose(a, b, rtol=1e-13, atol=1e-15)

@@ -48,9 +48,28 @@ def _traced_run(cfg, world=None):
 
 
 def test_parallel_trace_byte_identical_across_runs(cfg):
+    # cfg defaults include the fast path (batched forest walks, segment
+    # scatter, sort reuse), so this pins its determinism too.
     a = chrome_trace_json(_traced_run(cfg))
     b = chrome_trace_json(_traced_run(cfg))
     assert a == b
+
+
+def test_reference_force_path_trace_byte_identical():
+    """The pre-fast-path pipeline stays deterministic as well."""
+    ref = SimulationConfig(theta=0.6, softening=0.02, dt=0.01,
+                           batch_sources=False, scatter="bincount",
+                           sort_reuse=False)
+    assert chrome_trace_json(_traced_run(ref)) == \
+        chrome_trace_json(_traced_run(ref))
+
+
+def test_float32_fast_path_trace_byte_identical():
+    """Reduced-precision kernels don't reintroduce nondeterminism."""
+    c32 = SimulationConfig(theta=0.6, softening=0.02, dt=0.01,
+                           precision="float32")
+    assert chrome_trace_json(_traced_run(c32)) == \
+        chrome_trace_json(_traced_run(c32))
 
 
 def test_jsonl_byte_identical_across_runs(cfg):
