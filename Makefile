@@ -1,5 +1,5 @@
-.PHONY: install test test-faults test-loadbalance bench bench-quick \
-	bench-step trace flame dashboard clean
+.PHONY: install test test-faults test-loadbalance test-transport bench \
+	bench-quick bench-step bench-transport trace flame dashboard clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -20,6 +20,14 @@ test-loadbalance:
 	       tests/test_parallel_feedback.py \
 	       -m "harness_slow or not harness_slow"
 
+# Cross-transport equivalence matrix: process-transport unit + property
+# suite, trace determinism on both substrates, bitwise differential
+# subset, and fault parity (docs/TRANSPORTS.md).
+test-transport:
+	pytest tests/test_transport_process.py tests/test_obs_determinism.py
+	pytest tests/harness/test_differential.py -k "transport or process"
+	pytest tests/harness/test_faults.py -k "parity or transport or crash"
+
 bench:
 	pytest benchmarks/ --benchmark-only
 
@@ -28,6 +36,12 @@ bench:
 # the timed comparison with STEP_BENCH_N / STEP_BENCH_STEPS.
 bench-step:
 	pytest benchmarks/bench_step_pipeline.py -q
+
+# Threads-vs-process wall-clock at the step-pipeline config; records
+# BENCH_transport.json (speedup gate arms only on >=4 cores).  Scale
+# with TRANSPORT_BENCH_N / TRANSPORT_BENCH_STEPS.
+bench-transport:
+	pytest benchmarks/bench_transport.py -q
 
 # The subset that regenerates every table/figure without the long
 # evolution runs (fig3, equal-mass heating).

@@ -1,0 +1,97 @@
+"""Threads-vs-process transport wall-clock at the bench_step config.
+
+Runs the identical distributed step pipeline (Milky-Way disk ICs, 4
+SimMPI ranks) on the threaded reference transport and the
+multiprocessing/shared-memory transport, and records the comparison to
+``benchmarks/results/BENCH_transport.json``.
+
+The threaded transport shares one GIL, so its four "ranks" mostly
+serialize; the process transport runs one OS process per rank and is
+expected to win on a multi-core host.  **The speedup assertion is gated
+on ``os.cpu_count() >= 4``**: on a single-core machine (like the CI
+container this repo grew up in) forked ranks time-slice one core and
+pay fork + shared-memory shipping on top, so process >= threads there
+is the *expected* outcome, not a regression.  The JSON record always
+stores ``cpu_count`` so a reader can tell which regime produced it.
+
+Environment knobs: ``TRANSPORT_BENCH_N`` (particles, default 8000 --
+the recorded runs use 40000) and ``TRANSPORT_BENCH_STEPS`` (default 3).
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from conftest import RESULTS_DIR, write_result
+from repro import SimulationConfig
+from repro.core.parallel_simulation import gather_particles, run_parallel_simulation
+from repro.ics import milky_way_model
+
+N_RANKS = 4
+BENCH_N = int(os.environ.get("TRANSPORT_BENCH_N", "8000"))
+BENCH_STEPS = int(os.environ.get("TRANSPORT_BENCH_STEPS", "3"))
+
+
+def _cfg():
+    return SimulationConfig(theta=0.5, softening=0.1, dt=0.1)
+
+
+def _run(transport: str):
+    ps = milky_way_model(BENCH_N, seed=42)
+    t0 = time.perf_counter()
+    sims = run_parallel_simulation(N_RANKS, ps, _cfg(), n_steps=BENCH_STEPS,
+                                   timeout=3600.0, transport=transport)
+    wall = time.perf_counter() - t0
+    recv_wait = sum(s.recv_wait_seconds for s in sims)
+    return wall, recv_wait, gather_particles(sims)
+
+
+def test_transport_walltime(results_dir):
+    wall_t, wait_t, out_t = _run("threads")
+    wall_p, wait_p, out_p = _run("process")
+
+    # Same physics on both substrates, whatever the clock says.
+    scale = np.linalg.norm(out_t.pos, axis=1).mean()
+    drift = np.max(np.linalg.norm(out_p.pos - out_t.pos, axis=1))
+    assert drift < 1e-12 * scale
+
+    cpus = os.cpu_count() or 1
+    speedup = wall_t / wall_p
+    lines = [
+        f"Transport wall-clock (N={BENCH_N}, ranks={N_RANKS}, "
+        f"steps={BENCH_STEPS}, cpu_count={cpus})",
+        f"{'transport':12s}{'wall [s]':>10s}{'recv-wait [s]':>15s}",
+        f"{'threads':12s}{wall_t:10.3f}{wait_t:15.3f}",
+        f"{'process':12s}{wall_p:10.3f}{wait_p:15.3f}",
+        f"speedup (threads/process): {speedup:.2f}x"
+        + ("" if cpus >= N_RANKS else
+           f"  [informational: only {cpus} core(s); no gate]"),
+    ]
+    write_result("transport", lines)
+
+    record = {
+        "ts": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "n": BENCH_N, "ranks": N_RANKS, "steps": BENCH_STEPS,
+        "cpu_count": cpus,
+        "wall_threads_s": round(wall_t, 3),
+        "wall_process_s": round(wall_p, 3),
+        "speedup_threads_over_process": round(speedup, 3),
+        "recv_wait_threads_s": round(wait_t, 3),
+        "recv_wait_process_s": round(wait_p, 3),
+        "speedup_gated": cpus >= N_RANKS,
+    }
+    bench_json = RESULTS_DIR / "BENCH_transport.json"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    history = json.loads(bench_json.read_text()) if bench_json.exists() else []
+    history.append(record)
+    bench_json.write_text(json.dumps(history, indent=2) + "\n")
+
+    assert wall_t > 0 and wall_p > 0
+    if cpus >= N_RANKS:
+        # On a real multi-core host the process transport must beat the
+        # GIL-bound threaded transport at 4 ranks.
+        assert speedup > 1.0, (
+            f"process transport slower than threads on a {cpus}-core "
+            f"machine: {wall_p:.2f}s vs {wall_t:.2f}s")

@@ -44,6 +44,13 @@ class SimulationConfig:
     #: permutation (verified/repaired instead of a cold argsort).
     sort_reuse: bool = True
 
+    # --- Execution substrate --------------------------------------------
+    #: SimMPI transport for parallel runs: "threads" (in-process,
+    #: deterministic, GIL-bound), "process" (forked ranks + shared
+    #: memory, true multi-core) or "mpi4py" (real MPI under mpiexec).
+    #: See :mod:`repro.simmpi.transport` and docs/TRANSPORTS.md.
+    transport: str = "threads"
+
     def __post_init__(self) -> None:
         if self.force_method not in ("tree", "direct"):
             raise ValueError(f"unknown force_method {self.force_method!r}")
@@ -65,3 +72,7 @@ class SimulationConfig:
             raise ValueError(f"unknown scatter {self.scatter!r}")
         if self.precision == "float32" and self.scatter != "segment":
             raise ValueError("precision='float32' requires scatter='segment'")
+        from .simmpi.transport import TRANSPORTS
+        if self.transport not in TRANSPORTS:
+            raise ValueError(f"unknown transport {self.transport!r}; "
+                             f"expected one of {TRANSPORTS}")

@@ -25,6 +25,7 @@ the identical Table II numbers from the trace alone.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import time
 
@@ -40,7 +41,31 @@ from ..parallel import DomainDecomposition, distributed_forces, domain_update, e
 from ..parallel.feedback import CostModel, LB_MODES
 from ..sfc import BoundingBox, SortCache
 from ..simmpi import SimComm, spmd_run
+from ..simmpi.transport import make_world, world_transport
 from .step import StepBreakdown
+
+
+@dataclasses.dataclass
+class RankResult:
+    """Picklable end-of-run snapshot of one rank's simulation.
+
+    Process-transport (and mpi4py) runs return these instead of live
+    :class:`ParallelSimulation` objects: the driver, with its
+    communicator and caches, cannot cross a process boundary, but
+    everything a caller inspects after the run can.  The attribute
+    names mirror the driver's, so result-consuming code (e.g.
+    :func:`gather_particles`) works on either.
+    """
+
+    rank: int
+    particles: ParticleSet
+    acc: np.ndarray | None
+    phi: np.ndarray | None
+    time: float
+    step_count: int
+    history: list[StepBreakdown]
+    boundary_history: list[tuple[int, ...]]
+    recv_wait_seconds: float
 
 
 class ParallelSimulation:
@@ -134,6 +159,25 @@ class ParallelSimulation:
     def tracer(self) -> Tracer:
         """The world's tracer (:data:`repro.obs.NULL_TRACER` when off)."""
         return self.comm.tracer
+
+    @property
+    def acc(self) -> np.ndarray | None:
+        """Accelerations of the local particles (post ``compute_forces``)."""
+        return self._acc
+
+    @property
+    def phi(self) -> np.ndarray | None:
+        """Potentials of the local particles (post ``compute_forces``)."""
+        return self._phi
+
+    def portable(self) -> RankResult:
+        """Snapshot this rank's end state for cross-process return."""
+        return RankResult(
+            rank=self.comm.rank, particles=self.particles,
+            acc=self._acc, phi=self._phi, time=self.time,
+            step_count=self.step_count, history=list(self.history),
+            boundary_history=list(self.boundary_history),
+            recv_wait_seconds=self.recv_wait_seconds)
 
     def _now(self) -> float:
         """Phase-boundary clock: tracer clock when tracing, else wall.
@@ -399,16 +443,28 @@ def run_parallel_simulation(n_ranks: int, particles: ParticleSet,
                             invariant_checks: bool = False,
                             trace: Tracer | None = None,
                             trace_sink=None,
-                            on_step=None
+                            on_step=None,
+                            transport: str | None = None
                             ) -> list[ParallelSimulation]:
     """Convenience front-end: shard ``particles``, run ``n_steps`` on
-    ``n_ranks`` SimMPI ranks, return the per-rank simulation objects.
+    ``n_ranks`` SimMPI ranks, return the per-rank results.
 
-    ``world`` lets callers supply a prepared :class:`~repro.simmpi.SimWorld`
-    (e.g. a :class:`~repro.faults.FaultyWorld`) to run the identical
-    program over an instrumented or misbehaving transport.  ``trace``
-    attaches a :class:`repro.obs.Tracer` to that world so the whole run
-    lands in one trace (export with
+    ``transport`` selects the execution substrate (default: the
+    config's ``transport`` field, normally ``"threads"``).  On
+    ``"threads"`` each element of the returned list is the rank's live
+    :class:`ParallelSimulation`; on ``"process"`` (forked ranks,
+    shared-memory messaging -- see docs/TRANSPORTS.md) it is the
+    equivalent picklable :class:`RankResult` snapshot.  Metrics,
+    traffic and traces are merged back onto the world either way, and
+    ``on_step`` runs inside the workers (so a rank-0 progress printer
+    works, but it cannot mutate parent state).
+
+    ``world`` lets callers supply a prepared world object
+    (e.g. a :class:`~repro.faults.FaultyWorld` or a
+    :class:`~repro.simmpi.process.ProcessWorld`) to run the identical
+    program over an instrumented or misbehaving transport; it implies
+    its own transport.  ``trace`` attaches a :class:`repro.obs.Tracer`
+    to that world so the whole run lands in one trace (export with
     :func:`repro.obs.write_chrome_trace`).
 
     ``trace_sink`` accepts anything
@@ -434,6 +490,22 @@ def run_parallel_simulation(n_ranks: int, particles: ParticleSet,
         else:
             trace.add_sink(sink)
 
+    if world is None:
+        chosen = transport or (config.transport if config is not None
+                               else None) or "threads"
+        if chosen != "threads":
+            world = make_world(n_ranks, transport=chosen, timeout=timeout)
+    elif transport is not None and world_transport(world) != transport:
+        raise ValueError(
+            f"world is a {world_transport(world)!r} transport but "
+            f"transport={transport!r} was requested")
+    if world is not None and trace is not None:
+        # Parent-side attach: on the threaded world this is the same
+        # (idempotent) attach the per-rank drivers perform; on a
+        # process world it registers where the merged per-rank events
+        # land after the run.
+        world.attach_tracer(trace)
+
     def prog(comm: SimComm) -> ParallelSimulation:
         lo = n * comm.rank // comm.size
         hi = n * (comm.rank + 1) // comm.size
@@ -446,6 +518,8 @@ def run_parallel_simulation(n_ranks: int, particles: ParticleSet,
                                  invariant_checks=invariant_checks,
                                  trace=trace)
         sim.evolve(n_steps, callback=on_step)
+        if getattr(comm.world, "portable_results", False):
+            return sim.portable()
         return sim
 
     try:
@@ -457,7 +531,8 @@ def run_parallel_simulation(n_ranks: int, particles: ParticleSet,
             trace.flush()
 
 
-def gather_particles(sims: list[ParallelSimulation]) -> ParticleSet:
+def gather_particles(sims: list[ParallelSimulation] | list[RankResult]
+                     ) -> ParticleSet:
     """Reassemble the global particle set in id order from rank results."""
     full = ParticleSet.concatenate([s.particles for s in sims])
     full.reorder(np.argsort(full.ids, kind="stable"))

@@ -11,6 +11,7 @@ checkers and the differential oracle that consume it, and
 ``docs/TESTING.md`` for the DSL reference.
 """
 
+from .lottery import draw_message_faults, message_rng
 from .schedule import (
     ALL_KINDS,
     MESSAGE_KINDS,
@@ -27,7 +28,18 @@ __all__ = [
     "parse_schedule",
     "FaultyWorld",
     "FaultStats",
+    "draw_message_faults",
+    "message_rng",
     "MESSAGE_KINDS",
     "RANK_KINDS",
     "ALL_KINDS",
 ]
+
+
+def __getattr__(name: str):
+    # The process-transport fault world pulls in multiprocessing; load
+    # it lazily so threaded fault tests never pay for it.
+    if name in ("FaultyProcessWorld", "FaultyProcessRankWorld"):
+        from . import process
+        return getattr(process, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

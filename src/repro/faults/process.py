@@ -1,0 +1,311 @@
+"""Fault injection on the process transport.
+
+Same seeded adversary as :class:`~repro.faults.FaultyWorld`, living
+across real process boundaries.  The lottery
+(:mod:`repro.faults.lottery`) is keyed purely by ``(seed, src, dst,
+tag, seq)``, which lets the work split by side without any shared
+fault state:
+
+- the **sender** draws to decide delay (sleep before enqueue, booked
+  with the payload's logical bytes) and duplicate (a second encoded
+  copy on the wire -- each copy gets its own shared-memory segment,
+  since a receiver consumes a segment when it decodes);
+- the **receiver** re-draws the same stream to decide reorder: a
+  message drawn for reorder is withheld in a local holdback slot and
+  released when the next message on its channel arrives (adjacent
+  swap) or when the receiver is starving, mirroring the threaded
+  world's sender-side holdback.  Duplicates are detected against the
+  per-channel sequence state and dropped, with the undecoded copy's
+  segment unlinked.
+
+Observable behavior matches the threaded fault world: identical fault
+*counts* per kind for a given (schedule, seed), identical maskable-
+fault transparency (sequence reassembly hides delay/reorder/duplicate),
+identical typed errors for crash schedules.  Only the lane on which
+reorder trace instants appear differs (the receiver's, not the
+sender's -- a process can only write its own trace lane); fault
+instants are excluded from trace-equality assertions for exactly this
+kind of reason.
+
+Crash and slowdown are rank-local (op counting, sleeping, marking the
+shared failed-flag array) and work unchanged via
+:class:`~repro.faults.lottery.MessageFaultOps`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import defaultdict, deque
+from typing import Any
+
+from ..simmpi.errors import RankFailedError, RecvTimeoutError
+from ..simmpi.process import _MISSING, ProcessRankWorld, ProcessWorld
+from ..simmpi.shm import decode_payload, discard_payload, encode_payload
+from .lottery import MessageFaultOps, draw_message_faults
+from .schedule import FaultSchedule
+from .world import FaultStats
+
+
+class FaultyProcessRankWorld(MessageFaultOps, ProcessRankWorld):
+    """Worker-side world applying the fault schedule from ``spec``."""
+
+    def __init__(self, spec: dict, rank: int):
+        super().__init__(spec, rank)
+        schedule, seed = spec["fault"]
+        if isinstance(schedule, str):
+            schedule = FaultSchedule.parse(schedule)
+        self.schedule = schedule
+        self.seed = int(seed)
+        self.stats = FaultStats(self.metrics)
+        self._fault_lock = threading.Lock()
+        self._op_count: dict[int, int] = defaultdict(int)
+        # Sender side: next seq per (dst, tag) channel (src is us).
+        self._send_seq: dict[tuple[int, int], int] = defaultdict(int)
+        # Receiver side: raw arrivals per channel, then reassembly +
+        # holdback.  Arrivals are serviced lazily, only when their own
+        # channel is popped: dedup accounting then happens at the same
+        # program points as the threaded world's (which only sees a
+        # duplicate when a recv on that channel encounters it), so
+        # ``fault_duplicates_dropped_total`` agrees across transports.
+        self._arrivals: dict[tuple[int, int], Any] = defaultdict(deque)
+        self._deliver_seq: dict[tuple[int, int], int] = defaultdict(int)
+        self._stash: dict[tuple[int, int], dict[int, Any]] = defaultdict(dict)
+        self._holdback: dict[tuple[int, int], tuple[int, Any]] = {}
+        self._reconciling = False
+
+    # -- sender side ---------------------------------------------------------
+
+    def _pre_send(self, src: int) -> None:
+        self._comm_op(src)
+
+    def _enqueue(self, src: int, dst: int, tag: int, payload: Any,
+                 nbytes: int) -> None:
+        with self._fault_lock:
+            seq = self._send_seq[(dst, tag)]
+            self._send_seq[(dst, tag)] = seq + 1
+        delay_s, _reorder, do_duplicate = draw_message_faults(
+            self.schedule, self.seed, src, dst, tag, seq)
+        if delay_s > 0:
+            self.stats.record("delay", nbytes, delay_s)
+            self._fault_instant("delay", src, dst=dst, seconds=delay_s)
+            time.sleep(delay_s)
+        self._outboxes[dst].put(
+            ("p", src, tag,
+             (seq, nbytes, encode_payload(payload, self._shm_threshold))))
+        if do_duplicate:
+            self.stats.record("duplicate", nbytes)
+            self._fault_instant("duplicate", src, dst=dst)
+            self._outboxes[dst].put(
+                ("p", src, tag,
+                 (seq, nbytes, encode_payload(payload, self._shm_threshold))))
+
+    # -- receiver side -------------------------------------------------------
+
+    def _admit_p2p(self, src: int, tag: int, body) -> None:
+        # Raw, undecoded arrival; serviced when this channel is popped.
+        self._arrivals[(src, tag)].append(body)
+
+    def _service_channel(self, key: tuple[int, int]) -> None:
+        """Run pending arrivals of one channel through dedup/holdback.
+
+        Stops as soon as the next in-sequence message is deliverable --
+        the threaded receiver likewise stops consuming its queue the
+        moment the expected message surfaces, so a duplicate copy
+        *behind* it is only encountered (and counted dropped) by a
+        later pop on the channel.
+        """
+        while True:
+            with self._fault_lock:
+                if not self._reconciling and \
+                        self._deliver_seq[key] in self._stash[key]:
+                    return
+            arrivals = self._arrivals.get(key)
+            if not arrivals:
+                return
+            seq, nbytes, enc = arrivals.popleft()
+            with self._fault_lock:
+                held = self._holdback.get(key)
+                duplicate = (seq < self._deliver_seq[key]
+                             or seq in self._stash[key]
+                             or (held is not None and held[0] == seq))
+            if duplicate:
+                discard_payload(enc)
+                self.stats.record_duplicate_dropped()
+                continue
+            payload = decode_payload(enc)
+            _delay, do_reorder, _dup = draw_message_faults(
+                self.schedule, self.seed, src := key[0], self.rank,
+                key[1], seq)
+            with self._fault_lock:
+                held = self._holdback.pop(key, None)
+                if held is None and do_reorder:
+                    # Withhold until the channel's next arrival
+                    # (adjacent swap) or a starving receiver flushes it.
+                    self._holdback[key] = (seq, payload)
+                    withheld = True
+                else:
+                    if held is not None:
+                        self._stash[key][held[0]] = held[1]
+                    self._stash[key][seq] = payload
+                    withheld = False
+            if withheld:
+                self.stats.record("reorder", nbytes)
+                self._fault_instant("reorder", self.rank, src=src)
+
+    def _take_p2p(self, src: int, tag: int):
+        key = (src, tag)
+        with self._fault_lock:
+            expected = self._deliver_seq[key]
+            stash = self._stash[key]
+            if expected in stash:
+                self._deliver_seq[key] = expected + 1
+                return stash.pop(expected)
+        return _MISSING
+
+    def _flush_holdback(self, key: tuple[int, int]) -> bool:
+        with self._fault_lock:
+            env = self._holdback.pop(key, None)
+            if env is None:
+                return False
+            self._stash[key][env[0]] = env[1]
+        return True
+
+    def _pop(self, src: int, dst: int, tag: int,
+             timeout: float | None = None) -> Any:
+        self._comm_op(dst)
+        key = (src, tag)
+        budget = self.timeout if timeout is None else timeout
+        deadline = time.monotonic() + budget
+        fail_polls = 0
+        while True:
+            self._drain_nowait()
+            self._service_channel(key)
+            payload = self._take_p2p(src, tag)
+            if payload is not _MISSING:
+                return payload
+            remaining = deadline - time.monotonic()
+            if self._wait_one(min(self.POLL_INTERVAL, max(remaining, 0.0))):
+                continue
+            if self._flush_holdback(key):
+                continue
+            fail_polls = fail_polls + 1 if self.rank_failed(src) else 0
+            if fail_polls >= 3:
+                raise RankFailedError(src, waiting_rank=dst,
+                                      detail=f"recv tag {tag}")
+            if remaining <= 0:
+                raise RecvTimeoutError(
+                    f"recv timeout: rank {dst} waiting for rank {src} "
+                    f"tag {tag} after {budget:g}s")
+
+    def try_pop(self, src: int, dst: int, tag: int) -> tuple[bool, Any]:
+        self._drain_nowait()
+        self._service_channel((src, tag))
+        payload = self._take_p2p(src, tag)
+        if payload is _MISSING and self._flush_holdback((src, tag)):
+            payload = self._take_p2p(src, tag)
+        if payload is _MISSING:
+            return False, None
+        return True, payload
+
+    def probe(self, src: int, dst: int, tag: int) -> bool:
+        self._drain_nowait()
+        key = (src, tag)
+        self._service_channel(key)
+        with self._fault_lock:
+            return (self._deliver_seq[key] in self._stash[key]
+                    or key in self._holdback)
+
+    def exchange(self, rank: int, generation: int, value: Any) -> list[Any]:
+        self._comm_op(rank)
+        return super().exchange(rank, generation, value)
+
+    # -- teardown --------------------------------------------------------------
+
+    def _discard_item(self, item) -> None:
+        if item[0] == "p":
+            discard_payload(item[3][2])  # ("p", src, tag, (seq, nbytes, enc))
+        else:
+            discard_payload(item[3])
+
+    def drain_inbox(self) -> None:
+        # Reconcile first (mirror of FaultyWorld.finish_run): run every
+        # in-flight envelope through admission so duplicate accounting
+        # reaches its fixed point before the report is shipped.
+        try:
+            self._drain_nowait()
+            self._reconciling = True
+            for key in list(self._arrivals):
+                self._service_channel(key)
+            for key in list(self._holdback):
+                self._flush_holdback(key)
+        except Exception:
+            pass
+        finally:
+            self._reconciling = False
+        super().drain_inbox()
+        # Arrivals that failed to service above still hold undecoded
+        # segments; unlink them.
+        for arrivals in self._arrivals.values():
+            while arrivals:
+                _seq, _nbytes, enc = arrivals.popleft()
+                try:
+                    discard_payload(enc)
+                except Exception:
+                    pass
+
+    # -- report ---------------------------------------------------------------
+
+    def _report_extra(self) -> dict:
+        with self.stats._lock:
+            kinds = {name: (k.events, k.bytes, k.seconds)
+                     for name, k in self.stats.kinds.items()}
+            crashed = list(self.stats.crashed_ranks)
+            dropped = self.stats.duplicates_dropped
+        return {"op_count": dict(self._op_count),
+                "fault_kinds": kinds,
+                "crashed_ranks": crashed,
+                "dup_dropped": dropped}
+
+
+class FaultyProcessWorld(ProcessWorld):
+    """Parent-side handle: a :class:`ProcessWorld` whose workers run
+    :class:`FaultyProcessRankWorld`.
+
+    After :meth:`run`, ``stats`` holds the merged per-kind tallies and
+    ``_op_count`` the merged per-rank comm-op counts, mirroring what
+    :class:`~repro.faults.FaultyWorld` exposes in-process (the metric
+    series ``fault_events_total`` etc. arrive through the ordinary
+    registry merge).
+    """
+
+    def __init__(self, size: int,
+                 schedule: FaultSchedule | str = FaultSchedule(),
+                 seed: int = 0, timeout: float = 120.0, **kwargs):
+        super().__init__(size, timeout=timeout, **kwargs)
+        if isinstance(schedule, str):
+            schedule = FaultSchedule.parse(schedule)
+        if seed < 0:
+            raise ValueError("seed must be non-negative")
+        self.schedule = schedule
+        self.seed = int(seed)
+        # Dict-only tallies: the metric series come via registry merge,
+        # double-counting them here would corrupt fault_events_total.
+        self.stats = FaultStats(registry=None)
+
+    def _spec(self) -> dict:
+        spec = super()._spec()
+        spec["fault"] = (self.schedule, self.seed)
+        return spec
+
+    def _merge_extra(self, rank: int, extra: dict) -> None:
+        super()._merge_extra(rank, extra)
+        with self.stats._lock:
+            for kind, (events, nbytes, seconds) in \
+                    extra.get("fault_kinds", {}).items():
+                k = self.stats.kinds[kind]
+                k.events += events
+                k.bytes += nbytes
+                k.seconds += seconds
+            self.stats.crashed_ranks.extend(extra.get("crashed_ranks", ()))
+            self.stats.duplicates_dropped += extra.get("dup_dropped", 0)

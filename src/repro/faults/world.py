@@ -39,6 +39,7 @@ import numpy as np
 
 from ..simmpi.errors import RankFailedError, RecvTimeoutError, SimulatedRankCrash
 from ..simmpi.runtime import SimWorld
+from .lottery import MessageFaultOps, draw_message_faults
 from .schedule import FaultSchedule
 
 _MISSING = object()
@@ -127,7 +128,7 @@ class FaultStats:
         return out
 
 
-class FaultyWorld(SimWorld):
+class FaultyWorld(MessageFaultOps, SimWorld):
     """A :class:`SimWorld` whose transport misbehaves on schedule.
 
     Parameters
@@ -161,42 +162,9 @@ class FaultyWorld(SimWorld):
         self._holdback: dict[tuple[int, int, int], tuple[int, Any]] = {}
         self._op_count: dict[int, int] = defaultdict(int)
 
-    # -- deterministic fault lottery ---------------------------------------
-
-    def _rng(self, src: int, dst: int, tag: int, seq: int) -> np.random.Generator:
-        ss = np.random.SeedSequence([self.seed, src, dst, abs(tag), seq])
-        return np.random.default_rng(ss)
-
-    def _fault_instant(self, kind: str, rank: int, **attrs) -> None:
-        """Emit a cat="fault" instant without advancing the rank's
-        logical clock (``peek``): injected faults must never shift the
-        logical timeline, so maskable schedules stay trace-transparent."""
-        tr = self.tracer
-        if tr.enabled:
-            tr.instant(f"fault_{kind}", rank=rank, ts=tr.clock.peek(rank),
-                       cat="fault", **attrs)
-
-    def _comm_op(self, rank: int) -> None:
-        """Deterministic per-rank op counter driving crash/slowdown.
-
-        Called from push, blocking pop and exchange -- operations whose
-        per-rank ordinal is a property of the program, not of thread
-        timing -- so crashes land at the same program point every run.
-        """
-        with self._fault_lock:
-            self._op_count[rank] += 1
-            n = self._op_count[rank]
-        crash = self.schedule.crash_for(rank)
-        if crash is not None and n >= crash.after and not self.rank_failed(rank):
-            self.stats.record_crash(rank)
-            self._fault_instant("crash", rank, op=n)
-            self.mark_rank_failed(rank)
-            raise SimulatedRankCrash(rank, n)
-        slow = self.schedule.slowdown_for(rank)
-        if slow is not None and slow.max_delay > 0:
-            self.stats.record("slowdown", 0, slow.max_delay)
-            self._fault_instant("slowdown", rank, seconds=slow.max_delay)
-            time.sleep(slow.max_delay)
+    # The deterministic fault lottery and crash/slowdown machinery live
+    # in MessageFaultOps (repro.faults.lottery), shared with the
+    # process-transport fault world so both draw identical faults.
 
     # -- faulty transport --------------------------------------------------
 
@@ -212,22 +180,8 @@ class FaultyWorld(SimWorld):
         with self._fault_lock:
             seq = self._send_seq[key]
             self._send_seq[key] = seq + 1
-        rng = self._rng(src, dst, tag, seq)
-
-        delay_s = 0.0
-        do_reorder = do_duplicate = False
-        for spec in self.schedule.message_specs:
-            # One draw per clause in declaration order: the lottery
-            # consumes a fixed stream per message whatever the outcome.
-            hit = rng.random() < spec.prob
-            if not spec.matches(src, dst, tag) or not hit:
-                continue
-            if spec.kind == "delay":
-                delay_s += spec.max_delay * float(rng.random())
-            elif spec.kind == "reorder":
-                do_reorder = True
-            elif spec.kind == "duplicate":
-                do_duplicate = True
+        delay_s, do_reorder, do_duplicate = draw_message_faults(
+            self.schedule, self.seed, src, dst, tag, seq)
 
         if delay_s > 0:
             self.stats.record("delay", nbytes, delay_s)
@@ -343,3 +297,26 @@ class FaultyWorld(SimWorld):
     def exchange(self, rank: int, generation: int, value: Any) -> list[Any]:
         self._comm_op(rank)
         return super().exchange(rank, generation, value)
+
+    def finish_run(self) -> None:
+        """Reconcile in-flight envelopes once the program has stopped.
+
+        Runs leftover queue contents and holdbacks through the normal
+        admission path, so every injected duplicate is eventually
+        counted dropped no matter where in the stream the program ended
+        -- making ``fault_duplicates_dropped_total`` a deterministic
+        function of (schedule, seed) alone, comparable across
+        transports (the process fault world reconciles likewise in its
+        worker teardown).
+        """
+        with self._queues_lock:
+            channels = list(self._queues.items())
+        for key, q in channels:
+            while True:
+                try:
+                    env = q.get_nowait()
+                except queue.Empty:
+                    break
+                self._admit(key, env)
+        for key in list(self._holdback):
+            self._flush_holdback(key)

@@ -53,6 +53,17 @@ class Metric:
     def render(self) -> list[str]:
         raise NotImplementedError
 
+    def snapshot(self) -> dict:
+        """Picklable state of every labelled series (for cross-process
+        merging; see :meth:`MetricsRegistry.snapshot`)."""
+        raise NotImplementedError
+
+    def merge(self, data: dict) -> None:
+        """Fold a :meth:`snapshot` from another registry into this
+        metric (counters/histograms add, gauges take the incoming
+        value per label set)."""
+        raise NotImplementedError
+
 
 class Counter(Metric):
     """Monotonically increasing value per label set."""
@@ -91,6 +102,14 @@ class Counter(Metric):
             return [f"{self.name}{self._render_labels(k)} {v:g}"
                     for k, v in sorted(self._values.items())]
 
+    def snapshot(self) -> dict:
+        return self.series()
+
+    def merge(self, data: dict) -> None:
+        with self._lock:
+            for key, v in data.items():
+                self._values[key] = self._values.get(key, 0.0) + v
+
 
 class Gauge(Counter):
     """A value that can go either way (set/inc/dec)."""
@@ -108,6 +127,12 @@ class Gauge(Counter):
     def set(self, value: float, **labels: object) -> None:
         with self._lock:
             self._values[self._key(labels)] = float(value)
+
+    def merge(self, data: dict) -> None:
+        # Gauges are last-write-wins per label set: worker registries
+        # label gauge series by rank, so incoming values simply land.
+        with self._lock:
+            self._values.update(data)
 
 
 class Histogram(Metric):
@@ -181,6 +206,20 @@ class Histogram(Metric):
                 out.append(f"{self.name}_count{self._render_labels(key)} {cum}")
         return out
 
+    def snapshot(self) -> dict:
+        return self.series()
+
+    def merge(self, data: dict) -> None:
+        with self._lock:
+            for key, (counts, total) in data.items():
+                mine, msum = self._values.get(
+                    key, ([0] * (len(self.buckets) + 1), 0.0))
+                if len(counts) != len(mine):
+                    raise ValueError(
+                        f"histogram {self.name!r}: bucket mismatch in merge")
+                merged = [a + b for a, b in zip(mine, counts)]
+                self._values[key] = (merged, msum + total)
+
 
 class MetricsRegistry:
     """Thread-safe, get-or-create home for a run's metrics."""
@@ -230,6 +269,36 @@ class MetricsRegistry:
         """Registered metric names, sorted."""
         with self._lock:
             return sorted(self._metrics)
+
+    def snapshot(self) -> dict:
+        """Picklable dump of every metric: ``{name: (kind, help,
+        labelnames, extra, data)}``.  ``extra`` carries type-specific
+        construction state (histogram buckets).  The process transport
+        ships one of these per worker back to the parent world."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        out = {}
+        for m in metrics:
+            extra = {"buckets": m.buckets} if isinstance(m, Histogram) else {}
+            out[m.name] = (m.kind, m.help, m.labelnames, extra, m.snapshot())
+        return out
+
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        Counters and histograms accumulate; gauges take the incoming
+        per-label values.  Metrics absent here are created with the
+        snapshot's declaration.
+        """
+        kinds = {"counter": self.counter, "gauge": self.gauge,
+                 "histogram": self.histogram}
+        for name, (kind, help, labelnames, extra, data) in snap.items():
+            factory = kinds.get(kind)
+            if factory is None:
+                raise ValueError(f"cannot merge metric kind {kind!r}")
+            kwargs = {"buckets": extra["buckets"]} if kind == "histogram" \
+                else {}
+            factory(name, help, labelnames, **kwargs).merge(data)
 
     def render(self) -> str:
         """Prometheus text exposition format for every metric."""

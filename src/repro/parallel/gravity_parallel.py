@@ -57,6 +57,21 @@ from .lettree import LETData, boundary_structure, boundary_sufficient_for, build
 #: Message tag for LET payloads.
 TAG_LET = 11
 
+
+def _recv_let(comm: SimComm, src: int) -> LETData:
+    """Receive one LET with an explicit, bounded deadline.
+
+    Every LET receive goes through here so none of them inherits an
+    unbounded wait: the deadline is the world's recv timeout, and a
+    peer that died between the boundary-exchange barrier and its LET
+    send surfaces as :class:`~repro.simmpi.errors.RankFailedError`
+    within a few poll intervals (well before the deadline), never as a
+    hang.  A live-but-stuck peer is bounded by
+    :class:`~repro.simmpi.errors.RecvTimeoutError` at the deadline.
+    """
+    return comm.recv(source=src, tag=TAG_LET,
+                     timeout=getattr(comm.world, "timeout", None))
+
 #: Sub-phase keys of :attr:`DistributedForceResult.phases`.
 FORCE_PHASES = ("tree_construction", "tree_properties", "boundary_exchange",
                 "let_exchange", "gravity_local", "gravity_let",
@@ -301,7 +316,7 @@ def distributed_forces(comm: SimComm, particles: ParticleSet,
         if tr.deterministic:
             for r in pending:
                 t0 = now()
-                let: LETData = comm.recv(source=r, tag=TAG_LET)
+                let: LETData = _recv_let(comm, r)
                 rec("non_hidden_comm", t0, now(), src=r)
                 batch.append((let, r))
                 n_received += 1
@@ -311,13 +326,13 @@ def distributed_forces(comm: SimComm, particles: ParticleSet,
         else:
             while True:
                 for r in [r for r in pending if comm.iprobe(r, TAG_LET)]:
-                    batch.append((comm.recv(source=r, tag=TAG_LET), r))
+                    batch.append((_recv_let(comm, r), r))
                     pending.remove(r)
                     n_received += 1
                 if not batch and pending:
                     r = pending.pop(0)
                     t0 = now()
-                    batch.append((comm.recv(source=r, tag=TAG_LET), r))
+                    batch.append((_recv_let(comm, r), r))
                     rec("non_hidden_comm", t0, now(), src=r)
                     n_received += 1
                 if batch:
@@ -338,10 +353,10 @@ def distributed_forces(comm: SimComm, particles: ParticleSet,
             if ready is None:
                 ready = pending[0]
                 t0 = now()
-                let = comm.recv(source=ready, tag=TAG_LET)
+                let = _recv_let(comm, ready)
                 rec("non_hidden_comm", t0, now(), src=ready)
             else:
-                let = comm.recv(source=ready, tag=TAG_LET)
+                let = _recv_let(comm, ready)
             pending.remove(ready)
             n_received += 1
             walk_remote(let, ready)

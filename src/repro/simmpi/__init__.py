@@ -1,18 +1,25 @@
-"""SimMPI: an in-process SPMD message-passing runtime.
+"""SimMPI: a pluggable SPMD message-passing runtime.
 
 The paper's parallel algorithm is written against MPI.  This package
-provides a faithful in-process substitute: each logical rank runs the
-*same* SPMD program in its own thread, communicating through a shared
-:class:`SimWorld` that implements blocking point-to-point and collective
-operations with mpi4py-like semantics and byte-accurate traffic
-accounting.  Tests run the real distributed algorithm on 2-16 ranks and
-the traffic tallies feed the at-scale network performance model.
+provides substitutes at three fidelity levels behind one contract
+(see :mod:`repro.simmpi.transport` and ``docs/TRANSPORTS.md``):
+
+- ``threads`` -- each logical rank runs the *same* SPMD program in its
+  own thread, communicating through a shared :class:`SimWorld` with
+  mpi4py-like semantics and byte-accurate traffic accounting;
+- ``process`` -- each rank is a forked OS process
+  (:class:`ProcessWorld`), ndarray payloads moving through
+  ``multiprocessing.shared_memory``: true multi-core execution with
+  identical accounting;
+- ``mpi4py`` -- a thin shim over ``MPI.COMM_WORLD`` for launching
+  under mpiexec (optional dependency).
 
 Failure semantics: a rank that dies is *marked* on the world, and every
 peer blocked on it receives a typed :class:`RankFailedError` within one
 poll interval; a live-but-silent peer produces :class:`RecvTimeoutError`
 after the configured deadline.  :mod:`repro.faults` builds on these
-hooks to inject deterministic message-level faults.
+hooks to inject deterministic message-level faults on the in-process
+transports.
 """
 
 from .errors import (
@@ -23,7 +30,8 @@ from .errors import (
 )
 from .traffic import TrafficLog
 from .comm import Request, SimComm
-from .runtime import SimWorld, spmd_run
+from .runtime import SimWorld, resolve_run_errors, spmd_run
+from .transport import TRANSPORTS, make_world, world_transport
 
 __all__ = [
     "TrafficLog",
@@ -31,8 +39,24 @@ __all__ = [
     "SimComm",
     "SimWorld",
     "spmd_run",
+    "resolve_run_errors",
+    "TRANSPORTS",
+    "make_world",
+    "world_transport",
     "SimMPIError",
     "RecvTimeoutError",
     "RankFailedError",
     "SimulatedRankCrash",
 ]
+
+
+def __getattr__(name: str):
+    # ProcessWorld imports multiprocessing machinery; load lazily so
+    # plain threaded use never pays for it.
+    if name in ("ProcessWorld", "ProcessRankWorld"):
+        from . import process
+        return getattr(process, name)
+    if name == "MPIWorld":
+        from .mpishim import MPIWorld
+        return MPIWorld
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

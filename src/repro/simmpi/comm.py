@@ -81,8 +81,7 @@ class SimComm:
 
     def set_phase(self, name: str) -> None:
         """Label subsequent traffic with an algorithm phase name."""
-        if self.rank == 0:
-            self.world.traffic.set_phase(name)
+        self.world.set_phase(self.rank, name)
         self.barrier()
 
     # -- point-to-point --------------------------------------------------
@@ -142,7 +141,7 @@ class SimComm:
         Models ``MPI_Allgatherv``: contributions may differ in size.
         """
         nbytes = payload_bytes(obj, self.world.traffic) * (self.size - 1)
-        self.world.traffic.record_collective(nbytes)
+        self.world.record_collective(self.rank, nbytes)
         return self._collective("allgather", nbytes, obj)
 
     def _collective(self, name: str, nbytes: int, obj: Any) -> list[Any]:
@@ -166,7 +165,7 @@ class SimComm:
         out = self._collective("bcast", nbytes,
                                obj if self.rank == root else None)
         if self.rank == root:
-            self.world.traffic.record_collective(nbytes)
+            self.world.record_collective(self.rank, nbytes)
         return out[root]
 
     def allreduce(self, value: Any, op: Callable[[Sequence[Any]], Any] | str = "sum") -> Any:
@@ -195,7 +194,7 @@ class SimComm:
         for dst, o in enumerate(objs):
             if dst != self.rank:
                 b = payload_bytes(o, self.world.traffic)
-                self.world.traffic.record_collective(b)
+                self.world.record_collective(self.rank, b)
                 nbytes += b
         matrix = self._collective("alltoall", nbytes, list(objs))
         return [matrix[src][self.rank] for src in range(self.size)]

@@ -34,12 +34,20 @@ class RankFailedError(SimMPIError):
                  detail: str = ""):
         self.failed_rank = failed_rank
         self.waiting_rank = waiting_rank
+        self.detail = detail
         msg = f"rank {failed_rank} failed"
         if waiting_rank is not None:
             msg += f" while rank {waiting_rank} was waiting on it"
         if detail:
             msg += f" ({detail})"
         super().__init__(msg)
+
+    def __reduce__(self):
+        # Default exception pickling replays ``args`` (the message) into
+        # __init__, which would corrupt the structured fields; the
+        # process transport ships these across rank boundaries.
+        return (RankFailedError,
+                (self.failed_rank, self.waiting_rank, self.detail))
 
 
 class SimulatedRankCrash(SimMPIError):
@@ -54,3 +62,6 @@ class SimulatedRankCrash(SimMPIError):
         self.rank = rank
         self.op_index = op_index
         super().__init__(f"injected crash of rank {rank} at comm op {op_index}")
+
+    def __reduce__(self):
+        return (SimulatedRankCrash, (self.rank, self.op_index))

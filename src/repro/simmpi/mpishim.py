@@ -1,0 +1,116 @@
+"""Thin mpi4py adapter: the SimMPI surface over ``MPI.COMM_WORLD``.
+
+This is the escape hatch to a *real* MPI fabric: launch the script
+under ``mpiexec -n <ranks>`` and pass ``transport="mpi4py"``; every MPI
+process becomes one rank and :class:`MPIWorld` maps the SimMPI
+primitives onto mpi4py calls (``send``/``recv``/``allgather``/
+``Barrier``).  The class subclasses :class:`SimWorld` purely to reuse
+its send/recv accounting and tracing -- only the transport edges are
+overridden -- so traffic metrics and traces keep working per rank.
+
+Deliberately thin, with honest limitations:
+
+- **No failure detection.** Real MPI has no portable peer-death
+  signal; a rank that raises calls ``Abort`` and mpiexec tears the job
+  down.  :class:`RecvTimeoutError` still works (implemented by polling
+  ``Iprobe``), but :class:`RankFailedError` semantics and
+  fault injection are exclusive to the in-process transports.
+- **Per-rank observability only.** Each process holds its own metrics
+  and trace; there is no parent to merge them (use the JSONL trace
+  part-file workflow to combine post hoc).
+- mpi4py is optional and never required by the test suite: everything
+  here is gated on :func:`mpi_available`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+from .errors import RecvTimeoutError
+from .runtime import SimWorld
+
+
+def mpi_available() -> bool:
+    """True when the optional mpi4py package is importable."""
+    try:
+        import mpi4py  # noqa: F401
+        return True
+    except ImportError:
+        return False
+
+
+class MPIWorld(SimWorld):
+    """One MPI process's view of the world (rank = COMM_WORLD rank)."""
+
+    transport = "mpi4py"
+    portable_results = True
+
+    def __init__(self, size: int | None = None, timeout: float = 120.0):
+        from mpi4py import MPI
+        self._mpi = MPI
+        self._comm = MPI.COMM_WORLD
+        world_size = self._comm.Get_size()
+        if size is not None and size != world_size:
+            raise RuntimeError(
+                f"mpi4py transport running under {world_size} MPI "
+                f"processes but {size} ranks were requested; launch "
+                f"with mpiexec -n {size}")
+        super().__init__(world_size, timeout=timeout)
+        self.rank = self._comm.Get_rank()
+
+    def set_phase(self, rank: int, name: str) -> None:
+        self._rank_phase[rank] = name
+        self.traffic.set_phase(name)
+
+    # -- transport edges -----------------------------------------------------
+
+    def _enqueue(self, src: int, dst: int, tag: int, payload: Any,
+                 nbytes: int) -> None:
+        self._comm.send(payload, dest=dst, tag=tag)
+
+    def _pop(self, src: int, dst: int, tag: int,
+             timeout: float | None = None) -> Any:
+        budget = self.timeout if timeout is None else timeout
+        deadline = time.monotonic() + budget
+        while not self._comm.Iprobe(source=src, tag=tag):
+            if time.monotonic() > deadline:
+                raise RecvTimeoutError(
+                    f"recv timeout: rank {dst} waiting for rank {src} "
+                    f"tag {tag} after {budget:g}s")
+            time.sleep(self.POLL_INTERVAL)
+        return self._comm.recv(source=src, tag=tag)
+
+    def try_pop(self, src: int, dst: int, tag: int) -> tuple[bool, Any]:
+        if self._comm.Iprobe(source=src, tag=tag):
+            return True, self._comm.recv(source=src, tag=tag)
+        return False, None
+
+    def probe(self, src: int, dst: int, tag: int) -> bool:
+        return bool(self._comm.Iprobe(source=src, tag=tag))
+
+    def barrier(self) -> None:
+        self._comm.Barrier()
+
+    def exchange(self, rank: int, generation: int, value: Any) -> list[Any]:
+        return self._comm.allgather(value)
+
+    # -- driver ---------------------------------------------------------------
+
+    def run(self, fn: Callable, args: tuple = (), kwargs: dict | None = None,
+            timeout: float = 600.0) -> list[Any]:
+        """Run ``fn(comm, ...)`` as this MPI rank; allgather the results.
+
+        Every rank returns the full result list, so call sites written
+        for the in-process transports work unchanged.  An exception
+        aborts the whole MPI job (no partial-failure recovery here).
+        """
+        from .comm import SimComm
+
+        comm = SimComm(self, self.rank)
+        try:
+            result = fn(comm, *args, **(kwargs or {}))
+        except BaseException:
+            self._comm.Abort(1)
+            raise
+        return self._comm.allgather(result)

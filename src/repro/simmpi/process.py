@@ -1,0 +1,579 @@
+"""True multi-core SimMPI: ranks as forked processes + shared memory.
+
+The threaded :class:`~repro.simmpi.runtime.SimWorld` runs every rank in
+one interpreter, so the Python half of the tree walk serialises on the
+GIL and "4 ranks" buys no wall-clock on one machine.  This module keeps
+the exact SPMD programming model -- the same :class:`SimComm`, the same
+typed errors, the same traffic/trace accounting -- but backs it with
+``multiprocessing`` workers:
+
+- :class:`ProcessWorld` is the **parent-side handle**: it owns the
+  shared plumbing (one inbox queue per rank, a cross-process barrier,
+  a failed-rank flag array), launches the workers, watches for hard
+  deaths, and afterwards merges every worker's metrics, traffic, trace
+  events, receive-wait totals and fault statistics back into itself --
+  so ``world.traffic.total_bytes`` or ``world.metrics.render()`` read
+  identically to a threaded run.
+- :class:`ProcessRankWorld` is the **worker-side world**: a
+  :class:`SimWorld` subclass living inside one forked rank.  It reuses
+  the base class's ``push``/``pop`` accounting and tracing verbatim and
+  overrides only the transport edges (enqueue/dequeue/barrier/
+  collectives), so both transports book bytes and spans through the
+  same code -- the cross-transport equality tests lean on that.
+- ndarray-bearing messages (particle exchange columns, LET trees,
+  boundary structures) travel as pickle-protocol-5 streams whose
+  buffers live in ``multiprocessing.shared_memory`` segments
+  (:mod:`repro.simmpi.shm`), not in pickled queue bytes.
+
+Failure semantics match the threaded world: a rank that raises marks
+itself in the shared flag array and aborts the barrier before exiting,
+so peers blocked on it get :class:`RankFailedError` within one poll
+interval; a rank that dies *without* reporting (segfault, ``kill -9``)
+is detected by the parent watchdog, which marks it the same way -- a
+dead worker fails fast, it never hangs the run.
+
+Worlds are single-run: the barrier abort used for failure propagation
+is permanent, exactly like the threaded world.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import queue as _queue
+import threading
+import time
+import traceback
+from collections import defaultdict, deque
+from typing import Any, Callable
+
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import NULL_TRACER, Tracer
+from .errors import RankFailedError, RecvTimeoutError
+from .runtime import SimWorld, resolve_run_errors
+from .shm import SHM_MIN_BYTES, decode_payload, discard_payload, encode_payload
+from .traffic import TrafficLog
+
+#: Sentinel distinguishing "nothing ready" from a ``None`` payload.
+_MISSING = object()
+
+#: Grace period between noticing a worker died and declaring it failed
+#: without a report (its result may still be in the queue pipe).
+_DEATH_GRACE = 1.0
+
+
+def _portable_exc(exc: BaseException) -> BaseException:
+    """Return ``exc`` if it pickles cleanly, else a summarising stand-in."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        tb = "".join(traceback.format_exception(exc)).strip().splitlines()
+        return RuntimeError(
+            f"unpicklable {type(exc).__name__}: {exc!r} "
+            f"(last frame: {tb[-2].strip() if len(tb) > 1 else '?'})")
+
+
+def _rebuild_tracer(template) -> Tracer:
+    """Worker-local tracer with the same clock semantics as ``template``.
+
+    The parent's tracer object arrives in the worker as a fork copy;
+    recording into it would be invisible to the parent, and its sinks
+    may be files the parent owns.  Each rank therefore records into a
+    private buffer tracer whose clock is rebuilt from the template's
+    configuration (a fresh :class:`VirtualClock` lane is identical to a
+    lane of the shared clock -- every rank only ever advances its own),
+    and ships its events back in the worker report.
+    """
+    from ..obs.clock import VirtualClock, WallClock
+
+    clock = template.clock
+    if isinstance(clock, VirtualClock):
+        clock = VirtualClock(tick=clock.tick, start=clock.start)
+    else:
+        clock = WallClock()
+    return Tracer(clock=clock)
+
+
+class ProcessRankWorld(SimWorld):
+    """One rank's world inside a forked worker process.
+
+    ``spec`` is the plumbing dict built by :meth:`ProcessWorld._spec`
+    and inherited through ``fork``: inbox queues, the shared barrier,
+    the failed-rank flag array.  All observability state (metrics,
+    traffic, tracer, recv-wait) is **rank-local** and merged by the
+    parent after the run.
+    """
+
+    transport = "process"
+    #: SPMD programs returning driver objects should ship a picklable
+    #: snapshot instead (see ``ParallelSimulation.portable``).
+    portable_results = True
+
+    def __init__(self, spec: dict, rank: int):
+        super().__init__(spec["size"], timeout=spec["timeout"])
+        self.rank = rank
+        self._inbox = spec["inboxes"][rank]
+        self._outboxes = spec["inboxes"]
+        self._mp_barrier = spec["barrier"]
+        self._flags = spec["failed_flags"]
+        self._shm_threshold = spec["shm_threshold"]
+        self._p2p_stash: dict[tuple[int, int], deque] = defaultdict(deque)
+        self._coll_stash: dict[tuple[int, int], Any] = {}
+
+    # -- phase labels are per-rank here -------------------------------------
+
+    def set_phase(self, rank: int, name: str) -> None:
+        """Every rank labels its own traffic log (they are merged by
+        summing per-phase series, so all ranks must switch phase at the
+        same program point -- which they do: ``set_phase`` is
+        collective)."""
+        self._rank_phase[rank] = name
+        self.traffic.set_phase(name)
+
+    # -- failure flags are shared across processes ---------------------------
+
+    def rank_failed(self, rank: int) -> bool:
+        return bool(self._flags[rank])
+
+    @property
+    def failed_ranks(self):
+        return frozenset(r for r in range(self.size) if self._flags[r])
+
+    def mark_rank_failed(self, rank: int, exc: BaseException | None = None) -> None:
+        with self._failed_lock:
+            self._failed[rank] = exc
+        if not self._flags[rank]:
+            self._flags[rank] = 1
+            try:
+                self._mp_barrier.abort()
+            except Exception:
+                pass
+
+    def _first_failed(self) -> int:
+        for r in range(self.size):
+            if self._flags[r]:
+                return r
+        return -1
+
+    # -- tracing: rebuild locally, ship events back --------------------------
+
+    def attach_tracer(self, tracer) -> None:
+        if tracer is None or not getattr(tracer, "enabled", False):
+            return
+        if self.tracer is not NULL_TRACER:
+            return  # one tracer per rank per run
+        local = _rebuild_tracer(tracer)
+        with self._obs_lock:
+            self.tracer = local
+        local.bind_metrics(self.metrics)
+
+    # -- transport edges ------------------------------------------------------
+
+    def _enqueue(self, src: int, dst: int, tag: int, payload: Any,
+                 nbytes: int) -> None:
+        self._outboxes[dst].put(
+            ("p", src, tag, encode_payload(payload, self._shm_threshold)))
+
+    def _admit(self, item) -> None:
+        """File one inbound queue item into the local stashes."""
+        if item[0] == "p":
+            _, src, tag, body = item
+            self._admit_p2p(src, tag, body)
+        else:
+            _, gen, src, body = item
+            self._coll_stash[(src, gen)] = decode_payload(body)
+
+    def _admit_p2p(self, src: int, tag: int, body) -> None:
+        self._p2p_stash[(src, tag)].append(decode_payload(body))
+
+    def _drain_nowait(self) -> None:
+        while True:
+            try:
+                item = self._inbox.get_nowait()
+            except _queue.Empty:
+                return
+            self._admit(item)
+
+    def _wait_one(self, timeout: float) -> bool:
+        """Block up to ``timeout`` for one inbound item; admit it."""
+        try:
+            item = self._inbox.get(timeout=max(timeout, 0.0))
+        except _queue.Empty:
+            return False
+        self._admit(item)
+        return True
+
+    def _take_p2p(self, src: int, tag: int):
+        stash = self._p2p_stash.get((src, tag))
+        if stash:
+            return stash.popleft()
+        return _MISSING
+
+    def _pop(self, src: int, dst: int, tag: int,
+             timeout: float | None = None) -> Any:
+        budget = self.timeout if timeout is None else timeout
+        deadline = time.monotonic() + budget
+        fail_polls = 0
+        while True:
+            self._drain_nowait()
+            payload = self._take_p2p(src, tag)
+            if payload is not _MISSING:
+                return payload
+            remaining = deadline - time.monotonic()
+            if self._wait_one(min(self.POLL_INTERVAL, max(remaining, 0.0))):
+                continue
+            # A dead sender's last messages may still be in the queue
+            # pipe when its failed flag appears (the feeder thread
+            # flushes at process exit); require a few consecutive empty
+            # polls before concluding nothing more is coming.
+            fail_polls = fail_polls + 1 if self.rank_failed(src) else 0
+            if fail_polls >= 3:
+                raise RankFailedError(src, waiting_rank=dst,
+                                      detail=f"recv tag {tag}")
+            if remaining <= 0:
+                raise RecvTimeoutError(
+                    f"recv timeout: rank {dst} waiting for rank {src} "
+                    f"tag {tag} after {budget:g}s")
+
+    def try_pop(self, src: int, dst: int, tag: int) -> tuple[bool, Any]:
+        self._drain_nowait()
+        payload = self._take_p2p(src, tag)
+        if payload is _MISSING:
+            return False, None
+        return True, payload
+
+    def probe(self, src: int, dst: int, tag: int) -> bool:
+        self._drain_nowait()
+        return bool(self._p2p_stash.get((src, tag)))
+
+    # -- collectives -----------------------------------------------------------
+
+    def barrier(self) -> None:
+        try:
+            self._mp_barrier.wait(timeout=self.timeout)
+        except threading.BrokenBarrierError:
+            failed = self._first_failed()
+            if failed >= 0:
+                raise RankFailedError(
+                    failed, detail="collective aborted") from None
+            raise
+
+    def exchange(self, rank: int, generation: int, value: Any) -> list[Any]:
+        """Allgather via point-to-point deposits keyed by generation.
+
+        Each destination gets its own encoded copy (shared-memory
+        segments are consumed once by their receiver).  Matching on the
+        caller's collective generation preserves standard MPI ordering
+        discipline without the threaded board's double barrier.
+        """
+        for r in range(self.size):
+            if r != rank:
+                self._outboxes[r].put(
+                    ("x", generation, rank,
+                     encode_payload(value, self._shm_threshold)))
+        out = []
+        for r in range(self.size):
+            out.append(value if r == rank
+                       else self._pop_collective(r, generation, rank))
+        return out
+
+    def _pop_collective(self, src: int, generation: int, rank: int) -> Any:
+        key = (src, generation)
+        deadline = time.monotonic() + self.timeout
+        fail_polls = 0
+        while True:
+            self._drain_nowait()
+            if key in self._coll_stash:
+                return self._coll_stash.pop(key)
+            remaining = deadline - time.monotonic()
+            if self._wait_one(min(self.POLL_INTERVAL, max(remaining, 0.0))):
+                continue
+            fail_polls = fail_polls + 1 if self.rank_failed(src) else 0
+            if fail_polls >= 3:
+                raise RankFailedError(
+                    src, waiting_rank=rank,
+                    detail=f"no deposit in generation {generation}")
+            if remaining <= 0:
+                raise RecvTimeoutError(
+                    f"collective timeout: rank {rank} waiting for rank "
+                    f"{src} in generation {generation}")
+
+    # -- teardown ---------------------------------------------------------------
+
+    def finalize_report(self) -> dict:
+        """Everything the parent merges back: metrics, waits, events."""
+        events = self.tracer.events() if self.tracer.enabled else []
+        with self._obs_lock:
+            recv_wait = dict(self._recv_wait)
+        return {"rank": self.rank,
+                "metrics": self.metrics.snapshot(),
+                "recv_wait": recv_wait,
+                "events": events,
+                "extra": self._report_extra()}
+
+    def _report_extra(self) -> dict:
+        """Subclass hook (fault statistics, op counts)."""
+        return {}
+
+    def _discard_item(self, item) -> None:
+        """Unlink whatever shared memory one queue item references."""
+        discard_payload(item[3])
+
+    def drain_inbox(self) -> None:
+        """Discard undelivered messages, unlinking their segments."""
+        while True:
+            try:
+                item = self._inbox.get_nowait()
+            except _queue.Empty:
+                return
+            try:
+                self._discard_item(item)
+            except Exception:
+                pass
+
+
+def _worker_main(spec: dict, fn: Callable, args: tuple, kwargs: dict,
+                 rank: int) -> None:
+    """Entry point of one forked rank."""
+    from .comm import SimComm
+
+    if spec.get("fault") is not None:
+        from ..faults.process import FaultyProcessRankWorld
+        world: ProcessRankWorld = FaultyProcessRankWorld(spec, rank)
+    else:
+        world = ProcessRankWorld(spec, rank)
+    comm = SimComm(world, rank)
+    status, payload = "ok", None
+    try:
+        payload = fn(comm, *args, **kwargs)
+    except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+        world.mark_rank_failed(rank, exc)
+        status, payload = "error", _portable_exc(exc)
+    finally:
+        world.drain_inbox()
+        report = world.finalize_report()
+        try:
+            blob = pickle.dumps((status, payload, report), protocol=5)
+        except Exception as exc:
+            blob = pickle.dumps(
+                ("error",
+                 RuntimeError(f"rank {rank} result not picklable: {exc!r}"),
+                 report), protocol=5)
+        spec["results"].put((rank, blob))
+
+
+class ProcessWorld:
+    """Parent-side handle for a process-transport SPMD run.
+
+    Mirrors the read surface of :class:`SimWorld` (``metrics``,
+    ``traffic``, ``recv_waits``, ``failed_ranks``, ``attach_tracer``)
+    so harness code can treat both transports uniformly; the numbers
+    appear once :meth:`run` has merged the worker reports.
+
+    Parameters
+    ----------
+    size:
+        Number of ranks (= worker processes).
+    timeout:
+        Receive/barrier deadline inside the workers, like
+        :class:`SimWorld`'s.
+    shm_threshold:
+        Minimum out-of-band payload bytes before a message's buffers
+        move through a shared-memory segment instead of the queue pipe.
+    """
+
+    transport = "process"
+
+    def __init__(self, size: int, timeout: float = 120.0,
+                 shm_threshold: int = SHM_MIN_BYTES):
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        self.size = size
+        self.timeout = timeout
+        self.shm_threshold = shm_threshold
+        self.metrics = MetricsRegistry()
+        self.traffic = TrafficLog(self.metrics)
+        self.tracer = NULL_TRACER
+        self._ctx = multiprocessing.get_context("fork")
+        self._inboxes = [self._ctx.Queue() for _ in range(size)]
+        self._results = self._ctx.Queue()
+        self._barrier = self._ctx.Barrier(size)
+        self._failed_flags = self._ctx.Array("i", size, lock=False)
+        self._recv_wait: dict[int, float] = defaultdict(float)
+        self._op_count: dict[int, int] = defaultdict(int)
+        self._events: list = []
+        self._used = False
+
+    # -- observability mirror -------------------------------------------------
+
+    def attach_tracer(self, tracer) -> None:
+        """Register the tracer that receives the merged per-rank events
+        after the run (idempotent, same contract as ``SimWorld``)."""
+        if self.tracer is not NULL_TRACER and self.tracer is not tracer:
+            raise ValueError("a different tracer is already attached")
+        self.tracer = tracer
+        tracer.bind_metrics(self.metrics)
+
+    def recv_wait_seconds(self, rank: int) -> float:
+        return self._recv_wait[rank]
+
+    @property
+    def recv_waits(self) -> list[float]:
+        return [self._recv_wait[r] for r in range(self.size)]
+
+    @property
+    def failed_ranks(self) -> frozenset[int]:
+        return frozenset(r for r in range(self.size)
+                         if self._failed_flags[r])
+
+    def rank_failed(self, rank: int) -> bool:
+        return bool(self._failed_flags[rank])
+
+    def events(self) -> list:
+        """Merged trace events from every rank, ordered (rank, seq)."""
+        return list(self._events)
+
+    # -- spec / hooks ----------------------------------------------------------
+
+    def _spec(self) -> dict:
+        return {"size": self.size,
+                "timeout": self.timeout,
+                "shm_threshold": self.shm_threshold,
+                "inboxes": self._inboxes,
+                "results": self._results,
+                "barrier": self._barrier,
+                "failed_flags": self._failed_flags,
+                "fault": None}
+
+    def _merge_extra(self, rank: int, extra: dict) -> None:
+        """Subclass hook for per-rank report extras (fault stats)."""
+        for r, n in extra.get("op_count", {}).items():
+            self._op_count[int(r)] += int(n)
+
+    def _mark_failed_from_parent(self, rank: int) -> None:
+        if not self._failed_flags[rank]:
+            self._failed_flags[rank] = 1
+            try:
+                self._barrier.abort()
+            except Exception:
+                pass
+
+    # -- the driver ------------------------------------------------------------
+
+    def run(self, fn: Callable, args: tuple = (), kwargs: dict | None = None,
+            timeout: float = 600.0) -> list[Any]:
+        """Run ``fn(comm, *args, **kwargs)`` on every rank; return results.
+
+        Forks ``size`` workers, watches them (a worker that dies without
+        reporting is marked failed so survivors unblock), then merges
+        every report back into this world's metrics/traffic/trace and
+        applies the shared run-level error policy
+        (:func:`~repro.simmpi.runtime.resolve_run_errors`).
+        """
+        if self._used:
+            raise RuntimeError(
+                "ProcessWorld is single-run (its barrier abort is "
+                "permanent); build a fresh world per run")
+        self._used = True
+        spec = self._spec()
+        procs = [self._ctx.Process(target=_worker_main,
+                                   args=(spec, fn, args, kwargs or {}, r),
+                                   name=f"simmpi-rank-{r}", daemon=True)
+                 for r in range(self.size)]
+        for p in procs:
+            p.start()
+
+        blobs: dict[int, bytes] = {}
+        hard_dead: dict[int, int | None] = {}
+        dead_since: dict[int, float] = {}
+        deadline = time.monotonic() + timeout
+        try:
+            while len(blobs) + len(hard_dead) < self.size:
+                try:
+                    rank, blob = self._results.get(timeout=0.05)
+                    blobs[rank] = blob
+                    continue
+                except _queue.Empty:
+                    pass
+                now = time.monotonic()
+                for r, p in enumerate(procs):
+                    if r in blobs or r in hard_dead or p.is_alive():
+                        continue
+                    # Dead without a report: give its queued report a
+                    # moment to surface, then declare a hard death.
+                    t0 = dead_since.setdefault(r, now)
+                    if now - t0 >= _DEATH_GRACE:
+                        hard_dead[r] = p.exitcode
+                        self._mark_failed_from_parent(r)
+                if now > deadline:
+                    missing = self.size - len(blobs) - len(hard_dead)
+                    for r in range(self.size):
+                        self._mark_failed_from_parent(r)
+                    raise TimeoutError(
+                        f"{missing} ranks still running after {timeout}s")
+        finally:
+            for p in procs:
+                p.join(timeout=5.0)
+            for p in procs:
+                if p.is_alive():
+                    p.terminate()
+                    p.join(timeout=5.0)
+            self._drain_undelivered()
+
+        results: list[Any] = [None] * self.size
+        errors: list[tuple[int, BaseException]] = []
+        for r in range(self.size):
+            if r in hard_dead:
+                errors.append((r, RankFailedError(
+                    r, detail=f"worker process died "
+                              f"(exitcode {hard_dead[r]})")))
+                continue
+            status, payload, report = pickle.loads(blobs[r])
+            self._merge_report(report)
+            if status == "ok":
+                results[r] = payload
+            else:
+                errors.append((r, payload))
+        self._flush_events()
+        resolve_run_errors(errors)
+        return results
+
+    # -- merging ---------------------------------------------------------------
+
+    def _merge_report(self, report: dict) -> None:
+        self.metrics.merge_snapshot(report["metrics"])
+        for r, sec in report["recv_wait"].items():
+            self._recv_wait[int(r)] += sec
+        self._events.extend(report["events"])
+        self._merge_extra(report["rank"], report.get("extra", {}))
+
+    def _flush_events(self) -> None:
+        """Push merged events into the attached tracer's sinks.
+
+        Events keep their original (rank, seq) identity, and are
+        emitted in that order so streaming sinks' per-rank part files
+        stay seq-sorted -- exports are then byte-identical to a
+        threaded run under a virtual clock.
+        """
+        self._events.sort(key=lambda e: (e.rank, e.seq))
+        if self.tracer is NULL_TRACER or not self._events:
+            return
+        for sink in self.tracer.sinks:
+            for ev in self._events:
+                sink.emit(ev)
+
+    def _drain_undelivered(self) -> None:
+        """Unlink shared-memory segments of never-received messages."""
+        for q in self._inboxes:
+            while True:
+                try:
+                    item = q.get_nowait()
+                except _queue.Empty:
+                    break
+                except (OSError, ValueError):
+                    break
+                try:
+                    discard_payload(item[3])
+                except Exception:
+                    pass

@@ -56,6 +56,34 @@ class SimWorld:
             labelnames=("rank",))
         self._flow_send: dict[tuple[int, int, int], int] = defaultdict(int)
         self._flow_recv: dict[tuple[int, int, int], int] = defaultdict(int)
+        self._rank_phase: list[str] = ["default"] * size
+
+    #: Transport name reported by this world class (see
+    #: :mod:`repro.simmpi.transport`).
+    transport = "threads"
+
+    def set_phase(self, rank: int, name: str) -> None:
+        """Label subsequent traffic with an algorithm phase.
+
+        Attribution is tracked **per rank**: each rank's sends and
+        collectives are booked against the phase *that rank* is in, so
+        the labelling is deterministic even when a fast rank enters the
+        next phase while a slow one is still sending (and it matches
+        the process transport, where each rank owns its log).  Rank 0
+        additionally writes the shared log's ambient label, which is
+        what :attr:`TrafficLog.phase` reports.
+        """
+        self._rank_phase[rank] = name
+        if rank == 0:
+            self.traffic.set_phase(name)
+
+    def rank_phase(self, rank: int) -> str:
+        """The algorithm phase ``rank`` is currently in."""
+        return self._rank_phase[rank]
+
+    def record_collective(self, rank: int, nbytes: int) -> None:
+        """Book one collective against ``rank``'s current phase."""
+        self.traffic.record_collective(nbytes, phase=self._rank_phase[rank])
 
     # -- observability -----------------------------------------------------
 
@@ -129,7 +157,8 @@ class SimWorld:
     def push(self, src: int, dst: int, tag: int, payload: Any, nbytes: int) -> None:
         """Send: account traffic, trace, and enqueue (see ``_enqueue``)."""
         self._pre_send(src)
-        self.traffic.record_send(src, dst, nbytes)
+        self.traffic.record_send(src, dst, nbytes,
+                                 phase=self._rank_phase[src])
         tr = self.tracer
         if tr.enabled:
             key = (src, dst, tag)
@@ -257,14 +286,10 @@ class SimWorld:
         return out
 
 
-def spmd_run(size: int, fn: Callable[..., Any], *args: Any,
-             timeout: float = 600.0, world: SimWorld | None = None,
-             **kwargs: Any) -> list[Any]:
-    """Run ``fn(comm, *args, **kwargs)`` on ``size`` ranks; return results.
+def resolve_run_errors(errors: list[tuple[int, BaseException]]) -> None:
+    """Apply the run-level error policy to per-rank exceptions.
 
-    A rank that raises is marked failed on the world immediately, so
-    peers blocked on it fail fast with :class:`RankFailedError` instead
-    of timing out.  The run-level error policy:
+    Shared by every transport driver:
 
     - an injected :class:`SimulatedRankCrash` anywhere surfaces as a
       :class:`RankFailedError` naming the crashed rank;
@@ -272,10 +297,52 @@ def spmd_run(size: int, fn: Callable[..., Any], *args: Any,
       ``RankFailedError`` errors, which are secondary casualties) is
       re-raised wrapped in ``RuntimeError`` with the rank recorded.
     """
+    if not errors:
+        return
+    crash = next(((r, e) for r, e in errors
+                  if isinstance(e, SimulatedRankCrash)), None)
+    if crash is not None:
+        rank, exc = crash
+        raise RankFailedError(rank, detail="injected crash") from exc
+    rank, exc = next(((r, e) for r, e in errors
+                      if not isinstance(e, RankFailedError)), errors[0])
+    if isinstance(exc, RankFailedError):
+        raise exc
+    raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
+
+
+def spmd_run(size: int, fn: Callable[..., Any], *args: Any,
+             timeout: float = 600.0, world: SimWorld | None = None,
+             transport: str | None = None, **kwargs: Any) -> list[Any]:
+    """Run ``fn(comm, *args, **kwargs)`` on ``size`` ranks; return results.
+
+    ``transport`` selects the execution substrate (see
+    :mod:`repro.simmpi.transport`): ``"threads"`` (default) runs each
+    rank in a thread of this process, ``"process"`` in a forked OS
+    process communicating through shared memory.  Passing a prepared
+    ``world`` (e.g. a :class:`~repro.faults.FaultyWorld` or a
+    :class:`~repro.simmpi.process.ProcessWorld`) implies its transport;
+    ``transport`` and ``world`` must agree when both are given.
+
+    A rank that raises is marked failed on the world immediately, so
+    peers blocked on it fail fast with :class:`RankFailedError` instead
+    of timing out.  The run-level error policy is
+    :func:`resolve_run_errors`.
+    """
     from .comm import SimComm
+    from .transport import make_world, world_transport
 
     if world is None:
-        world = SimWorld(size, timeout=timeout)
+        world = make_world(size, transport=transport or "threads",
+                           timeout=timeout)
+    elif transport is not None and world_transport(world) != transport:
+        raise ValueError(
+            f"world is a {world_transport(world)!r} transport but "
+            f"transport={transport!r} was requested")
+    if world.size != size:
+        raise ValueError(f"world has {world.size} ranks, {size} requested")
+    if world_transport(world) != "threads":
+        return world.run(fn, args, kwargs, timeout=timeout)
     results: list[Any] = [None] * size
     errors: list[tuple[int, BaseException]] = []
     lock = threading.Lock()
@@ -298,15 +365,8 @@ def spmd_run(size: int, fn: Callable[..., Any], *args: Any,
     alive = [t for t in threads if t.is_alive()]
     if alive and not errors:
         raise TimeoutError(f"{len(alive)} ranks still running after {timeout}s")
-    if errors:
-        crash = next(((r, e) for r, e in errors
-                      if isinstance(e, SimulatedRankCrash)), None)
-        if crash is not None:
-            rank, exc = crash
-            raise RankFailedError(rank, detail="injected crash") from exc
-        rank, exc = next(((r, e) for r, e in errors
-                          if not isinstance(e, RankFailedError)), errors[0])
-        if isinstance(exc, RankFailedError):
-            raise exc
-        raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
+    finish = getattr(world, "finish_run", None)
+    if finish is not None and not alive:
+        finish()
+    resolve_run_errors(errors)
     return results

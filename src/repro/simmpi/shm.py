@@ -1,0 +1,119 @@
+"""Shared-memory payload codec for the process transport.
+
+A message crossing a :class:`~repro.simmpi.process.ProcessWorld` rank
+boundary is serialised with pickle protocol 5; every out-of-band buffer
+(numpy array data, bytes blocks) above :data:`SHM_MIN_BYTES` total is
+written into **one** ``multiprocessing.shared_memory`` segment instead
+of being copied through the queue pipe.  The receiver attaches, copies
+each buffer into private memory, and unlinks the segment -- so a
+received particle array is always an independent, writable copy:
+mutating it can never corrupt the sender's array, and no view outlives
+the segment (docs/TRANSPORTS.md, "shared-memory lifetime").
+
+The copy-out on receive is deliberate.  Returning live views into the
+segment would save one memcpy but make every received array's lifetime
+equal to the segment's, pushing unlink responsibility into numerical
+code that has no idea it holds shared memory; a leaked segment survives
+the process.  One bounded copy per side (sender packs, receiver
+unpacks) keeps the zero-pickle fast path while the cleanup rule stays
+local to the transport.
+
+Cleanup protocol: the **receiver** unlinks.  The sender unregisters the
+segment from its own ``resource_tracker`` right after creation (the
+receiver's tracker adopts it on attach), so neither side double-frees
+and a clean run leaks nothing.  If a receiver dies before attaching,
+the worker teardown path drains its inbox and unlinks every pending
+descriptor; only a hard-killed worker can leak segments (as with real
+MPI transports, the OS cleans ``/dev/shm`` at reboot).
+"""
+
+from __future__ import annotations
+
+import pickle
+from multiprocessing import resource_tracker, shared_memory
+
+#: Messages whose out-of-band buffers total fewer bytes than this are
+#: pickled inline through the queue pipe; the shared-memory round trip
+#: only pays above it.
+SHM_MIN_BYTES = 1 << 15
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Drop the creating process's resource-tracker registration.
+
+    Ownership moves to the receiver (whose attach re-registers it);
+    without this the sender's tracker would try to unlink the segment a
+    second time at interpreter exit and warn about a leak.
+    """
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def encode_payload(payload, threshold: int = SHM_MIN_BYTES):
+    """Serialise ``payload`` for the inter-process queue.
+
+    Returns ``("inline", data, buffers)`` for small messages or
+    ``("shm", data, segment_name, lengths)`` when the out-of-band
+    buffers were packed into a shared-memory segment.  ``data`` is the
+    protocol-5 pickle stream with the buffers extracted either way, so
+    large array payloads are never copied into the pickle bytes.
+    """
+    buffers: list[pickle.PickleBuffer] = []
+    data = pickle.dumps(payload, protocol=5, buffer_callback=buffers.append)
+    views = [b.raw() for b in buffers]
+    total = sum(v.nbytes for v in views)
+    if total < threshold:
+        out = ("inline", data, [v.tobytes() for v in views])
+    else:
+        seg = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        offset = 0
+        lengths = []
+        for v in views:
+            n = v.nbytes
+            seg.buf[offset:offset + n] = v.cast("B")
+            lengths.append(n)
+            offset += n
+        name = seg.name
+        _untrack(seg)
+        seg.close()
+        out = ("shm", data, name, lengths)
+    for b in buffers:
+        b.release()
+    return out
+
+
+def decode_payload(env):
+    """Reconstruct a payload produced by :func:`encode_payload`.
+
+    Shared-memory buffers are copied out and the segment is unlinked
+    here -- the only place receive-side cleanup happens.
+    """
+    kind = env[0]
+    if kind == "inline":
+        _, data, raw = env
+        return pickle.loads(data, buffers=[bytearray(b) for b in raw])
+    _, data, name, lengths = env
+    seg = shared_memory.SharedMemory(name=name)
+    try:
+        buffers = []
+        offset = 0
+        for n in lengths:
+            buffers.append(bytearray(seg.buf[offset:offset + n]))
+            offset += n
+        return pickle.loads(data, buffers=buffers)
+    finally:
+        seg.close()
+        seg.unlink()
+
+
+def discard_payload(env) -> None:
+    """Release a payload without decoding it (inbox teardown drain)."""
+    if env[0] == "shm":
+        try:
+            seg = shared_memory.SharedMemory(name=env[2])
+            seg.close()
+            seg.unlink()
+        except FileNotFoundError:
+            pass

@@ -86,14 +86,21 @@ class TrafficLog:
         """The phase label applied to subsequent traffic."""
         return self._phase
 
-    def record_send(self, src: int, dst: int, nbytes: int) -> None:
-        self._messages.inc(phase=self._phase)
-        self._bytes.inc(nbytes, phase=self._phase)
+    def record_send(self, src: int, dst: int, nbytes: int,
+                    phase: str | None = None) -> None:
+        # ``phase`` pins the attribution to the *sending rank's* phase;
+        # the fallback is the last global label (racy on the threaded
+        # world when ranks straddle a phase change, which is why the
+        # world always passes it explicitly).
+        p = self._phase if phase is None else phase
+        self._messages.inc(phase=p)
+        self._bytes.inc(nbytes, phase=p)
         self._p2p.inc(nbytes, src=src, dst=dst)
 
-    def record_collective(self, nbytes: int) -> None:
-        self._collectives.inc(phase=self._phase)
-        self._bytes.inc(nbytes, phase=self._phase)
+    def record_collective(self, nbytes: int, phase: str | None = None) -> None:
+        p = self._phase if phase is None else phase
+        self._collectives.inc(phase=p)
+        self._bytes.inc(nbytes, phase=p)
 
     def record_unmeasured(self) -> None:
         """Count one payload whose byte size is only an estimate."""

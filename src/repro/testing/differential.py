@@ -50,11 +50,14 @@ def parallel_forces(particles: ParticleSet, config: SimulationConfig,
                     n_ranks: int, world: SimWorld | None = None,
                     decomposition_method: str = "hierarchical",
                     invariant_checks: bool = False,
-                    timeout: float = 300.0) -> tuple[np.ndarray, np.ndarray]:
+                    timeout: float = 300.0,
+                    transport: str | None = None
+                    ) -> tuple[np.ndarray, np.ndarray]:
     """One distributed force evaluation, gathered back to id order.
 
     ``world`` may be a :class:`~repro.faults.FaultyWorld` to run the
-    identical computation over a misbehaving transport.
+    identical computation over a misbehaving transport; ``transport``
+    selects the substrate ("threads"/"process") when no world is given.
     """
     ps = particles
     n = ps.n
@@ -68,7 +71,8 @@ def parallel_forces(particles: ParticleSet, config: SimulationConfig,
         sim.prime()
         return sim.particles.ids, sim._acc, sim._phi
 
-    results = spmd_run(n_ranks, prog, world=world, timeout=timeout)
+    results = spmd_run(n_ranks, prog, world=world, timeout=timeout,
+                       transport=transport)
     ids = np.concatenate([r[0] for r in results])
     acc = np.concatenate([r[1] for r in results])
     phi = np.concatenate([r[2] for r in results])
@@ -123,10 +127,13 @@ def differential_force_report(particles: ParticleSet,
                               config: SimulationConfig, n_ranks: int,
                               world: SimWorld | None = None,
                               sample_size: int = 192,
-                              rng_seed: int = 0) -> DifferentialReport:
+                              rng_seed: int = 0,
+                              transport: str | None = None
+                              ) -> DifferentialReport:
     """Run both drivers on ``particles`` and compare their forces."""
     acc_s, phi_s = serial_forces(particles, config)
-    acc_p, phi_p = parallel_forces(particles, config, n_ranks, world=world)
+    acc_p, phi_p = parallel_forces(particles, config, n_ranks, world=world,
+                                   transport=transport)
     num = np.linalg.norm(acc_p - acc_s, axis=1)
     den = np.linalg.norm(acc_s, axis=1) + 1e-300
     rel = num / den

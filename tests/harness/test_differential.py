@@ -15,11 +15,16 @@ import numpy as np
 import pytest
 
 from repro import SimulationConfig
+from repro.core.parallel_simulation import run_parallel_simulation
 from repro.ics import milky_way_model, plummer_model
+from repro.simmpi.transport import make_world
 from repro.testing import differential_force_report, parallel_forces
 
 RANKS = (1, 2, 4, 8)
 THETAS = (0.25, 0.5, 0.75)
+#: Cross-transport equivalence matrix (the mpi4py shim needs mpiexec and
+#: is exercised by its own opt-in test, not here).
+TRANSPORT_RANKS = (1, 2, 4)
 
 
 @functools.lru_cache(maxsize=None)
@@ -81,6 +86,75 @@ def test_differential_with_invariant_checks_enabled():
     acc_checked, _ = parallel_forces(ps, cfg, 4, invariant_checks=True)
     assert np.array_equal(acc_plain, acc_checked) or \
         np.max(np.abs(acc_plain - acc_checked)) < 1e-13
+
+
+# --- cross-transport differential matrix --------------------------------
+#
+# The process transport must be *observationally indistinguishable* from
+# the threaded reference: bitwise-equal float64 forces, identical
+# interaction counts, identical logical traffic bytes.  Anything less
+# means the transport swap changed the computation, not just where it
+# ran.
+
+def _transport_probe(ranks: int, transport: str, n_steps: int = 2):
+    """One short run; returns (per-rank state, counts, traffic totals).
+
+    Runs under a :class:`VirtualClock` tracer, which selects the
+    deterministic LET arrival path (rank-order blocking recvs) -- the
+    mode in which bitwise force equality across transports is a hard
+    guarantee rather than a timing accident.
+    """
+    from repro.obs import Tracer, VirtualClock
+    world = make_world(ranks, transport=transport, timeout=120.0)
+    sims = run_parallel_simulation(ranks, _ic("plummer"), _cfg(0.5),
+                                   n_steps=n_steps, world=world,
+                                   trace=Tracer(clock=VirtualClock()))
+    state = [(np.asarray(s.particles.ids), s.particles.pos, s.acc, s.phi)
+             for s in sims]
+    counts = [[(b.counts.n_pp, b.counts.n_pc) for b in s.history]
+              for s in sims]
+    return state, counts, world.traffic.total_bytes, world.traffic.summary()
+
+
+@pytest.mark.parametrize("ranks", TRANSPORT_RANKS)
+def test_process_transport_bitwise_equal_to_threads(ranks):
+    st_t, counts_t, bytes_t, summary_t = _transport_probe(ranks, "threads")
+    st_p, counts_p, bytes_p, summary_p = _transport_probe(ranks, "process")
+    for (ids_t, pos_t, acc_t, phi_t), (ids_p, pos_p, acc_p, phi_p) in \
+            zip(st_t, st_p):
+        assert np.array_equal(ids_t, ids_p)
+        assert np.array_equal(pos_t, pos_p)
+        assert np.array_equal(acc_t, acc_p)   # bitwise float64
+        assert np.array_equal(phi_t, phi_p)
+    assert counts_t == counts_p              # identical interaction counts
+    assert bytes_t == bytes_p                # identical logical traffic
+    assert summary_t == summary_p            # ... in every phase
+
+
+@pytest.mark.parametrize("ranks", TRANSPORT_RANKS[1:])
+def test_process_transport_force_primer_matches(ranks):
+    """The `parallel_forces` harness itself runs on both substrates.
+
+    Untraced runs consume LETs in arrival order, so this asserts the
+    maskable-fault-grade envelope rather than bitwise equality (which
+    the traced probe above guarantees).
+    """
+    from repro.testing import max_rel_difference
+    ps = _ic("plummer")
+    cfg = _cfg(0.5)
+    acc_t, phi_t = parallel_forces(ps, cfg, ranks)
+    acc_p, phi_p = parallel_forces(ps, cfg, ranks, transport="process")
+    assert max_rel_difference(acc_p, acc_t) < 1e-12
+    assert np.max(np.abs(phi_p - phi_t) / (np.abs(phi_t) + 1e-300)) < 1e-12
+
+
+def test_differential_report_on_process_transport():
+    """Serial-vs-parallel accuracy envelopes hold over the process
+    transport too (same walk, different substrate)."""
+    report = differential_force_report(_ic("plummer"), _cfg(0.5), 2,
+                                       transport="process")
+    report.assert_agrees()
+    assert report.max_rel < 0.1
 
 
 def test_report_tolerances_scale_with_theta():

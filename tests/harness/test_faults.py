@@ -161,6 +161,102 @@ def test_crash_point_is_deterministic():
     assert ops[0] == ops[1] == 9
 
 
+# -- parity: same adversary on the process transport ----------------------
+#
+# The fault lottery is keyed by (seed, src, dst, tag, seq) alone, so a
+# given (schedule, seed) must inject the *same* faults whether the ranks
+# are threads or forked processes -- identical per-kind counts, identical
+# duplicate-drop tallies, identical typed errors at identical op counts.
+
+def _fault_counters(world):
+    """Integer-valued fault metric series from the world's registry
+    (seconds are float sums whose order differs across transports)."""
+    snap = world.metrics.snapshot()
+    return {name: snap[name][4] for name in
+            ("fault_events_total", "fault_bytes_total",
+             "fault_duplicates_dropped_total") if name in snap}
+
+
+def test_maskable_fault_parity_across_transports(ps, cfg):
+    from repro.faults import FaultyProcessWorld
+    acc_clean, _ = parallel_forces(ps, cfg, 4)
+
+    wt = FaultyWorld(4, MASKABLE, seed=123, timeout=60.0)
+    acc_t, _ = parallel_forces(ps, cfg, 4, world=wt)
+    wp = FaultyProcessWorld(4, MASKABLE, seed=123, timeout=60.0)
+    acc_p, _ = parallel_forces(ps, cfg, 4, world=wp)
+
+    # Both transports mask the schedule to machine precision.  (Bitwise
+    # equality is asserted on the deterministic traced path in
+    # tests/harness/test_differential.py; untraced runs walk LETs in
+    # arrival order, and the reorder holdback lives on the sender side
+    # on threads but the receiver side on process, so the float
+    # accumulation order may differ in the last bits.)
+    assert max_rel_difference(acc_t, acc_p) < 1e-12
+    assert max_rel_difference(acc_p, acc_clean) < 1e-12
+    for kind in ("delay", "reorder", "duplicate"):
+        assert wp.stats.count(kind) == wt.stats.count(kind) > 0, kind
+    # every injected duplicate is eventually dropped, on both transports
+    assert wp.stats.duplicates_dropped == wt.stats.duplicates_dropped \
+        == wt.stats.count("duplicate")
+    assert _fault_counters(wp) == _fault_counters(wt)
+    assert wp.traffic.total_bytes == wt.traffic.total_bytes
+    assert dict(wp.traffic.p2p_bytes) == dict(wt.traffic.p2p_bytes)
+
+
+def test_slowdown_parity_on_process_transport(ps, cfg):
+    from repro.faults import FaultyProcessWorld
+    acc_clean, _ = parallel_forces(ps, cfg, 4)
+    w = FaultyProcessWorld(4, "slowdown(rank=1, sleep=0.2ms)", timeout=60.0)
+    acc_slow, _ = parallel_forces(ps, cfg, 4, world=w)
+    assert max_rel_difference(acc_slow, acc_clean) < 1e-12
+    assert w.stats.count("slowdown") > 0
+
+
+def test_crash_parity_across_transports(ps, cfg):
+    """Same typed error, same victim, same deterministic crash op-count,
+    surfaced within the recv deadline on both transports."""
+    from repro.faults import FaultyProcessWorld
+    outcomes = {}
+    for name, world in (
+            ("threads", FaultyWorld(4, "crash(rank=1, after=12)",
+                                    seed=7, timeout=8.0)),
+            ("process", FaultyProcessWorld(4, "crash(rank=1, after=12)",
+                                           seed=7, timeout=8.0))):
+        t0 = time.monotonic()
+        with pytest.raises(RankFailedError) as ei:
+            parallel_forces(ps, cfg, 4, world=world, timeout=60.0)
+        elapsed = time.monotonic() - t0
+        assert elapsed < 30.0, f"{name}: crash took {elapsed:.1f}s"
+        assert ei.value.failed_rank == 1
+        outcomes[name] = (sorted(world.stats.crashed_ranks),
+                          world.stats.count("crash"),
+                          world._op_count[1])
+    assert outcomes["threads"] == outcomes["process"] == ([1], 1, 12)
+
+
+@pytest.mark.parametrize("transport", ("threads", "process"))
+def test_mid_step_crash_unblocks_let_receivers(ps, cfg, transport):
+    """Regression for the LET recv audit (gravity_parallel): a rank that
+    dies *between* the boundary-exchange barrier and its LET send -- op
+    30 lands mid-way through the second step's force phase -- must
+    surface as ``RankFailedError`` on the peers blocked in
+    ``comm.recv(tag=TAG_LET)``, never as a hang, on both transports."""
+    from repro.faults import FaultyProcessWorld
+    if transport == "threads":
+        world = FaultyWorld(4, "crash(rank=2, after=30)", timeout=8.0)
+    else:
+        world = FaultyProcessWorld(4, "crash(rank=2, after=30)", timeout=8.0)
+    t0 = time.monotonic()
+    with pytest.raises(RankFailedError) as ei:
+        run_parallel_simulation(4, ps.copy(), cfg, n_steps=2,
+                                world=world, timeout=60.0)
+    elapsed = time.monotonic() - t0
+    assert ei.value.failed_rank == 2
+    assert elapsed < 30.0, f"mid-step crash took {elapsed:.1f}s to surface"
+    assert world.stats.crashed_ranks == [2]
+
+
 def test_crash_during_message_loop_unblocks_receivers():
     """Receivers waiting on a crashed sender get the typed error, not a
     full-deadline hang."""

@@ -37,13 +37,13 @@ def cfg():
     return SimulationConfig(theta=0.6, softening=0.02, dt=0.01)
 
 
-def _traced_run(cfg, world=None):
+def _traced_run(cfg, world=None, transport="threads", n_ranks=N_RANKS):
     tracer = Tracer(clock=VirtualClock())
     particles = plummer_model(N, seed=5)
-    if world is None:
-        world = SimWorld(N_RANKS)
-    run_parallel_simulation(N_RANKS, particles, cfg, n_steps=2,
-                            world=world, trace=tracer)
+    if world is None and transport == "threads":
+        world = SimWorld(n_ranks)
+    run_parallel_simulation(n_ranks, particles, cfg, n_steps=2,
+                            world=world, trace=tracer, transport=transport)
     return tracer
 
 
@@ -75,6 +75,26 @@ def test_float32_fast_path_trace_byte_identical():
 def test_jsonl_byte_identical_across_runs(cfg):
     a = "\n".join(jsonl_lines(_traced_run(cfg)))
     b = "\n".join(jsonl_lines(_traced_run(cfg)))
+    assert a == b
+
+
+@pytest.mark.parametrize("ranks", (1, 2, 4))
+def test_trace_byte_identical_across_transports(cfg, ranks):
+    """The process transport replays the threaded trace *byte for byte*
+    under the virtual clock: per-rank worker tracers merged by (rank,
+    seq) reproduce the shared-tracer event stream exactly.  This is the
+    strongest cross-transport equivalence check we have -- every span
+    name, timestamp, counter and flow id must line up."""
+    threads = chrome_trace_json(_traced_run(cfg, n_ranks=ranks))
+    process = chrome_trace_json(_traced_run(cfg, transport="process",
+                                            n_ranks=ranks))
+    assert threads == process
+
+
+@pytest.mark.parametrize("transport", ("threads", "process"))
+def test_trace_byte_identical_across_runs_per_transport(cfg, transport):
+    a = chrome_trace_json(_traced_run(cfg, transport=transport))
+    b = chrome_trace_json(_traced_run(cfg, transport=transport))
     assert a == b
 
 
