@@ -1,5 +1,6 @@
 .PHONY: install test test-faults test-loadbalance test-transport bench \
-	bench-quick bench-step bench-transport trace flame dashboard clean
+	bench-quick bench-step bench-transport bench-history trace flame \
+	dashboard clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -42,6 +43,18 @@ bench-step:
 # with TRANSPORT_BENCH_N / TRANSPORT_BENCH_STEPS.
 bench-transport:
 	pytest benchmarks/bench_transport.py -q
+
+# Registered-benchmark runner: append one run of the two CI benches to
+# benchmarks/history/*.jsonl, then judge the trajectory -- deterministic
+# count metrics gate hard (exit 1 on drift), wall-clock is advisory
+# (docs/PERFORMANCE.md §4, python -m repro.obs.bench --help).
+bench-history:
+	PYTHONPATH=src:$$PYTHONPATH python -m repro.obs.bench run step_pipeline
+	PYTHONPATH=src:$$PYTHONPATH python -m repro.obs.bench run obs_overhead
+	PYTHONPATH=src:$$PYTHONPATH python -m repro.obs.bench history step_pipeline \
+	       --threshold 0.25 --min-abs 0.05
+	PYTHONPATH=src:$$PYTHONPATH python -m repro.obs.bench history obs_overhead \
+	       --threshold 0.25 --min-abs 0.05
 
 # The subset that regenerates every table/figure without the long
 # evolution runs (fig3, equal-mass heating).

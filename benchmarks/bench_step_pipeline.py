@@ -28,11 +28,12 @@ import time
 import tracemalloc
 from pathlib import Path
 
-from conftest import RESULTS_DIR, write_result
+from conftest import RESULTS_DIR, append_history, write_result
 from repro import SimulationConfig
 from repro.core.parallel_simulation import run_parallel_simulation
 from repro.core.step import TABLE2_PHASES
 from repro.ics import milky_way_model
+from repro.obs.bench import BenchResult, register_bench
 
 GOLDEN = Path(__file__).resolve().parent / "step_pipeline_golden.json"
 
@@ -69,6 +70,31 @@ def _run(config, n, steps, seed=42):
             n_pc += bd.counts.n_pc
     max_frontier = max(s._result.max_frontier for s in sims)
     return wall, phases, (n_pp, n_pc), max_frontier
+
+
+@register_bench("step_pipeline",
+                description="fast-path distributed step: interaction "
+                            "counts (gate) and per-phase wall time",
+                root_artifact="BENCH_step.json")
+def run_bench(n=2000, steps=1, seed=42) -> BenchResult:
+    """Canonical runner: one fast-path run at a fixed, small config.
+
+    The interaction tallies are deterministic at fixed (n, ranks,
+    steps, seed) -- they gate; the phase/wall seconds ride along as
+    advisory wall metrics.
+    """
+    wall, phases, (n_pp, n_pc), max_frontier = _run(_cfg(), n, steps,
+                                                    seed=seed)
+    return BenchResult(
+        bench="step_pipeline",
+        config={"n": n, "ranks": N_RANKS, "steps": steps, "seed": seed,
+                "pipeline": "fast"},
+        counts={"n_pp": n_pp, "n_pc": n_pc},
+        wall={"wall_s": wall,
+              "gravity_s": phases["gravity_local"] + phases["gravity_let"],
+              "sorting_s": phases["sorting"]},
+        meta={"max_frontier": max_frontier},
+    )
 
 
 def _alloc_stats(config, n=3000):
@@ -151,5 +177,15 @@ def test_step_pipeline_speedup(results_dir):
     history = json.loads(bench_json.read_text()) if bench_json.exists() else []
     history.append(record)
     bench_json.write_text(json.dumps(history, indent=2) + "\n")
+
+    append_history(BenchResult(
+        bench="step_pipeline",
+        config={"n": BENCH_N, "ranks": N_RANKS, "steps": BENCH_STEPS,
+                "seed": 42, "pipeline": "fast_vs_reference"},
+        counts={"n_pp": fast_counts[0], "n_pc": fast_counts[1]},
+        wall={"wall_reference_s": ref_wall, "wall_fast_s": fast_wall,
+              "speedup": ref_wall / fast_wall},
+        meta={"max_frontier": max_frontier},
+    ))
 
     assert ref_wall > 0 and fast_wall > 0

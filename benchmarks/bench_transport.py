@@ -24,10 +24,11 @@ import time
 
 import numpy as np
 
-from conftest import RESULTS_DIR, write_result
+from conftest import RESULTS_DIR, append_history, write_result
 from repro import SimulationConfig
 from repro.core.parallel_simulation import gather_particles, run_parallel_simulation
 from repro.ics import milky_way_model
+from repro.obs.bench import BenchResult, register_bench
 
 N_RANKS = 4
 BENCH_N = int(os.environ.get("TRANSPORT_BENCH_N", "8000"))
@@ -38,19 +39,40 @@ def _cfg():
     return SimulationConfig(theta=0.5, softening=0.1, dt=0.1)
 
 
-def _run(transport: str):
-    ps = milky_way_model(BENCH_N, seed=42)
+def _run(transport: str, n: int = BENCH_N, steps: int = BENCH_STEPS):
+    ps = milky_way_model(n, seed=42)
     t0 = time.perf_counter()
-    sims = run_parallel_simulation(N_RANKS, ps, _cfg(), n_steps=BENCH_STEPS,
+    sims = run_parallel_simulation(N_RANKS, ps, _cfg(), n_steps=steps,
                                    timeout=3600.0, transport=transport)
     wall = time.perf_counter() - t0
     recv_wait = sum(s.recv_wait_seconds for s in sims)
-    return wall, recv_wait, gather_particles(sims)
+    n_pp = sum(bd.counts.n_pp for s in sims for bd in s.history)
+    n_pc = sum(bd.counts.n_pc for s in sims for bd in s.history)
+    return wall, recv_wait, (n_pp, n_pc), gather_particles(sims)
+
+
+@register_bench("transport",
+                description="threads vs process transport: identical "
+                            "interaction counts (gate), wall ratio "
+                            "(advisory on few-core hosts)",
+                root_artifact="BENCH_transport.json")
+def run_bench(n=1200, steps=1) -> BenchResult:
+    wall_t, _, counts_t, _ = _run("threads", n=n, steps=steps)
+    wall_p, _, counts_p, _ = _run("process", n=n, steps=steps)
+    return BenchResult(
+        bench="transport",
+        config={"n": n, "ranks": N_RANKS, "steps": steps, "seed": 42},
+        counts={"n_pp": counts_t[0], "n_pc": counts_t[1],
+                "counts_match": int(counts_t == counts_p)},
+        wall={"wall_threads_s": wall_t, "wall_process_s": wall_p,
+              "speedup_threads_over_process": wall_t / wall_p},
+        meta={"cpu_count": os.cpu_count()},
+    )
 
 
 def test_transport_walltime(results_dir):
-    wall_t, wait_t, out_t = _run("threads")
-    wall_p, wait_p, out_p = _run("process")
+    wall_t, wait_t, counts_t, out_t = _run("threads")
+    wall_p, wait_p, counts_p, out_p = _run("process")
 
     # Same physics on both substrates, whatever the clock says.
     scale = np.linalg.norm(out_t.pos, axis=1).mean()
@@ -87,6 +109,17 @@ def test_transport_walltime(results_dir):
     history = json.loads(bench_json.read_text()) if bench_json.exists() else []
     history.append(record)
     bench_json.write_text(json.dumps(history, indent=2) + "\n")
+
+    append_history(BenchResult(
+        bench="transport",
+        config={"n": BENCH_N, "ranks": N_RANKS, "steps": BENCH_STEPS,
+                "seed": 42},
+        counts={"n_pp": counts_t[0], "n_pc": counts_t[1],
+                "counts_match": int(counts_t == counts_p)},
+        wall={"wall_threads_s": wall_t, "wall_process_s": wall_p,
+              "speedup_threads_over_process": speedup},
+        meta={"cpu_count": cpus},
+    ))
 
     assert wall_t > 0 and wall_p > 0
     if cpus >= N_RANKS:

@@ -16,6 +16,18 @@ if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+HISTORY_DIR = Path(__file__).resolve().parent / "history"
+
+
+def append_history(result) -> None:
+    """Append a ``repro.obs.bench.BenchResult`` to the shared history.
+
+    Benchmarks that run as pytest tests use this so their runs land in
+    the same ``benchmarks/history/<bench>.jsonl`` trajectory as runs
+    launched through ``python -m repro.obs.bench run``.
+    """
+    from repro.obs.bench import HistoryStore
+    HistoryStore(HISTORY_DIR).append(result)
 
 
 def pytest_addoption(parser):

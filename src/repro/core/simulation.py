@@ -111,13 +111,17 @@ class Simulation:
             # The O(N^2) oracle ("if the opening angle is infinitesimal
             # the tree-code reduces to a ... direct N-body code").
             from ..gravity import direct_forces
+            pp_before = bd.counts.n_pp
             t0 = self._now()
             acc, phi = direct_forces(ps.pos, ps.mass, eps=cfg.softening,
                                      counts=bd.counts)
             t1 = self._now()
             bd.gravity_local += t1 - t0
+            # Span args carry *this pass's* tally; bd.counts accumulates
+            # across the passes of one step (e.g. the kickstart).
             self._rec("gravity_local", t0, t1, n_particles=ps.n,
-                      n_pp=bd.counts.n_pp, n_pc=0, quadrupole=False)
+                      n_pp=bd.counts.n_pp - pp_before, n_pc=0,
+                      quadrupole=False)
             bd.counts.quadrupole = False
             self._acc, self._phi = acc, phi
             return acc, phi

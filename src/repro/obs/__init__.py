@@ -24,6 +24,14 @@ The subsystem every other layer emits into (docs/OBSERVABILITY.md):
   with a regression-threshold exit code.
 - :mod:`repro.obs.dashboard` -- ``python -m repro.obs.dashboard``: live
   terminal view over a running world's registry + ring sink.
+- :mod:`repro.obs.perf`    -- achieved flop-rate telemetry (the paper's
+  Sec. VI-A accounting): per-rank/per-phase Gflop/s from the trace's
+  interaction tallies, efficiency against the calibrated
+  :mod:`repro.perfmodel.gpu` rates, sustained-Pflops summary.
+- :mod:`repro.obs.bench`   -- ``python -m repro.obs.bench``: benchmark
+  registry/runner with one canonical :class:`BenchResult` schema, an
+  append-only ``benchmarks/history/`` JSONL store, and regression
+  verdicts (deterministic counts gate, wall-clock advisory).
 - :mod:`repro.obs.smoke`   -- ``python -m repro.obs.smoke``: a small
   traced parallel run for CI and ``make trace``.
 """
@@ -61,10 +69,40 @@ _EXPORT_NAMES = frozenset({
 })
 
 
+#: Lazily resolved from .perf (pulls in report/perfmodel machinery).
+_PERF_NAMES = frozenset({
+    "PAPER_PFLOPS",
+    "book_force_rate",
+    "perf_from_trace",
+    "perf_lines",
+})
+
+#: Lazily resolved from .bench (same runpy/__main__ consideration as
+#: .export, and keeps the registry import side-effect free here).
+_BENCH_NAMES = frozenset({
+    "BenchError",
+    "BenchResult",
+    "BenchSpec",
+    "HistoryStore",
+    "compare_results",
+    "history_verdict",
+    "host_fingerprint",
+    "load_registry",
+    "register_bench",
+    "validate_bench_result",
+})
+
+
 def __getattr__(name: str):
     if name in _EXPORT_NAMES:
         from . import export
         return getattr(export, name)
+    if name in _PERF_NAMES:
+        from . import perf
+        return getattr(perf, name)
+    if name in _BENCH_NAMES:
+        from . import bench
+        return getattr(bench, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -98,4 +136,18 @@ __all__ = [
     "write_jsonl",
     "validate_chrome_trace",
     "validate_chrome_trace_file",
+    "PAPER_PFLOPS",
+    "perf_from_trace",
+    "perf_lines",
+    "book_force_rate",
+    "BenchError",
+    "BenchResult",
+    "BenchSpec",
+    "HistoryStore",
+    "compare_results",
+    "history_verdict",
+    "host_fingerprint",
+    "load_registry",
+    "register_bench",
+    "validate_bench_result",
 ]

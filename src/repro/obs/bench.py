@@ -1,0 +1,567 @@
+"""Benchmark registry, runner and history: ``python -m repro.obs.bench``.
+
+The repo's ``benchmarks/bench_*.py`` scripts each print their own
+ad-hoc text and JSON, so the recorded perf trajectory lives nowhere --
+regressions are only caught when someone re-runs a script by hand and
+remembers the old numbers.  This module gives them one spine:
+
+- **one schema** -- :class:`BenchResult` separates *deterministic
+  count metrics* (interaction tallies, event counts: identical on
+  every machine, gate hard) from *wall-clock metrics* (advisory on the
+  1-CPU CI container), and stamps each run with its config and a host
+  fingerprint so only like-for-like runs are compared;
+- **a registry** -- ``@register_bench("step_pipeline")`` marks a
+  callable in a ``bench_*.py`` file as the canonical entry point;
+  :func:`load_registry` imports every benchmark file to populate it;
+- **an append-only history** -- every ``run`` appends one JSON line to
+  ``benchmarks/history/<bench>.jsonl``; nothing is ever rewritten, so
+  the file *is* the perf trajectory;
+- **verdicts** -- ``compare`` and ``history`` reuse the report-diff
+  threshold/``--min-abs`` machinery (:func:`~repro.obs.report.delta_row`,
+  :func:`~repro.obs.report.row_regressed`): any count drift fails,
+  wall-clock regressions are reported but never gate.
+
+CLI::
+
+    python -m repro.obs.bench list
+    python -m repro.obs.bench run step_pipeline [-p n=4000] [--emit-root]
+    python -m repro.obs.bench compare a.json b.json [--threshold 0.1]
+    python -m repro.obs.bench history step_pipeline [--last 10]
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import importlib.util
+import json
+import math
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+#: Bumped when the BenchResult layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+class BenchError(Exception):
+    """Invalid benchmark result, unknown bench id, or broken history."""
+
+
+def host_fingerprint() -> dict[str, Any]:
+    """Where a result came from -- compared, never gated on."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "processor": platform.processor(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+@dataclasses.dataclass
+class BenchResult:
+    """One benchmark run in the canonical schema.
+
+    ``counts`` holds deterministic metrics (identical across machines
+    and runs at fixed config -- these gate hard); ``wall`` holds
+    wall-clock seconds and derived ratios (advisory).  ``config`` is
+    the parameter set that produced the run; history comparisons only
+    pair results with equal configs.
+    """
+
+    bench: str
+    config: dict[str, Any]
+    counts: dict[str, float]
+    wall: dict[str, float]
+    host: dict[str, Any] = dataclasses.field(default_factory=host_fingerprint)
+    meta: dict[str, Any] = dataclasses.field(default_factory=dict)
+    ts: str = dataclasses.field(
+        default_factory=lambda: time.strftime("%Y-%m-%dT%H:%M:%S"))
+    schema: int = SCHEMA_VERSION
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "BenchResult":
+        validate_bench_result(d)
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in d.items() if k in known})
+
+
+def _check_metric_dict(name: str, d: Any) -> None:
+    if not isinstance(d, dict):
+        raise BenchError(f"'{name}' must be a dict, got {type(d).__name__}")
+    for key, value in d.items():
+        # bool is an int subclass; encode flags as 0/1 explicitly.
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise BenchError(
+                f"{name}[{key!r}] must be a number, got {value!r}")
+        if not math.isfinite(value):
+            raise BenchError(f"{name}[{key!r}] is not finite: {value!r}")
+
+
+def validate_bench_result(d: dict[str, Any]) -> None:
+    """Raise :class:`BenchError` unless ``d`` is a valid result dict."""
+    if not isinstance(d, dict):
+        raise BenchError(f"result must be a dict, got {type(d).__name__}")
+    for key in ("bench", "config", "counts", "wall", "schema"):
+        if key not in d:
+            raise BenchError(f"result missing required key {key!r}")
+    if not isinstance(d["bench"], str) or not d["bench"]:
+        raise BenchError("'bench' must be a non-empty string")
+    if d["schema"] != SCHEMA_VERSION:
+        raise BenchError(f"schema {d['schema']!r} != {SCHEMA_VERSION} "
+                         f"(this reader)")
+    if not isinstance(d["config"], dict):
+        raise BenchError("'config' must be a dict")
+    _check_metric_dict("counts", d["counts"])
+    _check_metric_dict("wall", d["wall"])
+
+
+# -- registry ---------------------------------------------------------------
+
+@dataclasses.dataclass
+class BenchSpec:
+    """A registered benchmark: id, entry point, optional root artifact."""
+
+    bench: str
+    description: str
+    runner: Callable[..., BenchResult]
+    root_artifact: str | None = None
+    source: str = ""
+
+
+REGISTRY: dict[str, BenchSpec] = {}
+
+
+def register_bench(bench: str, *, description: str,
+                   root_artifact: str | None = None):
+    """Decorator: mark a callable as the canonical runner for ``bench``.
+
+    The callable must accept keyword parameters (the ``-p k=v`` CLI
+    overrides) and return a :class:`BenchResult`.  Re-registration
+    overwrites -- re-importing a benchmark file is harmless.
+    """
+    def deco(fn: Callable[..., BenchResult]):
+        REGISTRY[bench] = BenchSpec(
+            bench=bench, description=description, runner=fn,
+            root_artifact=root_artifact,
+            source=getattr(fn, "__module__", ""))
+        return fn
+    return deco
+
+
+def find_benchmarks_dir(explicit: str | Path | None = None) -> Path:
+    """Locate ``benchmarks/``: explicit arg, env var, repo layout, cwd."""
+    if explicit is not None:
+        return Path(explicit)
+    env = os.environ.get("REPRO_BENCHMARKS_DIR")
+    if env:
+        return Path(env)
+    repo = Path(__file__).resolve().parents[3] / "benchmarks"
+    if repo.is_dir():
+        return repo
+    return Path.cwd() / "benchmarks"
+
+
+def load_registry(benchmarks_dir: str | Path | None = None) -> Path:
+    """Import every ``bench_*.py`` so their ``@register_bench`` run.
+
+    Files that fail to import are skipped with a warning on stderr --
+    one broken benchmark must not take down ``list`` for the rest.
+    Returns the directory that was scanned.
+    """
+    bdir = find_benchmarks_dir(benchmarks_dir)
+    if not bdir.is_dir():
+        raise BenchError(f"benchmarks directory not found: {bdir}")
+    # bench files do ``from conftest import ...``.
+    if str(bdir) not in sys.path:
+        sys.path.insert(0, str(bdir))
+    for path in sorted(bdir.glob("bench_*.py")):
+        modname = f"_repro_bench_{path.stem}"
+        if modname in sys.modules:
+            continue
+        try:
+            spec = importlib.util.spec_from_file_location(modname, path)
+            module = importlib.util.module_from_spec(spec)
+            sys.modules[modname] = module
+            spec.loader.exec_module(module)
+        except Exception as exc:  # noqa: BLE001 - isolate broken benches
+            sys.modules.pop(modname, None)
+            print(f"bench: skipping {path.name}: {exc}", file=sys.stderr)
+    return bdir
+
+
+# -- history store ----------------------------------------------------------
+
+class HistoryStore:
+    """Append-only JSONL store, one file per bench id."""
+
+    def __init__(self, root: str | Path | None = None):
+        if root is None:
+            root = find_benchmarks_dir() / "history"
+        self.root = Path(root)
+
+    def path(self, bench: str) -> Path:
+        return self.root / f"{bench}.jsonl"
+
+    def append(self, result: BenchResult) -> Path:
+        d = result.to_dict()
+        validate_bench_result(d)
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path(result.bench)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(d, sort_keys=True) + "\n")
+        return path
+
+    def load(self, bench: str) -> list[BenchResult]:
+        path = self.path(bench)
+        if not path.exists():
+            return []
+        entries = []
+        with open(path, encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entries.append(BenchResult.from_dict(json.loads(line)))
+                except (json.JSONDecodeError, BenchError) as exc:
+                    raise BenchError(f"{path}:{lineno}: {exc}") from exc
+        return entries
+
+
+# -- comparison and verdicts ------------------------------------------------
+
+def _count_changed(row: dict[str, Any], threshold: float) -> bool:
+    """Symmetric drift test for deterministic counts (any direction)."""
+    if row["delta"] == 0:
+        return False
+    if row["rel"] is None:
+        return True
+    return abs(row["rel"]) > threshold
+
+
+def compare_results(a: BenchResult, b: BenchResult, *,
+                    threshold: float = 0.10, min_abs: float = 0.0,
+                    count_threshold: float = 0.0) -> dict[str, Any]:
+    """Diff two results: counts gate (symmetric), wall advises (slower).
+
+    Reuses the report-diff row machinery: each metric becomes a
+    ``delta_row`` and wall regressions apply the same
+    threshold/``min_abs`` semantics as ``repro.obs.report diff``.
+    """
+    from .report import delta_row, row_regressed
+
+    counts: dict[str, Any] = {}
+    count_regressions: list[str] = []
+    for key in sorted(set(a.counts) & set(b.counts)):
+        row = delta_row(a.counts[key], b.counts[key])
+        counts[key] = row
+        if _count_changed(row, count_threshold):
+            count_regressions.append(key)
+
+    wall: dict[str, Any] = {}
+    wall_regressions: list[str] = []
+    for key in sorted(set(a.wall) & set(b.wall)):
+        row = delta_row(a.wall[key], b.wall[key])
+        wall[key] = row
+        if row_regressed(row, threshold, min_abs):
+            wall_regressions.append(key)
+
+    return {
+        "bench": a.bench,
+        "comparable": a.config == b.config,
+        "counts": counts,
+        "wall": wall,
+        "count_regressions": count_regressions,
+        "wall_regressions": wall_regressions,
+    }
+
+
+def history_verdict(entries: list[BenchResult], *,
+                    threshold: float = 0.25, min_abs: float = 0.05,
+                    count_threshold: float = 0.0) -> dict[str, Any]:
+    """Judge the newest entry against its latest same-config ancestor.
+
+    ``REGRESSION`` iff a deterministic count drifted; wall-clock
+    regressions are carried in the result but never flip the verdict
+    (advisory on shared/1-CPU runners).  ``NO-BASELINE`` when no
+    earlier entry has an identical config.
+    """
+    if not entries:
+        return {"verdict": "NO-BASELINE", "reason": "empty history"}
+    current = entries[-1]
+    baseline = None
+    for prev in reversed(entries[:-1]):
+        if prev.config == current.config:
+            baseline = prev
+            break
+    if baseline is None:
+        return {"verdict": "NO-BASELINE", "bench": current.bench,
+                "reason": "no earlier entry with an identical config"}
+    diff = compare_results(baseline, current, threshold=threshold,
+                           min_abs=min_abs, count_threshold=count_threshold)
+    diff["verdict"] = "REGRESSION" if diff["count_regressions"] else "OK"
+    diff["baseline_ts"] = baseline.ts
+    diff["current_ts"] = current.ts
+    return diff
+
+
+# -- rendering --------------------------------------------------------------
+
+def _fmt(v: float) -> str:
+    return f"{v:.6g}"
+
+
+def compare_lines(diff: dict[str, Any]) -> list[str]:
+    lines = [f"bench {diff['bench']}: "
+             + ("configs match" if diff["comparable"]
+                else "CONFIGS DIFFER (comparison is apples-to-oranges)")]
+    for section, gated in (("counts", diff["count_regressions"]),
+                           ("wall", diff["wall_regressions"])):
+        rows = diff[section]
+        if not rows:
+            continue
+        tag = "gate" if section == "counts" else "advisory"
+        lines.append(f"  {section} ({tag}):")
+        for key, row in rows.items():
+            rel = f"{row['rel']:+.1%}" if row["rel"] is not None else "  n/a"
+            mark = "  << REGRESSION" if key in gated else ""
+            lines.append(f"    {key:28s} {_fmt(row['a']):>12s} -> "
+                         f"{_fmt(row['b']):>12s}  {rel}{mark}")
+    return lines
+
+
+def history_lines(bench: str, entries: list[BenchResult],
+                  verdict: dict[str, Any], last: int | None = None
+                  ) -> list[str]:
+    """History table + per-metric trajectory sparklines + verdict."""
+    from .dashboard import sparkline
+
+    lines = [f"bench {bench}: {len(entries)} recorded run(s)"]
+    shown = entries[-last:] if last else entries
+    for r in shown:
+        counts = " ".join(f"{k}={_fmt(v)}" for k, v in sorted(
+            r.counts.items()))
+        wall = " ".join(f"{k}={_fmt(v)}" for k, v in sorted(r.wall.items()))
+        lines.append(f"  {r.ts}  {counts}  |  {wall}")
+    # Trajectories over entries sharing the newest entry's config, so a
+    # parameter change doesn't read as a cliff in the sparkline.
+    if entries:
+        config = entries[-1].config
+        track = [r for r in entries if r.config == config]
+        for section in ("counts", "wall"):
+            for key in sorted(getattr(entries[-1], section)):
+                values = [getattr(r, section).get(key) for r in track]
+                values = [v for v in values if v is not None]
+                lo, hi = min(values), max(values)
+                span = hi - lo
+                # A constant trajectory is a flat line, not an empty one.
+                buckets = [1 if span == 0
+                           else int((v - lo) / span * 7) + 1
+                           for v in values]
+                lines.append(f"  {section[0]} {key:26s} "
+                             f"{sparkline(buckets)}  "
+                             f"[{_fmt(lo)} .. {_fmt(hi)}]")
+    lines.append(f"  verdict: {verdict['verdict']}")
+    if verdict.get("count_regressions"):
+        lines.append("  count drift (gate): "
+                     + ", ".join(verdict["count_regressions"]))
+    if verdict.get("wall_regressions"):
+        lines.append("  wall regressions (advisory): "
+                     + ", ".join(verdict["wall_regressions"]))
+    if verdict.get("reason"):
+        lines.append(f"  ({verdict['reason']})")
+    return lines
+
+
+# -- CLI --------------------------------------------------------------------
+
+def _parse_param(text: str) -> tuple[str, Any]:
+    if "=" not in text:
+        raise BenchError(f"-p expects key=value, got {text!r}")
+    key, raw = text.split("=", 1)
+    for conv in (int, float):
+        try:
+            return key, conv(raw)
+        except ValueError:
+            pass
+    if raw.lower() in ("true", "false"):
+        return key, raw.lower() == "true"
+    return key, raw
+
+
+def _resolve_spec(bench: str, benchmarks_dir) -> BenchSpec:
+    # Programmatically registered benches (tests) win; otherwise scan
+    # the benchmarks directory to populate the registry.
+    if bench not in REGISTRY:
+        load_registry(benchmarks_dir)
+    if bench not in REGISTRY:
+        known = ", ".join(sorted(REGISTRY)) or "(none)"
+        raise BenchError(f"unknown bench {bench!r}; registered: {known}")
+    return REGISTRY[bench]
+
+
+def _load_result_file(path: str) -> BenchResult:
+    with open(path, encoding="utf-8") as fh:
+        d = json.load(fh)
+    if isinstance(d, list):  # a root BENCH_*.json history dump
+        if not d:
+            raise BenchError(f"{path}: empty result list")
+        d = d[-1]
+    return BenchResult.from_dict(d)
+
+
+def _emit_root(spec: BenchSpec, store: HistoryStore, benchmarks_dir: Path
+               ) -> Path | None:
+    if spec.root_artifact is None:
+        return None
+    entries = [r.to_dict() for r in store.load(spec.bench)]
+    for d in entries:
+        validate_bench_result(d)
+    out = benchmarks_dir.parent / spec.root_artifact
+    out.write_text(json.dumps(entries, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.bench",
+        description="Registry, runner and append-only history for the "
+                    "benchmarks/bench_*.py suite.")
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p_list = sub.add_parser("list", help="list registered benchmarks")
+    p_list.add_argument("--benchmarks-dir", default=None)
+
+    p_run = sub.add_parser("run", help="run one benchmark, append history")
+    p_run.add_argument("bench")
+    p_run.add_argument("-p", "--param", action="append", default=[],
+                       help="override a runner kwarg, e.g. -p n=4000")
+    p_run.add_argument("--no-append", action="store_true",
+                       help="do not append to the history store")
+    p_run.add_argument("--emit-root", action="store_true",
+                       help="rewrite the bench's root BENCH_*.json "
+                            "artifact from the full history")
+    p_run.add_argument("--out", default=None,
+                       help="also write the single result to this file")
+    p_run.add_argument("--json", action="store_true",
+                       help="print the result as JSON instead of text")
+    p_run.add_argument("--history-dir", default=None)
+    p_run.add_argument("--benchmarks-dir", default=None)
+
+    p_cmp = sub.add_parser("compare", help="diff two result files")
+    p_cmp.add_argument("a")
+    p_cmp.add_argument("b")
+    p_cmp.add_argument("--threshold", type=float, default=0.10,
+                       help="relative wall-clock regression threshold")
+    p_cmp.add_argument("--min-abs", type=float, default=0.0,
+                       help="absolute wall-clock noise floor (seconds)")
+    p_cmp.add_argument("--count-threshold", type=float, default=0.0,
+                       help="relative drift tolerated on count metrics "
+                            "(default: exact)")
+    p_cmp.add_argument("--json", action="store_true")
+
+    p_hist = sub.add_parser("history",
+                            help="show a bench's trajectory and verdict")
+    p_hist.add_argument("bench")
+    p_hist.add_argument("--threshold", type=float, default=0.25)
+    p_hist.add_argument("--min-abs", type=float, default=0.05)
+    p_hist.add_argument("--count-threshold", type=float, default=0.0)
+    p_hist.add_argument("--last", type=int, default=None,
+                        help="show only the last N entries")
+    p_hist.add_argument("--json", action="store_true")
+    p_hist.add_argument("--history-dir", default=None)
+
+    args = parser.parse_args(argv)
+
+    try:
+        if args.cmd == "list":
+            bdir = load_registry(args.benchmarks_dir)
+            print(f"registered benchmarks ({bdir}):")
+            for bench in sorted(REGISTRY):
+                spec = REGISTRY[bench]
+                root = f"  [root: {spec.root_artifact}]" \
+                    if spec.root_artifact else ""
+                print(f"  {bench:20s} {spec.description}{root}")
+            return 0
+
+        if args.cmd == "run":
+            spec = _resolve_spec(args.bench, args.benchmarks_dir)
+            params = dict(_parse_param(p) for p in args.param)
+            result = spec.runner(**params)
+            if not isinstance(result, BenchResult):
+                raise BenchError(f"runner for {args.bench!r} returned "
+                                 f"{type(result).__name__}, "
+                                 f"not BenchResult")
+            validate_bench_result(result.to_dict())
+            store = HistoryStore(args.history_dir)
+            if not args.no_append:
+                path = store.append(result)
+                print(f"appended -> {path}", file=sys.stderr)
+            if args.out:
+                Path(args.out).write_text(
+                    json.dumps(result.to_dict(), indent=2, sort_keys=True)
+                    + "\n", encoding="utf-8")
+            if args.emit_root:
+                bdir = find_benchmarks_dir(args.benchmarks_dir)
+                out = _emit_root(spec, store, bdir)
+                if out is not None:
+                    print(f"root artifact -> {out}", file=sys.stderr)
+            if args.json:
+                print(json.dumps(result.to_dict(), indent=2,
+                                 sort_keys=True))
+            else:
+                counts = " ".join(f"{k}={_fmt(v)}" for k, v in sorted(
+                    result.counts.items()))
+                wall = " ".join(f"{k}={_fmt(v)}" for k, v in sorted(
+                    result.wall.items()))
+                print(f"{result.bench}: {counts}  |  {wall}")
+            return 0
+
+        if args.cmd == "compare":
+            a = _load_result_file(args.a)
+            b = _load_result_file(args.b)
+            diff = compare_results(a, b, threshold=args.threshold,
+                                   min_abs=args.min_abs,
+                                   count_threshold=args.count_threshold)
+            if args.json:
+                print(json.dumps(diff, indent=2, sort_keys=True))
+            else:
+                print("\n".join(compare_lines(diff)))
+            return 1 if diff["count_regressions"] else 0
+
+        if args.cmd == "history":
+            store = HistoryStore(args.history_dir)
+            entries = store.load(args.bench)
+            verdict = history_verdict(
+                entries, threshold=args.threshold, min_abs=args.min_abs,
+                count_threshold=args.count_threshold)
+            if args.json:
+                out = {"bench": args.bench, "entries": len(entries),
+                       "verdict": verdict}
+                print(json.dumps(out, indent=2, sort_keys=True))
+            else:
+                print("\n".join(history_lines(args.bench, entries,
+                                              verdict, last=args.last)))
+            return 1 if verdict["verdict"] == "REGRESSION" else 0
+    except BenchError as exc:
+        print(f"bench: error: {exc}", file=sys.stderr)
+        return 2
+
+    raise AssertionError(f"unhandled command {args.cmd!r}")
+
+
+if __name__ == "__main__":
+    # Under ``python -m`` this file runs as ``__main__``; delegate to
+    # the canonical module instance so bench files registering into
+    # ``repro.obs.bench.REGISTRY`` and the CLI see the same registry.
+    from repro.obs.bench import main as _canonical_main
+    sys.exit(_canonical_main())

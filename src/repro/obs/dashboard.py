@@ -10,6 +10,9 @@ plus a bounded :class:`~repro.obs.sink.RingSink` of recent trace events
   sparkline over the recv-wait histogram buckets,
 - the measured-mode load-balance state (``lb_imbalance_ratio``,
   re-cut count) when the run uses ``load_balance="measured"``,
+- the achieved force-kernel flop-rate of the last step (slowest rank,
+  from the ring's gravity spans; falls back to the ``force_gflops``
+  gauge) with its :mod:`repro.perfmodel.gpu` model efficiency,
 - ring-sink drop accounting (``trace_events_dropped_total``).
 
 No curses/rich dependency: frames are plain text, redrawn with a
@@ -152,6 +155,52 @@ class Dashboard:
         return {int(key[0]): (counts, total)
                 for key, (counts, total) in hist.series().items()}
 
+    def _force_rate(self) -> tuple[float | None, float | None]:
+        """(last-step kernel Gflop/s at the slowest rank, model eff).
+
+        Prefers the ring's gravity spans (exact per-step tallies, so the
+        model-efficiency mix is known); without a ring falls back to the
+        ``force_gflops`` gauge booked by ``distributed_forces`` (latest
+        pass, no mix -- efficiency is ``None`` there).
+        """
+        if self.ring is not None:
+            events = [e for e in self.ring.events()
+                      if e.ph == "X" and e.cat == "phase"
+                      and e.name in ("gravity_local", "gravity_let")
+                      and "step" in e.args]
+            if not events:
+                return None, None
+            step = max(int(e.args["step"]) for e in events)
+            per_rank: dict[int, float] = defaultdict(float)
+            n_pp = n_pc = 0
+            quadrupole = True
+            for e in events:
+                if int(e.args["step"]) != step:
+                    continue
+                per_rank[e.rank] += e.dur
+                n_pp += int(e.args.get("n_pp", 0))
+                n_pc += int(e.args.get("n_pc", 0))
+                if "quadrupole" in e.args:
+                    quadrupole = bool(e.args["quadrupole"])
+            secs = max(per_rank.values())
+            from ..gravity.flops import InteractionCounts
+            counts = InteractionCounts(n_pp=n_pp, n_pc=n_pc,
+                                       quadrupole=quadrupole)
+            if secs <= 0 or counts.flops == 0:
+                return None, None
+            gflops = counts.flops / secs / 1e9
+            from ..perfmodel.gpu import tree_kernel_rates
+            model = tree_kernel_rates().aggregate_gflops(n_pp, n_pc,
+                                                         quadrupole)
+            return gflops, gflops / model if model > 0 else None
+        gauge = self.world.metrics.get("force_gflops")
+        if gauge is None:
+            return None, None
+        series = gauge.series()
+        if not series:
+            return None, None
+        return max(series.values()), None
+
     # -- rendering ---------------------------------------------------------
 
     def render(self) -> str:
@@ -215,6 +264,14 @@ class Dashboard:
             lines.append("")
             lines.append(f" Load balance: imbalance {shown} "
                          f"(slowest/mean smoothed cost), {n} re-cuts")
+
+        gflops, eff = self._force_rate()
+        if gflops is not None:
+            row = f" Force rate: {gflops:.3g} Gflops (kernel, slowest rank)"
+            if eff is not None:
+                row += f" · {eff:.2e} of K20X-tuned model"
+            lines.append("")
+            lines.append(row)
 
         lines.append("─" * self.width)
         return "\n".join(lines)

@@ -11,7 +11,12 @@ alone*:
    two views);
 2. an overlap/hiding summary -- per step, the fraction of LET
    communication hidden behind local gravity work;
-3. a per-rank imbalance table (gravity seconds and particle counts).
+3. a per-rank imbalance table (gravity seconds and particle counts);
+4. the Sec. VI-A performance accounting (:mod:`repro.obs.perf`) --
+   per-rank/per-phase achieved flop-rates from the spans' exact
+   interaction tallies, a per-step rate timeline, and the efficiency
+   ratio against the calibrated :mod:`repro.perfmodel.gpu` rates
+   (``--json`` exposes it under the ``"perf"`` key).
 
 ``python -m repro.obs.report a.json b.json`` instead *diffs* two runs
 phase by phase (absolute and relative deltas on every Table II row,
@@ -37,6 +42,7 @@ from ..core.step import StepBreakdown, TABLE2_PHASES
 from ..gravity.flops import InteractionCounts
 from ..parallel.statistics import RunStatistics, aggregate_rank_histories
 from .export import validate_chrome_trace
+from .perf import perf_from_trace, perf_lines
 
 #: Phase-span name -> StepBreakdown field.  Spans the driver books under
 #: "Unbalance + Other" (boundary allgather, LET build/send, integrator
@@ -239,6 +245,9 @@ def render_report(doc: dict) -> str:
                                      recv_waits=waits)
     sections = [table2_lines(stats), overlap_lines(histories),
                 imbalance_lines(histories, particle_counts)]
+    perf = perf_from_trace(doc)
+    if perf is not None:
+        sections.append(perf_lines(perf))
     lb = loadbalance_summary(doc)
     if lb is not None:
         sections.append(loadbalance_lines(lb))
@@ -259,6 +268,9 @@ def _json_report(doc: dict) -> dict[str, Any]:
         "recv_wait_max": stats.recv_wait_max,
         "gpu_gflops_total": stats.gpu_gflops_total,
     }
+    perf = perf_from_trace(doc)
+    if perf is not None:
+        out["perf"] = perf
     lb = loadbalance_summary(doc)
     if lb is not None:
         out["lb"] = lb
@@ -272,46 +284,52 @@ def _json_report(doc: dict) -> dict[str, Any]:
 _DIFF_TIME_ROWS = tuple(TABLE2_PHASES) + ("total",)
 
 
-def diff_reports(ra: dict[str, Any], rb: dict[str, Any]) -> dict[str, Any]:
-    """Phase-by-phase delta between two ``_json_report`` dicts.
+def delta_row(a: float, b: float) -> dict[str, float | None]:
+    """One A-to-B comparison row: ``a``, ``b``, ``delta`` (= b - a) and
+    ``rel`` (delta / a; ``None`` when ``a`` is 0 -- a value appearing
+    from nowhere has no meaningful relative change).
 
-    Every row carries ``a``, ``b``, ``delta`` (= b - a) and ``rel``
-    (delta / a; ``None`` when ``a`` is 0 -- a phase appearing from
-    nowhere has no meaningful relative change).
+    Shared by the trace diff below and the benchmark-history verdicts
+    in :mod:`repro.obs.bench` -- one threshold machinery, two gates.
     """
-    def row(a: float, b: float) -> dict[str, float | None]:
-        return {"a": a, "b": b, "delta": b - a,
-                "rel": (b - a) / a if a > 0 else None}
+    return {"a": a, "b": b, "delta": b - a,
+            "rel": (b - a) / a if a > 0 else None}
 
-    rows = {phase: row(ra["phases"][phase], rb["phases"][phase])
+
+def row_regressed(row: dict[str, Any], threshold: float,
+                  min_abs: float = 0.0) -> bool:
+    """Did ``b`` regress (grow) beyond the relative threshold?
+
+    A row regresses when its relative growth exceeds ``threshold`` *and*
+    the absolute growth exceeds ``min_abs`` (the floor keeps noise in
+    near-empty rows from tripping CI).  A value growing from exactly
+    zero counts as a regression once it clears the absolute floor.
+    """
+    if row["delta"] <= min_abs:
+        return False
+    return row["rel"] is None or row["rel"] > threshold
+
+
+def diff_reports(ra: dict[str, Any], rb: dict[str, Any]) -> dict[str, Any]:
+    """Phase-by-phase delta between two ``_json_report`` dicts."""
+    rows = {phase: delta_row(ra["phases"][phase], rb["phases"][phase])
             for phase in TABLE2_PHASES}
-    rows["total"] = row(ra["total"], rb["total"])
+    rows["total"] = delta_row(ra["total"], rb["total"])
     return {
         "n_ranks": {"a": ra["n_ranks"], "b": rb["n_ranks"]},
         "rows": rows,
-        "recv_wait_max": row(ra["recv_wait_max"], rb["recv_wait_max"]),
-        "imbalance": row(ra["imbalance"], rb["imbalance"]),
+        "recv_wait_max": delta_row(ra["recv_wait_max"],
+                                   rb["recv_wait_max"]),
+        "imbalance": delta_row(ra["imbalance"], rb["imbalance"]),
     }
 
 
 def diff_regressions(diff: dict[str, Any], threshold: float,
                      min_abs: float = 0.0) -> list[str]:
-    """Time rows of ``b`` that regressed beyond ``threshold``.
-
-    A row regresses when its relative slowdown exceeds ``threshold``
-    *and* the absolute slowdown exceeds ``min_abs`` seconds (the floor
-    keeps microsecond noise in near-empty phases from tripping CI).  A
-    phase growing from exactly zero counts as a regression when it
-    clears the absolute floor.
-    """
-    out = []
-    for name in _DIFF_TIME_ROWS:
-        r = diff["rows"][name]
-        if r["delta"] <= min_abs:
-            continue
-        if r["rel"] is None or r["rel"] > threshold:
-            out.append(name)
-    return out
+    """Time rows of ``b`` that regressed beyond ``threshold`` (see
+    :func:`row_regressed` for the threshold/floor semantics)."""
+    return [name for name in _DIFF_TIME_ROWS
+            if row_regressed(diff["rows"][name], threshold, min_abs)]
 
 
 def diff_lines(diff: dict[str, Any], threshold: float | None = None,

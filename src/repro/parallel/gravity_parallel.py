@@ -381,6 +381,10 @@ def distributed_forces(comm: SimComm, particles: ParticleSet,
                 "Tree-walk interaction flops per rank",
                 labelnames=("rank",)).inc(
         (counts_local + counts_let).flops, rank=rank)
+    from ..obs.perf import book_force_rate
+    book_force_rate(reg, rank, (counts_local + counts_let).flops,
+                    max(phases["gravity_local"], 0.0)
+                    + max(phases["gravity_let"], 0.0))
     reg.gauge("walk_max_frontier",
               "Peak (group, cell) frontier width over this rank's tree "
               "walks in the latest force computation",

@@ -1,0 +1,221 @@
+"""Benchmark registry, schema, history store and regression verdicts."""
+
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    REGISTRY,
+    BenchError,
+    BenchResult,
+    HistoryStore,
+    compare_results,
+    history_lines,
+    history_verdict,
+    main,
+    register_bench,
+    validate_bench_result,
+)
+
+
+def _result(**kw):
+    base = dict(bench="demo", config={"n": 100},
+                counts={"n_pp": 9900.0}, wall={"wall_s": 0.5})
+    base.update(kw)
+    return BenchResult(**base)
+
+
+# -- schema -----------------------------------------------------------------
+
+def test_round_trip():
+    r = _result(meta={"note": "x"})
+    d = json.loads(json.dumps(r.to_dict(), sort_keys=True))
+    assert BenchResult.from_dict(d) == r
+
+
+def test_validation_rejects_missing_keys():
+    d = _result().to_dict()
+    del d["bench"]
+    with pytest.raises(BenchError, match="missing required key"):
+        validate_bench_result(d)
+
+
+def test_validation_rejects_bad_metrics():
+    with pytest.raises(BenchError, match="must be a number"):
+        validate_bench_result(_result(counts={"flag": True}).to_dict())
+    with pytest.raises(BenchError, match="must be a number"):
+        validate_bench_result(_result(wall={"s": "fast"}).to_dict())
+    with pytest.raises(BenchError, match="not finite"):
+        validate_bench_result(_result(wall={"s": float("nan")}).to_dict())
+
+
+def test_validation_rejects_schema_mismatch():
+    d = _result().to_dict()
+    d["schema"] = 99
+    with pytest.raises(BenchError, match="schema"):
+        validate_bench_result(d)
+
+
+def test_host_fingerprint_attached_by_default():
+    r = _result()
+    assert r.host["cpu_count"] >= 1
+    assert r.host["python"]
+
+
+# -- history store ----------------------------------------------------------
+
+def test_history_append_and_load(tmp_path):
+    store = HistoryStore(tmp_path)
+    store.append(_result(wall={"wall_s": 0.5}))
+    store.append(_result(wall={"wall_s": 0.6}))
+    path = store.path("demo")
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2
+    for line in lines:
+        validate_bench_result(json.loads(line))
+    loaded = store.load("demo")
+    assert [r.wall["wall_s"] for r in loaded] == [0.5, 0.6]
+
+
+def test_history_load_missing_is_empty(tmp_path):
+    assert HistoryStore(tmp_path).load("nope") == []
+
+
+def test_history_load_rejects_corrupt_line(tmp_path):
+    store = HistoryStore(tmp_path)
+    store.append(_result())
+    store.path("demo").write_text(
+        store.path("demo").read_text() + "{not json\n")
+    with pytest.raises(BenchError, match="demo.jsonl:2"):
+        store.load("demo")
+
+
+# -- compare / verdicts -----------------------------------------------------
+
+def test_compare_identical_is_clean():
+    diff = compare_results(_result(), _result())
+    assert diff["comparable"]
+    assert diff["count_regressions"] == []
+    assert diff["wall_regressions"] == []
+
+
+def test_compare_count_drift_gates_both_directions():
+    slower = compare_results(_result(), _result(counts={"n_pp": 9901.0}))
+    assert slower["count_regressions"] == ["n_pp"]
+    faster = compare_results(_result(), _result(counts={"n_pp": 9899.0}))
+    assert faster["count_regressions"] == ["n_pp"]
+
+
+def test_compare_wall_regression_respects_threshold_and_floor():
+    a, b = _result(wall={"wall_s": 1.0}), _result(wall={"wall_s": 1.3})
+    assert compare_results(a, b, threshold=0.1)["wall_regressions"] == \
+        ["wall_s"]
+    assert compare_results(a, b, threshold=0.5)["wall_regressions"] == []
+    # The absolute floor swallows small regressions outright.
+    assert compare_results(a, b, threshold=0.1,
+                           min_abs=0.5)["wall_regressions"] == []
+
+
+def test_verdict_picks_latest_same_config_baseline():
+    entries = [
+        _result(config={"n": 100}, counts={"n_pp": 9900.0}),
+        _result(config={"n": 200}, counts={"n_pp": 39800.0}),
+        _result(config={"n": 100}, counts={"n_pp": 9900.0}),
+    ]
+    v = history_verdict(entries)
+    assert v["verdict"] == "OK"
+    # Drift against the n=100 ancestor, not the n=200 neighbour.
+    entries[-1] = _result(config={"n": 100}, counts={"n_pp": 9901.0})
+    assert history_verdict(entries)["verdict"] == "REGRESSION"
+
+
+def test_verdict_no_baseline():
+    assert history_verdict([])["verdict"] == "NO-BASELINE"
+    only = [_result(config={"n": 1})]
+    assert history_verdict(only)["verdict"] == "NO-BASELINE"
+    mixed = [_result(config={"n": 1}), _result(config={"n": 2})]
+    assert history_verdict(mixed)["verdict"] == "NO-BASELINE"
+
+
+def test_wall_regression_never_flips_verdict():
+    entries = [_result(wall={"wall_s": 1.0}),
+               _result(wall={"wall_s": 100.0})]
+    v = history_verdict(entries)
+    assert v["verdict"] == "OK"
+    assert v["wall_regressions"] == ["wall_s"]
+
+
+def test_history_lines_sparkline_and_verdict():
+    entries = [_result(wall={"wall_s": w}) for w in (1.0, 2.0, 3.0)]
+    text = "\n".join(history_lines("demo", entries,
+                                   history_verdict(entries)))
+    assert "3 recorded run(s)" in text
+    assert "verdict: OK" in text
+    assert "▂▅█" in text  # rising wall_s trajectory
+
+
+# -- CLI --------------------------------------------------------------------
+
+@pytest.fixture
+def dummy_bench(tmp_path):
+    """Register a deterministic in-process bench; CLI resolves it from
+    REGISTRY without scanning benchmarks/."""
+    calls = {"n_pp": 9900.0}
+
+    @register_bench("dummy", description="test bench")
+    def run(n=100):
+        return BenchResult(bench="dummy", config={"n": n},
+                           counts=dict(calls), wall={"wall_s": 0.1})
+
+    yield calls
+    REGISTRY.pop("dummy", None)
+
+
+def test_cli_run_and_history_ok(dummy_bench, tmp_path, capsys):
+    hist = str(tmp_path / "history")
+    assert main(["run", "dummy", "--history-dir", hist]) == 0
+    assert main(["run", "dummy", "--history-dir", hist]) == 0
+    assert main(["history", "dummy", "--history-dir", hist]) == 0
+    out = capsys.readouterr().out
+    assert "2 recorded run(s)" in out
+    assert "verdict: OK" in out
+
+
+def test_cli_history_gates_on_count_drift(dummy_bench, tmp_path, capsys):
+    hist = str(tmp_path / "history")
+    assert main(["run", "dummy", "--history-dir", hist]) == 0
+    dummy_bench["n_pp"] = 9901.0
+    assert main(["run", "dummy", "--history-dir", hist]) == 0
+    assert main(["history", "dummy", "--history-dir", hist]) == 1
+    assert "verdict: REGRESSION" in capsys.readouterr().out
+
+
+def test_cli_run_param_override(dummy_bench, tmp_path, capsys):
+    hist = str(tmp_path / "history")
+    assert main(["run", "dummy", "-p", "n=250", "--json",
+                 "--history-dir", hist]) == 0
+    out = json.loads(capsys.readouterr().out)
+    assert out["config"]["n"] == 250
+
+
+def test_cli_compare_files(dummy_bench, tmp_path, capsys):
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    a.write_text(json.dumps(_result().to_dict()))
+    b.write_text(json.dumps(_result().to_dict()))
+    assert main(["compare", str(a), str(b)]) == 0
+    b.write_text(json.dumps(_result(counts={"n_pp": 1.0}).to_dict()))
+    assert main(["compare", str(a), str(b)]) == 1
+    assert "<< REGRESSION" in capsys.readouterr().out
+
+
+def test_cli_unknown_bench_errors(tmp_path, capsys):
+    assert main(["run", "no_such_bench",
+                 "--benchmarks-dir", str(tmp_path)]) == 2
+    assert "unknown bench" in capsys.readouterr().err
+
+
+def test_cli_run_no_append(dummy_bench, tmp_path):
+    hist = tmp_path / "history"
+    assert main(["run", "dummy", "--no-append",
+                 "--history-dir", str(hist)]) == 0
+    assert not (hist / "dummy.jsonl").exists()

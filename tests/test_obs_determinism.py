@@ -182,6 +182,35 @@ def test_streaming_only_tracer_holds_no_events(cfg, tmp_path):
     assert sink.max_buffered <= 16 * N_RANKS  # flush cadence bounds memory
 
 
+def test_perf_json_byte_identical_across_runs_and_transports(cfg):
+    """The report's "perf" section is a pure function of the trace
+    bytes, so a virtual-clock run yields byte-identical achieved
+    flop-rate JSON across repeated runs and across transports."""
+    import json
+
+    from repro.obs.report import _json_report
+
+    def perf_bytes(transport):
+        doc = json.loads(chrome_trace_json(_traced_run(
+            cfg, transport=transport, n_ranks=4)))
+        report = _json_report(doc)
+        assert "perf" in report
+        return json.dumps(report, sort_keys=True)
+
+    threads_a = perf_bytes("threads")
+    threads_b = perf_bytes("threads")
+    process = perf_bytes("process")
+    assert threads_a == threads_b
+    assert threads_a == process
+
+    perf = json.loads(threads_a)["perf"]
+    for entry in perf["per_rank"].values():
+        assert "model_efficiency" in entry
+        for phase in ("gravity_local", "gravity_let", "combined"):
+            assert "gflops" in entry[phase]
+    assert len(perf["per_rank"]) == 4
+
+
 def test_serial_trace_byte_identical():
     def run():
         tracer = Tracer(clock=VirtualClock())

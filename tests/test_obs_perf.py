@@ -1,0 +1,173 @@
+"""Achieved-flop-rate telemetry: closed-form counts, exact rates.
+
+The paper's Sec. VI-A numbers are *derived* -- interaction tallies
+times fixed per-interaction costs over wall time -- so a trace with
+known tallies and virtual-clock durations must reproduce the reported
+rate exactly, not approximately.  These tests pin that arithmetic with
+hand-built traces and a direct-sum run whose interaction count has a
+closed form (N x (N-1) pairs at 23 flops each).
+"""
+
+import json
+
+import pytest
+
+from repro import SimulationConfig
+from repro.core.simulation import Simulation
+from repro.gravity.flops import FLOPS_PER_PC, FLOPS_PER_PC_MONOPOLE, FLOPS_PER_PP
+from repro.ics import plummer_model
+from repro.obs import Tracer, VirtualClock, chrome_trace_json
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.perf import (
+    PAPER_PFLOPS,
+    book_force_rate,
+    perf_from_trace,
+    perf_lines,
+)
+from repro.obs.report import _json_report, render_report
+from repro.perfmodel.gpu import tree_kernel_rates
+
+
+def _span(name, rank, step, dur_us, n_pp, n_pc, quadrupole=True, ts=0):
+    return {"name": name, "cat": "phase", "ph": "X", "tid": rank,
+            "pid": 0, "ts": ts, "dur": dur_us,
+            "args": {"step": step, "n_pp": n_pp, "n_pc": n_pc,
+                     "quadrupole": quadrupole}}
+
+
+def _doc(events):
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def test_hand_built_trace_exact_rates():
+    """One rank, one step: every number has a closed form."""
+    # 1000 pp + 100 pc over 2 ms of kernel time.
+    doc = _doc([_span("gravity_local", 0, 0, 1_000, 600, 40),
+                _span("gravity_let", 0, 0, 1_000, 400, 60)])
+    perf = perf_from_trace(doc)
+    assert perf is not None
+
+    flops = 23 * 1000 + 65 * 100
+    assert perf["counts"] == {
+        "n_pp": 1000, "n_pc": 100, "quadrupole": True, "flops": flops,
+        "flops_per_pp": FLOPS_PER_PP, "flops_per_pc": FLOPS_PER_PC}
+
+    rank0 = perf["per_rank"]["0"]
+    assert rank0["gravity_local"]["flops"] == 23 * 600 + 65 * 40
+    assert rank0["gravity_local"]["gflops"] == pytest.approx(
+        (23 * 600 + 65 * 40) / 1.0e-3 / 1e9)
+    combined = rank0["combined"]
+    assert combined["seconds"] == pytest.approx(2.0e-3)
+    assert combined["gflops"] == pytest.approx(flops / 2.0e-3 / 1e9)
+
+    model = tree_kernel_rates().aggregate_gflops(1000, 100, True)
+    assert rank0["model_efficiency"] == pytest.approx(
+        combined["gflops"] / model)
+    assert perf["model"]["mix_gflops"] == pytest.approx(model)
+
+    [t] = perf["timeline"]
+    assert t["flops"] == flops
+    assert t["kernel_seconds"] == pytest.approx(2.0e-3)
+    assert t["kernel_gflops"] == pytest.approx(flops / 2.0e-3 / 1e9)
+
+    s = perf["sustained"]
+    assert s["application_pflops"] == pytest.approx(
+        s["application_gflops"] / 1e6)
+    assert s["fraction_of_paper"] == pytest.approx(
+        s["application_gflops"] / (PAPER_PFLOPS * 1e6))
+
+
+def test_slowest_rank_reduction_in_timeline():
+    """Two ranks: the step's kernel seconds are the slowest rank's."""
+    doc = _doc([_span("gravity_local", 0, 0, 1_000, 500, 0),
+                _span("gravity_local", 1, 0, 4_000, 500, 0)])
+    perf = perf_from_trace(doc)
+    [t] = perf["timeline"]
+    assert t["kernel_seconds"] == pytest.approx(4.0e-3)
+    assert t["n_pp"] == 1000
+    # Per-rank rates still use each rank's own seconds.
+    assert perf["per_rank"]["0"]["combined"]["gflops"] == pytest.approx(
+        23 * 500 / 1.0e-3 / 1e9)
+    assert perf["per_rank"]["1"]["combined"]["gflops"] == pytest.approx(
+        23 * 500 / 4.0e-3 / 1e9)
+
+
+def test_monopole_uses_23_flop_cell_cost():
+    doc = _doc([_span("gravity_local", 0, 0, 1_000, 100, 100,
+                      quadrupole=False)])
+    perf = perf_from_trace(doc)
+    assert perf["counts"]["flops_per_pc"] == FLOPS_PER_PC_MONOPOLE
+    assert perf["counts"]["flops"] == 23 * 100 + 23 * 100
+
+
+def test_trace_without_counts_yields_none():
+    doc = _doc([{"name": "gravity_local", "cat": "phase", "ph": "X",
+                 "tid": 0, "pid": 0, "ts": 0, "dur": 1000,
+                 "args": {"step": 0}}])
+    assert perf_from_trace(doc) is None
+    assert perf_from_trace(_doc([])) is None
+
+
+def test_direct_sum_closed_form_rate():
+    """N x (N-1) pairs at 23 flops each, over virtual-clock ticks: the
+    achieved rate must come out *exactly*, not approximately."""
+    n = 32
+    tracer = Tracer(clock=VirtualClock())
+    sim = Simulation(plummer_model(n, seed=3),
+                     SimulationConfig(force_method="direct", dt=0.01),
+                     trace=tracer)
+    sim.evolve(1)
+    doc = json.loads(chrome_trace_json(tracer))
+    perf = perf_from_trace(doc)
+
+    # The first step runs two force passes (kickstart + KDK), each an
+    # exact N x (N-1) direct sum.
+    assert perf["counts"]["n_pp"] == 2 * n * (n - 1)
+    assert perf["counts"]["n_pc"] == 0
+    assert perf["counts"]["quadrupole"] is False
+    assert perf["counts"]["flops"] == 23 * 2 * n * (n - 1)
+
+    entry = perf["per_rank"]["0"]
+    sec = entry["gravity_local"]["seconds"]
+    assert sec > 0
+    # Exact equality: both sides are the same float division.
+    assert entry["gravity_local"]["gflops"] == \
+        23 * 2 * n * (n - 1) / sec / 1e9
+
+
+def test_report_carries_perf_section():
+    n = 24
+    tracer = Tracer(clock=VirtualClock())
+    sim = Simulation(plummer_model(n, seed=3),
+                     SimulationConfig(force_method="direct", dt=0.01),
+                     trace=tracer)
+    sim.evolve(2)
+    doc = json.loads(chrome_trace_json(tracer))
+
+    text = render_report(doc)
+    assert "Performance (Sec. VI-A" in text
+    # 3 direct-sum passes over 2 steps: kickstart + one per KDK step.
+    assert f"{3 * n * (n - 1)} pp x 23 flops" in text
+
+    out = _json_report(doc)
+    assert out["perf"]["counts"]["n_pp"] == 3 * n * (n - 1)
+    assert [t["n_pp"] for t in out["perf"]["timeline"]] == \
+        [2 * n * (n - 1), n * (n - 1)]
+
+
+def test_perf_lines_renders_none_rates():
+    doc = _doc([_span("gravity_local", 0, 0, 0, 10, 0)])  # zero duration
+    perf = perf_from_trace(doc)
+    assert perf["per_rank"]["0"]["combined"]["gflops"] is None
+    lines = perf_lines(perf)
+    assert any("--" in line for line in lines)
+
+
+def test_book_force_rate_gauge():
+    reg = MetricsRegistry()
+    book_force_rate(reg, rank=1, flops=4.6e9, gravity_seconds=2.0)
+    gauge = reg.get("force_gflops")
+    assert gauge.series() == {("1",): pytest.approx(2.3)}
+    # Zero elapsed time books nothing rather than dividing by zero.
+    book_force_rate(reg, rank=2, flops=1e9, gravity_seconds=0.0)
+    assert ("2",) not in gauge.series()
