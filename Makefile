@@ -1,6 +1,6 @@
-.PHONY: install test test-faults test-loadbalance test-transport bench \
-	bench-quick bench-step bench-transport bench-history trace flame \
-	dashboard clean
+.PHONY: install test test-faults test-loadbalance test-transport \
+	test-reuse bench bench-quick bench-step bench-transport \
+	bench-history trace flame dashboard clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -28,6 +28,16 @@ test-transport:
 	pytest tests/test_transport_process.py tests/test_obs_determinism.py
 	pytest tests/harness/test_differential.py -k "transport or process"
 	pytest tests/harness/test_faults.py -k "parity or transport or crash"
+
+# Step-coherence suite: incremental octree repair, walk warm-starts and
+# the incremental LET drain (docs/PERFORMANCE.md §5).  Bitwise-equality
+# gates at 1/2/4/8 ranks plus fault schedules against the reuse paths,
+# then the reuse-on/off bench smoke (counts gate hard, wall advisory).
+test-reuse:
+	pytest tests/test_octree_incremental.py tests/test_forest_walk.py \
+	       tests/harness/test_reuse_faults.py \
+	       -m "harness_slow or not harness_slow"
+	pytest benchmarks/bench_step_pipeline.py::test_step_reuse_on_off -q
 
 bench:
 	pytest benchmarks/ --benchmark-only

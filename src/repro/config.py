@@ -6,6 +6,12 @@ import dataclasses
 
 from .constants import PAPER_NLEAF, PAPER_THETA
 from .gravity.treewalk import DEFAULT_CHUNK, PRECISIONS, SCATTER_MODES
+from .octree.incremental import TREE_REUSE_MODES
+
+#: LET drain orderings for the distributed force phase.  ``auto``
+#: resolves to ``deterministic`` under a deterministic tracer and
+#: ``opportunistic`` otherwise (the pre-knob behaviour).
+LET_DRAIN_MODES = ("auto", "deterministic", "incremental", "opportunistic")
 
 
 @dataclasses.dataclass
@@ -44,6 +50,23 @@ class SimulationConfig:
     #: permutation (verified/repaired instead of a cold argsort).
     sort_reuse: bool = True
 
+    # --- Step-coherence knobs (see docs/PERFORMANCE.md) -----------------
+    #: Cross-step octree reuse: "off" rebuilds cold every step (today's
+    #: behaviour); "repair" diffs the new SFC keys against the cached
+    #: tree and grafts unchanged subtrees
+    #: (:mod:`repro.octree.incremental`).  Bitwise-identical trees
+    #: either way.
+    tree_reuse: str = "off"
+    #: Seed tree walks from the previous step's visit list instead of
+    #: the root (:mod:`repro.gravity.warmstart`).  Forces and
+    #: interaction counts stay bitwise-identical to cold walks.
+    walk_warm_start: bool = False
+    #: LET drain ordering (:data:`LET_DRAIN_MODES`): "incremental"
+    #: walks the boundary batch while LETs are in flight, then drains
+    #: them in rank order -- byte-deterministic *and* bitwise-equal to
+    #: "deterministic" (identical per-source accumulation sequence).
+    let_drain: str = "auto"
+
     # --- Execution substrate --------------------------------------------
     #: SimMPI transport for parallel runs: "threads" (in-process,
     #: deterministic, GIL-bound), "process" (forked ranks + shared
@@ -72,6 +95,12 @@ class SimulationConfig:
             raise ValueError(f"unknown scatter {self.scatter!r}")
         if self.precision == "float32" and self.scatter != "segment":
             raise ValueError("precision='float32' requires scatter='segment'")
+        if self.tree_reuse not in TREE_REUSE_MODES:
+            raise ValueError(f"unknown tree_reuse {self.tree_reuse!r}; "
+                             f"expected one of {TREE_REUSE_MODES}")
+        if self.let_drain not in LET_DRAIN_MODES:
+            raise ValueError(f"unknown let_drain {self.let_drain!r}; "
+                             f"expected one of {LET_DRAIN_MODES}")
         from .simmpi.transport import TRANSPORTS
         if self.transport not in TRANSPORTS:
             raise ValueError(f"unknown transport {self.transport!r}; "

@@ -34,6 +34,8 @@ import numpy as np
 from ..config import SimulationConfig
 from ..gravity.flops import InteractionCounts
 from ..gravity.treewalk import KernelWorkspace
+from ..gravity.warmstart import WalkCache
+from ..octree.incremental import TreeCache
 from ..integrator import EnergyDiagnostics
 from ..obs.tracer import Tracer
 from ..particles import ParticleSet
@@ -152,6 +154,16 @@ class ParallelSimulation:
         self._tree_sort_cache = SortCache()
         self._workspace: KernelWorkspace | None = None
         self._keys: np.ndarray | None = None
+        # Step-coherence state (docs/PERFORMANCE.md): the incremental
+        # octree cache and walk visit-list cache, plus a layout epoch
+        # bumped whenever the local particle set changes (rebalance /
+        # exchange migration) so no cross-step cache -- including the
+        # sort caches' tie-breaking -- can survive a relayout.
+        self._tree_cache = TreeCache() \
+            if self.config.tree_reuse != "off" else None
+        self._walk_cache = WalkCache() \
+            if self.config.walk_warm_start else None
+        self._layout_epoch = 0
 
     # -- observability ----------------------------------------------------
 
@@ -270,7 +282,8 @@ class ParallelSimulation:
         box, box_changed = self._update_box()
         keys = box.keys(self.particles.pos, self.config.curve)
         if self.config.sort_reuse:
-            order = self._sort_cache.order_for(keys)
+            order = self._sort_cache.order_for(keys,
+                                               epoch=self._layout_epoch)
             sort_mode = self._sort_cache.last_mode
         else:
             order = np.argsort(keys, kind="stable")
@@ -304,9 +317,20 @@ class ParallelSimulation:
                 self._rec("rebalance", t_rb, self._now(), **attrs)
         self.boundary_history.append(
             tuple(int(b) for b in self.decomposition.boundaries))
+        old_ids = self.particles.ids
         self.particles, self._keys = exchange_particles(
             self.comm, self.particles, keys, self.decomposition,
             check=self.invariant_checks, return_keys=True)
+        # Layout generation: any change to the local particle sequence
+        # (migration in/out, or a reorder the exchange introduced)
+        # invalidates every cross-step cache keyed on the old layout.
+        # The epoch tag makes that invalidation explicit instead of
+        # relying on downstream structural checks alone.
+        if len(self.particles.ids) != len(old_ids) or \
+                not np.array_equal(self.particles.ids, old_ids):
+            self._layout_epoch += 1
+            if self._walk_cache is not None:
+                self._walk_cache.bump_epoch()
         if self.invariant_checks:
             from ..testing.invariants import check_ownership
             keys_after = box.keys(self.particles.pos, self.config.curve)
@@ -340,7 +364,10 @@ class ParallelSimulation:
             step=self.step_count, keys=keys,
             sort_cache=self._tree_sort_cache if self.config.sort_reuse
             else None,
-            workspace=self._workspace)
+            workspace=self._workspace,
+            sort_epoch=self._layout_epoch,
+            tree_cache=self._tree_cache,
+            walk_cache=self._walk_cache)
         self._acc, self._phi = result.acc, result.phi
         self._result = result
         self.recv_wait_seconds += result.recv_wait_seconds

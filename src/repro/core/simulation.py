@@ -23,7 +23,8 @@ from ..config import SimulationConfig
 from ..gravity import KernelWorkspace, tree_forces
 from ..obs.tracer import NULL_TRACER, Tracer
 from ..integrator import EnergyDiagnostics, system_diagnostics
-from ..octree import build_octree, compute_moments, make_groups
+from ..octree import build_octree, cached_octree, compute_moments, make_groups
+from ..octree.incremental import TreeCache
 from ..particles import ParticleSet
 from ..sfc import BoundingBox, SortCache
 from .step import StepBreakdown
@@ -77,6 +78,15 @@ class Simulation:
         self._phi: np.ndarray | None = None
         self._sort_cache = SortCache()
         self._workspace: KernelWorkspace | None = None
+        # Step-coherence: incremental tree repair (docs/PERFORMANCE.md).
+        # The serial driver refits its bounding box from the particles
+        # every step, so the cache usually falls back cold (a box change
+        # relabels every octant); the knob is honoured for parity and
+        # for fixed-box workloads driven through compute_forces.  Walk
+        # warm-starts are a parallel-driver feature: tree_forces owns
+        # its walk and the serial walk has no LET overlap to hide.
+        self._tree_cache = TreeCache() \
+            if self.config.tree_reuse != "off" else None
 
     def _now(self) -> float:
         """Phase clock: the tracer's when tracing (so trace == breakdown)."""
@@ -136,11 +146,22 @@ class Simulation:
             {"sort_mode": self._sort_cache.last_mode}
         self._rec("sorting", t0, t1, **sort_attr)
 
-        tree = build_octree(ps.pos, nleaf=cfg.nleaf, curve=cfg.curve,
-                            box=box, keys=keys, order=order)
+        tree_attrs = {}
+        if self._tree_cache is not None:
+            tree = cached_octree(self._tree_cache, ps.pos, nleaf=cfg.nleaf,
+                                 curve=cfg.curve, box=box, keys=keys,
+                                 order=order)
+            st = self._tree_cache.last
+            tree_attrs = {"tree_mode": st.mode,
+                          "tree_churn": round(st.churn, 6),
+                          "tree_cells_repaired": st.cells_active,
+                          "tree_cells_grafted": st.cells_grafted}
+        else:
+            tree = build_octree(ps.pos, nleaf=cfg.nleaf, curve=cfg.curve,
+                                box=box, keys=keys, order=order)
         t2 = self._now()
         bd.tree_construction += t2 - t1
-        self._rec("tree_construction", t1, t2)
+        self._rec("tree_construction", t1, t2, **tree_attrs)
 
         compute_moments(tree, ps.pos, ps.mass)
         make_groups(tree, cfg.ncrit)

@@ -31,6 +31,7 @@ from .forest import (
     split_by_source,
     walk_forest_interaction_lists,
 )
+from .warmstart import WalkCache, structure_levels, warm_walk
 
 __all__ = [
     "FLOPS_PER_PP",
@@ -52,4 +53,7 @@ __all__ = [
     "SourceForest",
     "walk_forest_interaction_lists",
     "split_by_source",
+    "WalkCache",
+    "warm_walk",
+    "structure_levels",
 ]

@@ -193,7 +193,8 @@ def group_aabbs(tree: Octree, spos: np.ndarray) -> tuple[np.ndarray, np.ndarray]
 def walk_frontier(first_child: np.ndarray, n_children: np.ndarray,
                   com: np.ndarray, r_crit: np.ndarray,
                   gmin: np.ndarray, gmax: np.ndarray,
-                  g: np.ndarray, c: np.ndarray
+                  g: np.ndarray, c: np.ndarray,
+                  open_out: list | None = None
                   ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
     """Drive a (group, cell) frontier to completion.
 
@@ -205,6 +206,11 @@ def walk_frontier(first_child: np.ndarray, n_children: np.ndarray,
     stable sort by source id recovers each source's single-walk pair
     order exactly (the batched-walk equivalence the fast path relies
     on).
+
+    ``open_out``, when given, collects every *opened* (group, cell)
+    visit as ``(og, oc)`` array pairs, one per frontier iteration --
+    together with the pc/pp lists this is the walk's complete visit set,
+    which :mod:`repro.gravity.warmstart` caches to seed the next step.
     """
     pc_g_parts: list[np.ndarray] = []
     pc_c_parts: list[np.ndarray] = []
@@ -230,6 +236,8 @@ def walk_frontier(first_child: np.ndarray, n_children: np.ndarray,
             pp_c_parts.append(c[take_pp])
 
         if open_.any():
+            if open_out is not None:
+                open_out.append((g[open_], c[open_]))
             og = g[open_]
             oc = c[open_]
             nch = n_children[oc]
@@ -247,7 +255,8 @@ def walk_frontier(first_child: np.ndarray, n_children: np.ndarray,
     return cat(pc_g_parts), cat(pc_c_parts), cat(pp_g_parts), cat(pp_c_parts), max_frontier
 
 
-def walk_interaction_lists(source, gmin: np.ndarray, gmax: np.ndarray
+def walk_interaction_lists(source, gmin: np.ndarray, gmax: np.ndarray,
+                           open_out: list | None = None
                            ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
     """Walk ``source`` once per target group, building interaction pairs.
 
@@ -274,7 +283,8 @@ def walk_interaction_lists(source, gmin: np.ndarray, gmax: np.ndarray
     g = np.arange(n_groups, dtype=np.int64)
     c = np.zeros(n_groups, dtype=np.int64)
     return walk_frontier(source.first_child, source.n_children,
-                         source.com, source.r_crit, gmin, gmax, g, c)
+                         source.com, source.r_crit, gmin, gmax, g, c,
+                         open_out=open_out)
 
 
 def _expand_ranges(first: np.ndarray, count: np.ndarray) -> np.ndarray:

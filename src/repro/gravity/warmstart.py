@@ -1,0 +1,309 @@
+"""Walk warm-starts: reuse the previous step's MAC decisions.
+
+A cold tree walk re-derives every multipole-acceptance decision from the
+root, yet between coherent steps almost all of them are unchanged.  A
+:class:`WalkCache` remembers, per source structure, the previous walk's
+complete *visit list* -- every (group, cell) the frontier touched,
+tagged accepted (PC), opened-leaf (PP) or opened-internal (OPEN) -- in
+canonical (level, group, cell) order.  :func:`warm_walk` then replaces
+the full breadth-first descent with one vectorised MAC retest over that
+list, descending only where a decision flipped:
+
+- ``PC -> OPEN`` (a previously accepted internal cell now fails the
+  MAC): a sub-walk seeded at its children covers the newly exposed
+  subtree;
+- ``OPEN -> accept`` (a previously opened cell now passes): the cold
+  walk would have *stopped* there, so everything cached below it is
+  over-refined -- the whole group falls back to a cold walk from the
+  root (rare under coherence, exact always);
+- ``PP <-> PC`` leaf flips change only the pair kind, never the visit
+  set (leafness is static for a fixed structure).
+
+Bitwise contract
+----------------
+For a frontier seeded group-major at a single root, the frontier stays
+lexicographically sorted by (group, cell) at every depth, so the cold
+pair lists are exactly the visit set sorted by (level, group, cell).
+The warm path therefore emits the *identical pair lists in the
+identical order* -- and the evaluators' accumulation order, hence every
+float64 force bit and every ``n_pp``/``n_pc`` count, matches the cold
+walk.  ``tests/test_forest_walk.py`` and the differential harness pin
+this at 1-8 ranks.
+
+Validity is established structurally, not assumed: an entry is used
+only when the source's ``first_child``/``n_children``/``body_first``/
+``body_count`` arrays compare equal to the cached ones (identity-first,
+so shared arrays from ``tree_reuse`` validate in O(1)) and the target
+group partition is unchanged.  ``epoch`` is an explicit generation tag
+on top: the driver bumps it on domain rebalances and particle
+exchanges, so a stale entry can never survive a relayout even in
+principle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..octree.properties import aabb_distance
+from .treewalk import walk_frontier
+
+#: Visit kinds in a cached list.
+KIND_PC = np.int8(0)
+KIND_PP = np.int8(1)
+KIND_OPEN = np.int8(2)
+
+
+def _same(a: np.ndarray, b: np.ndarray) -> bool:
+    return a is b or (a.shape == b.shape and bool(np.array_equal(a, b)))
+
+
+def structure_levels(first_child: np.ndarray, n_children: np.ndarray
+                     ) -> np.ndarray:
+    """Per-cell depth of a linear tree, derived from child links only.
+
+    LET structures carry no ``cell_level`` array; one breadth-first pass
+    over the child adjacency recovers it (root = cell 0 = depth 0).
+    """
+    n = len(n_children)
+    level = np.zeros(n, dtype=np.int64)
+    cur = np.zeros(1, dtype=np.int64)
+    depth = 0
+    while len(cur):
+        nch = n_children[cur]
+        parents = cur[nch > 0]
+        if len(parents) == 0:
+            break
+        cnt = n_children[parents]
+        total = int(cnt.sum())
+        offs = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(cnt) - cnt, cnt)
+        children = np.repeat(first_child[parents], cnt) + offs
+        depth += 1
+        level[children] = depth
+        cur = children
+    return level
+
+
+class _WalkEntry:
+    """Cached visit list + the structural fingerprint that validates it."""
+
+    __slots__ = ("g", "c", "kind", "level",
+                 "first_child", "n_children", "body_first", "body_count")
+
+    def __init__(self, g, c, kind, level, source):
+        self.g = g
+        self.c = c
+        self.kind = kind
+        self.level = level
+        self.first_child = source.first_child
+        self.n_children = source.n_children
+        self.body_first = source.body_first
+        self.body_count = source.body_count
+
+    def matches(self, source) -> bool:
+        return (_same(self.first_child, source.first_child)
+                and _same(self.n_children, source.n_children)
+                and _same(self.body_first, source.body_first)
+                and _same(self.body_count, source.body_count))
+
+
+class WalkCache:
+    """Per-rank cache of previous-step walk visit lists.
+
+    Entries are keyed by source site -- ``"local"`` for the local tree,
+    ``("b", rank)`` / ``("let", rank)`` for remote boundary and LET
+    structures -- and validated structurally on every use.
+    ``begin_step`` must be called once per force computation with the
+    current target group partition; a changed partition (different
+    groups = meaningless cached group ids) flushes everything.
+    """
+
+    __slots__ = ("epoch", "hits", "misses", "last_hits",
+                 "_entries", "_group_first", "_group_count")
+
+    def __init__(self) -> None:
+        self.epoch = 0
+        self.hits = 0        #: total cached decisions reused (all steps)
+        self.misses = 0      #: total cold walks taken (all steps)
+        self.last_hits = 0   #: cached decisions reused in the latest step
+        self._entries: dict = {}
+        self._group_first: np.ndarray | None = None
+        self._group_count: np.ndarray | None = None
+
+    def bump_epoch(self) -> None:
+        """Invalidate every entry (domain rebalance / particle exchange)."""
+        self.epoch += 1
+        self._entries.clear()
+        self._group_first = None
+        self._group_count = None
+
+    def begin_step(self, group_first: np.ndarray,
+                   group_count: np.ndarray) -> None:
+        """Arm the cache for one force computation's group partition."""
+        if self._group_first is None or \
+                not _same(self._group_first, group_first) or \
+                not _same(self._group_count, group_count):
+            self._entries.clear()
+        self._group_first = group_first
+        self._group_count = group_count
+        self.last_hits = 0
+
+    def has(self, key, source) -> bool:
+        """Whether a cached visit list exists and validates for ``source``."""
+        prev = self._entries.get(key)
+        return prev is not None and prev.matches(source)
+
+    def entry_levels(self, key, source) -> np.ndarray:
+        """Depth array for ``source``, reused when its structure is cached."""
+        prev = self._entries.get(key)
+        if prev is not None and prev.matches(source):
+            return prev.level
+        return structure_levels(source.first_child, source.n_children)
+
+    def store(self, key, source, level, pieces) -> None:
+        """Record a walk's visit list in canonical order.
+
+        ``pieces`` is an iterable of ``(g, c, kind)`` array triples (the
+        pc/pp lists plus collected opened visits, in any order).
+        """
+        gs = [p[0] for p in pieces]
+        cs = [p[1] for p in pieces]
+        ks = [np.full(len(p[0]), p[2], dtype=np.int8) for p in pieces]
+        g = np.concatenate(gs) if gs else np.empty(0, dtype=np.int64)
+        c = np.concatenate(cs) if cs else np.empty(0, dtype=np.int64)
+        k = np.concatenate(ks) if ks else np.empty(0, dtype=np.int8)
+        o = np.lexsort((c, g, level[c]))
+        self._entries[key] = _WalkEntry(g[o], c[o], k[o], level, source)
+
+    def store_sorted(self, key, source, level, g, c, kind) -> None:
+        """Record an already-canonical visit list without re-sorting."""
+        self._entries[key] = _WalkEntry(g, c, kind, level, source)
+
+
+def _opened_arrays(open_parts: list) -> tuple[np.ndarray, np.ndarray]:
+    if not open_parts:
+        e = np.empty(0, dtype=np.int64)
+        return e, e
+    return (np.concatenate([p[0] for p in open_parts]),
+            np.concatenate([p[1] for p in open_parts]))
+
+
+def warm_walk(cache: WalkCache, key, source,
+              gmin: np.ndarray, gmax: np.ndarray
+              ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray,
+                         int, bool]:
+    """Walk ``source`` against the target groups, warm when possible.
+
+    Returns ``(pc_g, pc_c, pp_g, pp_c, max_frontier, warm)`` where the
+    pair lists are bitwise-identical (values *and* order) to
+    :func:`~repro.gravity.treewalk.walk_interaction_lists` on the same
+    inputs, and ``warm`` reports whether the cached visit list was used.
+    The walk's visit list is stored back into the cache either way.
+    """
+    n_groups = len(gmin)
+    fc, nc = source.first_child, source.n_children
+    com, r_crit = source.com, source.r_crit
+    entry = cache._entries.get(key)
+
+    if entry is None or not entry.matches(source):
+        level = cache.entry_levels(key, source)
+        opened: list = []
+        g0 = np.arange(n_groups, dtype=np.int64)
+        c0 = np.zeros(n_groups, dtype=np.int64)
+        pc_g, pc_c, pp_g, pp_c, mf = walk_frontier(
+            fc, nc, com, r_crit, gmin, gmax, g0, c0, open_out=opened)
+        og, oc = _opened_arrays(opened)
+        cache.store(key, source, level,
+                    [(pc_g, pc_c, KIND_PC), (pp_g, pp_c, KIND_PP),
+                     (og, oc, KIND_OPEN)])
+        cache.misses += 1
+        return pc_g, pc_c, pp_g, pp_c, mf, False
+
+    g, c, kind, level = entry.g, entry.c, entry.kind, entry.level
+    # One vectorised retest replaces the whole per-level descent.
+    d = aabb_distance(gmin[g], gmax[g], com[c])
+    accept = d > r_crit[c]
+    leaf = nc[c] == 0
+    new_kind = np.where(accept, KIND_PC,
+                        np.where(leaf, KIND_PP, KIND_OPEN)).astype(np.int8)
+
+    # A previously opened cell that now passes the MAC means the cold
+    # walk would stop above everything we cached: re-walk those groups.
+    dirty_lookup = np.zeros(n_groups, dtype=bool)
+    dirty_lookup[g[(kind == KIND_OPEN) & accept]] = True
+    clean = ~dirty_lookup[g]
+    n_clean = int(clean.sum())
+    cache.hits += n_clean
+    cache.last_hits += n_clean
+
+    # Newly failing accepted cells expose their subtrees: sub-walk from
+    # their children (kind != OPEN excludes OPEN->OPEN, which is covered
+    # by the deeper cached entries themselves).
+    descend = clean & (kind != KIND_OPEN) & (new_kind == KIND_OPEN)
+
+    # Fast path -- the overwhelmingly common coherent case: no cell
+    # newly opened, no group dirty.  The cached list is already in
+    # canonical (level, group, cell) order and boolean masking preserves
+    # order, so the pair lists (and the stored-back visit list, whose
+    # visit *set* is unchanged -- PP<->PC flips only relabel kinds) come
+    # out canonical with no concatenate and no O(V log V) lexsort.
+    if not descend.any() and not dirty_lookup.any():
+        pc = new_kind == KIND_PC
+        pp = new_kind == KIND_PP
+        cache.store_sorted(key, source, level, g, c, new_kind)
+        return g[pc], c[pc], g[pp], c[pp], len(g), True
+
+    sub_open: list = []
+    if descend.any():
+        og, oc = g[descend], c[descend]
+        cnt = nc[oc]
+        total = int(cnt.sum())
+        offs = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(cnt) - cnt, cnt)
+        sg = np.repeat(og, cnt)
+        sc = np.repeat(fc[oc], cnt) + offs
+        spc_g, spc_c, spp_g, spp_c, smf = walk_frontier(
+            fc, nc, com, r_crit, gmin, gmax, sg, sc, open_out=sub_open)
+    else:
+        e = np.empty(0, dtype=np.int64)
+        spc_g = spc_c = spp_g = spp_c = e
+        smf = 0
+    sog, soc = _opened_arrays(sub_open)
+
+    dirty_groups = np.flatnonzero(dirty_lookup)
+    dirty_open: list = []
+    if len(dirty_groups):
+        dc = np.zeros(len(dirty_groups), dtype=np.int64)
+        dpc_g, dpc_c, dpp_g, dpp_c, dmf = walk_frontier(
+            fc, nc, com, r_crit, gmin, gmax, dirty_groups, dc,
+            open_out=dirty_open)
+    else:
+        e = np.empty(0, dtype=np.int64)
+        dpc_g = dpc_c = dpp_g = dpp_c = e
+        dmf = 0
+    dog, doc = _opened_arrays(dirty_open)
+
+    kept_pc = clean & (new_kind == KIND_PC)
+    kept_pp = clean & (new_kind == KIND_PP)
+    kept_open = clean & (new_kind == KIND_OPEN)
+
+    def canonical(parts_g, parts_c):
+        pg = np.concatenate(parts_g)
+        pc = np.concatenate(parts_c)
+        o = np.lexsort((pc, pg, level[pc]))
+        return pg[o], pc[o]
+
+    pc_g, pc_c = canonical([g[kept_pc], spc_g, dpc_g],
+                           [c[kept_pc], spc_c, dpc_c])
+    pp_g, pp_c = canonical([g[kept_pp], spp_g, dpp_g],
+                           [c[kept_pp], spp_c, dpp_c])
+
+    cache.store(key, source, level, [
+        (pc_g, pc_c, KIND_PC), (pp_g, pp_c, KIND_PP),
+        (np.concatenate([g[kept_open], sog, dog]),
+         np.concatenate([c[kept_open], soc, doc]), KIND_OPEN)])
+    # The retest width stands in for the cold frontier peak: it is the
+    # number of (group, cell) decisions taken in one shot.  Reuse-on
+    # runs legitimately report different walk_max_frontier gauges.
+    mf = max(len(g), smf, dmf)
+    return pc_g, pc_c, pp_g, pp_c, mf, True

@@ -1,0 +1,453 @@
+"""Incremental octree repair across timesteps (Cornerstone-style reuse).
+
+Particles barely move between timesteps, so most of the octree built in
+step k is structurally identical to the one step k+1 would build from
+scratch: only the subtrees whose *leaf membership* changed need work.
+Following Cornerstone's incremental update idea, :func:`cached_octree`
+diffs the new sorted SFC keys against the cached tree, grafts every
+subtree whose key content is unchanged, and re-runs the level-by-level
+build only over the dirty regions -- falling back to a full rebuild when
+the churn fraction exceeds a threshold (or when the bounding box, curve
+or leaf capacity changed, which invalidates every cached prefix).
+
+Bitwise contract
+----------------
+The repaired tree is **bitwise identical** to ``build_octree`` on the
+same sorted keys: every topology array, ``cell_key``, and the
+``center``/``half`` geometry (cell geometry is a pure function of the
+cell's level prefix, so grafted rows equal a cold recompute exactly).
+Multipole moments are *not* spliced: :func:`~repro.octree.moments.compute_moments`
+accumulates global prefix sums whose rounding couples every cell to all
+preceding particles, so per-subtree splicing could never honour the
+0-ULP contract the step-coherence test suite enforces.  Callers rerun
+``compute_moments`` on the repaired tree as usual -- it is a pure
+function of the (identical) structure and the new particle data, hence
+itself bitwise equal to the cold path.
+
+Cleanliness criterion
+---------------------
+Keys are truncated to the cached tree's deepest level ``Lmax`` before
+diffing: low bits below the tree's resolution flip on almost every step
+(any drift perturbs the finest Hilbert digits) but cannot affect
+topology.  A cell is *clean* when no truncated key was added to or
+removed from its octant interval -- then its sorted truncated
+subsequence is unchanged, its subtree splits identically (and can never
+need to deepen past ``Lmax``, because its per-level counts are
+unchanged), and its whole subtree can be grafted after locating the new
+offset with one ``searchsorted``.  Full-depth ``cell_key`` values are
+re-gathered from the new keys, so intra-leaf key drift never leaks
+stale bytes into the repaired tree.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..sfc import BoundingBox, KEY_MAX_LEVEL, cell_geometry
+from .build import build_octree
+from .tree import Octree
+
+_U = np.uint64
+
+#: ``SimulationConfig.tree_reuse`` values.
+TREE_REUSE_MODES = ("off", "repair")
+
+#: Outcomes of :func:`cached_octree`, cheapest first.
+TREE_MODES = ("reuse", "repair", "cold")
+
+
+@dataclasses.dataclass
+class TreeRepairStats:
+    """What the latest :func:`cached_octree` call actually did."""
+
+    mode: str                 #: one of :data:`TREE_MODES`
+    churn: float = 0.0        #: fraction of truncated keys added/removed
+    cells_total: int = 0      #: cells in the returned tree
+    cells_active: int = 0     #: cells rebuilt by the active (dirty) pass
+    cells_grafted: int = 0    #: cells spliced verbatim from the cache
+
+
+class TreeCache:
+    """Remembers the previous step's octree for incremental repair.
+
+    One cache per (driver, tree site).  Correctness never depends on the
+    cache being fresh -- the diff against the cached tree's own sorted
+    keys is the ground truth -- but a box/curve/nleaf change invalidates
+    every cached prefix, so those force a cold build via a signature
+    check (the box comparison is bitwise: even an LSB origin shift
+    relabels octants).  ``epoch`` is an explicit generation tag: bumping
+    it (e.g. on a domain rebalance, if the driver wants belt-and-braces
+    invalidation) guarantees the next build is cold.
+    """
+
+    __slots__ = ("churn_threshold", "epoch", "last",
+                 "_tree", "_sig", "_epoch_built")
+
+    def __init__(self, churn_threshold: float = 0.3) -> None:
+        if not 0.0 < churn_threshold <= 1.0:
+            raise ValueError("churn_threshold must be in (0, 1]")
+        self.churn_threshold = float(churn_threshold)
+        self.epoch = 0
+        self.last: TreeRepairStats | None = None
+        self._tree: Octree | None = None
+        self._sig: tuple | None = None
+        self._epoch_built = -1
+
+    def invalidate(self) -> None:
+        """Drop the cached tree; the next build is cold."""
+        self._tree = None
+        self._sig = None
+
+    def bump_epoch(self) -> None:
+        """Advance the generation tag; stale entries can never be reused."""
+        self.epoch += 1
+
+
+def _signature(box: BoundingBox, curve: str, nleaf: int,
+               max_level: int) -> tuple:
+    origin = np.ascontiguousarray(np.asarray(box.origin, dtype=np.float64))
+    return (curve, int(nleaf), int(max_level),
+            origin.tobytes(), float(box.size))
+
+
+def _truncated_multiset_diff(at: np.ndarray, bt: np.ndarray
+                             ) -> tuple[np.ndarray, float]:
+    """Dirty truncated keys between two sorted arrays.
+
+    Returns ``(dirty, churn)``: the sorted unique truncated keys whose
+    multiplicity differs, and the added+removed count as a fraction of
+    the new population.
+    """
+    ua = at[np.append(True, at[1:] != at[:-1])] if len(at) else at
+    ub = bt[np.append(True, bt[1:] != bt[:-1])] if len(bt) else bt
+    u = np.union1d(ua, ub)
+    ca = np.searchsorted(at, u, side="right") - np.searchsorted(at, u, side="left")
+    cb = np.searchsorted(bt, u, side="right") - np.searchsorted(bt, u, side="left")
+    changed = ca != cb
+    churn = float(np.abs(ca - cb).sum()) / float(max(len(bt), 1))
+    return u[changed], churn
+
+
+def cached_octree(cache: TreeCache, pos: np.ndarray,
+                  nleaf: int = 16, curve: str = "hilbert",
+                  box: BoundingBox | None = None,
+                  keys: np.ndarray | None = None,
+                  order: np.ndarray | None = None,
+                  max_level: int = KEY_MAX_LEVEL) -> Octree:
+    """Build an octree, reusing the cached previous tree when possible.
+
+    Drop-in for :func:`~repro.octree.build.build_octree` (same
+    parameters and bitwise-identical result); the outcome is recorded in
+    ``cache.last``.  The returned tree has topology and
+    ``center``/``half`` geometry filled in; moments are computed
+    separately, exactly as with a cold build.
+    """
+    pos = np.asarray(pos, dtype=np.float64)
+    if len(pos) == 0:
+        raise ValueError("cannot build a tree over zero particles")
+    if box is None:
+        box = BoundingBox.from_positions(pos)
+    if keys is None:
+        keys = box.keys(pos, curve)
+    else:
+        keys = np.asarray(keys, dtype=np.uint64)
+    if order is None:
+        order = np.argsort(keys, kind="stable").astype(np.int64)
+    else:
+        order = np.asarray(order, dtype=np.int64)
+    skeys = keys[order]
+
+    def cold(mode_churn: float) -> Octree:
+        tree = build_octree(pos, nleaf=nleaf, curve=curve, box=box,
+                            keys=keys, order=order, max_level=max_level)
+        cache.last = TreeRepairStats(mode="cold", churn=mode_churn,
+                                     cells_total=tree.n_cells,
+                                     cells_active=tree.n_cells)
+        cache._tree = tree
+        cache._sig = _signature(box, curve, nleaf, max_level)
+        cache._epoch_built = cache.epoch
+        return tree
+
+    old = cache._tree
+    sig = _signature(box, curve, nleaf, max_level)
+    if old is None or cache._sig != sig or cache._epoch_built != cache.epoch:
+        return cold(1.0)
+
+    lmax = int(old.cell_level.max())
+    shift = _U(3 * (KEY_MAX_LEVEL - lmax))
+    at = old.keys >> shift
+    bt = skeys >> shift
+    dirty, churn = _truncated_multiset_diff(at, bt)
+
+    if len(dirty) == 0:
+        # Topology is a pure function of the truncated key sequence, so
+        # the cached arrays are exactly what a cold build would produce.
+        # cell_key is full-depth (intra-octant drift changes it without
+        # changing topology): re-gather from the new sorted keys.
+        tree = Octree(
+            cell_key=skeys[old.body_first],
+            cell_level=old.cell_level, cell_parent=old.cell_parent,
+            first_child=old.first_child, n_children=old.n_children,
+            body_first=old.body_first, body_count=old.body_count,
+            order=order, keys=skeys, box=box, curve=curve, nleaf=nleaf,
+            center=old.center, half=old.half)
+        cache.last = TreeRepairStats(mode="reuse", churn=0.0,
+                                     cells_total=tree.n_cells,
+                                     cells_grafted=tree.n_cells)
+        cache._tree = tree
+        cache._epoch_built = cache.epoch
+        return tree
+
+    if churn > cache.churn_threshold:
+        return cold(churn)
+
+    repaired = _repair(old, dirty, bt, skeys, order, box, curve, nleaf,
+                       max_level, lmax)
+    if repaired is None:  # nothing graftable: the diff touched every subtree
+        return cold(churn)
+    tree, n_grafted = repaired
+    cache.last = TreeRepairStats(
+        mode="repair", churn=churn, cells_total=tree.n_cells,
+        cells_active=tree.n_cells - n_grafted,
+        cells_grafted=n_grafted)
+    cache._tree = tree
+    cache._epoch_built = cache.epoch
+    return tree
+
+
+def _clean_roots(old: Octree, dirty: np.ndarray, bt: np.ndarray, lmax: int
+                 ) -> tuple[np.ndarray, np.ndarray]:
+    """Maximal internal cells whose truncated octant interval is clean.
+
+    Returns ``(root_ids, root_new_first)`` where ``root_new_first`` is
+    each root's particle offset in the *new* sorted key array.
+    """
+    glob_shift = _U(3 * (KEY_MAX_LEVEL - lmax))
+    tkey = old.cell_key >> glob_shift
+    bits = (3 * (lmax - old.cell_level)).astype(np.uint64)
+    plo = (tkey >> bits) << bits
+    phi = plo + (_U(1) << bits)
+    n_dirty_in = (np.searchsorted(dirty, phi, side="left")
+                  - np.searchsorted(dirty, plo, side="left"))
+    clean = n_dirty_in == 0
+    parent_clean = np.zeros(old.n_cells, dtype=bool)
+    has_parent = old.cell_parent >= 0
+    parent_clean[has_parent] = clean[old.cell_parent[has_parent]]
+    roots = np.flatnonzero(clean & ~parent_clean & (old.n_children > 0))
+    new_first = np.searchsorted(bt, plo[roots], side="left").astype(np.int64)
+    return roots, new_first
+
+
+def _repair(old: Octree, dirty: np.ndarray, bt: np.ndarray,
+            skeys: np.ndarray, order: np.ndarray, box: BoundingBox,
+            curve: str, nleaf: int, max_level: int, lmax: int
+            ) -> tuple[Octree, int] | None:
+    n = len(skeys)
+    roots, roots_new_first = _clean_roots(old, dirty, bt, lmax)
+    if len(roots) == 0:
+        return None
+
+    # Per-level lookup tables: clean roots keyed by (level, new_first).
+    root_level = old.cell_level[roots]
+    tables: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+    for lv in np.unique(root_level):
+        sel = root_level == lv
+        rf = roots_new_first[sel]
+        o = np.argsort(rf, kind="stable")
+        tables[int(lv)] = (rf[o], old.body_count[roots[sel]][o],
+                          roots[sel][o])
+
+    # --- active build: the cold level loop, minus grafted subtrees ------
+    act_first: list[np.ndarray] = [np.zeros(1, dtype=np.int64)]
+    act_count: list[np.ndarray] = [np.array([n], dtype=np.int64)]
+    act_parent: list[np.ndarray] = [np.full(1, -1, dtype=np.int64)]
+    act_graft: list[np.ndarray] = [np.full(1, -1, dtype=np.int64)]
+
+    cur_first = act_first[0]
+    cur_count = act_count[0]
+    cur_blocked = np.zeros(1, dtype=bool)
+    matched_old: list[np.ndarray] = []
+    matched_new_first: list[np.ndarray] = []
+
+    for level in range(1, max_level + 1):
+        split = (cur_count > nleaf) & ~cur_blocked
+        if not split.any():
+            break
+        parents = np.flatnonzero(split)
+        p_first = cur_first[parents]
+        p_count = cur_count[parents]
+
+        total = int(p_count.sum())
+        reps = np.repeat(np.arange(len(parents)), p_count)
+        offsets = np.arange(total) - np.repeat(np.cumsum(p_count) - p_count,
+                                               p_count)
+        pidx = p_first[reps] + offsets
+
+        kshift = _U(3 * (KEY_MAX_LEVEL - level))
+        digits = (skeys[pidx] >> kshift) & _U(7)
+
+        newcell = np.empty(total, dtype=bool)
+        newcell[0] = True
+        newcell[1:] = (reps[1:] != reps[:-1]) | (digits[1:] != digits[:-1])
+        starts = np.flatnonzero(newcell)
+
+        c_first = pidx[starts].astype(np.int64)
+        c_count = np.diff(np.append(starts, total)).astype(np.int64)
+        c_parent = parents[reps[starts]]        # index into level-1 actives
+
+        graft = np.full(len(starts), -1, dtype=np.int64)
+        table = tables.get(level)
+        if table is not None:
+            tf, tcount, told = table
+            pos = np.searchsorted(tf, c_first)
+            pos_c = np.minimum(pos, len(tf) - 1)
+            hit = (tf[pos_c] == c_first) & (tcount[pos_c] == c_count)
+            graft[hit] = told[pos_c[hit]]
+            if hit.any():
+                matched_old.append(told[pos_c[hit]])
+                matched_new_first.append(c_first[hit])
+
+        act_first.append(c_first)
+        act_count.append(c_count)
+        act_parent.append(c_parent)
+        act_graft.append(graft)
+
+        cur_first = c_first
+        cur_count = c_count
+        cur_blocked = graft >= 0
+
+    if not matched_old:
+        return None
+    m_old = np.concatenate(matched_old)
+    m_new_first = np.concatenate(matched_new_first)
+
+    # --- descendant extraction: subtree masks + per-cell offset shift ---
+    n_old = old.n_cells
+    in_sub = np.zeros(n_old, dtype=bool)
+    is_desc = np.zeros(n_old, dtype=bool)
+    shift_of = np.zeros(n_old, dtype=np.int64)
+    in_sub[m_old] = True
+    shift_of[m_old] = m_new_first - old.body_first[m_old]
+    lvl_start = np.searchsorted(old.cell_level, np.arange(lmax + 2))
+    for lv in range(1, lmax + 1):
+        s0, s1 = int(lvl_start[lv]), int(lvl_start[lv + 1])
+        if s0 == s1:
+            continue
+        par = old.cell_parent[s0:s1]
+        take = np.flatnonzero(in_sub[par]) + s0
+        if len(take) == 0:
+            continue
+        is_desc[take] = True
+        in_sub[take] = True
+        shift_of[take] = shift_of[old.cell_parent[take]]
+
+    # --- per-level merge into the cold (level-contiguous, ascending
+    # body_first) layout -------------------------------------------------
+    n_act_levels = len(act_first)
+    depth = max(n_act_levels, lmax + 1)
+    act_newid: list[np.ndarray] = []
+    old2new = np.full(n_old, -1, dtype=np.int64)
+
+    out_first: list[np.ndarray] = []
+    out_count: list[np.ndarray] = []
+    out_parent: list[np.ndarray] = []
+    out_level: list[np.ndarray] = []
+    graft_rows: list[np.ndarray] = []    # new-id rows spliced from `old`
+    graft_ids: list[np.ndarray] = []     # matching old cell ids
+    level_base: list[int] = []
+    base = 0
+
+    for lv in range(depth):
+        a_first = act_first[lv] if lv < n_act_levels else \
+            np.empty(0, dtype=np.int64)
+        a_count = act_count[lv] if lv < n_act_levels else \
+            np.empty(0, dtype=np.int64)
+        a_parent = act_parent[lv] if lv < n_act_levels else \
+            np.empty(0, dtype=np.int64)
+        a_graft = act_graft[lv] if lv < n_act_levels else \
+            np.empty(0, dtype=np.int64)
+        if lv <= lmax:
+            s0, s1 = int(lvl_start[lv]), int(lvl_start[lv + 1])
+            gids = np.flatnonzero(is_desc[s0:s1]) + s0
+        else:
+            gids = np.empty(0, dtype=np.int64)
+        g_first = old.body_first[gids] + shift_of[gids]
+        g_count = old.body_count[gids]
+
+        n_a, n_g = len(a_first), len(gids)
+        if n_a + n_g == 0:
+            break
+        first = np.concatenate((a_first, g_first))
+        count = np.concatenate((a_count, g_count))
+        o = np.argsort(first, kind="stable")
+        posmap = np.empty(len(o), dtype=np.int64)
+        posmap[o] = np.arange(len(o), dtype=np.int64)
+        ids = base + posmap
+        a_ids = ids[:n_a]
+        g_ids_new = ids[n_a:]
+        act_newid.append(a_ids)
+        old2new[gids] = g_ids_new
+        matched_here = a_graft >= 0
+        old2new[a_graft[matched_here]] = a_ids[matched_here]
+
+        parent = np.empty(n_a + n_g, dtype=np.int64)
+        if lv == 0:
+            parent[:n_a] = -1
+        else:
+            parent[:n_a] = act_newid[lv - 1][a_parent]
+        parent[n_a:] = old2new[old.cell_parent[gids]]
+
+        out_first.append(first[o])
+        out_count.append(count[o])
+        out_parent.append(parent[o])
+        out_level.append(np.full(n_a + n_g, lv, dtype=np.int64))
+        graft_rows.append(ids[n_a:])
+        graft_ids.append(gids)
+        level_base.append(base)
+        base += n_a + n_g
+
+    body_first = np.concatenate(out_first)
+    body_count = np.concatenate(out_count)
+    cell_parent = np.concatenate(out_parent)
+    cell_level = np.concatenate(out_level)
+    n_cells = len(body_first)
+
+    first_child = np.full(n_cells, -1, dtype=np.int64)
+    n_children = np.zeros(n_cells, dtype=np.int64)
+    for lv in range(1, len(out_first)):
+        par = out_parent[lv]
+        if len(par) == 0:
+            continue
+        rp = np.flatnonzero(np.append(True, par[1:] != par[:-1]))
+        lens = np.diff(np.append(rp, len(par)))
+        first_child[par[rp]] = level_base[lv] + rp
+        n_children[par[rp]] = lens
+
+    cell_key = skeys[body_first]
+    center = np.empty((n_cells, 3), dtype=np.float64)
+    half = np.empty(n_cells, dtype=np.float64)
+    g_rows = np.concatenate(graft_rows) if graft_rows else \
+        np.empty(0, dtype=np.int64)
+    g_old = np.concatenate(graft_ids) if graft_ids else \
+        np.empty(0, dtype=np.int64)
+    active_rows = np.ones(n_cells, dtype=bool)
+    active_rows[g_rows] = False
+    a_rows = np.flatnonzero(active_rows)
+    # Geometry is a pure function of the cell's level prefix, so grafted
+    # rows equal a cold recompute bitwise; only active rows are computed.
+    c_act, h_act = cell_geometry(cell_key[a_rows], cell_level[a_rows],
+                                 box, curve)
+    center[a_rows] = c_act
+    half[a_rows] = h_act
+    center[g_rows] = old.center[g_old]
+    half[g_rows] = old.half[g_old]
+
+    tree = Octree(cell_key=cell_key, cell_level=cell_level,
+                  cell_parent=cell_parent, first_child=first_child,
+                  n_children=n_children, body_first=body_first,
+                  body_count=body_count, order=order, keys=skeys,
+                  box=box, curve=curve, nleaf=nleaf,
+                  center=center, half=half)
+    return tree, len(g_old)

@@ -16,6 +16,14 @@ than a cold stable sort would.  Tree topology, groups and interaction
 counts depend only on the *sorted key sequence*, so they are unaffected;
 forces on such twins can differ within the MAC tolerance.  Runs with a
 fixed configuration remain deterministic either way.
+
+A cached permutation is only meaningful against the particle *layout*
+that produced it: after a particle exchange the local array is a
+different set in a different order, and silently reusing the old
+permutation is exactly the tie-breaking hazard above.  ``order_for``
+therefore takes an optional ``epoch`` generation tag -- drivers bump it
+whenever the layout changes (rebalance or migration) and the cache goes
+cold instead of repairing across the relayout.
 """
 
 from __future__ import annotations
@@ -40,13 +48,15 @@ class SortCache:
     attributes and metrics.
     """
 
-    __slots__ = ("_order", "last_mode")
+    __slots__ = ("_order", "last_mode", "_epoch")
 
     def __init__(self) -> None:
         self._order: np.ndarray | None = None
         self.last_mode: str | None = None
+        self._epoch: int | None = None
 
-    def order_for(self, keys: np.ndarray) -> np.ndarray:
+    def order_for(self, keys: np.ndarray,
+                  epoch: int | None = None) -> np.ndarray:
         """A permutation that stable-sorts ``keys``, reusing prior work.
 
         - ``identity``: keys already non-decreasing (the returned arange
@@ -55,7 +65,14 @@ class SortCache:
         - ``repair``: cached permutation composed with an adaptive sort
           of the (nearly sorted) permuted keys;
         - ``cold``: no usable cache; plain stable argsort.
+
+        ``epoch`` is an optional layout generation tag: a call with a
+        different epoch than the cached permutation's discards the cache
+        first, so permutations never survive a particle relayout.
         """
+        if epoch is not None and epoch != self._epoch:
+            self._order = None
+            self._epoch = epoch
         n = len(keys)
         cached = self._order
         if cached is not None and len(cached) == n:
@@ -78,3 +95,4 @@ class SortCache:
         """Drop the cached permutation (e.g. after an exchange)."""
         self._order = None
         self.last_mode = None
+        self._epoch = None

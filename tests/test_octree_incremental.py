@@ -1,0 +1,295 @@
+"""Step-coherence tier 1: incremental octree repair is invisible.
+
+The contract under test: ``cached_octree`` -- whatever mode it takes
+(``reuse``, ``repair``, ``cold``) -- returns a tree whose every array is
+bitwise-identical to a cold ``build_octree`` on the same sorted keys,
+and whose moments/opening radii (recomputed globally, never spliced)
+match the cold tree's to 0 ULP.  A Hypothesis drift walk drives the
+cache through multi-step trajectories with bounded per-step
+displacements, exercising all SortCache modes along the way; unit tests
+pin the cache-management edges (signature changes, churn fallback,
+epoch bumps) and the SortCache layout-epoch regression from the
+stale-permutation hazard.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.octree import (
+    TREE_MODES,
+    TreeCache,
+    build_octree,
+    cached_octree,
+    compute_moments,
+    compute_opening_radii,
+    make_groups,
+)
+from repro.sfc import BoundingBox, SortCache
+
+#: Fixed unit box: a pinned domain is the regime where repair pays off
+#: (load_balance="measured" in the drivers); a refitted box changes the
+#: key grid and correctly forces a cold build instead.
+BOX = BoundingBox(np.zeros(3), 1.0)
+
+
+def _assert_trees_equal(got, ref):
+    """Every array bitwise-identical: topology, ordering, geometry."""
+    for name in ("cell_key", "cell_level", "cell_parent", "first_child",
+                 "n_children", "body_first", "body_count", "order", "keys",
+                 "center", "half"):
+        a, b = getattr(got, name), getattr(ref, name)
+        assert a.dtype == b.dtype, name
+        assert a.tobytes() == b.tobytes(), name
+    assert got.nleaf == ref.nleaf and got.curve == ref.curve
+
+
+def _assert_properties_equal(got, ref, pos, mass, theta=0.5):
+    """Moments + opening radii recomputed on both trees match to 0 ULP."""
+    for t in (got, ref):
+        compute_moments(t, pos, mass)
+        compute_opening_radii(t, theta, "bonsai")
+        make_groups(t, 64)
+    for name in ("mass", "com", "quad", "bmin", "bmax", "r_crit",
+                 "group_first", "group_count"):
+        assert getattr(got, name).tobytes() == getattr(ref, name).tobytes(), \
+            name
+
+
+def _drift(rng, pos, scale):
+    if scale == 0.0:
+        return pos
+    return np.clip(pos + rng.normal(scale=scale, size=pos.shape),
+                   1e-4, 1.0 - 1e-4)
+
+
+# -- the property: repaired == cold, bitwise, across drift walks ----------
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2 ** 16),
+       n=st.integers(80, 400),
+       nleaf=st.sampled_from([8, 16]),
+       scales=st.lists(
+           st.sampled_from([0.0, 1e-6, 1e-3, 0.02, 0.3]),
+           min_size=1, max_size=4))
+def test_cached_octree_bitwise_equals_cold_under_drift(seed, n, nleaf,
+                                                       scales):
+    """Bounded per-step displacements; every step's cached tree must be
+    indistinguishable from a cold build on the same keys, whichever of
+    reuse/repair/cold the cache picked and whichever mode the shared
+    SortCache produced the permutation in."""
+    rng = np.random.default_rng(seed)
+    pos = rng.random((n, 3)) * 0.98 + 0.01
+    mass = rng.uniform(0.5, 1.0, n)
+    cache = TreeCache()
+    sc = SortCache()
+    seen = set()
+    for scale in scales:
+        pos = _drift(rng, pos, scale)
+        keys = BOX.keys(pos, "hilbert")
+        order = sc.order_for(keys)
+        got = cached_octree(cache, pos, nleaf=nleaf, box=BOX,
+                            keys=keys, order=order)
+        ref = build_octree(pos, nleaf=nleaf, box=BOX,
+                           keys=keys, order=order)
+        assert cache.last.mode in TREE_MODES
+        seen.add(cache.last.mode)
+        _assert_trees_equal(got, ref)
+        _assert_properties_equal(got, ref, pos, mass)
+    assert seen <= set(TREE_MODES)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2 ** 16), n=st.integers(100, 300))
+def test_churn_burst_recovers(seed, n):
+    """A full scramble mid-trajectory (churn above threshold -> cold)
+    must neither corrupt the cache nor the steps after it."""
+    rng = np.random.default_rng(seed)
+    pos = rng.random((n, 3)) * 0.98 + 0.01
+    cache = TreeCache()
+    for step in range(4):
+        if step == 2:
+            pos = rng.random((n, 3)) * 0.98 + 0.01   # burst
+        else:
+            pos = _drift(rng, pos, 1e-3)
+        keys = BOX.keys(pos, "hilbert")
+        order = np.argsort(keys, kind="stable").astype(np.int64)
+        got = cached_octree(cache, pos, nleaf=8, box=BOX,
+                            keys=keys, order=order)
+        ref = build_octree(pos, nleaf=8, box=BOX, keys=keys, order=order)
+        _assert_trees_equal(got, ref)
+        if step == 2:
+            assert cache.last.mode == "cold"
+
+
+# -- deterministic mode selection ----------------------------------------
+
+def _step(cache, pos, nleaf=8, box=BOX):
+    keys = box.keys(pos, "hilbert")
+    order = np.argsort(keys, kind="stable").astype(np.int64)
+    tree = cached_octree(cache, pos, nleaf=nleaf, box=box,
+                         keys=keys, order=order)
+    return tree, build_octree(pos, nleaf=nleaf, box=box,
+                              keys=keys, order=order)
+
+
+def test_first_call_is_cold_then_identical_positions_reuse():
+    rng = np.random.default_rng(0)
+    pos = rng.random((500, 3)) * 0.98 + 0.01
+    cache = TreeCache()
+    t1, _ = _step(cache, pos)
+    assert cache.last.mode == "cold"
+    t2, ref = _step(cache, pos)
+    assert cache.last.mode == "reuse"
+    assert cache.last.cells_grafted == t1.n_cells
+    # Reuse shares the frozen topology/geometry arrays outright -- that
+    # identity is what lets the WalkCache validate in O(1).
+    assert t2.first_child is t1.first_child
+    assert t2.center is t1.center
+    _assert_trees_equal(t2, ref)
+
+
+def test_small_drift_repairs_not_rebuilds():
+    rng = np.random.default_rng(1)
+    pos = rng.random((2000, 3)) * 0.98 + 0.01
+    cache = TreeCache()
+    _step(cache, pos)
+    modes = set()
+    for _ in range(4):
+        pos = _drift(rng, pos, 2e-4)
+        got, ref = _step(cache, pos)
+        modes.add(cache.last.mode)
+        _assert_trees_equal(got, ref)
+        assert 0.0 <= cache.last.churn <= 1.0
+    assert modes & {"reuse", "repair"}, modes
+    st = cache.last
+    assert st.cells_total == ref.n_cells
+    assert st.cells_active + st.cells_grafted >= st.cells_total
+
+
+def test_box_change_invalidates_signature():
+    rng = np.random.default_rng(2)
+    pos = rng.random((400, 3)) * 0.5 + 0.25
+    cache = TreeCache()
+    _step(cache, pos)
+    got, ref = _step(cache, pos, box=BoundingBox(np.zeros(3), 2.0))
+    assert cache.last.mode == "cold"
+    _assert_trees_equal(got, ref)
+
+
+def test_nleaf_change_invalidates_signature():
+    rng = np.random.default_rng(3)
+    pos = rng.random((400, 3)) * 0.98 + 0.01
+    cache = TreeCache()
+    _step(cache, pos, nleaf=16)
+    got, ref = _step(cache, pos, nleaf=8)
+    assert cache.last.mode == "cold"
+    _assert_trees_equal(got, ref)
+
+
+def test_epoch_bump_forces_cold_on_identical_keys():
+    rng = np.random.default_rng(4)
+    pos = rng.random((400, 3)) * 0.98 + 0.01
+    cache = TreeCache()
+    _step(cache, pos)
+    cache.bump_epoch()
+    got, ref = _step(cache, pos)
+    assert cache.last.mode == "cold"
+    _assert_trees_equal(got, ref)
+
+
+def test_invalidate_drops_cached_tree():
+    rng = np.random.default_rng(5)
+    pos = rng.random((400, 3)) * 0.98 + 0.01
+    cache = TreeCache()
+    _step(cache, pos)
+    cache.invalidate()
+    _step(cache, pos)
+    assert cache.last.mode == "cold"
+
+
+def test_high_churn_falls_back_cold():
+    rng = np.random.default_rng(6)
+    pos = rng.random((600, 3)) * 0.98 + 0.01
+    cache = TreeCache()
+    _step(cache, pos)
+    got, ref = _step(cache, rng.random((600, 3)) * 0.98 + 0.01)
+    assert cache.last.mode == "cold"
+    assert cache.last.churn > cache.churn_threshold
+    _assert_trees_equal(got, ref)
+
+
+# -- SortCache layout epochs (the stale-permutation hazard) ---------------
+
+def test_sort_cache_epoch_change_prevents_stale_tiebreak():
+    """After a relayout, tied keys repaired through the *old* permutation
+    would come out in a different order than a cold stable sort -- the
+    exact hazard the epoch tag exists to close."""
+    keys1 = np.array([3, 1, 2, 1], dtype=np.uint64)
+    keys2 = np.array([1, 1, 3, 2], dtype=np.uint64)
+    cold = np.argsort(keys2, kind="stable")
+
+    stale = SortCache()
+    stale.order_for(keys1)
+    repaired = stale.order_for(keys2)        # no epoch: demonstrates hazard
+    assert stale.last_mode == "repair"
+    assert not np.array_equal(repaired, cold)
+
+    tagged = SortCache()
+    tagged.order_for(keys1, epoch=0)
+    fixed = tagged.order_for(keys2, epoch=1)  # relayout: epoch bumped
+    assert tagged.last_mode in ("cold", "identity")
+    assert np.array_equal(fixed, cold)
+
+
+def test_sort_cache_same_epoch_preserves_reuse():
+    rng = np.random.default_rng(7)
+    keys = rng.integers(0, 2 ** 60, 1000).astype(np.uint64)
+    sc = SortCache()
+    o1 = sc.order_for(keys, epoch=3)
+    o2 = sc.order_for(keys, epoch=3)
+    assert sc.last_mode == "reuse"
+    assert o2 is o1
+
+
+def test_sort_cache_invalidate_clears_epoch():
+    keys = np.array([2, 1], dtype=np.uint64)
+    sc = SortCache()
+    sc.order_for(keys, epoch=5)
+    sc.invalidate()
+    sc.order_for(keys, epoch=5)
+    assert sc.last_mode == "cold"
+
+
+def test_tree_cache_accepts_threshold():
+    with pytest.raises(ValueError):
+        TreeCache(churn_threshold=0.0)
+    cache = TreeCache(churn_threshold=1e-12)
+    rng = np.random.default_rng(8)
+    pos = rng.random((300, 3)) * 0.98 + 0.01
+    _step(cache, pos)
+    pos2 = _drift(rng, pos, 1e-3)
+    got, ref = _step(cache, pos2)
+    # Near-zero tolerance: any octant churn at all falls back cold.
+    assert cache.last.mode in ("cold", "reuse")
+    _assert_trees_equal(got, ref)
+
+
+def test_cached_octree_without_precomputed_keys():
+    """keys/order are optional -- cached_octree derives them like
+    build_octree does, so it is a true drop-in."""
+    rng = np.random.default_rng(9)
+    pos = rng.random((300, 3)) * 0.98 + 0.01
+    cache = TreeCache()
+    got = cached_octree(cache, pos, nleaf=8, box=BOX)
+    ref = build_octree(pos, nleaf=8, box=BOX)
+    _assert_trees_equal(got, ref)
+
+
+def test_config_rejects_unknown_tree_reuse():
+    from repro import SimulationConfig
+    with pytest.raises(ValueError):
+        SimulationConfig(tree_reuse="bogus")
+    with pytest.raises(ValueError):
+        SimulationConfig(let_drain="bogus")
