@@ -1,5 +1,5 @@
 .PHONY: install test test-faults test-loadbalance test-transport \
-	test-reuse bench bench-quick bench-step bench-transport \
+	test-reuse test-health bench bench-quick bench-step bench-transport \
 	bench-history trace flame dashboard clean
 
 install:
@@ -20,6 +20,18 @@ test-loadbalance:
 	       tests/harness/test_loadbalance_convergence.py \
 	       tests/test_parallel_feedback.py \
 	       -m "harness_slow or not harness_slow"
+
+# Run-health telemetry + crash forensics: heartbeat/monitor/bundle unit
+# suites, the post-mortem analyzer contract, the fault-matrix
+# localization harness (crash/slowdown/stall/deadlock on both
+# transports) and the dashboard health panel
+# (docs/OBSERVABILITY.md §13).
+test-health:
+	pytest tests/test_obs_health.py tests/test_obs_postmortem.py \
+	       tests/harness/test_health_forensics.py \
+	       tests/test_obs_dashboard.py -q
+	pytest benchmarks/bench_obs_overhead.py -q \
+	       -k "heartbeat or disabled_tracer"
 
 # Cross-transport equivalence matrix: process-transport unit + property
 # suite, trace determinism on both substrates, bitwise differential

@@ -54,10 +54,22 @@ def _perf_call_costs(n_calls=100_000):
             rate_s / n_calls * 1e9)
 
 
+def _heartbeat_call_costs(n_calls=100_000):
+    """Per-call cost (ns) of the heartbeat op/beat hot-path hooks."""
+    from repro.obs.health import HeartbeatBoard
+
+    board = HeartbeatBoard(N_RANKS)
+    op_s = timeit.timeit("b.op(0)", globals={"b": board}, number=n_calls)
+    beat_s = timeit.timeit("b.beat(0, step=1, phase='x')",
+                           globals={"b": board}, number=n_calls)
+    return op_s / n_calls * 1e9, beat_s / n_calls * 1e9
+
+
 @register_bench("obs_overhead",
                 description="observability cost: deterministic trace "
-                            "event count (gate), disabled-tracer and "
-                            "flop-rate bookkeeping ns/call (advisory)")
+                            "event count (gate), disabled-tracer, "
+                            "flop-rate and heartbeat bookkeeping ns/call "
+                            "(advisory)")
 def run_bench(n=400, steps=1, seed=9) -> BenchResult:
     from repro.obs.clock import VirtualClock
     world = SimWorld(N_RANKS)
@@ -66,22 +78,25 @@ def run_bench(n=400, steps=1, seed=9) -> BenchResult:
                             SimulationConfig(theta=0.6), n_steps=steps,
                             world=world, trace=tracer)
     span_ns, record_ns, rate_ns = _perf_call_costs(n_calls=20_000)
+    hb_op_ns, hb_beat_ns = _heartbeat_call_costs(n_calls=20_000)
     return BenchResult(
         bench="obs_overhead",
         config={"n": n, "ranks": N_RANKS, "steps": steps, "seed": seed},
         counts={"trace_events": len(tracer.events())},
         wall={"null_span_ns": span_ns, "null_record_ns": record_ns,
-              "book_force_rate_ns": rate_ns},
+              "book_force_rate_ns": rate_ns,
+              "heartbeat_op_ns": hb_op_ns,
+              "heartbeat_beat_ns": hb_beat_ns},
     )
 
 
-def _step_seconds(trace):
+def _step_seconds(trace, health=None):
     world = SimWorld(N_RANKS)
     particles = plummer_model(N, seed=9)
     cfg = SimulationConfig(theta=0.6, softening=0.02, dt=0.01)
     t0 = time.perf_counter()
     run_parallel_simulation(N_RANKS, particles, cfg, n_steps=STEPS,
-                            world=world, trace=trace)
+                            world=world, trace=trace, health=health)
     return time.perf_counter() - t0
 
 
@@ -205,6 +220,40 @@ def test_streaming_and_ring_overhead(results_dir, tmp_path):
     # The memory claim, measured: the spool never held more than one
     # flush batch per rank.
     assert max_buffered <= 64 * N_RANKS
+
+
+def test_heartbeat_per_call_cost(results_dir):
+    """Health-monitor hot-path hooks: one locked dict update per beat."""
+    op_ns, beat_ns = _heartbeat_call_costs()
+    write_result("obs_overhead", [
+        "",
+        "Run-health per-call cost:",
+        f"  HeartbeatBoard op():    {op_ns:8.1f} ns  "
+        "(one per push/pop/exchange)",
+        f"  HeartbeatBoard beat():  {beat_ns:8.1f} ns  "
+        "(two per driver step)",
+    ], append=True)
+    # A beat must stay far under a comm op (tens of microseconds).
+    assert op_ns < 50_000
+    assert beat_ns < 50_000
+
+
+def test_heartbeat_overhead_end_to_end(results_dir):
+    """Heartbeats on vs off on the 2-rank pipeline: the beats ride the
+    existing obs envelope (acceptance: within the <5% target; the
+    asserted CI bound is looser)."""
+    baseline = min(_step_seconds(None) for _ in range(ROUNDS))
+    beating = min(_step_seconds(None, health=True) for _ in range(ROUNDS))
+    overhead = beating / baseline - 1.0
+    write_result("obs_overhead", [
+        "",
+        f"Heartbeat overhead ({N_RANKS} ranks, N={N}, {STEPS} steps, "
+        f"best of {ROUNDS}):",
+        f"  heartbeats off: {baseline:8.4f} s",
+        f"  heartbeats on:  {beating:8.4f} s",
+        f"  overhead:       {overhead:+8.2%}   (acceptance target < 5%)",
+    ], append=True)
+    assert overhead < 0.25
 
 
 def test_disabled_tracer_changes_nothing(results_dir):

@@ -73,6 +73,11 @@ class SimulationConfig:
     #: memory, true multi-core) or "mpi4py" (real MPI under mpiexec).
     #: See :mod:`repro.simmpi.transport` and docs/TRANSPORTS.md.
     transport: str = "threads"
+    #: Process-transport watchdog: seconds between noticing a worker
+    #: died silently and declaring it failed without a report (booked
+    #: as the ``watchdog_grace_seconds`` gauge; see
+    #: docs/OBSERVABILITY.md section 13).  Ignored by other transports.
+    watchdog_grace: float = 1.0
 
     def __post_init__(self) -> None:
         if self.force_method not in ("tree", "direct"):
@@ -105,3 +110,5 @@ class SimulationConfig:
         if self.transport not in TRANSPORTS:
             raise ValueError(f"unknown transport {self.transport!r}; "
                              f"expected one of {TRANSPORTS}")
+        if self.watchdog_grace <= 0.0:
+            raise ValueError("watchdog_grace must be positive")

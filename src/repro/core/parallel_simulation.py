@@ -106,6 +106,12 @@ class ParallelSimulation:
         ranks must pass the same tracer) so every phase, message and
         collective lands in one trace.  When omitted, a tracer already
         attached to the world is picked up automatically.
+    health:
+        Optional :class:`repro.obs.health.HeartbeatBoard`; attached to
+        the world (idempotent, like ``trace``) so the SimMPI op sites
+        beat through it, and the driver stamps step-level beats at the
+        step boundaries.  When omitted, a board already attached to
+        the world is picked up automatically.
     """
 
     def __init__(self, comm: SimComm, particles: ParticleSet,
@@ -116,7 +122,8 @@ class ParallelSimulation:
                  lb_source: str = "auto", lb_alpha: float = 0.5,
                  lb_trigger_ratio: float = 1.1,
                  invariant_checks: bool = False,
-                 trace: Tracer | None = None):
+                 trace: Tracer | None = None,
+                 health=None):
         self.comm = comm
         self.particles = particles
         self.config = config or SimulationConfig()
@@ -130,6 +137,11 @@ class ParallelSimulation:
         self.invariant_checks = invariant_checks
         if trace is not None:
             comm.world.attach_tracer(trace)
+        if health is not None:
+            comm.world.attach_health(health)
+        # Read the board back off the world: the process transport
+        # rebuilds a rank-local board from the fork-copied template.
+        self._health = getattr(comm.world, "health", None)
         self._cost_model = CostModel(
             comm, source=lb_source, alpha=lb_alpha,
             trigger_ratio=lb_trigger_ratio) \
@@ -208,6 +220,15 @@ class ParallelSimulation:
         if tr.enabled:
             tr.record(name, self.comm.rank, t0, t1, cat="phase",
                       step=self.step_count, **attrs)
+
+    def _beat(self, phase: str | None = None) -> None:
+        """Driver-level heartbeat (step boundaries; no-op without a
+        board).  The comm-level phase labels keep tracking the SimMPI
+        phases; a driver beat only refreshes step and timestamp unless
+        it names a phase itself."""
+        hb = self._health
+        if hb is not None:
+            hb.beat(self.comm.rank, step=self.step_count, phase=phase)
 
     # -- load balancing ----------------------------------------------------
 
@@ -397,11 +418,13 @@ class ParallelSimulation:
 
     def prime(self, bd: StepBreakdown | None = None) -> None:
         """Initial decomposition + forces (before the first step)."""
+        self._beat("prime")
         self.redistribute(bd)
         self.compute_forces(bd)
 
     def step(self) -> StepBreakdown:
         """Advance one KDK step; returns this rank's timing breakdown."""
+        self._beat()
         bd = StepBreakdown()
         if self._acc is None:
             self.prime(bd)
@@ -427,6 +450,7 @@ class ParallelSimulation:
         self.time += dt
         self.step_count += 1
         self.history.append(bd)
+        self._beat()
         return bd
 
     def evolve(self, n_steps: int,
@@ -471,7 +495,8 @@ def run_parallel_simulation(n_ranks: int, particles: ParticleSet,
                             trace: Tracer | None = None,
                             trace_sink=None,
                             on_step=None,
-                            transport: str | None = None
+                            transport: str | None = None,
+                            health=None
                             ) -> list[ParallelSimulation]:
     """Convenience front-end: shard ``particles``, run ``n_steps`` on
     ``n_ranks`` SimMPI ranks, return the per-rank results.
@@ -505,9 +530,37 @@ def run_parallel_simulation(n_ranks: int, particles: ParticleSet,
 
     ``on_step(sim)`` runs after every step on every rank's thread (the
     dashboard hook).  ``load_balance`` / ``lb_*`` select and tune the
-    domain-cut weighting (see :class:`ParallelSimulation`)."""
+    domain-cut weighting (see :class:`ParallelSimulation`).
+
+    ``health`` turns on run-health telemetry (docs/OBSERVABILITY.md
+    section 13): ``True`` builds a
+    :class:`~repro.obs.health.HeartbeatBoard`, or pass a prepared board,
+    or a :class:`~repro.obs.health.FlightRecorder` -- the recorder's
+    ring is attached as a trace sink and a post-mortem bundle is dumped
+    automatically when the run dies (typed rank failure, recv timeout,
+    or any run-level error)."""
+    from ..obs.health import FlightRecorder, HeartbeatBoard
+    from ..simmpi.errors import RankFailedError, RecvTimeoutError
+
     n = particles.n
     owns_tracer = False
+    recorder = None
+    board = None
+    if isinstance(health, FlightRecorder):
+        recorder = health
+        board = recorder.board or HeartbeatBoard(n_ranks)
+    elif isinstance(health, HeartbeatBoard):
+        board = health
+    elif health:
+        board = HeartbeatBoard(n_ranks)
+    if recorder is not None:
+        # The flight ring records the run: hang it off the caller's
+        # tracer, or own a fresh one around it.
+        if trace is None:
+            trace = Tracer(sink=recorder.ring)
+            owns_tracer = True
+        elif recorder.ring not in trace.sinks:
+            trace.add_sink(recorder.ring)
     if trace_sink is not None:
         from ..obs.sink import coerce_sink
         sink = coerce_sink(trace_sink)
@@ -517,11 +570,16 @@ def run_parallel_simulation(n_ranks: int, particles: ParticleSet,
         else:
             trace.add_sink(sink)
 
+    grace = config.watchdog_grace if config is not None else None
     if world is None:
         chosen = transport or (config.transport if config is not None
                                else None) or "threads"
-        if chosen != "threads":
-            world = make_world(n_ranks, transport=chosen, timeout=timeout)
+        # Health telemetry needs the world object up front (to attach
+        # the board and give the recorder something to dump), so build
+        # it eagerly even on the threaded transport.
+        if chosen != "threads" or board is not None:
+            world = make_world(n_ranks, transport=chosen, timeout=timeout,
+                               watchdog_grace=grace)
     elif transport is not None and world_transport(world) != transport:
         raise ValueError(
             f"world is a {world_transport(world)!r} transport but "
@@ -532,6 +590,10 @@ def run_parallel_simulation(n_ranks: int, particles: ParticleSet,
         # process world it registers where the merged per-rank events
         # land after the run.
         world.attach_tracer(trace)
+    if world is not None and board is not None:
+        world.attach_health(board)
+    if recorder is not None:
+        recorder.bind(world=world, board=board, config=config)
 
     def prog(comm: SimComm) -> ParallelSimulation:
         lo = n * comm.rank // comm.size
@@ -543,14 +605,31 @@ def run_parallel_simulation(n_ranks: int, particles: ParticleSet,
                                  lb_source=lb_source, lb_alpha=lb_alpha,
                                  lb_trigger_ratio=lb_trigger_ratio,
                                  invariant_checks=invariant_checks,
-                                 trace=trace)
+                                 trace=trace, health=board)
         sim.evolve(n_steps, callback=on_step)
         if getattr(comm.world, "portable_results", False):
             return sim.portable()
         return sim
 
     try:
-        return spmd_run(n_ranks, prog, timeout=timeout, world=world)
+        try:
+            return spmd_run(n_ranks, prog, timeout=timeout, world=world)
+        except (RankFailedError, RecvTimeoutError, TimeoutError,
+                RuntimeError) as exc:
+            # Run died: freeze the evidence before re-raising.  (Stall
+            # verdicts surface as RankFailedError/RecvTimeoutError from
+            # the recv path, or BrokenBarrierError -> RuntimeError from
+            # collectives; either way the bundle captures the wait-for
+            # state.)
+            if recorder is not None:
+                if isinstance(exc, RankFailedError):
+                    reason = "rank-failed"
+                elif isinstance(exc, TimeoutError):
+                    reason = "timeout"
+                else:
+                    reason = "error"
+                recorder.dump(reason, error=exc)
+            raise
     finally:
         if owns_tracer:
             trace.close()

@@ -80,6 +80,13 @@ class MessageFaultOps:
         if tr.enabled:
             tr.instant(f"fault_{kind}", rank=rank, ts=tr.clock.peek(rank),
                        cat="fault", **attrs)
+        # Mirror the newest fault onto the heartbeat board (when health
+        # telemetry is attached): the flight ring may rotate the instant
+        # out long before a post-mortem, but heartbeats.json keeps the
+        # last fault seen per rank.
+        board = getattr(self, "health", None)
+        if board is not None:
+            board.note_fault(rank, kind)
 
     def _comm_op(self, rank: int) -> None:
         """Deterministic per-rank op counter driving crash/slowdown.

@@ -34,9 +34,23 @@ The subsystem every other layer emits into (docs/OBSERVABILITY.md):
   verdicts (deterministic counts gate, wall-clock advisory).
 - :mod:`repro.obs.smoke`   -- ``python -m repro.obs.smoke``: a small
   traced parallel run for CI and ``make trace``.
+- :mod:`repro.obs.health`  -- run-health telemetry: per-rank heartbeats,
+  the stall/straggler/dead :class:`HealthMonitor`, and the
+  :class:`FlightRecorder` post-mortem bundle writer.
+- :mod:`repro.obs.postmortem` -- ``python -m repro.obs.postmortem``:
+  bundle analyzer (last-known phases, blocked-recv wait-for graph with
+  cycle detection, straggler ranking, verdict with CI assertions).
 """
 
 from .clock import VirtualClock, WallClock
+from .health import (
+    HEALTH_STATES,
+    FlightRecorder,
+    HeartbeatBoard,
+    HealthMonitor,
+    robust_zscores,
+    write_bundle,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .sink import (
     NULL_SINK,
@@ -92,6 +106,17 @@ _BENCH_NAMES = frozenset({
     "validate_bench_result",
 })
 
+#: Lazily resolved from .postmortem (the analyzer is also a
+#: ``python -m`` entry point; same runpy/__main__ consideration).
+_POSTMORTEM_NAMES = frozenset({
+    "analyze",
+    "load_bundle",
+    "parse_metrics_text",
+    "render_report",
+    "straggler_ranking",
+    "wait_graph",
+})
+
 
 def __getattr__(name: str):
     if name in _EXPORT_NAMES:
@@ -103,6 +128,9 @@ def __getattr__(name: str):
     if name in _BENCH_NAMES:
         from . import bench
         return getattr(bench, name)
+    if name in _POSTMORTEM_NAMES:
+        from . import postmortem
+        return getattr(postmortem, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -150,4 +178,16 @@ __all__ = [
     "load_registry",
     "register_bench",
     "validate_bench_result",
+    "HEALTH_STATES",
+    "HeartbeatBoard",
+    "HealthMonitor",
+    "FlightRecorder",
+    "robust_zscores",
+    "write_bundle",
+    "analyze",
+    "load_bundle",
+    "parse_metrics_text",
+    "render_report",
+    "straggler_ranking",
+    "wait_graph",
 ]

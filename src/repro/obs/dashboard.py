@@ -90,15 +90,22 @@ class Dashboard:
     ansi:
         Redraw in place with clear-home escapes; ``False`` appends
         frames sequentially (headless / CI mode).
+    monitor:
+        Optional :class:`~repro.obs.health.HealthMonitor` supplying the
+        run-health panel.  Without one, a monitor is built automatically
+        the first time the world carries a heartbeat board
+        (``world.health``); worlds without health telemetry simply omit
+        the panel.
     """
 
     def __init__(self, world, ring=None, out: TextIO | None = None,
-                 ansi: bool = True, width: int = 72):
+                 ansi: bool = True, width: int = 72, monitor=None):
         self.world = world
         self.ring = ring
         self.out = out if out is not None else sys.stdout
         self.ansi = ansi
         self.width = width
+        self.monitor = monitor
         self.frames = 0
         self._prev_force: dict[tuple[str, str], float] = {}
 
@@ -201,6 +208,16 @@ class Dashboard:
             return None, None
         return max(series.values()), None
 
+    def _health_rows(self) -> list[dict]:
+        """Run-health panel rows (empty when no board is attached)."""
+        if self.monitor is None:
+            board = getattr(self.world, "health", None)
+            if board is None:
+                return []
+            from .health import HealthMonitor
+            self.monitor = HealthMonitor(self.world, board=board)
+        return self.monitor.rows()
+
     # -- rendering ---------------------------------------------------------
 
     def render(self) -> str:
@@ -273,6 +290,23 @@ class Dashboard:
             lines.append("")
             lines.append(row)
 
+        health = self._health_rows()
+        if health:
+            lines.append("")
+            sick = sum(1 for h in health if h["state"] != "ok")
+            lines.append(f" Run health ({sick} unhealthy):" if sick
+                         else " Run health:")
+            lines.append(f"   {'rank':>4s} {'state':<10s} {'age [s]':>9s} "
+                         f"{'step':>5s} {'ops':>6s}  last phase")
+            for h in health:
+                age = f"{h['age']:.3f}" if h["age"] is not None else "-"
+                step_s = str(h["step"]) if h["step"] is not None else "-"
+                flag = "" if h["state"] == "ok" else "  <<"
+                lines.append(
+                    f"   {h['rank']:>4d} {h['state']:<10s} {age:>9s} "
+                    f"{step_s:>5s} {h['ops']:>6d}  "
+                    f"{h['phase'] or '-'}{flag}")
+
         lines.append("─" * self.width)
         return "\n".join(lines)
 
@@ -306,6 +340,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--headless", action="store_true",
                         help="print frames sequentially without ANSI "
                              "redraw (CI mode)")
+    parser.add_argument("--health", action="store_true",
+                        help="attach heartbeat telemetry and render the "
+                             "run-health panel")
     args = parser.parse_args(argv)
 
     from ..config import SimulationConfig
@@ -318,6 +355,11 @@ def main(argv: list[str] | None = None) -> int:
     world = SimWorld(args.ranks)
     ring = RingSink(args.ring)
     tracer = Tracer(sink=ring)
+    board = None
+    if args.health:
+        from .health import HeartbeatBoard
+        board = HeartbeatBoard(args.ranks)
+        world.attach_health(board)
     dash = Dashboard(world, ring=ring, ansi=not args.headless)
 
     def on_step(sim) -> None:
@@ -329,7 +371,7 @@ def main(argv: list[str] | None = None) -> int:
     run_parallel_simulation(args.ranks, particles, config,
                             n_steps=args.steps, world=world, trace=tracer,
                             load_balance=args.load_balance,
-                            on_step=on_step)
+                            on_step=on_step, health=board)
     if dash.frames == 0:
         dash.draw()
     print(f"dashboard: {dash.frames} frames, ring retained "

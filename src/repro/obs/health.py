@@ -1,0 +1,569 @@
+"""Run-health telemetry: heartbeats, stall/straggler/death verdicts, forensics.
+
+The observability stack so far explains runs *after* they finish; this
+module watches them *while* they run and preserves enough evidence when
+they die (docs/OBSERVABILITY.md section 13):
+
+- :class:`HeartbeatBoard` -- a cheap per-rank progress beacon.  The
+  SimMPI op sites (``push``/``pop``/``exchange``/``set_phase``) and the
+  driver loop stamp ``(step, phase, op counter, clock timestamp)``
+  through it; timestamps come from ``clock.peek`` so heartbeats never
+  advance a :class:`~repro.obs.clock.VirtualClock` timeline -- a
+  heartbeat-instrumented run stays byte-identical to a bare one.
+- :class:`HealthMonitor` -- classifies every rank ``ok`` / ``straggler``
+  / ``stalled`` / ``dead``: dead from the world's failed-rank tracking
+  (including the :class:`~repro.simmpi.process.ProcessWorld` watchdog),
+  stalled when a rank's heartbeat age exceeds the deadline, straggler
+  by a robust z-score (median/MAD) over the PR 3 cost-model series
+  ``force_phase_seconds_total{rank,phase}``.  Verdicts are surfaced as
+  the ``heartbeat_age_seconds{rank}`` / ``health_state{rank}`` gauges
+  and rendered as a panel by :mod:`repro.obs.dashboard`.
+- :class:`FlightRecorder` -- a bounded ring of recent trace events
+  (:class:`~repro.obs.sink.RingSink`) plus :func:`write_bundle`, which
+  dumps a post-mortem bundle (trace tail + metrics snapshot + config
+  fingerprint + heartbeats + thread stacks) the moment a run dies or a
+  stall verdict fires.  ``python -m repro.obs.postmortem`` analyses the
+  bundle.
+
+Bundles written under a deterministic clock are byte-identical across
+runs: wall-clock-valued metric families are filtered from the metrics
+snapshot and thread stacks (inherently scheduling-dependent) are
+elided, so the determinism suite can ``cmp`` whole bundle directories.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import sys
+import threading
+import traceback
+
+from .clock import WallClock
+from .sink import RingSink, encode_jsonl_line
+
+#: Health states in escalation order; gauge codes are the indices.
+HEALTH_STATES = ("ok", "straggler", "stalled", "dead")
+#: ``health_state{rank}`` gauge value per state name.
+HEALTH_STATE_CODES = {name: code for code, name in enumerate(HEALTH_STATES)}
+
+#: Bundle layout version (manifest ``schema`` field).
+BUNDLE_SCHEMA = 1
+
+#: ``force_phase_seconds_total`` phases excluded from straggler cost
+#: sums: they are dominated by *waiting on peers* (a collective wait or
+#: an un-hidden LET receive), so they charge a straggler's slowness to
+#: its victims and smear the guilt evenly across ranks.
+WAIT_PHASES = frozenset({"boundary_exchange", "non_hidden_comm"})
+
+#: File names inside a post-mortem bundle directory.
+BUNDLE_FILES = ("manifest.json", "trace_tail.jsonl", "metrics.txt",
+                "config.json", "heartbeats.json", "stacks.txt")
+
+
+class HeartbeatBoard:
+    """Latest progress beacon per rank, updated from the hot comm path.
+
+    One board is shared by every rank of a run (the process transport
+    rebuilds a rank-local board per worker and merges the snapshots
+    back).  Each record carries the rank's last-known ``step``,
+    ``phase``, ``ops`` (cumulative comm-op count), ``beats`` (total
+    updates), ``ts`` (clock timestamp of the newest beat) and, while
+    the rank is blocked inside a receive, the ``wait`` target
+    ``{"src", "tag"}`` -- which is exactly the edge set of the
+    post-mortem wait-for graph.
+
+    Timestamps are read with ``clock.peek(rank)``: a heartbeat must
+    never advance a rank's :class:`~repro.obs.clock.VirtualClock` lane,
+    so enabling health telemetry cannot perturb a deterministic trace.
+    """
+
+    def __init__(self, size: int, clock=None, registry=None):
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        self.size = size
+        self.clock = clock if clock is not None else WallClock()
+        self._lock = threading.Lock()
+        self._records: dict[int, dict] = {}
+        self._beats_counter = None
+        if registry is not None:
+            self.bind_metrics(registry)
+
+    def use_clock(self, clock) -> None:
+        """Adopt ``clock`` as the timestamp source (the SPMD runtime
+        calls this so board and tracer share one clock object -- under
+        a virtual clock, ``peek`` only means anything on the clock the
+        tracer advances)."""
+        if clock is not None:
+            self.clock = clock
+
+    def bind_metrics(self, registry) -> None:
+        """Book the ``heartbeats_total{rank}`` counter on ``registry``."""
+        self._beats_counter = registry.counter(
+            "heartbeats_total", "Progress beacons emitted per rank",
+            labelnames=("rank",))
+
+    # -- producers (hot path: one dict update under one lock) -------------
+
+    def _record(self, rank: int) -> dict:
+        rec = self._records.get(rank)
+        if rec is None:
+            rec = self._records[rank] = {
+                "step": None, "phase": None, "ops": 0, "beats": 0,
+                "ts": self.clock.peek(rank), "wait": None,
+                "last_fault": None, "faults": 0}
+        return rec
+
+    def beat(self, rank: int, step: int | None = None,
+             phase: str | None = None) -> None:
+        """Driver-level beacon: stamp step/phase and refresh the clock."""
+        with self._lock:
+            rec = self._record(rank)
+            if step is not None:
+                rec["step"] = int(step)
+            if phase is not None:
+                rec["phase"] = phase
+            rec["beats"] += 1
+            rec["ts"] = self.clock.peek(rank)
+        if self._beats_counter is not None:
+            self._beats_counter.inc(rank=rank)
+
+    def op(self, rank: int) -> None:
+        """Comm-op beacon (push/pop/exchange sites)."""
+        with self._lock:
+            rec = self._record(rank)
+            rec["ops"] += 1
+            rec["beats"] += 1
+            rec["ts"] = self.clock.peek(rank)
+        if self._beats_counter is not None:
+            self._beats_counter.inc(rank=rank)
+
+    def phase(self, rank: int, name: str) -> None:
+        """Phase-change beacon (``SimWorld.set_phase`` hook)."""
+        with self._lock:
+            rec = self._record(rank)
+            rec["phase"] = name
+            rec["beats"] += 1
+            rec["ts"] = self.clock.peek(rank)
+        if self._beats_counter is not None:
+            self._beats_counter.inc(rank=rank)
+
+    def wait_begin(self, rank: int, src: int, tag: int) -> None:
+        """Mark ``rank`` blocked receiving from ``src``.
+
+        Deliberately *not* cleared on a failed receive: if the rank
+        dies inside the recv, the stale wait entry is its last-known
+        blocking target -- the edge the post-mortem wait-for graph
+        needs.
+        """
+        with self._lock:
+            self._record(rank)["wait"] = {"src": int(src), "tag": int(tag)}
+
+    def wait_end(self, rank: int) -> None:
+        """Clear the wait mark after a *successful* receive."""
+        with self._lock:
+            rec = self._records.get(rank)
+            if rec is not None:
+                rec["wait"] = None
+
+    def note_fault(self, rank: int, kind: str) -> None:
+        """Record an injected fault firing on ``rank`` (the fault
+        lottery calls this so the newest fault survives even after the
+        trace ring has rotated its instant out)."""
+        with self._lock:
+            rec = self._record(rank)
+            rec["last_fault"] = kind
+            rec["faults"] += 1
+
+    # -- consumers ---------------------------------------------------------
+
+    def last(self, rank: int) -> dict | None:
+        """Copy of ``rank``'s latest record (None before its first beat)."""
+        with self._lock:
+            rec = self._records.get(rank)
+            return dict(rec) if rec is not None else None
+
+    def now(self) -> float:
+        """The board's notion of "now": the front of the clock.
+
+        A virtual clock advances per rank, so "now" is the maximum lane
+        time -- the age of a lagging rank is how far it trails the
+        front.  For a wall clock every peek reads the same time.
+        """
+        return max(self.clock.peek(r) for r in range(self.size))
+
+    def age(self, rank: int, now: float | None = None) -> float | None:
+        """Seconds since ``rank``'s last beat (None before any beat)."""
+        with self._lock:
+            rec = self._records.get(rank)
+            ts = rec["ts"] if rec is not None else None
+        if ts is None:
+            return None
+        if now is None:
+            now = self.now()
+        return max(now - ts, 0.0)
+
+    def snapshot(self) -> dict:
+        """Picklable/JSON-able dump: ``{"size", "ranks": {rank: rec}}``."""
+        with self._lock:
+            return {"size": self.size,
+                    "ranks": {int(r): dict(rec)
+                              for r, rec in self._records.items()}}
+
+    def merge(self, snap: dict) -> None:
+        """Fold another board's snapshot in (process-transport reports);
+        per rank, the record with the most beats wins."""
+        for r, rec in snap.get("ranks", {}).items():
+            r = int(r)
+            with self._lock:
+                mine = self._records.get(r)
+                if mine is None or rec.get("beats", 0) >= mine.get("beats", 0):
+                    self._records[r] = dict(rec)
+
+
+def robust_zscores(values: dict[int, float]) -> dict[int, float]:
+    """Robust z-score per key: deviation from the median in MAD units.
+
+    Falls back to the mean absolute deviation when the MAD degenerates
+    to zero (e.g. 3 of 4 ranks identical), and to all-zero scores when
+    every value is identical.  Scale factors 1.4826 (MAD) and 1.2533
+    (meanAD) make the scores comparable to standard deviations under
+    normality.
+    """
+    if not values:
+        return {}
+    xs = sorted(values.values())
+    n = len(xs)
+    mid = n // 2
+    median = xs[mid] if n % 2 else 0.5 * (xs[mid - 1] + xs[mid])
+    devs = sorted(abs(x - median) for x in xs)
+    mad = devs[mid] if n % 2 else 0.5 * (devs[mid - 1] + devs[mid])
+    scale = 1.4826 * mad
+    if scale <= 0.0:
+        scale = 1.2533 * (sum(devs) / n)
+    if scale <= 0.0:
+        return {k: 0.0 for k in values}
+    return {k: (v - median) / scale for k, v in values.items()}
+
+
+class HealthMonitor:
+    """Classifies every rank of a running world.
+
+    Parameters
+    ----------
+    world:
+        The world under observation (``metrics`` and ``failed_ranks``
+        are read from it).
+    board:
+        The run's :class:`HeartbeatBoard` (default: the board attached
+        to the world via ``attach_health``).
+    stall_after:
+        Heartbeat age (clock seconds) beyond which a live rank is
+        declared stalled.
+    straggler_z:
+        Robust z-score over per-rank ``force_phase_seconds_total`` sums
+        at which a rank is declared a straggler.
+    straggler_ratio:
+        Secondary absolute criterion: a rank is also a straggler when
+        its cost exceeds ``ratio`` times the median (the z-score
+        degenerates at 2 ranks, where every value sits one MAD from
+        the median).
+    min_straggler_seconds:
+        Ignore cost skew below this floor (empty-phase noise).
+    recorder:
+        Optional :class:`FlightRecorder`; the first stall verdict dumps
+        a post-mortem bundle through it (once per monitor).
+    """
+
+    def __init__(self, world, board: HeartbeatBoard | None = None,
+                 stall_after: float = 5.0, straggler_z: float = 3.5,
+                 straggler_ratio: float = 3.0,
+                 min_straggler_seconds: float = 1e-4,
+                 recorder: "FlightRecorder | None" = None):
+        if stall_after <= 0:
+            raise ValueError("stall_after must be positive")
+        self.world = world
+        self.board = board if board is not None \
+            else getattr(world, "health", None)
+        self.stall_after = stall_after
+        self.straggler_z = straggler_z
+        self.straggler_ratio = straggler_ratio
+        self.min_straggler_seconds = min_straggler_seconds
+        self.recorder = recorder
+        self._stall_dumped = False
+        reg = world.metrics
+        self._age_gauge = reg.gauge(
+            "heartbeat_age_seconds",
+            "Clock seconds since a rank's newest heartbeat",
+            labelnames=("rank",))
+        self._state_gauge = reg.gauge(
+            "health_state",
+            "Rank health: 0 ok, 1 straggler, 2 stalled, 3 dead",
+            labelnames=("rank",))
+
+    def rank_costs(self) -> dict[int, float]:
+        """Per-rank sum of the ``force_phase_seconds_total`` series,
+        excluding the wait-dominated phases (:data:`WAIT_PHASES`) whose
+        time belongs to the rank being waited *on*."""
+        counter = self.world.metrics.get("force_phase_seconds_total")
+        if counter is None:
+            return {}
+        costs: dict[int, float] = {}
+        for (rank, phase), secs in counter.series().items():
+            if str(phase) in WAIT_PHASES:
+                continue
+            r = int(rank)
+            costs[r] = costs.get(r, 0.0) + secs
+        return costs
+
+    def straggler_scores(self) -> dict[int, tuple[float, float]]:
+        """``{rank: (robust z, cost seconds)}`` over live ranks."""
+        costs = {r: c for r, c in self.rank_costs().items()
+                 if r not in self.world.failed_ranks}
+        z = robust_zscores(costs)
+        return {r: (z[r], costs[r]) for r in costs}
+
+    def _is_straggler(self, z: float, cost: float,
+                      costs: dict[int, float]) -> bool:
+        if cost < self.min_straggler_seconds:
+            return False
+        # Ratio criterion against the *lower* median: with an even rank
+        # count the interpolated median averages the outlier in, and at
+        # 2 ranks ``cost >= ratio * mean(a, b)`` can never hold for any
+        # positive ratio > 2 -- the lower median keeps the baseline on
+        # the healthy side.
+        xs = sorted(costs.values())
+        median = xs[(len(xs) - 1) // 2]
+        return z >= self.straggler_z or \
+            (median > 0 and cost >= self.straggler_ratio * median)
+
+    def assess(self, now: float | None = None) -> dict[int, str]:
+        """Classify every rank; books the age/state gauges.
+
+        ``now`` overrides the board clock's notion of the present
+        (tests sweep it to check age monotonicity).
+        """
+        size = self.world.size
+        dead = self.world.failed_ranks
+        scores = self.straggler_scores()
+        costs = {r: c for r, (_z, c) in scores.items()}
+        states: dict[int, str] = {}
+        for r in range(size):
+            age = self.board.age(r, now=now) if self.board is not None \
+                else None
+            if r in dead:
+                state = "dead"
+            elif age is not None and age > self.stall_after:
+                state = "stalled"
+            elif r in scores and self._is_straggler(*scores[r], costs):
+                state = "straggler"
+            else:
+                state = "ok"
+            states[r] = state
+            if age is not None:
+                self._age_gauge.set(age, rank=r)
+            self._state_gauge.set(HEALTH_STATE_CODES[state], rank=r)
+        if self.recorder is not None and not self._stall_dumped and \
+                any(s == "stalled" for s in states.values()):
+            self._stall_dumped = True
+            self.recorder.dump("stall")
+        return states
+
+    def rows(self, now: float | None = None) -> list[dict]:
+        """Per-rank dict rows for rendering (dashboard health panel)."""
+        states = self.assess(now=now)
+        out = []
+        for r in range(self.world.size):
+            rec = self.board.last(r) if self.board is not None else None
+            out.append({
+                "rank": r,
+                "state": states[r],
+                "age": self.board.age(r, now=now)
+                if self.board is not None else None,
+                "step": rec.get("step") if rec else None,
+                "phase": rec.get("phase") if rec else None,
+                "ops": rec.get("ops", 0) if rec else 0,
+            })
+        return out
+
+
+def config_fingerprint(config) -> str:
+    """Stable sha256 over a :class:`~repro.config.SimulationConfig`."""
+    if config is None:
+        return "none"
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        doc = dataclasses.asdict(config)
+    elif isinstance(config, dict):
+        doc = config
+    else:
+        doc = {"repr": repr(config)}
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"),
+                      default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _error_doc(error: BaseException | None) -> dict | None:
+    if error is None:
+        return None
+    return {"type": type(error).__name__,
+            "message": str(error),
+            "failed_rank": getattr(error, "failed_rank", None),
+            "waiting_rank": getattr(error, "waiting_rank", None),
+            "detail": getattr(error, "detail", None)}
+
+
+#: Metric families elided from deterministic-clock bundles: their values
+#: are wall-clock measurements (or ratios of them), the one thing that
+#: cannot be byte-reproduced run to run.
+def _wall_valued(name: str) -> bool:
+    return (name.endswith("_seconds") or name.endswith("_seconds_total")
+            or name in ("force_gflops", "lb_imbalance_ratio",
+                        "lb_cost_per_particle"))
+
+
+def _metrics_text(registry, deterministic: bool) -> str:
+    if registry is None:
+        return ""
+    text = registry.render()
+    if not deterministic:
+        return text
+    out: list[str] = []
+    keep = True
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            keep = not _wall_valued(line.split(" ", 3)[2])
+        if keep:
+            out.append(line)
+    return "\n".join(out) + ("\n" if out else "")
+
+
+def _stacks_text(deterministic: bool) -> str:
+    if deterministic:
+        return ("(thread stacks omitted under a deterministic clock: "
+                "scheduling state is not byte-reproducible)\n")
+    frames = sys._current_frames()
+    names = {t.ident: t.name for t in threading.enumerate()}
+    parts = []
+    for ident, frame in sorted(frames.items()):
+        parts.append(f"--- thread {names.get(ident, '?')} (ident {ident}) ---")
+        parts.append("".join(traceback.format_stack(frame)).rstrip())
+    return "\n".join(parts) + "\n"
+
+
+def write_bundle(path, *, reason: str, error: BaseException | None = None,
+                 world=None, board: HeartbeatBoard | None = None,
+                 config=None, ring: RingSink | None = None) -> str:
+    """Write a post-mortem bundle directory; returns its path.
+
+    The bundle is the complete forensic record of a dying run:
+
+    - ``manifest.json``   -- reason, typed-error fields, world shape,
+      fault schedule, failed ranks, config fingerprint;
+    - ``trace_tail.jsonl``-- the flight ring's events, (rank, seq)
+      sorted, in the canonical JSONL encoding;
+    - ``metrics.txt``     -- Prometheus snapshot of the world registry
+      (wall-valued families elided under a deterministic clock);
+    - ``config.json``     -- the full simulation config + fingerprint;
+    - ``heartbeats.json`` -- the board snapshot (last step/phase/op and
+      blocked-recv target per rank);
+    - ``stacks.txt``      -- live thread stacks (wall clocks only).
+
+    Existing files are overwritten, so repeated dumps into one
+    directory are idempotent -- and byte-identical across runs under a
+    :class:`~repro.obs.clock.VirtualClock`.
+    """
+    path = os.fspath(path)
+    os.makedirs(path, exist_ok=True)
+    clock = board.clock if board is not None else None
+    deterministic = bool(getattr(clock, "deterministic", False))
+
+    events = ring.events() if ring is not None else []
+    hb = board.snapshot() if board is not None else {"size": None, "ranks": {}}
+    schedule = getattr(world, "schedule", None)
+    fingerprint = config_fingerprint(config)
+
+    manifest: dict = {
+        "schema": BUNDLE_SCHEMA,
+        "reason": reason,
+        "error": _error_doc(error),
+        "size": getattr(world, "size", None) or
+        (board.size if board is not None else None),
+        "transport": getattr(world, "transport", None),
+        "deterministic_clock": deterministic,
+        "config_fingerprint": fingerprint,
+        "fault_schedule": schedule.describe()
+        if schedule is not None and hasattr(schedule, "describe") else None,
+        "failed_ranks": sorted(getattr(world, "failed_ranks", ())),
+        "watchdog_grace_seconds": getattr(world, "watchdog_grace", None),
+        "trace_events": len(events),
+        "files": list(BUNDLE_FILES),
+    }
+
+    def _write(name: str, text: str) -> None:
+        with open(os.path.join(path, name), "w") as fh:
+            fh.write(text)
+
+    _write("manifest.json", json.dumps(manifest, sort_keys=True, indent=2)
+           + "\n")
+    _write("trace_tail.jsonl",
+           "".join(encode_jsonl_line(e) + "\n" for e in events))
+    _write("metrics.txt",
+           _metrics_text(getattr(world, "metrics", None), deterministic))
+    cfg_doc = {"config": dataclasses.asdict(config)
+               if dataclasses.is_dataclass(config)
+               and not isinstance(config, type) else config,
+               "fingerprint": fingerprint}
+    _write("config.json", json.dumps(cfg_doc, sort_keys=True, indent=2,
+                                     default=str) + "\n")
+    _write("heartbeats.json", json.dumps(
+        {"size": hb["size"],
+         "ranks": {str(r): hb["ranks"][r] for r in sorted(hb["ranks"])}},
+        sort_keys=True, indent=2) + "\n")
+    _write("stacks.txt", _stacks_text(deterministic))
+    return path
+
+
+class FlightRecorder:
+    """Bounded flight ring + automatic post-mortem bundle dumps.
+
+    Owns a :class:`~repro.obs.sink.RingSink` (attach it to the run's
+    tracer -- the drivers do this when handed a recorder) and, once
+    bound to a world/board/config, writes a bundle on demand.  The
+    drivers call :meth:`dump` when a
+    :class:`~repro.simmpi.errors.RankFailedError` /
+    :class:`~repro.simmpi.errors.RecvTimeoutError` (or any run-level
+    failure) surfaces; a :class:`HealthMonitor` holding the recorder
+    dumps on its first stall verdict.
+    """
+
+    def __init__(self, out_dir="postmortem", capacity: int = 4096):
+        self.out_dir = os.fspath(out_dir)
+        self.ring = RingSink(capacity)
+        self.world = None
+        self.board: HeartbeatBoard | None = None
+        self.config = None
+        #: Path of the newest bundle (None until the first dump).
+        self.bundle_path: str | None = None
+        #: Reason of the newest dump.
+        self.last_reason: str | None = None
+
+    def bind(self, world=None, board: HeartbeatBoard | None = None,
+             config=None) -> None:
+        """Attach the run context the bundle writer needs (idempotent;
+        later non-None values win)."""
+        if world is not None:
+            self.world = world
+        if board is not None:
+            self.board = board
+        if config is not None:
+            self.config = config
+
+    def dump(self, reason: str, error: BaseException | None = None) -> str:
+        """Write a bundle into ``out_dir``; returns the bundle path."""
+        self.bundle_path = write_bundle(
+            self.out_dir, reason=reason, error=error, world=self.world,
+            board=self.board, config=self.config, ring=self.ring)
+        self.last_reason = reason
+        return self.bundle_path

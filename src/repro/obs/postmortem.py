@@ -1,0 +1,428 @@
+"""Post-mortem bundle analyzer: ``python -m repro.obs.postmortem``.
+
+Reads a bundle written by :func:`repro.obs.health.write_bundle` and
+answers the on-call questions about a dead or sick run:
+
+- what was every rank doing when the run died (last step / phase /
+  comm-op count / heartbeat age)?
+- who was waiting on whom (the blocked-recv **wait-for graph**), and is
+  there a cycle (a true deadlock) or a chain rooted at one silent rank
+  (a stall)?
+- which rank was the straggler (robust z-score over the per-rank
+  ``force_phase_seconds_total`` sums recovered from ``metrics.txt``)?
+- which injected faults fired nearby (``cat="fault"`` instants in the
+  trace tail, plus the board's per-rank last-fault notes)?
+
+The analysis rolls up into one **verdict** naming the guilty rank, its
+kind (``crash`` / ``deadlock`` / ``stall`` / ``straggler`` /
+``healthy``) and the rank's last-known phase.  ``--expect-rank`` /
+``--expect-kind`` / ``--expect-phase`` turn the CLI into a CI assertion:
+exit status 1 when the verdict does not match (the ``health-forensics``
+job drives crash and slowdown schedules through this).
+
+Evidence is ranked: an injected-crash instant or a typed
+``RankFailedError`` beats graph inference, a wait-for cycle beats a
+chain root, and a chain root beats the straggler ranking -- so a run
+that crashed *while also* skewed blames the crash, not the skew.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+
+from .health import WAIT_PHASES, robust_zscores
+
+#: Verdict kinds in evidence order (strongest first).
+VERDICT_KINDS = ("crash", "deadlock", "stall", "straggler", "healthy")
+
+_METRIC_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>[^\s]+)$")
+_LABEL_PAIR = re.compile(r'(?P<k>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<v>[^"]*)"')
+
+
+def parse_metrics_text(text: str) -> dict[str, list[tuple[dict, float]]]:
+    """Parse Prometheus text exposition into
+    ``{family: [(labels, value), ...]}`` (sample names like
+    ``_bucket``/``_sum`` stay distinct families)."""
+    out: dict[str, list[tuple[dict, float]]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = _METRIC_LINE.match(line)
+        if m is None:
+            continue
+        labels = {lm.group("k"): lm.group("v")
+                  for lm in _LABEL_PAIR.finditer(m.group("labels") or "")}
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            continue
+        out.setdefault(m.group("name"), []).append((labels, value))
+    return out
+
+
+def load_bundle(path) -> dict:
+    """Load a bundle directory into one analysis-ready dict."""
+    path = os.fspath(path)
+    if not os.path.isdir(path):
+        raise FileNotFoundError(f"not a bundle directory: {path!r}")
+
+    def _json(name, default):
+        p = os.path.join(path, name)
+        if not os.path.exists(p):
+            return default
+        with open(p) as fh:
+            return json.load(fh)
+
+    def _text(name):
+        p = os.path.join(path, name)
+        if not os.path.exists(p):
+            return ""
+        with open(p) as fh:
+            return fh.read()
+
+    manifest = _json("manifest.json", {})
+    hb = _json("heartbeats.json", {"size": None, "ranks": {}})
+    heartbeats = {int(r): rec for r, rec in hb.get("ranks", {}).items()}
+    events = [json.loads(line)
+              for line in _text("trace_tail.jsonl").splitlines() if line]
+    metrics = parse_metrics_text(_text("metrics.txt"))
+    size = manifest.get("size")
+    if size is None:
+        size = hb.get("size")
+    if size is None:
+        size = (max(heartbeats) + 1) if heartbeats else 0
+    return {"path": path, "manifest": manifest, "heartbeats": heartbeats,
+            "events": events, "metrics": metrics, "size": int(size),
+            "config": _json("config.json", {})}
+
+
+def wait_graph(heartbeats: dict[int, dict]) -> dict[int, int]:
+    """Blocked-recv edges ``waiter -> awaited source`` (functional graph:
+    a rank blocks on at most one receive)."""
+    graph = {}
+    for rank, rec in heartbeats.items():
+        wait = rec.get("wait")
+        if wait is not None and wait.get("src") is not None:
+            graph[rank] = int(wait["src"])
+    return graph
+
+
+def find_cycles(graph: dict[int, int]) -> list[list[int]]:
+    """Cycles in a functional wait-for graph, each rotated to start at
+    its smallest rank, sorted by that rank."""
+    cycles = []
+    seen: set[int] = set()
+    for start in sorted(graph):
+        if start in seen:
+            continue
+        trail: list[int] = []
+        index: dict[int, int] = {}
+        node = start
+        while node in graph and node not in index:
+            if node in seen:
+                break
+            index[node] = len(trail)
+            trail.append(node)
+            node = graph[node]
+        else:
+            if node in index:
+                cycle = trail[index[node]:]
+                low = cycle.index(min(cycle))
+                cycles.append(cycle[low:] + cycle[:low])
+        seen.update(trail)
+    return cycles
+
+
+def chain_roots(graph: dict[int, int],
+                heartbeats: dict[int, dict]) -> list[tuple[int, int]]:
+    """Non-waiting ranks that others (transitively) wait on, as
+    ``(root, dependents)`` sorted by most dependents, then oldest
+    heartbeat -- the likely stall culprits."""
+    dependents: dict[int, int] = {}
+    for waiter in graph:
+        node = waiter
+        hops = 0
+        while node in graph and hops <= len(graph):
+            node = graph[node]
+            hops += 1
+        if node not in graph:  # chain ended at a non-waiting rank
+            dependents[node] = dependents.get(node, 0) + 1
+
+    def _ts(rank: int) -> float:
+        rec = heartbeats.get(rank)
+        return rec.get("ts", 0.0) if rec else 0.0
+
+    return sorted(dependents.items(), key=lambda kv: (-kv[1], _ts(kv[0])))
+
+
+def force_costs(metrics: dict) -> dict[int, float]:
+    """Per-rank sums of ``force_phase_seconds_total`` from metrics.txt,
+    excluding wait-dominated phases (see
+    :data:`repro.obs.health.WAIT_PHASES`): a collective wait charges
+    the straggler's slowness to its victims."""
+    costs: dict[int, float] = {}
+    for labels, value in metrics.get("force_phase_seconds_total", []):
+        if labels.get("phase") in WAIT_PHASES:
+            continue
+        try:
+            r = int(labels.get("rank", ""))
+        except ValueError:
+            continue
+        costs[r] = costs.get(r, 0.0) + value
+    return costs
+
+
+def straggler_ranking(metrics: dict) -> list[dict]:
+    """Ranks by robust z-score over their force-phase cost, descending."""
+    costs = force_costs(metrics)
+    z = robust_zscores(costs)
+    return sorted(
+        ({"rank": r, "seconds": costs[r], "z": z[r]} for r in costs),
+        key=lambda row: (-row["z"], row["rank"]))
+
+
+def fault_events(events: list[dict]) -> list[dict]:
+    """The ``cat="fault"`` instants present in the trace tail."""
+    return [e for e in events if e.get("cat") == "fault"]
+
+
+def _verdict(bundle: dict) -> dict:
+    """Roll the evidence up into ``{kind, rank, ranks, phase, evidence}``."""
+    manifest = bundle["manifest"]
+    hb = bundle["heartbeats"]
+    error = manifest.get("error") or {}
+
+    def _phase(rank):
+        rec = hb.get(rank)
+        return rec.get("phase") if rec else None
+
+    def _made(kind, rank, evidence, ranks=None):
+        return {"kind": kind, "rank": rank,
+                "ranks": sorted(ranks) if ranks else
+                ([rank] if rank is not None else []),
+                "phase": _phase(rank) if rank is not None else None,
+                "evidence": evidence}
+
+    # 1. An injected crash instant is the strongest evidence.
+    crashes = [e for e in fault_events(bundle["events"])
+               if e.get("name") == "fault_crash"]
+    if crashes:
+        e = crashes[0]
+        return _made("crash", e["rank"],
+                     f"injected-crash instant at op "
+                     f"{e.get('args', {}).get('op', '?')} in the trace tail")
+    # ... or a board-level crash note (the instant may have rotated out).
+    noted = sorted(r for r, rec in hb.items()
+                   if rec.get("last_fault") == "crash")
+    if noted:
+        return _made("crash", noted[0],
+                     "heartbeat board recorded an injected crash")
+    # 2. A typed error naming the failed rank.
+    if error.get("failed_rank") is not None:
+        return _made("crash", int(error["failed_rank"]),
+                     f"{error.get('type', 'error')} named the failed rank")
+    # 3. A wait-for cycle is a deadlock.
+    graph = wait_graph(hb)
+    cycles = find_cycles(graph)
+    if cycles:
+        cycle = cycles[0]
+        return _made("deadlock", cycle[0],
+                     "wait-for cycle " +
+                     " -> ".join(str(r) for r in cycle + [cycle[0]]),
+                     ranks=cycle)
+    # 4. A wait chain rooted at a silent rank is a stall.  Only when the
+    #    bundle says something actually went wrong -- blocked receives
+    #    are the steady state of a healthy overlap schedule.
+    anomalous = manifest.get("reason") not in (None, "manual") or \
+        manifest.get("failed_ranks") or error
+    roots = chain_roots(graph, hb)
+    if roots and anomalous:
+        root, n = roots[0]
+        return _made("stall", root,
+                     f"{n} rank(s) transitively blocked on silent rank "
+                     f"{root}")
+    # Hard-dead process ranks ship no report at all.
+    silent_dead = [r for r in manifest.get("failed_ranks", [])
+                   if r not in hb]
+    if silent_dead:
+        return _made("crash", silent_dead[0],
+                     "rank died without shipping a report",
+                     ranks=silent_dead)
+    if manifest.get("failed_ranks"):
+        r = manifest["failed_ranks"][0]
+        return _made("crash", r, "listed in the manifest's failed ranks",
+                     ranks=manifest["failed_ranks"])
+    # 5. Straggler ranking (slowdown schedules / organic skew).
+    ranking = straggler_ranking(bundle["metrics"])
+    if ranking:
+        top = ranking[0]
+        costs = {row["rank"]: row["seconds"] for row in ranking}
+        xs = sorted(costs.values())
+        # Lower median (matches HealthMonitor): with an even rank count
+        # the interpolated median averages the outlier in, and at 2
+        # ranks a >2x-the-mean criterion can never hold.
+        median = xs[(len(xs) - 1) // 2]
+        if top["z"] >= 3.5 or (median > 0 and
+                               top["seconds"] >= 3.0 * median):
+            return _made(
+                "straggler", top["rank"],
+                f"robust z {top['z']:.1f} over force-phase seconds "
+                f"({top['seconds']:.3g}s vs median {median:.3g}s)")
+    return _made("healthy", None, "no crash, cycle, stall root or "
+                 "straggler found in the bundle")
+
+
+def analyze(bundle: dict) -> dict:
+    """Full analysis document for one loaded bundle."""
+    manifest = bundle["manifest"]
+    hb = bundle["heartbeats"]
+    graph = wait_graph(hb)
+    ranks = []
+    for r in range(bundle["size"]):
+        rec = hb.get(r)
+        row = {"rank": r,
+               "reported": rec is not None,
+               "step": rec.get("step") if rec else None,
+               "phase": rec.get("phase") if rec else None,
+               "ops": rec.get("ops") if rec else None,
+               "ts": rec.get("ts") if rec else None,
+               "waiting_on": graph.get(r),
+               "last_fault": rec.get("last_fault") if rec else None,
+               "failed": r in manifest.get("failed_ranks", [])}
+        ranks.append(row)
+    return {
+        "bundle": bundle["path"],
+        "reason": manifest.get("reason"),
+        "error": manifest.get("error"),
+        "size": bundle["size"],
+        "transport": manifest.get("transport"),
+        "deterministic_clock": manifest.get("deterministic_clock"),
+        "config_fingerprint": manifest.get("config_fingerprint"),
+        "fault_schedule": manifest.get("fault_schedule"),
+        "ranks": ranks,
+        "wait_graph": {str(k): v for k, v in sorted(graph.items())},
+        "cycles": find_cycles(graph),
+        "stragglers": straggler_ranking(bundle["metrics"]),
+        "fault_events": fault_events(bundle["events"]),
+        "verdict": _verdict(bundle),
+    }
+
+
+def _fmt(value, width: int | None = None) -> str:
+    if value is None:
+        text = "-"
+    elif isinstance(value, float):
+        text = f"{value:.3g}"
+    else:
+        text = str(value)
+    return text if width is None else text.rjust(width)
+
+
+def render_report(doc: dict) -> str:
+    """Human-readable report (the default CLI output)."""
+    lines = [f"post-mortem: {doc['bundle']}",
+             f"  reason: {doc['reason']}   transport: {doc['transport']}"
+             f"   ranks: {doc['size']}   deterministic clock: "
+             f"{doc['deterministic_clock']}"]
+    err = doc.get("error")
+    if err:
+        lines.append(f"  error: {err.get('type')}: {err.get('message')}")
+    if doc.get("fault_schedule"):
+        lines.append(f"  fault schedule: {doc['fault_schedule']}")
+    lines.append("")
+    lines.append("  rank  step  phase            ops  waiting-on  "
+                 "last-fault  status")
+    for row in doc["ranks"]:
+        status = "FAILED" if row["failed"] else (
+            "no report" if not row["reported"] else "ok")
+        lines.append(
+            f"  {_fmt(row['rank'], 4)}  {_fmt(row['step'], 4)}  "
+            f"{_fmt(row['phase']):<15s}  {_fmt(row['ops'], 3)}  "
+            f"{_fmt(row['waiting_on'], 10)}  "
+            f"{_fmt(row['last_fault']):<10s}  {status}")
+    if doc["wait_graph"]:
+        lines.append("")
+        lines.append("  wait-for graph: " + "   ".join(
+            f"{k} -> {v}" for k, v in doc["wait_graph"].items()))
+        for cycle in doc["cycles"]:
+            lines.append("  DEADLOCK CYCLE: " +
+                         " -> ".join(str(r) for r in cycle + [cycle[0]]))
+    if doc["stragglers"]:
+        lines.append("")
+        lines.append("  straggler ranking (force-phase seconds, robust z):")
+        for row in doc["stragglers"]:
+            lines.append(f"    rank {row['rank']}: {row['seconds']:.4g}s  "
+                         f"z={row['z']:+.2f}")
+    if doc["fault_events"]:
+        lines.append("")
+        lines.append(f"  injected faults in the trace tail "
+                     f"({len(doc['fault_events'])}):")
+        for e in doc["fault_events"][-8:]:
+            lines.append(f"    rank {e['rank']} ts={e['ts']:.6g} "
+                         f"{e['name']} {e.get('args', {})}")
+    v = doc["verdict"]
+    lines.append("")
+    where = f" (last phase: {v['phase']})" if v.get("phase") else ""
+    who = f"rank {v['rank']}" if v.get("rank") is not None else "no rank"
+    lines.append(f"  VERDICT: {v['kind']} -- {who}{where}")
+    lines.append(f"    evidence: {v['evidence']}")
+    return "\n".join(lines) + "\n"
+
+
+def check_expectations(doc: dict, args) -> list[str]:
+    """Mismatch messages for the ``--expect-*`` assertions (empty=pass)."""
+    v = doc["verdict"]
+    problems = []
+    if args.expect_kind is not None and v["kind"] != args.expect_kind:
+        problems.append(
+            f"expected kind {args.expect_kind!r}, got {v['kind']!r}")
+    if args.expect_rank is not None and v["rank"] != args.expect_rank:
+        problems.append(
+            f"expected guilty rank {args.expect_rank}, got {v['rank']}")
+    if args.expect_phase is not None and v["phase"] != args.expect_phase:
+        problems.append(
+            f"expected last phase {args.expect_phase!r}, got {v['phase']!r}")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.postmortem",
+        description="Analyze a run-health post-mortem bundle.")
+    parser.add_argument("bundle", help="bundle directory "
+                        "(written by the flight recorder)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the analysis as JSON instead of text")
+    parser.add_argument("--expect-rank", type=int, default=None,
+                        help="assert the verdict names this rank")
+    parser.add_argument("--expect-kind", choices=VERDICT_KINDS, default=None,
+                        help="assert the verdict kind")
+    parser.add_argument("--expect-phase", default=None,
+                        help="assert the guilty rank's last phase")
+    args = parser.parse_args(argv)
+
+    try:
+        bundle = load_bundle(args.bundle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot load bundle: {exc}", file=sys.stderr)
+        return 2
+    doc = analyze(bundle)
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(render_report(doc), end="")
+    problems = check_expectations(doc, args)
+    for p in problems:
+        print(f"EXPECTATION FAILED: {p}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

@@ -169,20 +169,31 @@ class RingSink(Sink):
             self._counter = counter
 
     def emit(self, event: "TraceEvent") -> None:
+        # The ring update (evict + account + append) completes under the
+        # lock before any side effect that can raise: with warnings
+        # escalated to errors (pytest -W error), the one-shot
+        # TraceDropWarning must not lose the incoming event, and every
+        # drop in a sustained burst must still reach the registry
+        # counter.
+        counter = None
+        warn = False
         with self._lock:
             if len(self._ring) >= self.capacity:
                 self._ring.popleft()
                 self.dropped += 1
-                if self._counter is not None:
-                    self._counter.inc()
+                counter = self._counter
                 if not self._warned:
                     self._warned = True
-                    warnings.warn(
-                        f"RingSink(capacity={self.capacity}) is full: "
-                        "oldest trace events are being dropped (see "
-                        "trace_events_dropped_total)", TraceDropWarning,
-                        stacklevel=2)
+                    warn = True
             self._ring.append(event)
+        if counter is not None:
+            counter.inc()
+        if warn:
+            warnings.warn(
+                f"RingSink(capacity={self.capacity}) is full: "
+                "oldest trace events are being dropped (see "
+                "trace_events_dropped_total)", TraceDropWarning,
+                stacklevel=2)
 
     def events(self) -> list["TraceEvent"]:
         with self._lock:

@@ -74,6 +74,17 @@ def _portable_exc(exc: BaseException) -> BaseException:
             f"(last frame: {tb[-2].strip() if len(tb) > 1 else '?'})")
 
 
+def _rebuild_clock(clock):
+    """Worker-local clock with the same semantics as a template's (a
+    fresh :class:`VirtualClock` lane is identical to a lane of the
+    shared clock -- every rank only ever advances its own)."""
+    from ..obs.clock import VirtualClock, WallClock
+
+    if isinstance(clock, VirtualClock):
+        return VirtualClock(tick=clock.tick, start=clock.start)
+    return WallClock()
+
+
 def _rebuild_tracer(template) -> Tracer:
     """Worker-local tracer with the same clock semantics as ``template``.
 
@@ -81,18 +92,9 @@ def _rebuild_tracer(template) -> Tracer:
     recording into it would be invisible to the parent, and its sinks
     may be files the parent owns.  Each rank therefore records into a
     private buffer tracer whose clock is rebuilt from the template's
-    configuration (a fresh :class:`VirtualClock` lane is identical to a
-    lane of the shared clock -- every rank only ever advances its own),
-    and ships its events back in the worker report.
+    configuration and ships its events back in the worker report.
     """
-    from ..obs.clock import VirtualClock, WallClock
-
-    clock = template.clock
-    if isinstance(clock, VirtualClock):
-        clock = VirtualClock(tick=clock.tick, start=clock.start)
-    else:
-        clock = WallClock()
-    return Tracer(clock=clock)
+    return Tracer(clock=_rebuild_clock(template.clock))
 
 
 class ProcessRankWorld(SimWorld):
@@ -130,6 +132,9 @@ class ProcessRankWorld(SimWorld):
         collective)."""
         self._rank_phase[rank] = name
         self.traffic.set_phase(name)
+        hb = self.health
+        if hb is not None:
+            hb.phase(rank, name)
 
     # -- failure flags are shared across processes ---------------------------
 
@@ -166,6 +171,24 @@ class ProcessRankWorld(SimWorld):
         local = _rebuild_tracer(tracer)
         with self._obs_lock:
             self.tracer = local
+        local.bind_metrics(self.metrics)
+        if self.health is not None:
+            self.health.use_clock(local.clock)
+
+    def attach_health(self, board) -> None:
+        """Build a worker-local heartbeat board from the fork-copied
+        template (beating into the parent's copy would be invisible to
+        it).  The local board snapshots back through the worker report
+        (:meth:`finalize_report`) and the parent merges it."""
+        from ..obs.health import HeartbeatBoard
+
+        if board is None or self.health is not None:
+            return
+        clock = self.tracer.clock if self.tracer is not NULL_TRACER \
+            else _rebuild_clock(board.clock)
+        local = HeartbeatBoard(self.size, clock=clock)
+        with self._obs_lock:
+            self.health = local
         local.bind_metrics(self.metrics)
 
     # -- transport edges ------------------------------------------------------
@@ -267,6 +290,9 @@ class ProcessRankWorld(SimWorld):
         caller's collective generation preserves standard MPI ordering
         discipline without the threaded board's double barrier.
         """
+        hb = self.health
+        if hb is not None:
+            hb.op(rank)
         for r in range(self.size):
             if r != rank:
                 self._outboxes[r].put(
@@ -310,6 +336,8 @@ class ProcessRankWorld(SimWorld):
                 "metrics": self.metrics.snapshot(),
                 "recv_wait": recv_wait,
                 "events": events,
+                "health": self.health.snapshot()
+                if self.health is not None else None,
                 "extra": self._report_extra()}
 
     def _report_extra(self) -> dict:
@@ -381,20 +409,34 @@ class ProcessWorld:
     shm_threshold:
         Minimum out-of-band payload bytes before a message's buffers
         move through a shared-memory segment instead of the queue pipe.
+    watchdog_grace:
+        Seconds the parent watchdog waits between noticing a worker
+        died and declaring it failed without a report (its result may
+        still be in the queue pipe).  Booked as the
+        ``watchdog_grace_seconds`` gauge so post-mortems record it.
     """
 
     transport = "process"
 
     def __init__(self, size: int, timeout: float = 120.0,
-                 shm_threshold: int = SHM_MIN_BYTES):
+                 shm_threshold: int = SHM_MIN_BYTES,
+                 watchdog_grace: float = _DEATH_GRACE):
         if size < 1:
             raise ValueError("size must be >= 1")
+        if watchdog_grace <= 0:
+            raise ValueError("watchdog_grace must be positive")
         self.size = size
         self.timeout = timeout
         self.shm_threshold = shm_threshold
+        self.watchdog_grace = watchdog_grace
         self.metrics = MetricsRegistry()
+        self.metrics.gauge(
+            "watchdog_grace_seconds",
+            "Grace period before a silent dead worker is declared failed"
+        ).set(watchdog_grace)
         self.traffic = TrafficLog(self.metrics)
         self.tracer = NULL_TRACER
+        self.health = None
         self._ctx = multiprocessing.get_context("fork")
         self._inboxes = [self._ctx.Queue() for _ in range(size)]
         self._results = self._ctx.Queue()
@@ -414,6 +456,20 @@ class ProcessWorld:
             raise ValueError("a different tracer is already attached")
         self.tracer = tracer
         tracer.bind_metrics(self.metrics)
+        if self.health is not None:
+            self.health.use_clock(tracer.clock)
+
+    def attach_health(self, board) -> None:
+        """Register the heartbeat board that absorbs the per-rank board
+        snapshots after the run (idempotent, mirrors ``SimWorld``).
+        The board itself is shipped to the workers as a fork-copy
+        template; each rank rebuilds a local one and reports back."""
+        if self.health is not None and self.health is not board:
+            raise ValueError("a different health board is already attached")
+        self.health = board
+        if self.tracer is not NULL_TRACER:
+            board.use_clock(self.tracer.clock)
+        board.bind_metrics(self.metrics)
 
     def recv_wait_seconds(self, rank: int) -> float:
         return self._recv_wait[rank]
@@ -503,7 +559,7 @@ class ProcessWorld:
                     # Dead without a report: give its queued report a
                     # moment to surface, then declare a hard death.
                     t0 = dead_since.setdefault(r, now)
-                    if now - t0 >= _DEATH_GRACE:
+                    if now - t0 >= self.watchdog_grace:
                         hard_dead[r] = p.exitcode
                         self._mark_failed_from_parent(r)
                 if now > deadline:
@@ -546,6 +602,9 @@ class ProcessWorld:
         for r, sec in report["recv_wait"].items():
             self._recv_wait[int(r)] += sec
         self._events.extend(report["events"])
+        health = report.get("health")
+        if health is not None and self.health is not None:
+            self.health.merge(health)
         self._merge_extra(report["rank"], report.get("extra", {}))
 
     def _flush_events(self) -> None:

@@ -17,6 +17,55 @@ from .traffic import TrafficLog
 _MISSING = object()
 
 
+class _RunBarrier:
+    """Reusable barrier whose completed generations stay completed.
+
+    ``threading.Barrier`` has a race that breaks run determinism: after
+    a generation trips, ``abort()`` can land before a slow waiter gets
+    scheduled to re-check the barrier state, so a barrier *every rank
+    reached* retroactively raises ``BrokenBarrierError`` for some of
+    them -- whether a rank's final collective span is recorded then
+    depends on thread scheduling, not on the program.  This barrier
+    keys success on the generation counter alone: if the generation a
+    waiter joined has advanced, the barrier tripped and the wait
+    succeeds no matter what happened since.  ``abort`` (and a wait
+    timeout) only breaks the current and future generations, which is
+    exactly the deterministic statement "this barrier can never
+    complete".
+    """
+
+    def __init__(self, parties: int):
+        self.parties = parties
+        self._cond = threading.Condition()
+        self._count = 0
+        self._generation = 0
+        self._broken = False
+
+    def wait(self, timeout: float | None = None) -> None:
+        with self._cond:
+            if self._broken:
+                raise threading.BrokenBarrierError
+            gen = self._generation
+            self._count += 1
+            if self._count == self.parties:
+                self._count = 0
+                self._generation += 1
+                self._cond.notify_all()
+                return
+            self._cond.wait_for(
+                lambda: self._generation != gen or self._broken, timeout)
+            if self._generation != gen:
+                return                     # tripped: success, always
+            self._broken = True            # timeout or abort
+            self._cond.notify_all()
+            raise threading.BrokenBarrierError
+
+    def abort(self) -> None:
+        with self._cond:
+            self._broken = True
+            self._cond.notify_all()
+
+
 class SimWorld:
     """Shared state connecting the ranks of one SPMD program.
 
@@ -41,9 +90,12 @@ class SimWorld:
         self.metrics = MetricsRegistry()
         self.traffic = TrafficLog(self.metrics)
         self.tracer: Tracer = NULL_TRACER
+        #: Optional :class:`~repro.obs.health.HeartbeatBoard` (see
+        #: :meth:`attach_health`); None keeps the op sites zero-cost.
+        self.health = None
         self._queues: dict[tuple[int, int, int], queue.Queue] = {}
         self._queues_lock = threading.Lock()
-        self._barrier = threading.Barrier(size)
+        self._barrier = _RunBarrier(size)
         self._board: dict[tuple[int, int], Any] = {}
         self._board_lock = threading.Lock()
         self._failed: dict[int, BaseException | None] = {}
@@ -76,6 +128,9 @@ class SimWorld:
         self._rank_phase[rank] = name
         if rank == 0:
             self.traffic.set_phase(name)
+        hb = self.health
+        if hb is not None:
+            hb.phase(rank, name)
 
     def rank_phase(self, rank: int) -> str:
         """The algorithm phase ``rank`` is currently in."""
@@ -101,6 +156,28 @@ class SimWorld:
                 raise ValueError("a different tracer is already attached")
             self.tracer = tracer
         tracer.bind_metrics(self.metrics)
+        # Heartbeat timestamps must read the same clock object the
+        # tracer advances (a detached VirtualClock never moves).
+        if self.health is not None:
+            self.health.use_clock(tracer.clock)
+
+    def attach_health(self, board) -> None:
+        """Install a heartbeat board on the world (idempotent).
+
+        The board's timestamps are reconciled onto the attached
+        tracer's clock (when one is attached) and its
+        ``heartbeats_total`` counter is bound to this world's metrics
+        registry.  The SimMPI op sites (:meth:`push`, :meth:`pop`,
+        :meth:`exchange`, :meth:`set_phase`) beat through it from then
+        on.
+        """
+        with self._obs_lock:
+            if self.health is not None and self.health is not board:
+                raise ValueError("a different health board is already attached")
+            self.health = board
+        if self.tracer is not NULL_TRACER:
+            board.use_clock(self.tracer.clock)
+        board.bind_metrics(self.metrics)
 
     def recv_wait_seconds(self, rank: int) -> float:
         """Total wall seconds ``rank`` has spent inside blocking recvs."""
@@ -156,6 +233,11 @@ class SimWorld:
 
     def push(self, src: int, dst: int, tag: int, payload: Any, nbytes: int) -> None:
         """Send: account traffic, trace, and enqueue (see ``_enqueue``)."""
+        hb = self.health
+        if hb is not None:
+            # Beat before the fault hook: a rank that crashes inside
+            # this send still registers the op it died on.
+            hb.op(src)
         self._pre_send(src)
         self.traffic.record_send(src, dst, nbytes,
                                  phase=self._rank_phase[src])
@@ -189,6 +271,12 @@ class SimWorld:
         tr = self.tracer
         t0 = tr.clock.now(dst) if tr.enabled else 0.0
         t0_wall = time.perf_counter()
+        hb = self.health
+        if hb is not None:
+            # The wait mark is only cleared on success: if this recv
+            # dies, "blocked on (src, tag)" is the rank's last-known
+            # state -- the wait-for-graph edge the post-mortem reads.
+            hb.wait_begin(dst, src, tag)
         try:
             payload = self._pop(src, dst, tag, timeout)
         finally:
@@ -196,6 +284,9 @@ class SimWorld:
             with self._obs_lock:
                 self._recv_wait[dst] += waited
             self._recv_wait_hist.observe(waited, rank=dst)
+        if hb is not None:
+            hb.wait_end(dst)
+            hb.op(dst)
         if tr.enabled:
             t1 = tr.clock.now(dst)
             key = (src, dst, tag)
@@ -268,6 +359,9 @@ class SimWorld:
         ranks must call collectives in the same order (standard MPI
         discipline), which the board asserts by keying on it.
         """
+        hb = self.health
+        if hb is not None:
+            hb.op(rank)
         with self._board_lock:
             self._board[(generation, rank)] = value
         self.barrier()

@@ -38,14 +38,18 @@ def world_transport(world: Any) -> str:
 
 def make_world(size: int, transport: str = "threads",
                timeout: float = 120.0, schedule=None, seed: int = 0,
-               **kwargs: Any):
+               watchdog_grace: float | None = None, **kwargs: Any):
     """Build a world for ``transport``.
 
     ``schedule`` (a :class:`~repro.faults.FaultSchedule`) selects the
     fault-injecting variant of the transport; ``seed`` feeds its
-    deterministic lottery.  Extra ``kwargs`` go to the world
-    constructor (e.g. ``shm_threshold`` for ``process``).
+    deterministic lottery.  ``watchdog_grace`` tunes the process
+    transport's dead-worker watchdog (ignored by transports that have
+    no watchdog).  Extra ``kwargs`` go to the world constructor
+    (e.g. ``shm_threshold`` for ``process``).
     """
+    if transport == "process" and watchdog_grace is not None:
+        kwargs["watchdog_grace"] = watchdog_grace
     if transport == "threads":
         from .runtime import SimWorld
         if schedule is not None:

@@ -1,0 +1,182 @@
+"""Health-forensics harness: the fault matrix localized post mortem.
+
+The acceptance scenario for the run-health subsystem: drive crash,
+slowdown and silent-stall schedules through real simulations on both
+transports, let the flight recorder auto-dump its bundle, and assert
+the ``python -m repro.obs.postmortem`` analyzer names the guilty rank
+and its last-known phase for every one of them -- using the same
+``--expect-*`` CLI contract the ``health-forensics`` CI job drives.
+"""
+
+import json
+
+import pytest
+
+from repro import SimulationConfig
+from repro.core.parallel_simulation import run_parallel_simulation
+from repro.ics import plummer_model
+from repro.obs import FlightRecorder, HeartbeatBoard, Tracer, VirtualClock
+from repro.obs.postmortem import analyze, load_bundle
+from repro.obs.postmortem import main as postmortem_main
+from repro.simmpi import make_world, spmd_run
+
+
+@pytest.fixture(scope="module")
+def ps():
+    return plummer_model(400, seed=7)
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return SimulationConfig(theta=0.6)
+
+
+# -- crash schedules -------------------------------------------------------
+
+@pytest.mark.parametrize("transport", ["threads", "process"])
+@pytest.mark.parametrize("crash_rank", [0, 1])
+def test_crash_localized_to_guilty_rank(tmp_path, ps, cfg, transport,
+                                        crash_rank):
+    """Whichever rank the schedule kills, the analyzer names it."""
+    world = make_world(2, transport=transport,
+                      schedule=f"crash(rank={crash_rank}, after=12)",
+                      timeout=30.0)
+    recorder = FlightRecorder(out_dir=tmp_path / "bundle", capacity=512)
+    tracer = Tracer(clock=VirtualClock(), sink=recorder.ring)
+    with pytest.raises(Exception):
+        run_parallel_simulation(2, ps, cfg, n_steps=2, world=world,
+                                trace=tracer, health=recorder,
+                                timeout=30.0)
+    assert recorder.bundle_path is not None
+    # The CI assertion surface: exit 0 iff the verdict matches.
+    assert postmortem_main([recorder.bundle_path,
+                            "--expect-kind", "crash",
+                            "--expect-rank", str(crash_rank)]) == 0
+    assert postmortem_main([recorder.bundle_path,
+                            "--expect-rank",
+                            str(1 - crash_rank)]) == 1
+    doc = analyze(load_bundle(recorder.bundle_path))
+    assert doc["verdict"]["phase"], "guilty rank's last phase missing"
+
+
+def test_crash_bundle_survives_at_four_ranks(tmp_path, ps, cfg):
+    world = make_world(4, schedule="crash(rank=2, after=20)", timeout=30.0)
+    recorder = FlightRecorder(out_dir=tmp_path / "bundle")
+    tracer = Tracer(clock=VirtualClock(), sink=recorder.ring)
+    with pytest.raises(Exception):
+        run_parallel_simulation(4, ps, cfg, n_steps=2, world=world,
+                                trace=tracer, health=recorder,
+                                timeout=30.0)
+    assert postmortem_main([recorder.bundle_path,
+                            "--expect-kind", "crash",
+                            "--expect-rank", "2"]) == 0
+
+
+# -- slowdown schedules: straggler ranking ---------------------------------
+
+@pytest.mark.parametrize("transport", ["threads", "process"])
+def test_slowdown_localized_as_straggler(tmp_path, ps, cfg, transport):
+    """A slowed rank dominates the force-phase cost sums; the analyzer's
+    straggler ranking names it.  Wall clocks throughout: the slowdown is
+    a real sleep, and a deterministic-clock bundle would elide the
+    wall-valued cost series the ranking needs."""
+    world = make_world(2, transport=transport,
+                      schedule="slowdown(rank=1, sleep=100ms)",
+                      timeout=60.0)
+    recorder = FlightRecorder(out_dir=tmp_path / "bundle")
+    run_parallel_simulation(2, ps, cfg, n_steps=1, world=world,
+                            health=recorder, timeout=60.0)
+    recorder.dump("manual")
+    doc = analyze(load_bundle(recorder.bundle_path))
+    assert doc["stragglers"][0]["rank"] == 1
+    assert postmortem_main([recorder.bundle_path,
+                            "--expect-kind", "straggler",
+                            "--expect-rank", "1"]) == 0
+
+
+# -- silent-stall schedules ------------------------------------------------
+
+def _stall_prog(comm, board):
+    """Rank 0 goes silent mid-protocol; everyone else blocks on it.
+
+    The board template is attached *inside* the program, the way the
+    simulation driver does it: on the process transport each forked
+    worker rebuilds a rank-local board and ships it back through its
+    report (attach is idempotent on threads, where ``comm.world`` is
+    the parent world with the board already in place).
+    """
+    comm.world.attach_health(board)
+    comm.world.set_phase(comm.rank, "stall_protocol")
+    if comm.rank == 0:
+        return "went silent"        # never sends what peers expect
+    comm.send(comm.rank, 0, tag=1)  # rank 0 never drains these either
+    return comm.recv(0, tag=2, timeout=2.0)
+
+
+@pytest.mark.parametrize("transport", ["threads", "process"])
+def test_silent_rank_localized_as_stall_root(tmp_path, transport):
+    """Ranks blocked on a silent peer time out; the bundle's wait-for
+    graph chains back to the silent rank and the verdict names it."""
+    world = make_world(3, transport=transport, timeout=30.0)
+    board = HeartbeatBoard(3)
+    world.attach_health(board)
+    recorder = FlightRecorder(out_dir=tmp_path / "bundle")
+    recorder.bind(world=world, board=board)
+    with pytest.raises(Exception) as ei:
+        spmd_run(3, _stall_prog, board, world=world, timeout=30.0)
+    recorder.dump("timeout", error=ei.value)
+    doc = analyze(load_bundle(recorder.bundle_path))
+    graph = doc["wait_graph"]
+    assert set(graph) == {"1", "2"} and set(graph.values()) == {0}
+    assert doc["cycles"] == []
+    assert postmortem_main([recorder.bundle_path,
+                            "--expect-kind", "stall",
+                            "--expect-rank", "0",
+                            "--expect-phase", "stall_protocol"]) == 0
+
+
+def test_deadlock_cycle_localized(tmp_path):
+    """A true recv cycle is reported as a deadlock, not a stall."""
+
+    def prog(comm, board):
+        comm.world.attach_health(board)
+        comm.world.set_phase(comm.rank, "deadlock_protocol")
+        # Everyone receives from their left neighbour; nobody sends.
+        left = (comm.rank - 1) % comm.size
+        return comm.recv(left, tag=0, timeout=2.0)
+
+    world = make_world(2, timeout=30.0)
+    board = HeartbeatBoard(2)
+    world.attach_health(board)
+    recorder = FlightRecorder(out_dir=tmp_path / "bundle")
+    recorder.bind(world=world, board=board)
+    with pytest.raises(Exception) as ei:
+        spmd_run(2, prog, board, world=world, timeout=30.0)
+    recorder.dump("timeout", error=ei.value)
+    doc = analyze(load_bundle(recorder.bundle_path))
+    assert doc["cycles"] == [[0, 1]]
+    assert postmortem_main([recorder.bundle_path,
+                            "--expect-kind", "deadlock"]) == 0
+
+
+# -- injected faults visible in the bundle ---------------------------------
+
+def test_nearby_faults_listed_in_analysis(tmp_path, ps, cfg):
+    """Maskable faults that fired before the crash show up as fault
+    instants in the trace tail alongside the crash verdict."""
+    world = make_world(
+        2, schedule="delay(prob=0.5, max=1ms); crash(rank=1, after=16)",
+        seed=3, timeout=30.0)
+    recorder = FlightRecorder(out_dir=tmp_path / "bundle", capacity=1024)
+    tracer = Tracer(clock=VirtualClock(), sink=recorder.ring)
+    with pytest.raises(Exception):
+        run_parallel_simulation(2, ps, cfg, n_steps=2, world=world,
+                                trace=tracer, health=recorder,
+                                timeout=30.0)
+    doc = analyze(load_bundle(recorder.bundle_path))
+    kinds = {e["name"] for e in doc["fault_events"]}
+    assert "fault_crash" in kinds
+    assert doc["verdict"]["kind"] == "crash"
+    hb = json.loads((tmp_path / "bundle" / "heartbeats.json").read_text())
+    assert hb["ranks"]["1"]["last_fault"] == "crash"
+    assert hb["ranks"]["1"]["faults"] >= 1

@@ -109,3 +109,61 @@ def test_main_headless(capsys):
     assert "repro.obs dashboard" in captured.out
     assert "frames" in captured.err
     assert "\x1b" not in captured.out
+
+
+# -- run-health panel ------------------------------------------------------
+
+def test_render_health_panel_states():
+    """Headless frame shows ok / straggler / stalled / dead rows."""
+    from repro.obs.health import HealthMonitor, HeartbeatBoard
+
+    world = SimWorld(4)
+    board = HeartbeatBoard(4)
+    world.attach_health(board)
+    now = board.now()
+    for r in range(3):           # rank 3 never beats -> no age -> ok row
+        board.beat(r, step=2, phase=f"phase_{r}")
+    # Rank 2's beat is old -> stalled; rank 1 is a cost outlier ->
+    # straggler; rank 3 is marked dead on the world.
+    board._records[2]["ts"] = now - 100.0
+    cost = world.metrics.counter("force_phase_seconds_total",
+                                 labelnames=("rank", "phase"))
+    for r, secs in ((0, 1.0), (1, 50.0), (2, 1.1), (3, 0.9)):
+        cost.inc(secs, rank=r, phase="gravity_local")
+    world.mark_rank_failed(3)
+    monitor = HealthMonitor(world, board=board, stall_after=5.0)
+    frame = Dashboard(world, monitor=monitor).render()
+    assert "Run health" in frame
+    for state in ("ok", "straggler", "stalled", "dead"):
+        assert state in frame
+    assert "phase_1" in frame
+    # Dead rank outranks its (also skewed) cost row.
+    states = monitor.assess(now=now)
+    assert states == {0: "ok", 1: "straggler", 2: "stalled", 3: "dead"}
+
+
+def test_render_health_panel_auto_monitor():
+    """Dashboard builds its own monitor from world.health when present."""
+    from repro.obs.health import HeartbeatBoard
+
+    world = SimWorld(2)
+    world.attach_health(HeartbeatBoard(2))
+    world.health.beat(0, step=1, phase="prime")
+    world.health.beat(1, step=1, phase="prime")
+    frame = Dashboard(world).render()
+    assert "Run health" in frame and "prime" in frame
+    # Gauges were booked by the monitor pass.
+    assert world.metrics.get("health_state") is not None
+    assert world.metrics.get("heartbeat_age_seconds") is not None
+
+
+def test_render_no_health_panel_without_board():
+    assert "Run health" not in Dashboard(SimWorld(2)).render()
+
+
+def test_main_headless_with_health(capsys):
+    assert main(["--ranks", "2", "--n", "300", "--steps", "1",
+                 "--headless", "--health"]) == 0
+    captured = capsys.readouterr()
+    assert "Run health" in captured.out
+    assert "\x1b" not in captured.out

@@ -1,0 +1,432 @@
+"""Run-health telemetry tests: heartbeats, verdicts, flight bundles.
+
+The tentpole properties under test:
+
+- heartbeats are observability-grade *free*: they read the clock with
+  ``peek`` and never advance a :class:`VirtualClock` lane, so a
+  heartbeat-instrumented run's trace is byte-identical to a bare one;
+- the :class:`HealthMonitor` classifies ranks dead > stalled >
+  straggler > ok from the world's failed-rank set, heartbeat age and a
+  robust z-score over ``force_phase_seconds_total``;
+- a :class:`FlightRecorder` dumps a complete post-mortem bundle when a
+  run dies, and under a deterministic clock two runs of the same
+  failing program produce byte-identical bundles.
+"""
+
+import filecmp
+import json
+import warnings
+
+import pytest
+
+from repro import SimulationConfig
+from repro.core.parallel_simulation import run_parallel_simulation
+from repro.ics import plummer_model
+from repro.obs import (
+    BufferSink,
+    FlightRecorder,
+    HeartbeatBoard,
+    HealthMonitor,
+    Tracer,
+    VirtualClock,
+    robust_zscores,
+    write_bundle,
+)
+from repro.obs.health import BUNDLE_FILES, HEALTH_STATE_CODES
+from repro.obs.metrics import MetricsRegistry
+from repro.simmpi import RankFailedError, SimWorld, make_world
+
+
+# -- HeartbeatBoard --------------------------------------------------------
+
+def test_board_records_progress():
+    board = HeartbeatBoard(2, clock=VirtualClock())
+    assert board.last(0) is None
+    board.beat(0, step=3, phase="gravity_local")
+    rec = board.last(0)
+    assert rec["step"] == 3 and rec["phase"] == "gravity_local"
+    assert rec["beats"] == 1 and rec["ops"] == 0
+    board.op(0)
+    board.op(0)
+    board.phase(0, "boundary_exchange")
+    rec = board.last(0)
+    assert rec["ops"] == 2 and rec["beats"] == 4
+    assert rec["phase"] == "boundary_exchange"
+    assert rec["step"] == 3            # step survives op/phase beats
+
+
+def test_board_rejects_empty_world():
+    with pytest.raises(ValueError):
+        HeartbeatBoard(0)
+
+
+def test_board_wait_marks_survive_failed_recv():
+    """wait_begin is only cleared by wait_end -- a rank that dies inside
+    a recv leaves its blocking target behind for the wait-for graph."""
+    board = HeartbeatBoard(2, clock=VirtualClock())
+    board.wait_begin(1, src=0, tag=7)
+    assert board.last(1)["wait"] == {"src": 0, "tag": 7}
+    board.wait_end(1)
+    assert board.last(1)["wait"] is None
+    board.wait_begin(1, src=0, tag=9)   # recv that never completes
+    assert board.last(1)["wait"] == {"src": 0, "tag": 9}
+
+
+def test_board_note_fault():
+    board = HeartbeatBoard(2, clock=VirtualClock())
+    board.note_fault(1, "delay")
+    board.note_fault(1, "crash")
+    rec = board.last(1)
+    assert rec["last_fault"] == "crash" and rec["faults"] == 2
+
+
+def test_board_peek_never_advances_virtual_clock():
+    """The central determinism invariant: beating through a board does
+    not move any rank's VirtualClock lane."""
+    clock = VirtualClock()
+    board = HeartbeatBoard(2, clock=clock)
+    for _ in range(10):
+        board.beat(0, step=1, phase="x")
+        board.op(1)
+    assert clock.peek(0) == 0.0 and clock.peek(1) == 0.0
+
+
+def test_board_age_and_now_virtual():
+    clock = VirtualClock(tick=1.0)
+    board = HeartbeatBoard(2, clock=clock)
+    board.beat(0)
+    board.beat(1)
+    assert board.age(0) == 0.0
+    clock.now(0)                      # advance rank 0's lane only
+    clock.now(0)
+    board.beat(0)                     # rank 0 beats at t=2, rank 1 stuck at 0
+    assert board.now() == 2.0
+    assert board.age(0) == 0.0
+    assert board.age(1) == 2.0        # trails the clock front by 2 ticks
+    assert board.age(1, now=5.0) == 5.0
+
+
+def test_board_age_none_before_first_beat():
+    board = HeartbeatBoard(2, clock=VirtualClock())
+    assert board.age(0) is None
+
+
+def test_board_bind_metrics_counts_beats():
+    reg = MetricsRegistry()
+    board = HeartbeatBoard(2, clock=VirtualClock(), registry=reg)
+    board.beat(0)
+    board.op(0)
+    board.phase(1, "x")
+    counter = reg.get("heartbeats_total")
+    assert {int(k[0]): v for k, v in counter.series().items()} == \
+        {0: 2.0, 1: 1.0}
+
+
+def test_board_snapshot_merge_most_beats_wins():
+    a = HeartbeatBoard(2, clock=VirtualClock())
+    b = HeartbeatBoard(2, clock=VirtualClock())
+    a.beat(0, step=1, phase="old")
+    for _ in range(3):
+        b.beat(0, step=2, phase="new")
+    b.beat(1, step=2)
+    a.merge(b.snapshot())
+    assert a.last(0)["phase"] == "new" and a.last(0)["step"] == 2
+    assert a.last(1)["step"] == 2
+    # Merging a stale snapshot back does not regress.
+    stale = HeartbeatBoard(2, clock=VirtualClock())
+    stale.beat(0, step=0, phase="stale")
+    a.merge(stale.snapshot())
+    assert a.last(0)["phase"] == "new"
+
+
+def test_board_use_clock_adopts_tracer_clock():
+    board = HeartbeatBoard(2)           # defaults to WallClock
+    clock = VirtualClock()
+    board.use_clock(clock)
+    assert board.clock is clock
+    board.use_clock(None)               # None is a no-op, not a reset
+    assert board.clock is clock
+
+
+# -- robust_zscores --------------------------------------------------------
+
+def test_robust_zscores_outlier():
+    z = robust_zscores({0: 1.0, 1: 1.1, 2: 0.9, 3: 10.0})
+    assert z[3] > 3.5
+    assert abs(z[0]) < 1.5 and abs(z[2]) < 1.5
+
+
+def test_robust_zscores_degenerate_inputs():
+    assert robust_zscores({}) == {}
+    assert robust_zscores({0: 5.0}) == {0: 0.0}
+    assert robust_zscores({0: 2.0, 1: 2.0, 2: 2.0}) == {0: 0.0, 1: 0.0,
+                                                        2: 0.0}
+
+
+def test_robust_zscores_mad_zero_meanad_fallback():
+    # 3 of 4 identical: MAD is 0, meanAD fallback still flags the spike.
+    z = robust_zscores({0: 1.0, 1: 1.0, 2: 1.0, 3: 9.0})
+    assert z[3] > 3.0 and z[0] == z[1] == z[2] == 0.0
+
+
+# -- HealthMonitor ---------------------------------------------------------
+
+def _world_with_costs(costs, size=4):
+    world = SimWorld(size)
+    counter = world.metrics.counter("force_phase_seconds_total",
+                                    labelnames=("rank", "phase"))
+    for rank, secs in costs.items():
+        counter.inc(secs, rank=rank, phase="gravity_local")
+    return world
+
+
+def test_monitor_states_and_gauges():
+    world = _world_with_costs({0: 1.0, 1: 1.1, 2: 0.9, 3: 30.0})
+    clock = VirtualClock(tick=1.0)
+    board = HeartbeatBoard(4, clock=clock)
+    for r in range(4):
+        board.beat(r, step=1, phase="prime")
+    monitor = HealthMonitor(world, board=board, stall_after=5.0)
+    states = monitor.assess(now=0.0)
+    assert states == {0: "ok", 1: "ok", 2: "ok", 3: "straggler"}
+    # Stop beating rank 2 and advance "now" past the deadline.
+    states = monitor.assess(now=10.0)
+    assert states[2] == "stalled"       # everyone is stale at now=10 ...
+    world.mark_rank_failed(1)
+    states = monitor.assess(now=10.0)
+    assert states[1] == "dead"          # ... but dead outranks stalled
+    gauge = world.metrics.get("health_state")
+    assert gauge is not None
+    values = {int(k[0]): v for k, v in gauge.series().items()}
+    assert values[1] == HEALTH_STATE_CODES["dead"]
+    ages = world.metrics.get("heartbeat_age_seconds")
+    assert ages is not None and all(v >= 0 for v in ages.series().values())
+
+
+def test_monitor_two_rank_ratio_criterion():
+    """At 2 ranks the robust z degenerates (each value sits one MAD from
+    the median); the ratio criterion still catches a 3x skew."""
+    world = _world_with_costs({0: 1.0, 1: 5.0}, size=2)
+    monitor = HealthMonitor(world, board=None, straggler_ratio=3.0)
+    states = monitor.assess()
+    assert states == {0: "ok", 1: "straggler"}
+
+
+def test_monitor_cost_floor_suppresses_noise():
+    world = _world_with_costs({0: 1e-9, 1: 9e-9}, size=2)
+    monitor = HealthMonitor(world, board=None,
+                            min_straggler_seconds=1e-4)
+    assert monitor.assess() == {0: "ok", 1: "ok"}
+
+
+def test_monitor_dead_rank_excluded_from_straggler_pool():
+    world = _world_with_costs({0: 1.0, 1: 1.1, 2: 0.9, 3: 30.0})
+    world.mark_rank_failed(3)
+    monitor = HealthMonitor(world, board=None)
+    states = monitor.assess()
+    assert states[3] == "dead"
+    assert all(states[r] == "ok" for r in range(3))
+
+
+def test_monitor_rejects_bad_deadline():
+    with pytest.raises(ValueError):
+        HealthMonitor(SimWorld(2), stall_after=0.0)
+
+
+def test_monitor_stall_dumps_once_through_recorder(tmp_path):
+    world = SimWorld(2)
+    clock = VirtualClock(tick=1.0)
+    board = HeartbeatBoard(2, clock=clock)
+    board.beat(0)
+    board.beat(1)
+    recorder = FlightRecorder(out_dir=tmp_path / "bundle")
+    recorder.bind(world=world, board=board)
+    monitor = HealthMonitor(world, board=board, stall_after=2.0,
+                            recorder=recorder)
+    assert monitor.assess(now=0.0) == {0: "ok", 1: "ok"}
+    assert recorder.bundle_path is None
+    assert monitor.assess(now=10.0)[0] == "stalled"
+    assert recorder.last_reason == "stall"
+    first = recorder.bundle_path
+    monitor.assess(now=20.0)            # still stalled: no second dump
+    assert recorder.bundle_path == first
+    manifest = json.loads((tmp_path / "bundle" / "manifest.json")
+                          .read_text())
+    assert manifest["reason"] == "stall"
+
+
+# -- heartbeats are free: trace byte-identity ------------------------------
+
+def _trace_lines(health):
+    sink = BufferSink()
+    tracer = Tracer(clock=VirtualClock(), sink=sink)
+    run_parallel_simulation(2, plummer_model(300, seed=11),
+                            SimulationConfig(theta=0.7), n_steps=2,
+                            trace=tracer, health=health)
+    from repro.obs import encode_jsonl_line
+    return [encode_jsonl_line(e) for e in sink.events()]
+
+
+def test_heartbeats_leave_trace_byte_identical():
+    """Enabling run-health telemetry must not perturb the virtual-clock
+    timeline: the traced run is byte-identical with heartbeats on."""
+    assert _trace_lines(health=None) == _trace_lines(health=True)
+
+
+# -- end-to-end heartbeats through the drivers -----------------------------
+
+@pytest.mark.parametrize("transport", ["threads", "process"])
+def test_driver_populates_board(transport):
+    board = HeartbeatBoard(2)
+    world = make_world(2, transport=transport, timeout=60.0)
+    run_parallel_simulation(2, plummer_model(300, seed=7),
+                            SimulationConfig(theta=0.7), n_steps=1,
+                            world=world, health=board, timeout=60.0)
+    for r in range(2):
+        rec = board.last(r)
+        assert rec is not None, f"rank {r} never beat on {transport}"
+        assert rec["ops"] > 0 and rec["beats"] > rec["ops"]
+        assert rec["step"] is not None and rec["phase"] is not None
+    counter = world.metrics.get("heartbeats_total")
+    assert counter is not None and counter.total() > 0
+
+
+@pytest.mark.parametrize("transport", ["threads", "process"])
+@pytest.mark.parametrize("ranks", [1, 2, 4])
+def test_heartbeat_age_monotone_under_maskable_slowdown(ranks, transport):
+    """Satellite (c): under a maskable slowdown schedule the board still
+    fills for every rank and ``heartbeat_age_seconds`` is monotone in
+    the probe time -- on 1/2/4 ranks, both transports."""
+    schedule = None if ranks == 1 else \
+        f"slowdown(rank={ranks - 1}, sleep=0.2ms)"
+    board = HeartbeatBoard(ranks)
+    world = make_world(ranks, transport=transport, schedule=schedule,
+                       timeout=60.0)
+    run_parallel_simulation(ranks, plummer_model(200, seed=3),
+                            SimulationConfig(theta=0.8), n_steps=1,
+                            world=world, health=board, timeout=60.0)
+    monitor = HealthMonitor(world, board=board, stall_after=1e9)
+    base = board.now()
+    for r in range(ranks):
+        ages = [board.age(r, now=base + dt) for dt in (0.0, 1.0, 5.0)]
+        assert all(a is not None for a in ages)
+        assert ages == sorted(ages), f"age not monotone for rank {r}"
+    monitor.assess(now=base)
+    gauge = world.metrics.get("heartbeat_age_seconds")
+    values = {int(k[0]): v for k, v in gauge.series().items()}
+    assert set(values) == set(range(ranks))
+    assert all(v >= 0.0 for v in values.values())
+
+
+# -- bundles ---------------------------------------------------------------
+
+def test_write_bundle_contents(tmp_path):
+    clock = VirtualClock()
+    world = SimWorld(2)
+    board = HeartbeatBoard(2, clock=clock)
+    board.beat(0, step=4, phase="gravity_local")
+    board.wait_begin(1, src=0, tag=0)
+    config = SimulationConfig(theta=0.6)
+    path = tmp_path / "bundle"
+    write_bundle(path, reason="manual", world=world, board=board,
+                 config=config)
+    for name in BUNDLE_FILES:
+        assert (path / name).exists(), name
+    manifest = json.loads((path / "manifest.json").read_text())
+    assert manifest["schema"] == 1
+    assert manifest["reason"] == "manual"
+    assert manifest["size"] == 2
+    assert manifest["deterministic_clock"] is True
+    assert manifest["failed_ranks"] == []
+    hb = json.loads((path / "heartbeats.json").read_text())
+    assert hb["ranks"]["0"]["phase"] == "gravity_local"
+    assert hb["ranks"]["1"]["wait"] == {"src": 0, "tag": 0}
+    cfg = json.loads((path / "config.json").read_text())
+    assert cfg["config"]["theta"] == 0.6
+    assert cfg["fingerprint"] == manifest["config_fingerprint"]
+    # Deterministic clock: stacks are elided, wall metrics filtered.
+    assert "omitted under a deterministic clock" in \
+        (path / "stacks.txt").read_text()
+
+
+def test_bundle_error_doc_carries_typed_fields(tmp_path):
+    err = RankFailedError(1, waiting_rank=0,
+                          detail="crash(rank=1, after=12)")
+    path = write_bundle(tmp_path / "b", reason="rank-failed", error=err)
+    manifest = json.loads((tmp_path / "b" / "manifest.json").read_text())
+    doc = manifest["error"]
+    assert doc["type"] == "RankFailedError"
+    assert doc["failed_rank"] == 1
+
+
+def _crash_run(out_dir, transport="threads"):
+    world = make_world(2, transport=transport,
+                       schedule="crash(rank=1, after=12)", timeout=30.0)
+    recorder = FlightRecorder(out_dir=out_dir, capacity=512)
+    tracer = Tracer(clock=VirtualClock(), sink=recorder.ring)
+    with pytest.raises(Exception):
+        run_parallel_simulation(2, plummer_model(400, seed=7),
+                                SimulationConfig(theta=0.6), n_steps=2,
+                                world=world, trace=tracer,
+                                health=recorder, timeout=30.0)
+    assert recorder.bundle_path is not None
+    return recorder
+
+
+@pytest.mark.parametrize("transport", ["threads", "process"])
+def test_crash_auto_dumps_bundle(tmp_path, transport):
+    recorder = _crash_run(tmp_path / "bundle", transport=transport)
+    assert recorder.last_reason in ("rank-failed", "error")
+    manifest = json.loads(
+        (tmp_path / "bundle" / "manifest.json").read_text())
+    # The crashed rank is always recorded; peers that died waiting on
+    # it may be marked too -- guilt attribution is the analyzer's job.
+    assert 1 in manifest["failed_ranks"]
+    assert "crash" in (manifest["fault_schedule"] or "")
+    hb = json.loads((tmp_path / "bundle" / "heartbeats.json").read_text())
+    assert hb["ranks"], "bundle carries no heartbeats"
+    trace = (tmp_path / "bundle" / "trace_tail.jsonl").read_text()
+    assert trace.strip(), "bundle carries no trace tail"
+
+
+def test_crash_bundles_byte_identical(tmp_path):
+    """Acceptance: two runs of the same failing program under a
+    VirtualClock produce byte-identical bundle directories."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        _crash_run(tmp_path / "a")
+        _crash_run(tmp_path / "b")
+    match, mismatch, errors = filecmp.cmpfiles(
+        tmp_path / "a", tmp_path / "b", common=list(BUNDLE_FILES),
+        shallow=False)
+    assert sorted(match) == sorted(BUNDLE_FILES), \
+        f"mismatch={mismatch} errors={errors}"
+
+
+# -- watchdog grace plumbing (satellite a) ---------------------------------
+
+def test_config_watchdog_grace_validation():
+    assert SimulationConfig().watchdog_grace == 1.0
+    with pytest.raises(ValueError):
+        SimulationConfig(watchdog_grace=0.0)
+    with pytest.raises(ValueError):
+        SimulationConfig(watchdog_grace=-1.0)
+
+
+def test_make_world_plumbs_watchdog_grace():
+    world = make_world(2, transport="process", watchdog_grace=0.25)
+    assert world.watchdog_grace == 0.25
+    gauge = world.metrics.get("watchdog_grace_seconds")
+    assert gauge is not None
+    assert list(gauge.series().values()) == [0.25]
+    # Ignored (not an error) on transports without a watchdog.
+    threads = make_world(2, transport="threads", watchdog_grace=0.25)
+    assert not hasattr(threads, "watchdog_grace")
+
+
+def test_run_parallel_simulation_config_grace(tmp_path):
+    """SimulationConfig(watchdog_grace=...) reaches the process world."""
+    config = SimulationConfig(theta=0.8, watchdog_grace=2.5)
+    run_parallel_simulation(2, plummer_model(200, seed=5), config,
+                            n_steps=1, transport="process", health=True,
+                            timeout=60.0)

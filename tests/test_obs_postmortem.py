@@ -1,0 +1,320 @@
+"""Post-mortem analyzer tests: parsing, graphs, verdicts, CLI contract.
+
+The analyzer is a pure consumer of bundle directories written by
+:func:`repro.obs.health.write_bundle`, so most tests drive it with
+synthetic bundles built from hand-placed evidence; the end-to-end crash
+path (real failing run -> auto-dumped bundle -> CLI assertion) lives in
+``tests/harness/test_health_forensics.py``.
+"""
+
+import json
+
+import pytest
+
+from repro import SimulationConfig
+from repro.obs.health import HeartbeatBoard, write_bundle
+from repro.obs.postmortem import (
+    analyze,
+    chain_roots,
+    fault_events,
+    find_cycles,
+    force_costs,
+    load_bundle,
+    main,
+    parse_metrics_text,
+    render_report,
+    straggler_ranking,
+    wait_graph,
+)
+from repro.obs import VirtualClock
+from repro.simmpi import SimWorld
+
+METRICS_TEXT = """\
+# HELP force_phase_seconds_total Wall seconds per force phase
+# TYPE force_phase_seconds_total counter
+force_phase_seconds_total{rank="0",phase="gravity_local"} 1.0
+force_phase_seconds_total{rank="0",phase="gravity_let"} 0.5
+force_phase_seconds_total{rank="1",phase="gravity_local"} 9.5
+force_phase_seconds_total{rank="2",phase="gravity_local"} 1.2
+force_phase_seconds_total{rank="3",phase="gravity_local"} 1.1
+# HELP heartbeats_total Progress beacons emitted per rank
+# TYPE heartbeats_total counter
+heartbeats_total{rank="0"} 42
+bare_metric 7
+"""
+
+
+# -- parsing ---------------------------------------------------------------
+
+def test_parse_metrics_text():
+    fams = parse_metrics_text(METRICS_TEXT)
+    assert len(fams["force_phase_seconds_total"]) == 5
+    labels, value = fams["force_phase_seconds_total"][0]
+    assert labels == {"rank": "0", "phase": "gravity_local"} and value == 1.0
+    assert fams["heartbeats_total"] == [({"rank": "0"}, 42.0)]
+    assert fams["bare_metric"] == [({}, 7.0)]
+
+
+def test_parse_metrics_skips_comments_and_junk():
+    fams = parse_metrics_text("# HELP x y\n\nnot a metric line !!\nx 1\n")
+    assert fams == {"x": [({}, 1.0)]}
+
+
+def test_force_costs_and_straggler_ranking():
+    fams = parse_metrics_text(METRICS_TEXT)
+    costs = force_costs(fams)
+    assert costs == {0: 1.5, 1: 9.5, 2: 1.2, 3: 1.1}
+    ranking = straggler_ranking(fams)
+    assert ranking[0]["rank"] == 1 and ranking[0]["z"] > 3.5
+    assert [row["rank"] for row in ranking[1:]] == [0, 2, 3]
+
+
+# -- wait-for graph --------------------------------------------------------
+
+def _hb(waits):
+    """Heartbeat records where rank r waits on waits[r] (None = running)."""
+    return {r: {"step": 1, "phase": "x", "ops": 5, "beats": 6, "ts": 1.0,
+                "wait": None if src is None else {"src": src, "tag": 0},
+                "last_fault": None, "faults": 0}
+            for r, src in waits.items()}
+
+
+def test_wait_graph_edges():
+    assert wait_graph(_hb({0: None})) == {}
+    graph = wait_graph(_hb({0: 1, 1: None, 2: 1}))
+    assert graph == {0: 1, 2: 1}
+
+
+def test_find_cycles_simple_and_rotated():
+    assert find_cycles({}) == []
+    assert find_cycles({0: 1, 1: 0}) == [[0, 1]]
+    # 3-cycle discovered from an off-cycle entry point, rotated to min.
+    assert find_cycles({3: 2, 2: 4, 4: 1, 1: 2}) == [[1, 2, 4]]
+    # Chain with no cycle.
+    assert find_cycles({0: 1, 1: 2}) == []
+
+
+def test_find_cycles_multiple_components():
+    cycles = find_cycles({0: 1, 1: 0, 2: 3, 3: 2, 4: 0})
+    assert cycles == [[0, 1], [2, 3]]
+
+
+def test_chain_roots_orders_by_dependents():
+    # 0,1,2 all end at silent rank 3; rank 5 waits on silent rank 4.
+    graph = {0: 1, 1: 3, 2: 3, 5: 4}
+    roots = chain_roots(graph, _hb({3: None, 4: None}))
+    assert roots == [(3, 3), (4, 1)]
+
+
+def test_chain_roots_ignores_cycles():
+    assert chain_roots({0: 1, 1: 0}, {}) == []
+
+
+# -- verdicts on synthetic bundles -----------------------------------------
+
+def _bundle(tmp_path, *, board=None, world=None, error=None,
+            reason="manual", events=()):
+    path = tmp_path / "bundle"
+    write_bundle(path, reason=reason, error=error, world=world, board=board)
+    if events:
+        with open(path / "trace_tail.jsonl", "w") as fh:
+            for e in events:
+                fh.write(json.dumps(e) + "\n")
+    return load_bundle(path)
+
+
+def test_verdict_crash_from_fault_instant(tmp_path):
+    board = HeartbeatBoard(2, clock=VirtualClock())
+    board.beat(1, step=0, phase="boundary_exchange")
+    instant = {"name": "fault_crash", "cat": "fault", "ph": "i", "rank": 1,
+               "ts": 0.5, "dur": 0.0, "seq": 9, "args": {"op": 12}}
+    bundle = _bundle(tmp_path, board=board, reason="rank-failed",
+                     events=[instant])
+    doc = analyze(bundle)
+    v = doc["verdict"]
+    assert v["kind"] == "crash" and v["rank"] == 1
+    assert v["phase"] == "boundary_exchange"
+    assert "op 12" in v["evidence"]
+    assert fault_events(bundle["events"]) == [instant]
+
+
+def test_verdict_crash_from_board_note_when_ring_rotated(tmp_path):
+    board = HeartbeatBoard(2, clock=VirtualClock())
+    board.beat(1, step=3, phase="gravity_local")
+    board.note_fault(1, "crash")
+    doc = analyze(_bundle(tmp_path, board=board, reason="rank-failed"))
+    assert doc["verdict"]["kind"] == "crash"
+    assert doc["verdict"]["rank"] == 1
+    assert "board" in doc["verdict"]["evidence"]
+
+
+def test_verdict_crash_from_typed_error(tmp_path):
+    from repro.simmpi import RankFailedError
+    err = RankFailedError(1, waiting_rank=0)
+    doc = analyze(_bundle(tmp_path, reason="rank-failed", error=err))
+    assert doc["verdict"]["kind"] == "crash" and doc["verdict"]["rank"] == 1
+
+
+def test_verdict_deadlock_from_wait_cycle(tmp_path):
+    board = HeartbeatBoard(2, clock=VirtualClock())
+    board.wait_begin(0, src=1, tag=0)
+    board.wait_begin(1, src=0, tag=0)
+    doc = analyze(_bundle(tmp_path, board=board, reason="timeout"))
+    v = doc["verdict"]
+    assert v["kind"] == "deadlock" and v["ranks"] == [0, 1]
+    assert doc["cycles"] == [[0, 1]]
+
+
+def test_verdict_stall_names_silent_root(tmp_path):
+    board = HeartbeatBoard(3, clock=VirtualClock())
+    board.beat(0, step=1, phase="boundary_exchange")
+    board.beat(1, step=1, phase="boundary_exchange")
+    board.beat(2, step=1, phase="gravity_local")
+    board.wait_begin(0, src=2, tag=0)
+    board.wait_begin(1, src=2, tag=0)
+    doc = analyze(_bundle(tmp_path, board=board, reason="stall"))
+    v = doc["verdict"]
+    assert v["kind"] == "stall" and v["rank"] == 2
+    assert v["phase"] == "gravity_local"
+
+
+def test_blocked_recvs_alone_are_not_a_stall(tmp_path):
+    """A manual bundle of a healthy overlapped run has wait edges; the
+    analyzer must not cry stall without an anomaly signal."""
+    board = HeartbeatBoard(2, clock=VirtualClock())
+    board.beat(0, step=1)
+    board.beat(1, step=1)
+    board.wait_begin(0, src=1, tag=3)
+    doc = analyze(_bundle(tmp_path, board=board, reason="manual"))
+    assert doc["verdict"]["kind"] == "healthy"
+
+
+def test_verdict_silent_dead_rank(tmp_path):
+    """A hard-dead process rank ships no report: failed_ranks names it
+    but the heartbeat board has no record."""
+    world = SimWorld(2)
+    world.mark_rank_failed(1)
+    board = HeartbeatBoard(2, clock=VirtualClock())
+    board.beat(0, step=2, phase="prime")
+    doc = analyze(_bundle(tmp_path, board=board, world=world,
+                          reason="rank-failed"))
+    v = doc["verdict"]
+    assert v["kind"] == "crash" and v["rank"] == 1
+    assert "without shipping a report" in v["evidence"]
+
+
+def test_verdict_straggler_from_metrics(tmp_path):
+    world = SimWorld(4)
+    counter = world.metrics.counter("force_phase_seconds_total",
+                                    labelnames=("rank", "phase"))
+    for r, secs in ((0, 1.0), (1, 9.5), (2, 1.2), (3, 1.1)):
+        counter.inc(secs, rank=r, phase="gravity_local")
+    board = HeartbeatBoard(4)  # wall clock: metrics survive the filter
+    for r in range(4):
+        board.beat(r, step=1, phase="gravity_local")
+    doc = analyze(_bundle(tmp_path, board=board, world=world,
+                          reason="manual"))
+    v = doc["verdict"]
+    assert v["kind"] == "straggler" and v["rank"] == 1
+    assert doc["stragglers"][0]["rank"] == 1
+
+
+def test_verdict_healthy(tmp_path):
+    board = HeartbeatBoard(2, clock=VirtualClock())
+    board.beat(0, step=1)
+    board.beat(1, step=1)
+    doc = analyze(_bundle(tmp_path, board=board))
+    assert doc["verdict"]["kind"] == "healthy"
+    assert doc["verdict"]["rank"] is None
+
+
+def test_crash_outranks_straggler(tmp_path):
+    """Evidence order: a run that crashed while also skewed blames the
+    crash."""
+    world = SimWorld(2)
+    counter = world.metrics.counter("force_phase_seconds_total",
+                                    labelnames=("rank", "phase"))
+    counter.inc(1.0, rank=0, phase="gravity_local")
+    counter.inc(50.0, rank=1, phase="gravity_local")
+    board = HeartbeatBoard(2)
+    board.note_fault(0, "crash")
+    doc = analyze(_bundle(tmp_path, board=board, world=world,
+                          reason="rank-failed"))
+    assert doc["verdict"]["kind"] == "crash" and doc["verdict"]["rank"] == 0
+
+
+# -- report rendering ------------------------------------------------------
+
+def test_render_report_sections(tmp_path):
+    board = HeartbeatBoard(2, clock=VirtualClock())
+    board.beat(0, step=2, phase="gravity_local")
+    board.wait_begin(0, src=1, tag=0)
+    board.wait_begin(1, src=0, tag=0)
+    doc = analyze(_bundle(tmp_path, board=board, reason="timeout"))
+    text = render_report(doc)
+    assert "post-mortem:" in text
+    assert "rank  step  phase" in text
+    assert "wait-for graph: 0 -> 1   1 -> 0" in text
+    assert "DEADLOCK CYCLE: 0 -> 1 -> 0" in text
+    assert "VERDICT: deadlock -- rank 0" in text
+
+
+# -- CLI contract ----------------------------------------------------------
+
+def _write_crash_bundle(tmp_path):
+    board = HeartbeatBoard(2, clock=VirtualClock())
+    board.beat(1, step=0, phase="boundary_exchange")
+    board.note_fault(1, "crash")
+    path = tmp_path / "bundle"
+    write_bundle(path, reason="rank-failed", board=board,
+                 config=SimulationConfig(theta=0.6))
+    return path
+
+
+def test_main_text_and_expectations_pass(tmp_path, capsys):
+    path = _write_crash_bundle(tmp_path)
+    rc = main([str(path), "--expect-kind", "crash", "--expect-rank", "1",
+               "--expect-phase", "boundary_exchange"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "VERDICT: crash -- rank 1 (last phase: boundary_exchange)" in out
+
+
+def test_main_json_output(tmp_path, capsys):
+    path = _write_crash_bundle(tmp_path)
+    assert main([str(path), "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["verdict"]["kind"] == "crash"
+    assert doc["config_fingerprint"]
+
+
+def test_main_expectation_mismatch_exits_1(tmp_path, capsys):
+    path = _write_crash_bundle(tmp_path)
+    assert main([str(path), "--expect-rank", "0"]) == 1
+    assert "EXPECTATION FAILED" in capsys.readouterr().err
+
+
+def test_main_missing_bundle_exits_2(tmp_path, capsys):
+    assert main([str(tmp_path / "nope")]) == 2
+    assert "cannot load bundle" in capsys.readouterr().err
+
+
+def test_main_rejects_unknown_kind(tmp_path):
+    with pytest.raises(SystemExit):
+        main([str(tmp_path), "--expect-kind", "gremlins"])
+
+
+def test_module_entrypoint_runs(tmp_path):
+    import os
+    import subprocess
+    import sys
+    path = _write_crash_bundle(tmp_path)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath("src") + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.obs.postmortem", str(path),
+         "--expect-kind", "crash"],
+        capture_output=True, text=True, env=env)
+    assert proc.returncode == 0, proc.stderr
+    assert "VERDICT: crash" in proc.stdout

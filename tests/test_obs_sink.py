@@ -99,6 +99,30 @@ def test_ring_sink_bind_metrics_folds_earlier_drops():
     assert int(reg.get("trace_events_dropped_total").total()) == 5
 
 
+def test_ring_sink_counts_every_drop_when_warning_escalates():
+    """Sustained overflow keeps counting per event even when the
+    one-shot TraceDropWarning is escalated to an error: the ring update
+    (evict + count + append) must complete before the warning fires, so
+    no event is lost and no later drop goes unaccounted."""
+    reg = MetricsRegistry()
+    sink = RingSink(capacity=3, registry=reg)
+    _fill(sink, 3)  # exactly full, no drops yet
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", TraceDropWarning)
+        with pytest.raises(TraceDropWarning):
+            sink.emit(_event(seq=3))
+        # The event that triggered the warning was still retained...
+        assert [e.seq for e in sink.events()] == [1, 2, 3]
+        assert sink.dropped == 1
+        # ...and a sustained burst afterwards raises nothing (the
+        # warning is one-shot) while every drop still hits the counter.
+        for i in range(4, 14):
+            sink.emit(_event(seq=i))
+    assert sink.dropped == 11
+    assert int(reg.get("trace_events_dropped_total").total()) == 11
+    assert [e.seq for e in sink.events()] == [11, 12, 13]
+
+
 def test_world_attach_tracer_binds_drop_counter():
     """SimWorld.attach_tracer wires ring drops into the world registry."""
     world = SimWorld(2)
