@@ -1,6 +1,7 @@
 .PHONY: install test test-faults test-loadbalance test-transport \
-	test-reuse test-health bench bench-quick bench-step bench-transport \
-	bench-history trace flame dashboard clean
+	test-reuse test-health test-backends bench bench-quick bench-step \
+	bench-transport bench-backends bench-history trace flame dashboard \
+	clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -51,6 +52,14 @@ test-reuse:
 	       -m "harness_slow or not harness_slow"
 	pytest benchmarks/bench_step_pipeline.py::test_step_reuse_on_off -q
 
+# Compute-backend registry + equivalence suite (docs/PERFORMANCE.md §6):
+# registry/driver threading, numpy-default bitwise gates, oracle
+# agreement for every backend the host carries (numba/cupy skip when
+# absent -- install with `pip install -e .[numba]` to exercise the JIT).
+test-backends:
+	pytest tests/test_gravity_backends.py \
+	       -m "harness_slow or not harness_slow"
+
 bench:
 	pytest benchmarks/ --benchmark-only
 
@@ -65,6 +74,16 @@ bench-step:
 # with TRANSPORT_BENCH_N / TRANSPORT_BENCH_STEPS.
 bench-transport:
 	pytest benchmarks/bench_transport.py -q
+
+# Per-backend kernel timing: oracle-equivalence smoke, then one
+# kernel_backends run appended to the history with the count gate
+# judged (numba rows appear when the JIT extra is installed; see
+# docs/PERFORMANCE.md §6).  Scale with BACKEND_BENCH_N / _REPEATS.
+bench-backends:
+	pytest benchmarks/bench_backends.py -q
+	PYTHONPATH=src:$$PYTHONPATH python -m repro.obs.bench run kernel_backends
+	PYTHONPATH=src:$$PYTHONPATH python -m repro.obs.bench history kernel_backends \
+	       --threshold 0.25 --min-abs 0.05
 
 # Registered-benchmark runner: append one run of the two CI benches to
 # benchmarks/history/*.jsonl, then judge the trajectory -- deterministic

@@ -43,6 +43,13 @@ class SimulationConfig:
     #: Pair-to-target reduction: "segment" (reduceat over target runs,
     #: allocation-free) or "bincount" (legacy length-N scatter).
     scatter: str = "segment"
+    #: Compute backend executing the interaction kernels: "numpy" (the
+    #: bitwise float64 reference), "numba" (fused JIT kernels, optional
+    #: dependency) or "cupy" (GPU scaffold) -- or any name registered
+    #: via :func:`repro.gravity.backends.register_backend`.  Walks and
+    #: interaction counts are backend-independent; see
+    #: docs/PERFORMANCE.md §6.
+    backend: str = "numpy"
     #: Walk all remote boundary/LET structures in one concatenated
     #: forest pass instead of one walk per source.
     batch_sources: bool = True
@@ -100,6 +107,14 @@ class SimulationConfig:
             raise ValueError(f"unknown scatter {self.scatter!r}")
         if self.precision == "float32" and self.scatter != "segment":
             raise ValueError("precision='float32' requires scatter='segment'")
+        from .gravity.backends import registered_backends
+        if self.backend not in registered_backends():
+            raise ValueError(f"unknown backend {self.backend!r}; "
+                             f"registered: {registered_backends()}")
+        if self.backend != "numpy" and self.scatter != "segment":
+            raise ValueError(f"backend={self.backend!r} requires "
+                             f"scatter='segment' (bincount is the numpy "
+                             f"reference path)")
         if self.tree_reuse not in TREE_REUSE_MODES:
             raise ValueError(f"unknown tree_reuse {self.tree_reuse!r}; "
                              f"expected one of {TREE_REUSE_MODES}")

@@ -166,6 +166,12 @@ class ParallelSimulation:
         self._tree_sort_cache = SortCache()
         self._workspace: KernelWorkspace | None = None
         self._keys: np.ndarray | None = None
+        # Resolve the compute backend once per rank (fails fast when the
+        # runtime is missing) and pay any JIT warm-up outside the timed
+        # step phases.
+        from ..gravity.backends import get_backend
+        self._backend = get_backend(self.config.backend)
+        self._backend.warmup(self.config.precision)
         # Step-coherence state (docs/PERFORMANCE.md): the incremental
         # octree cache and walk visit-list cache, plus a layout epoch
         # bumped whenever the local particle set changes (rebalance /
@@ -377,8 +383,8 @@ class ParallelSimulation:
         (the paper hides it), the rest map one-to-one.
         """
         if self._workspace is None and self.config.scatter == "segment":
-            self._workspace = KernelWorkspace(self.config.chunk,
-                                              self.config.precision)
+            self._workspace = self._backend.make_workspace(
+                self.config.chunk, self.config.precision)
         keys, self._keys = self._keys, None
         result = distributed_forces(
             self.comm, self.particles, self.config, self._box,
@@ -388,7 +394,8 @@ class ParallelSimulation:
             workspace=self._workspace,
             sort_epoch=self._layout_epoch,
             tree_cache=self._tree_cache,
-            walk_cache=self._walk_cache)
+            walk_cache=self._walk_cache,
+            backend=self._backend)
         self._acc, self._phi = result.acc, result.phi
         self._result = result
         self.recv_wait_seconds += result.recv_wait_seconds

@@ -78,6 +78,14 @@ class Simulation:
         self._phi: np.ndarray | None = None
         self._sort_cache = SortCache()
         self._workspace: KernelWorkspace | None = None
+        # Resolve the compute backend once (fails fast on unavailable
+        # runtimes) and pay any JIT warm-up here, outside every timed
+        # phase.  Ignored by the direct-force oracle path.
+        from ..gravity.backends import get_backend
+        self._backend = get_backend(self.config.backend)
+        self._backend.warmup(self.config.precision)
+        self._backend_attr = {} if self._backend.name == "numpy" \
+            else {"backend": self._backend.name}
         # Step-coherence: incremental tree repair (docs/PERFORMANCE.md).
         # The serial driver refits its bounding box from the particles
         # every step, so the cache usually falls back cold (a box change
@@ -170,18 +178,20 @@ class Simulation:
         self._rec("tree_properties", t2, t3)
 
         if self._workspace is None and cfg.scatter == "segment":
-            self._workspace = KernelWorkspace(cfg.chunk, cfg.precision)
+            self._workspace = self._backend.make_workspace(cfg.chunk,
+                                                           cfg.precision)
         result = tree_forces(tree, ps.pos, ps.mass, theta=cfg.theta,
                              eps=cfg.softening, mac=cfg.mac,
                              quadrupole=cfg.quadrupole,
                              chunk=cfg.chunk, scatter=cfg.scatter,
                              precision=cfg.precision,
-                             workspace=self._workspace)
+                             workspace=self._workspace,
+                             backend=self._backend)
         t4 = self._now()
         bd.gravity_local += t4 - t3
         self._rec("gravity_local", t3, t4, n_particles=ps.n,
                   n_pp=result.counts.n_pp, n_pc=result.counts.n_pc,
-                  quadrupole=cfg.quadrupole)
+                  quadrupole=cfg.quadrupole, **self._backend_attr)
         bd.counts.add(result.counts)
         bd.counts.quadrupole = cfg.quadrupole
 

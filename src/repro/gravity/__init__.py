@@ -5,8 +5,20 @@ particle-particle kernel and the 65-flop particle-cell kernel with
 quadrupole corrections, a direct O(N^2) reference solver, and the
 group-centric Barnes-Hut tree walk with interaction-count accounting
 identical to Table II's "Particle-Particle" and "Particle-Cell" rows.
+
+Kernel *execution* is pluggable: :mod:`repro.gravity.backends` registers
+compute backends (numpy reference / numba JIT / cupy scaffold) selected
+via ``SimulationConfig.backend``; walks and counts are backend-free.
 """
 
+from .backends import (
+    BackendUnavailable,
+    ComputeBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    registered_backends,
+)
 from .flops import (
     FLOPS_PER_PC,
     FLOPS_PER_PP,
@@ -56,4 +68,10 @@ __all__ = [
     "WalkCache",
     "warm_walk",
     "structure_levels",
+    "BackendUnavailable",
+    "ComputeBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "registered_backends",
 ]

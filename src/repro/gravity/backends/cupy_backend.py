@@ -1,0 +1,213 @@
+"""CuPy GPU backend scaffold (optional dependency, import-guarded).
+
+A working-but-unfused transcription of the reference evaluators to CuPy
+device arrays: pair runs are expanded to explicit (target, source)
+index vectors on the host (the same arithmetic as the ``bincount``
+reference evaluator), the kernel chain runs as device elementwise ops,
+and accumulation is a ``cupyx.scatter_add`` into device accumulators
+that are copied back once per evaluation.
+
+This is deliberately the *scaffold* rung of the backend ladder: it
+exercises the full interface on a GPU host and is numerically the
+reference algorithm, but it keeps two known inefficiencies that the
+paper's production kernels remove (Sec. III-A / VI-A):
+
+- host-side pair expansion + per-call H2D transfer of the index
+  vectors (Bonsai builds interaction lists on the device);
+- one device temporary per ufunc instead of a fused register-resident
+  kernel (the natural follow-up is a ``cupy.RawKernel`` with one thread
+  per target slot accumulating its run in registers and ``atomicAdd``
+  only at segment boundaries -- see /opt/skills/guides/cuda_guide.md).
+
+Availability requires both an importable ``cupy`` *and* a visible CUDA
+device; everything else sees a clean ``BackendUnavailable`` reason and
+tests skip.  Nothing imports cupy at module load.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import ComputeBackend, module_missing
+
+
+class CupyBackend(ComputeBackend):
+    """CuPy device-array transcription of the reference evaluators."""
+
+    def __init__(self, name: str = "cupy"):
+        self.name = name
+        self._cp = None
+
+    # -- availability -----------------------------------------------------
+
+    def unavailable_reason(self) -> str | None:
+        missing = module_missing("cupy")
+        if missing is not None:
+            return missing
+        try:
+            import cupy
+            if cupy.cuda.runtime.getDeviceCount() < 1:
+                return "cupy is installed but no CUDA device is visible"
+        except Exception as exc:  # driver/toolkit mismatch, etc.
+            return f"cupy import/device probe failed: {exc!r}"
+        return None
+
+    def _xp(self):
+        """The cupy module (first use imports and caches it)."""
+        if self._cp is None:
+            import cupy
+            self._cp = cupy
+        return self._cp
+
+    def warmup(self, precision: str = "float64") -> None:
+        """Touch the device allocator + compile the elementwise chain."""
+        one = np.ones(2)
+        self.pp_kernel(one, one, one, one, 1.0)
+
+    # -- raw pair-batch kernels -------------------------------------------
+
+    def pp_kernel(self, dx, dy, dz, m, eps2):
+        cp = self._xp()
+        ax, ay, az, ph = self._pp_device(cp.asarray(dx), cp.asarray(dy),
+                                         cp.asarray(dz), cp.asarray(m),
+                                         float(eps2))
+        return (cp.asnumpy(ax), cp.asnumpy(ay), cp.asnumpy(az),
+                cp.asnumpy(ph))
+
+    def pc_kernel(self, dx, dy, dz, m, quad, eps2):
+        if quad is None:
+            return self.pp_kernel(dx, dy, dz, m, eps2)
+        cp = self._xp()
+        out = self._pc_device(cp.asarray(dx), cp.asarray(dy),
+                              cp.asarray(dz), cp.asarray(m),
+                              cp.asarray(np.asarray(quad)), float(eps2))
+        return tuple(cp.asnumpy(v) for v in out)
+
+    # -- device kernel chains ---------------------------------------------
+
+    @staticmethod
+    def _pp_device(dx, dy, dz, m, eps2):
+        r2 = dx * dx + dy * dy + dz * dz + eps2
+        rinv = 1.0 / r2 ** 0.5
+        mrinv = m * rinv
+        mrinv3 = mrinv * rinv * rinv
+        return mrinv3 * dx, mrinv3 * dy, mrinv3 * dz, -mrinv
+
+    @staticmethod
+    def _pc_device(dx, dy, dz, m, quad, eps2):
+        qxx, qyy, qzz, qxy, qxz, qyz = (quad[:, k] for k in range(6))
+        r2 = dx * dx + dy * dy + dz * dz + eps2
+        rinv = 1.0 / r2 ** 0.5
+        rinv2 = rinv * rinv
+        rinv3 = rinv * rinv2
+        rinv5 = rinv3 * rinv2
+        rinv7 = rinv5 * rinv2
+        trq = qxx + qyy + qzz
+        qrx = qxx * dx + qxy * dy + qxz * dz
+        qry = qxy * dx + qyy * dy + qyz * dz
+        qrz = qxz * dx + qyz * dy + qzz * dz
+        rqr = dx * qrx + dy * qry + dz * qrz
+        phi = -m * rinv + 0.5 * trq * rinv3 - 1.5 * rqr * rinv5
+        radial = m * rinv3 - 1.5 * trq * rinv5 + 7.5 * rqr * rinv7
+        ax = radial * dx - 3.0 * qrx * rinv5
+        ay = radial * dy - 3.0 * qry * rinv5
+        az = radial * dz - 3.0 * qrz * rinv5
+        return ax, ay, az, phi
+
+    # -- fused pair-run evaluators ----------------------------------------
+
+    def evaluate_pc(self, accx, accy, accz, accp, tview, sv,
+                    pc_g, pc_c, group_first, group_count,
+                    eps2, quadrupole, counts, chunk, ws) -> None:
+        if quadrupole and sv.quad is None:
+            raise ValueError("quadrupole evaluation needs source quadrupoles")
+        counts.n_pc += int(group_count[pc_g].sum())
+        cp = self._xp()
+        from cupyx import scatter_add
+        tx, ty, tz = tview
+        # Host-side expansion (scaffold; see module docstring).
+        reps = group_count[pc_g]
+        t = _expand_ranges(group_first[pc_g], reps)
+        cell = np.repeat(pc_c, reps)
+        dt = np.dtype(getattr(ws, "dtype", np.float64))
+        d_t = cp.asarray(t)
+        dx = cp.asarray(sv.com_x[cell] - tx[t], dtype=dt)
+        dy = cp.asarray(sv.com_y[cell] - ty[t], dtype=dt)
+        dz = cp.asarray(sv.com_z[cell] - tz[t], dtype=dt)
+        m = cp.asarray(sv.mass[cell], dtype=dt)
+        if quadrupole:
+            q = cp.asarray(np.stack([col[cell] for col in sv.quad], axis=1),
+                           dtype=dt)
+            ax, ay, az, ph = self._pc_device(dx, dy, dz, m, q, dt.type(eps2))
+        else:
+            ax, ay, az, ph = self._pp_device(dx, dy, dz, m, dt.type(eps2))
+        self._scatter(cp, scatter_add, d_t, (ax, ay, az, ph),
+                      (accx, accy, accz, accp))
+
+    def evaluate_pp(self, accx, accy, accz, accp, tview, sv,
+                    pp_g, pp_c, group_first, group_count,
+                    eps2, counts, exclude_self, chunk, ws) -> None:
+        counts.n_pp += int((group_count[pp_g] * sv.body_count[pp_c]).sum())
+        cp = self._xp()
+        from cupyx import scatter_add
+        tx, ty, tz = tview
+        gc = group_count[pp_g]
+        bc = sv.body_count[pp_c]
+        sz = (gc * bc).astype(np.int64)
+        total = int(sz.sum())
+        if total == 0:
+            return
+        pair = np.repeat(np.arange(len(pp_g), dtype=np.int64), sz)
+        off = np.arange(total, dtype=np.int64) \
+            - np.repeat(np.cumsum(sz) - sz, sz)
+        bcp = bc[pair]
+        t = group_first[pp_g][pair] + off // bcp
+        s = sv.body_first[pp_c][pair] + off % bcp
+        dt = np.dtype(getattr(ws, "dtype", np.float64))
+        d_t = cp.asarray(t)
+        dx = cp.asarray(sv.sx[s] - tx[t], dtype=dt)
+        dy = cp.asarray(sv.sy[s] - ty[t], dtype=dt)
+        dz = cp.asarray(sv.sz[s] - tz[t], dtype=dt)
+        m = cp.asarray(np.where(t == s, 0.0, sv.smass[s])
+                       if exclude_self else sv.smass[s], dtype=dt)
+        ax, ay, az, ph = self._pp_device(dx, dy, dz, m, dt.type(eps2))
+        if exclude_self and eps2 == 0.0:
+            zero = cp.asarray(t != s, dtype=dt)
+            ax, ay, az, ph = ax * zero, ay * zero, az * zero, ph * zero
+        self._scatter(cp, scatter_add, d_t, (ax, ay, az, ph),
+                      (accx, accy, accz, accp))
+
+    @staticmethod
+    def _scatter(cp, scatter_add, d_t, vals, outs) -> None:
+        """scatter_add on device, then one D2H add per component."""
+        for val, out in zip(vals, outs):
+            dev = cp.zeros(out.shape[0], dtype=cp.float64)
+            scatter_add(dev, d_t, val.astype(cp.float64))
+            out += cp.asnumpy(dev)
+
+    # -- dense helper -----------------------------------------------------
+
+    def point_forces(self, targets, sources, source_mass, eps2):
+        cp = self._xp()
+        t = cp.asarray(np.asarray(targets, dtype=np.float64))
+        src = cp.asarray(np.asarray(sources, dtype=np.float64))
+        sm = cp.asarray(np.asarray(source_mass, dtype=np.float64))
+        d = src[None, :, :] - t[:, None, :]
+        r2 = (d * d).sum(axis=2) + eps2
+        rinv = 1.0 / r2 ** 0.5
+        mrinv = sm[None, :] * rinv
+        mrinv3 = mrinv * rinv * rinv
+        acc = (mrinv3[:, :, None] * d).sum(axis=1)
+        phi = -mrinv.sum(axis=1)
+        return cp.asnumpy(acc), cp.asnumpy(phi)
+
+
+def _expand_ranges(first: np.ndarray, count: np.ndarray) -> np.ndarray:
+    """Host copy of treewalk's range expansion (avoids a circular import)."""
+    total = int(count.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    reps = np.repeat(np.arange(len(first), dtype=np.int64), count)
+    offs = np.arange(total, dtype=np.int64) \
+        - np.repeat(np.cumsum(count) - count, count)
+    return first[reps] + offs

@@ -1,0 +1,459 @@
+"""Numba JIT backend: fused gather + kernel + reduction passes.
+
+The NumPy segment evaluator runs ~10 ufunc passes per chunk (index
+expansion, four gathers, the kernel chain, four ``reduceat`` scatters),
+each streaming a chunk-length temporary through cache.  The functions
+here fuse the whole pair-run evaluation -- gather, the 23/65-flop
+pp/pc arithmetic of Eqs. (1)-(2), and the per-target reduction -- into
+one compiled loop nest that keeps a pair's state in registers, the CPU
+transcription of the paper's register-resident GPU evaluation
+(Sec. III-A).
+
+Two executions of the same source:
+
+- **jit** (the real backend): each pass is wrapped in
+  ``numba.njit(cache=True)`` on first use.  ``warmup()`` compiles every
+  variant on tiny inputs so drivers pay the JIT latency outside every
+  timed region.  Nothing imports numba at module load; hosts without it
+  skip cleanly.
+- **python fallback** (``NumbaBackend(python_fallback=True)``): the
+  identical pass functions executed by the interpreter.  Tests use this
+  to validate the fused algorithm (counts bitwise, forces in the
+  theta^2 envelope) in containers where numba is not installed.
+
+Numerics: separations are formed in float64 and cast once to the
+evaluation dtype (exactly like the NumPy float32 gather staging); the
+per-pair arithmetic runs in the evaluation dtype; accumulation into the
+per-particle sums is always float64.  The evaluation dtype is passed as
+an argument (``np.float32`` / ``np.float64``), so one pass source
+serves both ``SimulationConfig.precision`` variants.
+
+Accumulation *order* differs from the NumPy reference (per-target
+scalar sums instead of chunked segment reductions), which is why
+backend agreement is gated by the differential theta^2 envelope rather
+than bitwise equality -- interaction counts, which ignore order, stay
+bitwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import ComputeBackend, module_missing
+from ..treewalk import PRECISIONS
+
+
+class JitWorkspace:
+    """Workspace stand-in for fused backends: no ufunc scratch needed.
+
+    Carries only the chunk/precision bookkeeping the drivers and the
+    evaluators consult; ``nbytes`` is 0 because the fused passes keep a
+    pair's state in registers.
+    """
+
+    def __init__(self, chunk: int, precision: str = "float64"):
+        if precision not in PRECISIONS:
+            raise ValueError(f"unknown precision {precision!r}; "
+                             f"expected one of {PRECISIONS}")
+        self.chunk = int(chunk)
+        self.precision = precision
+        self.dtype = np.float32 if precision == "float32" else np.float64
+
+    def ensure(self, chunk: int) -> "JitWorkspace":
+        self.chunk = max(self.chunk, int(chunk))
+        return self
+
+    @property
+    def nbytes(self) -> int:
+        return 0
+
+
+# ---------------------------------------------------------------------------
+# Pass functions: plain nopython-compatible Python, shared verbatim by the
+# jit and python-fallback executions.  ``fdtype`` is the evaluation dtype
+# (np.float32 / np.float64); accumulators are float64 throughout.
+# ---------------------------------------------------------------------------
+
+def _pp_run_pass(pp_g, pp_c, group_first, group_count,
+                 body_first, body_count, sx, sy, sz, sm,
+                 tx, ty, tz, eps2, exclude_self,
+                 accx, accy, accz, accp, fdtype):
+    """Fused (group x leaf) particle-particle pair-run evaluation."""
+    one = fdtype(1.0)
+    e2 = fdtype(eps2)
+    for i in range(pp_g.shape[0]):
+        g = pp_g[i]
+        c = pp_c[i]
+        t0 = group_first[g]
+        t1 = t0 + group_count[g]
+        s0 = body_first[c]
+        s1 = s0 + body_count[c]
+        for t in range(t0, t1):
+            px = tx[t]
+            py = ty[t]
+            pz = tz[t]
+            ax = np.float64(0.0)
+            ay = np.float64(0.0)
+            az = np.float64(0.0)
+            ph = np.float64(0.0)
+            for s in range(s0, s1):
+                # Self-pair: the reference zeroes the contribution
+                # (m := 0); skipping adds the same exact 0.0.
+                if exclude_self and s == t:
+                    continue
+                dx = fdtype(sx[s] - px)
+                dy = fdtype(sy[s] - py)
+                dz = fdtype(sz[s] - pz)
+                m = fdtype(sm[s])
+                r2 = dx * dx + dy * dy + dz * dz + e2
+                rinv = one / np.sqrt(r2)
+                mrinv = m * rinv
+                mrinv3 = mrinv * (rinv * rinv)
+                ax = ax + np.float64(mrinv3 * dx)
+                ay = ay + np.float64(mrinv3 * dy)
+                az = az + np.float64(mrinv3 * dz)
+                ph = ph - np.float64(mrinv)
+            accx[t] += ax
+            accy[t] += ay
+            accz[t] += az
+            accp[t] += ph
+
+
+def _pc_mono_run_pass(pc_g, pc_c, group_first, group_count,
+                      cx, cy, cz, cm, tx, ty, tz, eps2,
+                      accx, accy, accz, accp, fdtype):
+    """Fused particle-cell pair runs, monopole branch (23-flop kernel)."""
+    one = fdtype(1.0)
+    e2 = fdtype(eps2)
+    for i in range(pc_g.shape[0]):
+        g = pc_g[i]
+        c = pc_c[i]
+        sxc = cx[c]
+        syc = cy[c]
+        szc = cz[c]
+        m = fdtype(cm[c])
+        t0 = group_first[g]
+        t1 = t0 + group_count[g]
+        for t in range(t0, t1):
+            dx = fdtype(sxc - tx[t])
+            dy = fdtype(syc - ty[t])
+            dz = fdtype(szc - tz[t])
+            r2 = dx * dx + dy * dy + dz * dz + e2
+            rinv = one / np.sqrt(r2)
+            mrinv = m * rinv
+            mrinv3 = mrinv * (rinv * rinv)
+            accx[t] += np.float64(mrinv3 * dx)
+            accy[t] += np.float64(mrinv3 * dy)
+            accz[t] += np.float64(mrinv3 * dz)
+            accp[t] -= np.float64(mrinv)
+
+
+def _pc_quad_run_pass(pc_g, pc_c, group_first, group_count,
+                      cx, cy, cz, cm, qxx, qyy, qzz, qxy, qxz, qyz,
+                      tx, ty, tz, eps2,
+                      accx, accy, accz, accp, fdtype):
+    """Fused particle-cell pair runs, quadrupole branch (65-flop kernel)."""
+    one = fdtype(1.0)
+    e2 = fdtype(eps2)
+    c05 = fdtype(0.5)
+    c15 = fdtype(1.5)
+    c30 = fdtype(3.0)
+    c75 = fdtype(7.5)
+    for i in range(pc_g.shape[0]):
+        g = pc_g[i]
+        c = pc_c[i]
+        sxc = cx[c]
+        syc = cy[c]
+        szc = cz[c]
+        m = fdtype(cm[c])
+        Qxx = fdtype(qxx[c])
+        Qyy = fdtype(qyy[c])
+        Qzz = fdtype(qzz[c])
+        Qxy = fdtype(qxy[c])
+        Qxz = fdtype(qxz[c])
+        Qyz = fdtype(qyz[c])
+        trq = Qxx + Qyy + Qzz
+        t0 = group_first[g]
+        t1 = t0 + group_count[g]
+        for t in range(t0, t1):
+            dx = fdtype(sxc - tx[t])
+            dy = fdtype(syc - ty[t])
+            dz = fdtype(szc - tz[t])
+            r2 = dx * dx + dy * dy + dz * dz + e2
+            rinv = one / np.sqrt(r2)
+            rinv2 = rinv * rinv
+            rinv3 = rinv * rinv2
+            rinv5 = rinv3 * rinv2
+            rinv7 = rinv5 * rinv2
+            qrx = Qxx * dx + Qxy * dy + Qxz * dz
+            qry = Qxy * dx + Qyy * dy + Qyz * dz
+            qrz = Qxz * dx + Qyz * dy + Qzz * dz
+            rqr = dx * qrx + dy * qry + dz * qrz
+            ph = -(m * rinv) + c05 * trq * rinv3 - c15 * rqr * rinv5
+            radial = m * rinv3 - c15 * trq * rinv5 + c75 * rqr * rinv7
+            accx[t] += np.float64(radial * dx - c30 * qrx * rinv5)
+            accy[t] += np.float64(radial * dy - c30 * qry * rinv5)
+            accz[t] += np.float64(radial * dz - c30 * qrz * rinv5)
+            accp[t] += np.float64(ph)
+
+
+def _pp_pairs_pass(dx, dy, dz, m, eps2, ax, ay, az, ph, fdtype):
+    """Elementwise p-p kernel on pre-formed separations (Fig. 1 shape)."""
+    one = fdtype(1.0)
+    e2 = fdtype(eps2)
+    for i in range(dx.shape[0]):
+        x = fdtype(dx[i])
+        y = fdtype(dy[i])
+        z = fdtype(dz[i])
+        mi = fdtype(m[i])
+        r2 = x * x + y * y + z * z + e2
+        rinv = one / np.sqrt(r2)
+        mrinv = mi * rinv
+        mrinv3 = mrinv * (rinv * rinv)
+        ax[i] = mrinv3 * x
+        ay[i] = mrinv3 * y
+        az[i] = mrinv3 * z
+        ph[i] = -mrinv
+
+
+def _pc_quad_pairs_pass(dx, dy, dz, m, qxx, qyy, qzz, qxy, qxz, qyz,
+                        eps2, ax, ay, az, ph, fdtype):
+    """Elementwise p-c quadrupole kernel on pre-formed separations."""
+    one = fdtype(1.0)
+    e2 = fdtype(eps2)
+    c05 = fdtype(0.5)
+    c15 = fdtype(1.5)
+    c30 = fdtype(3.0)
+    c75 = fdtype(7.5)
+    for i in range(dx.shape[0]):
+        x = fdtype(dx[i])
+        y = fdtype(dy[i])
+        z = fdtype(dz[i])
+        mi = fdtype(m[i])
+        Qxx = fdtype(qxx[i])
+        Qyy = fdtype(qyy[i])
+        Qzz = fdtype(qzz[i])
+        Qxy = fdtype(qxy[i])
+        Qxz = fdtype(qxz[i])
+        Qyz = fdtype(qyz[i])
+        r2 = x * x + y * y + z * z + e2
+        rinv = one / np.sqrt(r2)
+        rinv2 = rinv * rinv
+        rinv3 = rinv * rinv2
+        rinv5 = rinv3 * rinv2
+        rinv7 = rinv5 * rinv2
+        trq = Qxx + Qyy + Qzz
+        qrx = Qxx * x + Qxy * y + Qxz * z
+        qry = Qxy * x + Qyy * y + Qyz * z
+        qrz = Qxz * x + Qyz * y + Qzz * z
+        rqr = x * qrx + y * qry + z * qrz
+        radial = mi * rinv3 - c15 * trq * rinv5 + c75 * rqr * rinv7
+        ax[i] = radial * x - c30 * qrx * rinv5
+        ay[i] = radial * y - c30 * qry * rinv5
+        az[i] = radial * z - c30 * qrz * rinv5
+        ph[i] = -(mi * rinv) + c05 * trq * rinv3 - c15 * rqr * rinv5
+
+
+def _point_forces_pass(txs, tys, tzs, sxs, sys, szs, sm, eps2,
+                       acc, phi):
+    """Dense all-pairs point forces, float64 (no self-exclusion)."""
+    for i in range(txs.shape[0]):
+        px = txs[i]
+        py = tys[i]
+        pz = tzs[i]
+        ax = 0.0
+        ay = 0.0
+        az = 0.0
+        ph = 0.0
+        for j in range(sxs.shape[0]):
+            dx = sxs[j] - px
+            dy = sys[j] - py
+            dz = szs[j] - pz
+            r2 = dx * dx + dy * dy + dz * dz + eps2
+            rinv = 1.0 / np.sqrt(r2)
+            mrinv = sm[j] * rinv
+            mrinv3 = mrinv * rinv * rinv
+            ax += mrinv3 * dx
+            ay += mrinv3 * dy
+            az += mrinv3 * dz
+            ph -= mrinv
+        acc[i, 0] = ax
+        acc[i, 1] = ay
+        acc[i, 2] = az
+        phi[i] = ph
+
+
+#: Pass table shared by both execution modes; the jit table is built
+#: lazily from this one (same keys, compiled callables).
+_PASSES = {
+    "pp_run": _pp_run_pass,
+    "pc_mono_run": _pc_mono_run_pass,
+    "pc_quad_run": _pc_quad_run_pass,
+    "pp_pairs": _pp_pairs_pass,
+    "pc_quad_pairs": _pc_quad_pairs_pass,
+    "point_forces": _point_forces_pass,
+}
+
+_JITTED: dict = {}
+
+
+def _jit_passes() -> dict:
+    """Compile (once per process) and return the jitted pass table."""
+    if not _JITTED:
+        import numba
+        for key, fn in _PASSES.items():
+            _JITTED[key] = numba.njit(cache=True)(fn)
+    return _JITTED
+
+
+class NumbaBackend(ComputeBackend):
+    """Fused ``@njit(cache=True)`` kernels (optional dependency).
+
+    ``python_fallback=True`` runs the identical pass functions without
+    numba -- orders of magnitude slower, but available everywhere, which
+    is how the fused algorithm is validated on numba-free hosts.  Pass a
+    ``name`` when registering a fallback instance so it never shadows
+    the real ``numba`` entry.
+    """
+
+    def __init__(self, python_fallback: bool = False, name: str | None = None):
+        self._python = bool(python_fallback)
+        self.name = name if name is not None \
+            else ("numba-python" if python_fallback else "numba")
+
+    # -- availability -----------------------------------------------------
+
+    def unavailable_reason(self) -> str | None:
+        if self._python:
+            return None
+        return module_missing("numba")
+
+    def warmup(self, precision: str = "float64") -> None:
+        """Compile every pass variant on minimal inputs (idempotent).
+
+        Numba specialises per argument signature, so both the float32
+        and float64 variants of each pass are touched regardless of
+        ``precision`` -- a driver warm-up must cover the LET evaluation
+        path whichever precision the config selects.
+        """
+        p = self._passes()
+        i = np.zeros(1, dtype=np.int64)
+        one = np.ones(1, dtype=np.int64)
+        f = np.zeros(1, dtype=np.float64)
+        acc = np.zeros(1, dtype=np.float64)
+        for fdtype in (np.float64, np.float32):
+            p["pp_run"](i, i, i, one, i, one, f, f, f, f, f, f, f,
+                        1.0, False, acc, acc, acc, acc, fdtype)
+            p["pc_mono_run"](i, i, i, one, f, f, f, f, f, f, f,
+                             1.0, acc, acc, acc, acc, fdtype)
+            p["pc_quad_run"](i, i, i, one, f, f, f, f, f, f, f, f, f, f,
+                             f, f, f, 1.0, acc, acc, acc, acc, fdtype)
+            p["pp_pairs"](f, f, f, f, 1.0, acc.copy(), acc.copy(),
+                          acc.copy(), acc.copy(), fdtype)
+            p["pc_quad_pairs"](f, f, f, f, f, f, f, f, f, f, 1.0,
+                               acc.copy(), acc.copy(), acc.copy(),
+                               acc.copy(), fdtype)
+        p["point_forces"](f, f, f, f, f, f, f, 1.0,
+                          np.zeros((1, 3)), np.zeros(1))
+
+    def _passes(self) -> dict:
+        if self._python:
+            return _PASSES
+        return _jit_passes()
+
+    @staticmethod
+    def _fdtype(ws) -> type:
+        return np.float32 \
+            if getattr(ws, "precision", "float64") == "float32" else np.float64
+
+    # -- workspaces -------------------------------------------------------
+
+    def make_workspace(self, chunk: int, precision: str = "float64"):
+        return JitWorkspace(chunk, precision)
+
+    # -- raw pair-batch kernels -------------------------------------------
+
+    def pp_kernel(self, dx, dy, dz, m, eps2):
+        dx = np.ascontiguousarray(dx)
+        n = len(dx)
+        out = tuple(np.empty(n, dtype=dx.dtype) for _ in range(4))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            self._passes()["pp_pairs"](
+                dx, np.ascontiguousarray(dy), np.ascontiguousarray(dz),
+                np.ascontiguousarray(m), float(eps2), *out, dx.dtype.type)
+        return out
+
+    def pc_kernel(self, dx, dy, dz, m, quad, eps2):
+        if quad is None:
+            return self.pp_kernel(dx, dy, dz, m, eps2)
+        dx = np.ascontiguousarray(dx)
+        n = len(dx)
+        out = tuple(np.empty(n, dtype=dx.dtype) for _ in range(4))
+        q = tuple(np.ascontiguousarray(quad[:, k]) for k in range(6))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            self._passes()["pc_quad_pairs"](
+                dx, np.ascontiguousarray(dy), np.ascontiguousarray(dz),
+                np.ascontiguousarray(m), *q, float(eps2), *out,
+                dx.dtype.type)
+        return out
+
+    # -- fused pair-run evaluators ----------------------------------------
+
+    def evaluate_pc(self, accx, accy, accz, accp, tview, sv,
+                    pc_g, pc_c, group_first, group_count,
+                    eps2, quadrupole, counts, chunk, ws) -> None:
+        if quadrupole and sv.quad is None:
+            raise ValueError("quadrupole evaluation needs source quadrupoles")
+        # The reference's exact count arithmetic: a walk property, bitwise
+        # across backends.
+        counts.n_pc += int(group_count[pc_g].sum())
+        tx, ty, tz = tview
+        gf = np.asarray(group_first, dtype=np.int64)
+        gc = np.asarray(group_count, dtype=np.int64)
+        p = self._passes()
+        with np.errstate(divide="ignore", invalid="ignore"):
+            if quadrupole:
+                p["pc_quad_run"](pc_g, pc_c, gf, gc,
+                                 sv.com_x, sv.com_y, sv.com_z, sv.mass,
+                                 *sv.quad, tx, ty, tz, float(eps2),
+                                 accx, accy, accz, accp, self._fdtype(ws))
+            else:
+                p["pc_mono_run"](pc_g, pc_c, gf, gc,
+                                 sv.com_x, sv.com_y, sv.com_z, sv.mass,
+                                 tx, ty, tz, float(eps2),
+                                 accx, accy, accz, accp, self._fdtype(ws))
+
+    def evaluate_pp(self, accx, accy, accz, accp, tview, sv,
+                    pp_g, pp_c, group_first, group_count,
+                    eps2, counts, exclude_self, chunk, ws) -> None:
+        counts.n_pp += int((group_count[pp_g] * sv.body_count[pp_c]).sum())
+        tx, ty, tz = tview
+        gf = np.asarray(group_first, dtype=np.int64)
+        gc = np.asarray(group_count, dtype=np.int64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            self._passes()["pp_run"](pp_g, pp_c, gf, gc,
+                                     sv.body_first, sv.body_count,
+                                     sv.sx, sv.sy, sv.sz, sv.smass,
+                                     tx, ty, tz, float(eps2),
+                                     bool(exclude_self),
+                                     accx, accy, accz, accp,
+                                     self._fdtype(ws))
+
+    # -- dense helper -----------------------------------------------------
+
+    def point_forces(self, targets, sources, source_mass, eps2):
+        targets = np.asarray(targets, dtype=np.float64)
+        sources = np.asarray(sources, dtype=np.float64)
+        source_mass = np.asarray(source_mass, dtype=np.float64)
+        acc = np.zeros((len(targets), 3))
+        phi = np.zeros(len(targets))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            self._passes()["point_forces"](
+                np.ascontiguousarray(targets[:, 0]),
+                np.ascontiguousarray(targets[:, 1]),
+                np.ascontiguousarray(targets[:, 2]),
+                np.ascontiguousarray(sources[:, 0]),
+                np.ascontiguousarray(sources[:, 1]),
+                np.ascontiguousarray(sources[:, 2]),
+                source_mass, float(eps2), acc, phi)
+        return acc, phi

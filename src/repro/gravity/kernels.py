@@ -234,26 +234,16 @@ def pc_interactions_ws(dx: np.ndarray, dy: np.ndarray, dz: np.ndarray,
 
 
 def point_forces_on_targets(targets: np.ndarray, sources: np.ndarray,
-                            source_mass: np.ndarray, eps2: float
-                            ) -> tuple[np.ndarray, np.ndarray]:
+                            source_mass: np.ndarray, eps2: float,
+                            backend="numpy") -> tuple[np.ndarray, np.ndarray]:
     """All-pairs forces of point sources on targets (no self-exclusion).
 
     Dense helper used by tests and the velocity/potential machinery of
-    the initial-condition generator.  Returns (acc (n,3), phi (n,)).
+    the initial-condition generator.  Dispatches through the compute
+    backend registry (``backend`` a name or instance, default the NumPy
+    reference whose chunked loop is warning-clean at eps = 0).  Returns
+    (acc (n,3), phi (n,)).
     """
-    targets = np.asarray(targets, dtype=np.float64)
-    sources = np.asarray(sources, dtype=np.float64)
-    acc = np.zeros((len(targets), 3))
-    phi = np.zeros(len(targets))
-    # Chunk over targets to bound the (nt, ns) temporary.
-    chunk = max(1, int(4.0e7 // max(len(sources), 1)))
-    for s in range(0, len(targets), chunk):
-        t = targets[s:s + chunk]
-        d = sources[None, :, :] - t[:, None, :]
-        r2 = np.einsum("ijk,ijk->ij", d, d) + eps2
-        rinv = 1.0 / np.sqrt(r2)
-        mrinv = source_mass[None, :] * rinv
-        mrinv3 = mrinv * rinv * rinv
-        acc[s:s + chunk] = np.einsum("ij,ijk->ik", mrinv3, d)
-        phi[s:s + chunk] = -mrinv.sum(axis=1)
-    return acc, phi
+    from .backends import get_backend
+    return get_backend(backend).point_forces(targets, sources,
+                                             source_mass, eps2)

@@ -647,6 +647,22 @@ def _evaluate_pp_segment(accx, accy, accz, accp,
 # Public evaluators: dispatch on scatter strategy.
 # ---------------------------------------------------------------------------
 
+def _resolve_eval_backend(backend, scatter: str):
+    """Resolve the backend knob for one evaluator call.
+
+    The ``bincount`` reference scatter predates the registry and is
+    numpy-only; any other backend must use the segment path (also
+    enforced by ``SimulationConfig.__post_init__``).
+    """
+    from .backends import NumpyBackend, get_backend
+    be = get_backend(backend)
+    if scatter == "bincount" and not isinstance(be, NumpyBackend):
+        raise ValueError(
+            f"scatter='bincount' is the numpy reference path; "
+            f"backend {be.name!r} requires scatter='segment'")
+    return be
+
+
 def evaluate_pc_pairs(acc: np.ndarray, phi: np.ndarray,
                       tpos: np.ndarray, source,
                       pc_g: np.ndarray, pc_c: np.ndarray,
@@ -657,21 +673,28 @@ def evaluate_pc_pairs(acc: np.ndarray, phi: np.ndarray,
                       scatter: str = "segment",
                       workspace: KernelWorkspace | None = None,
                       sview: SourceView | None = None,
-                      tview=None) -> None:
-    """Evaluate particle-cell pairs, accumulating into acc/phi (sorted order)."""
+                      tview=None,
+                      backend="numpy") -> None:
+    """Evaluate particle-cell pairs, accumulating into acc/phi (sorted order).
+
+    ``backend`` is a registered compute-backend name or a resolved
+    :class:`~repro.gravity.backends.ComputeBackend` instance (hot paths
+    resolve once per step and pass the object).
+    """
     if len(pc_g) == 0:
         return
+    be = _resolve_eval_backend(backend, scatter)
     if scatter == "bincount":
         _evaluate_pc_bincount(acc, phi, tpos, source, pc_g, pc_c,
                               group_first, group_count, eps2, quadrupole,
                               counts, chunk)
         return
-    ws = workspace if workspace is not None else KernelWorkspace(chunk)
+    ws = workspace if workspace is not None else be.make_workspace(chunk)
     sv = sview if sview is not None else SourceView.build(source)
     tv = tview if tview is not None else target_columns(tpos)
-    _evaluate_pc_segment(acc[:, 0], acc[:, 1], acc[:, 2], phi, tv, sv,
-                         pc_g, pc_c, group_first, group_count, eps2,
-                         quadrupole, counts, chunk, ws)
+    be.evaluate_pc(acc[:, 0], acc[:, 1], acc[:, 2], phi, tv, sv,
+                   pc_g, pc_c, group_first, group_count, eps2,
+                   quadrupole, counts, chunk, ws)
 
 
 def evaluate_pp_pairs(acc: np.ndarray, phi: np.ndarray,
@@ -687,21 +710,24 @@ def evaluate_pp_pairs(acc: np.ndarray, phi: np.ndarray,
                       scatter: str = "segment",
                       workspace: KernelWorkspace | None = None,
                       sview: SourceView | None = None,
-                      tview=None) -> None:
+                      tview=None,
+                      backend="numpy") -> None:
     """Evaluate particle-particle (group x leaf) pairs.
 
     ``exclude_self`` zeroes the contribution of identical sorted indices,
     which is required when targets and sources are the same particle set
-    (the group inevitably walks into its own leaves).
+    (the group inevitably walks into its own leaves).  ``backend`` as in
+    :func:`evaluate_pc_pairs`.
     """
     if len(pp_g) == 0:
         return
+    be = _resolve_eval_backend(backend, scatter)
     if scatter == "bincount":
         _evaluate_pp_bincount(acc, phi, tpos, spos, smass, pp_g, pp_c,
                               group_first, group_count, body_first,
                               body_count, eps2, counts, exclude_self, chunk)
         return
-    ws = workspace if workspace is not None else KernelWorkspace(chunk)
+    ws = workspace if workspace is not None else be.make_workspace(chunk)
     if sview is None or sview.sx is None:
         sv = SourceView.__new__(SourceView)
         sv.body_first = np.asarray(body_first, dtype=np.int64)
@@ -713,9 +739,9 @@ def evaluate_pp_pairs(acc: np.ndarray, phi: np.ndarray,
     else:
         sv = sview
     tv = tview if tview is not None else target_columns(tpos)
-    _evaluate_pp_segment(acc[:, 0], acc[:, 1], acc[:, 2], phi, tv, sv,
-                         pp_g, pp_c, group_first, group_count, eps2,
-                         counts, exclude_self, chunk, ws)
+    be.evaluate_pp(acc[:, 0], acc[:, 1], acc[:, 2], phi, tv, sv,
+                   pp_g, pp_c, group_first, group_count, eps2,
+                   counts, exclude_self, chunk, ws)
 
 
 def tree_forces(tree: Octree, pos: np.ndarray, mass: np.ndarray,
@@ -727,7 +753,8 @@ def tree_forces(tree: Octree, pos: np.ndarray, mass: np.ndarray,
                 chunk: int = DEFAULT_CHUNK,
                 scatter: str = "segment",
                 precision: str = "float64",
-                workspace: KernelWorkspace | None = None) -> TreeWalkResult:
+                workspace: KernelWorkspace | None = None,
+                backend="numpy") -> TreeWalkResult:
     """Compute gravitational forces on ``tree``'s particles.
 
     When ``source`` is omitted the walk is self-gravity over the local
@@ -750,6 +777,10 @@ def tree_forces(tree: Octree, pos: np.ndarray, mass: np.ndarray,
         Evaluation strategy knobs (see module docstring).  A provided
         ``workspace`` overrides ``precision``; reuse one across calls to
         keep steady-state evaluation allocation-free.
+    backend:
+        Compute-backend name or instance executing the kernels
+        (:mod:`repro.gravity.backends`); the walk, the pair lists and
+        the interaction counts are backend-independent.
 
     Returns
     -------
@@ -791,9 +822,10 @@ def tree_forces(tree: Octree, pos: np.ndarray, mass: np.ndarray,
     counts = InteractionCounts(quadrupole=quadrupole)
     eps2 = float(eps) * float(eps)
 
+    be = _resolve_eval_backend(backend, scatter)
     if scatter == "segment":
         ws = workspace if workspace is not None \
-            else KernelWorkspace(chunk, precision)
+            else be.make_workspace(chunk, precision)
         sv = SourceView.build(source, src_pos_sorted, src_mass_sorted)
         tv = (sv.sx, sv.sy, sv.sz) if self_gravity else target_columns(tpos)
     else:
@@ -802,13 +834,14 @@ def tree_forces(tree: Octree, pos: np.ndarray, mass: np.ndarray,
     evaluate_pc_pairs(acc_sorted, phi_sorted, tpos, source, pc_g, pc_c,
                       tree.group_first, tree.group_count, eps2, quadrupole,
                       counts, chunk, scatter=scatter, workspace=ws,
-                      sview=sv, tview=tv)
+                      sview=sv, tview=tv, backend=be)
     evaluate_pp_pairs(acc_sorted, phi_sorted, tpos, src_pos_sorted,
                       src_mass_sorted, pp_g, pp_c,
                       tree.group_first, tree.group_count,
                       source.body_first, source.body_count, eps2,
                       counts, exclude_self=self_gravity, chunk=chunk,
-                      scatter=scatter, workspace=ws, sview=sv, tview=tv)
+                      scatter=scatter, workspace=ws, sview=sv, tview=tv,
+                      backend=be)
 
     # Scatter back to the original particle order.
     acc = np.empty_like(acc_sorted)

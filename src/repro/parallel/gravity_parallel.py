@@ -140,6 +140,7 @@ def distributed_forces(comm: SimComm, particles: ParticleSet,
                        sort_epoch: int | None = None,
                        tree_cache: TreeCache | None = None,
                        walk_cache: WalkCache | None = None,
+                       backend=None,
                        ) -> DistributedForceResult:
     """Compute gravitational forces on this rank's particles.
 
@@ -153,6 +154,11 @@ def distributed_forces(comm: SimComm, particles: ParticleSet,
     ``config.sort_reuse`` is on; ``workspace`` is a persistent
     :class:`KernelWorkspace` so steady-state evaluation allocates
     nothing (one is created locally when absent).
+
+    ``backend`` is a resolved compute-backend instance (or a registered
+    name; ``None`` resolves ``config.backend``) executing the
+    interaction kernels -- walks, pair lists and interaction counts are
+    backend-independent, so the cross-rank reduction is unchanged.
 
     ``sort_epoch`` is the driver's layout generation tag: passing a new
     value drops the sort cache's permutation so it never repairs across
@@ -261,16 +267,22 @@ def distributed_forces(comm: SimComm, particles: ParticleSet,
     counts_let = InteractionCounts(quadrupole=config.quadrupole)
     gmin, gmax = group_aabbs(tree, spos)
 
+    from ..gravity.backends import get_backend
+    be = get_backend(backend if backend is not None else config.backend)
+    # Telemetry: non-default backends stamp their gravity spans (the
+    # default stays unstamped so numpy traces are byte-identical to the
+    # pre-registry era; perf_from_trace reads absence as "numpy").
+    bk_attr = {} if be.name == "numpy" else {"backend": be.name}
     segment = config.scatter == "segment"
     ws = None
     tview = None
     if segment:
-        ws = workspace if workspace is not None else KernelWorkspace(
+        ws = workspace if workspace is not None else be.make_workspace(
             config.chunk, config.precision)
         ws.ensure(config.chunk)
         tview = target_columns(spos)
     eval_kw = dict(chunk=config.chunk, scatter=config.scatter,
-                   workspace=ws, tview=tview)
+                   workspace=ws, tview=tview, backend=be)
     max_frontier = 0
     wcache = walk_cache if config.walk_warm_start else None
     if wcache is not None:
@@ -294,7 +306,7 @@ def distributed_forces(comm: SimComm, particles: ParticleSet,
                       exclude_self=True, sview=lview, **eval_kw)
     rec("gravity_local", t0, now(), n_particles=n,
         n_pp=counts_local.n_pp, n_pc=counts_local.n_pc,
-        quadrupole=config.quadrupole)
+        quadrupole=config.quadrupole, **bk_attr)
 
     def walk_remote(source, src_rank: int, kind: str) -> None:
         nonlocal max_frontier
@@ -321,7 +333,8 @@ def distributed_forces(comm: SimComm, particles: ParticleSet,
                           counts_let, exclude_self=False, sview=sview,
                           **eval_kw)
         rec("gravity_let", t0, now(), src=src_rank,
-            n_pp=counts_let.n_pp - pp0, n_pc=counts_let.n_pc - pc0)
+            n_pp=counts_let.n_pp - pp0, n_pc=counts_let.n_pc - pc0,
+            **bk_attr)
 
     def walk_batch(entries: list) -> None:
         # One frontier pass over every source in the batch (``entries``
@@ -424,7 +437,8 @@ def distributed_forces(comm: SimComm, particles: ParticleSet,
                                   counts_let, exclude_self=False, sview=sview,
                                   **eval_kw)
         rec("gravity_let", t0, now(), n_src=len(entries),
-            n_pp=counts_let.n_pp - pp0, n_pc=counts_let.n_pc - pc0)
+            n_pp=counts_let.n_pp - pp0, n_pc=counts_let.n_pc - pc0,
+            **bk_attr)
 
     # Remote contributions.  Sufficient boundaries are available now;
     # full LETs from near neighbours are processed *as they arrive*
